@@ -1,0 +1,50 @@
+// Ablation D2 (DESIGN.md): multi-valued agreement candidate order —
+// fixed vs. locally-randomized permutation (paper §2.4 implements both;
+// the experiments ran the randomized order "for load balancing").
+//
+// On the WAN, the randomized order is what produces Figure 5's second
+// band: with probability ~the fraction of slow candidates, the first
+// examined proposal is one the fast parties lack, costing one extra
+// biased binary agreement.  Fixed order always examines P0 (the Zurich
+// sender) first, concentrating both load and luck on one party.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.hpp"
+
+using namespace sintra;
+using namespace sintra::bench;
+
+int main(int argc, char** argv) {
+  const int messages = argc > 1 ? std::atoi(argv[1]) : 150;
+  const crypto::Deal deal = crypto::run_dealer(paper_dealer_config(4, 1));
+
+  std::printf("Ablation D2: MVBA candidate order, AtomicChannel on the "
+              "Internet setup, 3 senders, %d messages\n\n", messages);
+  std::printf("%-14s %16s %22s\n", "order", "s/delivery",
+              "extra-agreement rounds");
+
+  for (const auto& [name, order] :
+       {std::pair{"fixed", core::ArrayAgreement::CandidateOrder::kFixed},
+        std::pair{"random-local",
+                  core::ArrayAgreement::CandidateOrder::kRandomLocal}}) {
+    WorkloadOptions opt;
+    opt.kind = ChannelKind::kAtomic;
+    opt.senders = {0, 1, 2};
+    opt.total_messages = messages;
+    opt.atomic_config.order = order;
+    const WorkloadResult res = run_workload(sim::internet_setup(), deal, opt);
+    int extra = 0;
+    for (const auto& d : res.deliveries) {
+      if (d.mvba_iterations > 1) ++extra;
+    }
+    std::printf("%-14s %16.2f %18d/%d\n", name,
+                res.completed ? res.mean_interdelivery_s() : -1.0, extra,
+                messages);
+    std::fflush(stdout);
+  }
+  std::printf("\nexpected: comparable mean latency; the paper chose the "
+              "randomized order for load balancing, accepting the extra-"
+              "agreement band it creates.\n");
+  return 0;
+}

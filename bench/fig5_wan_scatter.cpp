@@ -1,0 +1,94 @@
+// Figure 5 reproduction: "Delivery time per message for AtomicChannel on
+// the Internet" — three senders (Zurich, Tokyo, New York) send 1000
+// messages; measurement in Zurich.  The paper's features:
+//
+//   1. the ~0 s batch band as on the LAN;
+//   2. the round band splits in two: most points at the one-agreement
+//      time (2-2.5 s in the paper) and roughly a quarter one binary
+//      agreement higher (3-3.5 s) — when the randomized candidate order
+//      examines a proposal the fast parties have not received, the first
+//      biased agreement decides 0 and a second one is needed;
+//   3. delivery order driven by *connectivity*, not CPU speed.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "bench/common.hpp"
+
+using namespace sintra;
+using namespace sintra::bench;
+
+int main(int argc, char** argv) {
+  const int messages = argc > 1 ? std::atoi(argv[1]) : 500;
+  const bool emit_points = argc > 2 && std::string(argv[2]) == "--points";
+
+  const crypto::Deal deal = crypto::run_dealer(paper_dealer_config(4, 1));
+  WorkloadOptions opt;
+  opt.kind = ChannelKind::kAtomic;
+  opt.senders = {0, 1, 2};  // Zurich, Tokyo, New York (California idle)
+  opt.total_messages = messages;
+  opt.measure_node = 0;     // Zurich
+
+  const WorkloadResult res = run_workload(sim::internet_setup(), deal, opt);
+  if (!res.completed) {
+    std::printf("workload did not complete\n");
+    return 1;
+  }
+
+  std::printf("Figure 5: AtomicChannel on the Internet, senders "
+              "{Zurich,Tokyo,NewYork}, %d messages, measured in Zurich\n\n",
+              messages);
+  if (emit_points) {
+    std::printf("# delivery_number  sec_per_delivery  sender  mvba_iters\n");
+  }
+
+  int band_zero = 0, band_one_agreement = 0, band_extra = 0;
+  double one_sum = 0, extra_sum = 0;
+  std::map<int, int> per_sender;
+  double prev = res.deliveries.front().time_ms;
+  for (std::size_t i = 0; i < res.deliveries.size(); ++i) {
+    const auto& d = res.deliveries[i];
+    const double gap_s = (d.time_ms - prev) / 1000.0;
+    prev = d.time_ms;
+    if (emit_points) {
+      std::printf("%6zu  %8.3f  P%d  %d\n", i, gap_s, d.origin,
+                  d.mvba_iterations);
+    }
+    if (i > 0) {
+      if (gap_s < 0.05) {
+        ++band_zero;
+      } else if (d.mvba_iterations <= 1) {
+        ++band_one_agreement;
+        one_sum += gap_s;
+      } else {
+        ++band_extra;
+        extra_sum += gap_s;
+      }
+    }
+    ++per_sender[d.origin];
+  }
+
+  std::printf("band at ~0 s                 : %d points\n", band_zero);
+  std::printf("one-agreement band           : %d points, mean %.2f s\n",
+              band_one_agreement,
+              band_one_agreement ? one_sum / band_one_agreement : 0.0);
+  std::printf("extra-binary-agreement band  : %d points, mean %.2f s (%.0f%% "
+              "of non-zero points)\n",
+              band_extra, band_extra ? extra_sum / band_extra : 0.0,
+              100.0 * band_extra /
+                  std::max(1, band_one_agreement + band_extra));
+  std::printf("paper: bands at 2-2.5 s and 3-3.5 s, the higher band holding "
+              "roughly 1/4 of the above-zero points;\n"
+              "       the gap between the bands is the time of one binary "
+              "agreement (~1 s)\n\n");
+
+  std::printf("deliveries per sender        :");
+  for (const auto& [s, cnt] : per_sender) std::printf("  P%d=%d", s, cnt);
+  std::printf("\npaper: order driven by connectivity — New York first, "
+              "Tokyo (fastest CPU, worst links) last\n");
+
+  std::printf("\ntotal virtual time %.1f s (%.2f s/delivery overall)\n",
+              res.total_virtual_ms / 1000.0,
+              res.total_virtual_ms / 1000.0 / messages);
+  return 0;
+}

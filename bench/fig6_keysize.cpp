@@ -1,0 +1,67 @@
+// Figure 6 reproduction: "Average delivery time versus size of the public
+// keys with standard threshold-signatures (ts) and multi-signatures
+// (multi)" — the AtomicChannel workload with one sender, on the LAN and
+// Internet setups, sweeping the RSA key size over 128..1024 bits.
+//
+// Paper findings to reproduce in shape:
+//   - with multi-signatures the key length has *no significant influence*
+//     (CRT signing keeps even 1024-bit signatures cheap relative to
+//     protocol+network overhead);
+//   - with proper threshold signatures the key size matters above
+//     256 bits: LAN delivery time grows by ~4x from 512 to 1024 bits,
+//     on the Internet by < 2x per doubling (network hides computation).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.hpp"
+
+using namespace sintra;
+using namespace sintra::bench;
+
+int main(int argc, char** argv) {
+  const int messages = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int key_sizes[] = {128, 256, 512, 1024};
+
+  std::printf("Figure 6: average delivery time (s) vs public-key size, "
+              "AtomicChannel, one sender, %d messages\n\n", messages);
+  std::printf("%8s %14s %14s %14s %14s\n", "keysize", "LAN ts", "LAN multi",
+              "Internet ts", "Internet multi");
+
+  double lan_ts[4] = {0};
+  for (int k = 0; k < 4; ++k) {
+    const int bits = key_sizes[k];
+    double cells[4];
+    int cell = 0;
+    for (const auto impl :
+         {crypto::SigImpl::kThresholdRsa, crypto::SigImpl::kMultiSig}) {
+      const crypto::Deal deal =
+          crypto::run_dealer(paper_dealer_config(4, 1, bits, impl));
+      for (const auto* topo_name : {"LAN", "Internet"}) {
+        WorkloadOptions opt;
+        opt.kind = ChannelKind::kAtomic;
+        opt.senders = {0};
+        opt.total_messages = messages;
+        const sim::Topology topo = std::string(topo_name) == "LAN"
+                                       ? sim::lan_setup()
+                                       : sim::internet_setup();
+        const WorkloadResult res = run_workload(topo, deal, opt);
+        cells[cell++] = res.completed ? res.mean_interdelivery_s() : -1;
+      }
+    }
+    // cells: [ts LAN, ts Internet, multi LAN, multi Internet]
+    lan_ts[k] = cells[0];
+    std::printf("%8d %14.2f %14.2f %14.2f %14.2f\n", bits, cells[0], cells[2],
+                cells[1], cells[3]);
+    std::fflush(stdout);
+  }
+
+  std::printf("\npaper reference points: at 1024 bits the LAN ts curve "
+              "reaches ~8-10 s while LAN multi stays ~0.7 s;\n"
+              "multi curves are flat in the key size; ts grows visibly only "
+              "above 256 bits.\n");
+  if (lan_ts[2] > 0 && lan_ts[3] > 0) {
+    std::printf("measured LAN ts growth 512->1024 bits: %.1fx (paper: "
+                "almost 4x)\n", lan_ts[3] / lan_ts[2]);
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Message-complexity verification — the paper's analytical claims,
+// measured:
+//   §2.2: reliable broadcast has "quadratic communication complexity",
+//         consistent broadcast "a communication cost that is linear in n";
+//   §2.3: binary agreement "involves a quadratic expected number of
+//         messages";
+//   §2.4: multi-valued agreement "incurs an expected communication cost
+//         of O(t n^2) messages".
+//
+// Each primitive runs in isolation at n = 4, 7, 10, 13 (t = floor((n-1)/3))
+// and the per-instance network message count is reported together with
+// the normalization that should flatten if the claim holds.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/agreement/array_agreement.hpp"
+#include "core/agreement/binary_agreement.hpp"
+#include "core/broadcast/consistent_broadcast.hpp"
+#include "core/broadcast/reliable_broadcast.hpp"
+
+using namespace sintra;
+using namespace sintra::bench;
+
+namespace {
+
+crypto::Deal deal_for(int n, int t) {
+  crypto::DealerConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.rsa_bits = 512;  // message *counts* are key-size independent
+  cfg.dl_p_bits = 256;
+  cfg.dl_q_bits = 96;
+  return crypto::run_dealer(cfg);
+}
+
+template <typename Run>
+std::uint64_t count_messages(int n, int t, Run run) {
+  const crypto::Deal deal = deal_for(n, t);
+  sim::Simulator sim(sim::uniform_setup(n, 30.0, 1.0, 0.1), deal, 1);
+  sim.per_message_cpu_ms = 0.01;
+  run(sim, n, t);
+  return sim.messages_sent();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Message complexity per protocol instance (t = (n-1)/3)\n\n");
+  std::printf("%4s %4s | %9s %8s | %9s %8s | %9s %8s | %9s %9s\n", "n", "t",
+              "reliable", "/n^2", "consist", "/n", "binary BA", "/n^2",
+              "MVBA", "/n^2");
+
+  for (int n : {4, 7, 10, 13}) {
+    const int t = (n - 1) / 3;
+
+    const std::uint64_t rbc =
+        count_messages(n, t, [](sim::Simulator& sim, int n_, int) {
+          std::vector<std::unique_ptr<core::ReliableBroadcast>> ps;
+          for (int i = 0; i < n_; ++i) {
+            ps.push_back(std::make_unique<core::ReliableBroadcast>(
+                sim.node(i), sim.node(i).dispatcher(), "rbc", 0));
+          }
+          sim.at(0.0, 0, [&] { ps[0]->send(to_bytes("payload")); });
+          sim.run_until(
+              [&] {
+                return std::all_of(ps.begin(), ps.end(), [](const auto& p) {
+                  return p->delivered().has_value();
+                });
+              },
+              1e7);
+        });
+
+    const std::uint64_t cbc =
+        count_messages(n, t, [](sim::Simulator& sim, int n_, int) {
+          std::vector<std::unique_ptr<core::ConsistentBroadcast>> ps;
+          for (int i = 0; i < n_; ++i) {
+            ps.push_back(std::make_unique<core::ConsistentBroadcast>(
+                sim.node(i), sim.node(i).dispatcher(), "cbc", 0));
+          }
+          sim.at(0.0, 0, [&] { ps[0]->send(to_bytes("payload")); });
+          sim.run_until(
+              [&] {
+                return std::all_of(ps.begin(), ps.end(), [](const auto& p) {
+                  return p->delivered().has_value();
+                });
+              },
+              1e7);
+        });
+
+    const std::uint64_t ba =
+        count_messages(n, t, [](sim::Simulator& sim, int n_, int) {
+          std::vector<std::unique_ptr<core::BinaryAgreement>> ps;
+          for (int i = 0; i < n_; ++i) {
+            ps.push_back(std::make_unique<core::BinaryAgreement>(
+                sim.node(i), sim.node(i).dispatcher(), "ba"));
+          }
+          for (int i = 0; i < n_; ++i) {
+            sim.at(0.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(i % 2 == 0); });
+          }
+          sim.run_until(
+              [&] {
+                return std::all_of(ps.begin(), ps.end(), [](const auto& p) {
+                  return p->decided().has_value();
+                });
+              },
+              1e7);
+        });
+
+    const std::uint64_t mvba =
+        count_messages(n, t, [](sim::Simulator& sim, int n_, int) {
+          std::vector<std::unique_ptr<core::ArrayAgreement>> ps;
+          for (int i = 0; i < n_; ++i) {
+            ps.push_back(std::make_unique<core::ArrayAgreement>(
+                sim.node(i), sim.node(i).dispatcher(), "mvba",
+                [](BytesView) { return true; }));
+          }
+          for (int i = 0; i < n_; ++i) {
+            sim.at(0.0, i, [&, i] {
+              ps[static_cast<std::size_t>(i)]->propose(
+                  to_bytes("v" + std::to_string(i)));
+            });
+          }
+          sim.run_until(
+              [&] {
+                return std::all_of(ps.begin(), ps.end(), [](const auto& p) {
+                  return p->decided().has_value();
+                });
+              },
+              1e7);
+        });
+
+    const double n2 = static_cast<double>(n) * n;
+    std::printf("%4d %4d | %9llu %8.1f | %9llu %8.1f | %9llu %8.1f | %9llu "
+                "%9.1f\n",
+                n, t, static_cast<unsigned long long>(rbc), rbc / n2,
+                static_cast<unsigned long long>(cbc),
+                static_cast<double>(cbc) / n,
+                static_cast<unsigned long long>(ba), ba / n2,
+                static_cast<unsigned long long>(mvba), mvba / n2);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nclaims hold if the normalized columns stay ~flat as n "
+              "grows: reliable/n^2, consistent/n, binary/n^2 "
+              "(paper §2.2-2.3).\nMVBA under this benign schedule decides "
+              "in one loop iteration, so it tracks n^2; the paper's O(t n^2) "
+              "is the bound over the adversarial O(t) loop iterations "
+              "(§2.4).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: secure state-machine replication in ~60 lines.
+//
+// Four replicas tolerate one Byzantine fault (n = 4, t = 1).  The trusted
+// dealer hands out all key material, an atomic broadcast channel totally
+// orders client commands, and every replica observes the same sequence —
+// the paper's core claim, end to end.
+//
+//   $ ./quickstart
+//
+#include <chrono>
+#include <iostream>
+
+#include "facade/blocking_api.hpp"
+
+int main() {
+  using namespace sintra;
+
+  // 1. The trusted dealer (run once, §2): group of 4, one may be corrupt.
+  crypto::DealerConfig config;
+  config.n = 4;
+  config.t = 1;
+  config.rsa_bits = 512;   // demo-sized keys; the paper used 1024
+  config.dl_p_bits = 256;
+  config.dl_q_bits = 96;
+  const crypto::Deal deal = crypto::run_dealer(config);
+
+  // 2. Boot the replicas (one thread each, authenticated links).
+  facade::LocalGroup group(deal);
+
+  // 3. Open the atomic broadcast channel on every replica.
+  std::vector<std::unique_ptr<facade::BlockingAtomicChannel>> channel;
+  for (int i = 0; i < group.n(); ++i) {
+    channel.push_back(std::make_unique<facade::BlockingAtomicChannel>(
+        group, i, "quickstart"));
+  }
+
+  // 4. Two replicas broadcast commands concurrently.
+  channel[0]->send(to_bytes("credit alice 100"));
+  channel[1]->send(to_bytes("debit bob 40"));
+  channel[0]->send(to_bytes("credit carol 7"));
+
+  // 5. Every replica receives the SAME totally-ordered command stream.
+  for (int i = 0; i < group.n(); ++i) {
+    std::cout << "replica " << i << " applies:";
+    for (int m = 0; m < 3; ++m) {
+      auto cmd = channel[static_cast<std::size_t>(i)]->receive_for(
+          std::chrono::seconds(30));
+      if (!cmd) {
+        std::cerr << "\ntimeout waiting for delivery\n";
+        return 1;
+      }
+      std::cout << "  [" << to_string(*cmd) << "]";
+    }
+    std::cout << "\n";
+  }
+
+  // 6. Close the channel (t+1 = 2 honest closes terminate it, §2.5).
+  channel[0]->close();
+  channel[1]->close();
+  channel[2]->close_wait();
+  std::cout << "channel closed on all replicas\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+# Regenerates the paper's Figure 4 scatter from the harness's raw series:
+#
+#   ./build/bench/fig4_lan_scatter 1000 --points | grep -v '^[^ 0-9]' > fig4.dat
+#   gnuplot -e "datafile='fig4.dat'" scripts/plot_fig4.gp
+#
+# Produces fig4.png: delivery time per message for AtomicChannel on the
+# LAN, one point per delivery, keyed by sender — compare with the paper's
+# two bands (0 s and 0.5-1 s) and the per-sender tail structure.
+if (!exists("datafile")) datafile = "fig4.dat"
+set terminal pngcairo size 900,600
+set output "fig4.png"
+set title "Delivery time per message, AtomicChannel on a LAN (reproduction)"
+set xlabel "Delivery Number"
+set ylabel "sec/delivery"
+set yrange [0:2]
+set key top right title "Senders:"
+plot datafile using 1:(strcol(3) eq "P0" ? $2 : 1/0) title "Linux P0" pt 7 ps 0.5, \
+     datafile using 1:(strcol(3) eq "P2" ? $2 : 1/0) title "AIX P2" pt 5 ps 0.5, \
+     datafile using 1:(strcol(3) eq "P3" ? $2 : 1/0) title "Win 2k P3" pt 9 ps 0.5

@@ -1,0 +1,19 @@
+# Regenerates the paper's Figure 5 scatter:
+#
+#   ./build/bench/fig5_wan_scatter 1000 --points | grep -v '^[^ 0-9]' > fig5.dat
+#   gnuplot -e "datafile='fig5.dat'" scripts/plot_fig5.gp
+#
+# Produces fig5.png: delivery time per message for AtomicChannel on the
+# Internet setup — compare with the paper's three bands (0 s batch band,
+# the one-agreement band, and the extra-binary-agreement band about one
+# agreement higher).
+if (!exists("datafile")) datafile = "fig5.dat"
+set terminal pngcairo size 900,600
+set output "fig5.png"
+set title "Delivery time per message, AtomicChannel on the Internet (reproduction)"
+set xlabel "Delivery Number"
+set ylabel "sec/delivery"
+set key top right title "Senders:"
+plot datafile using 1:(strcol(3) eq "P0" ? $2 : 1/0) title "Zurich P0" pt 7 ps 0.5, \
+     datafile using 1:(strcol(3) eq "P1" ? $2 : 1/0) title "Tokyo P1" pt 5 ps 0.5, \
+     datafile using 1:(strcol(3) eq "P2" ? $2 : 1/0) title "New York P2" pt 9 ps 0.5

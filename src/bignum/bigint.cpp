@@ -1,0 +1,593 @@
+#include "bignum/bigint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "bignum/montgomery.hpp"
+
+namespace sintra::bignum {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+BigInt::BigInt(std::int64_t v) {
+  negative_ = v < 0;
+  std::uint64_t mag =
+      negative_ ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag));
+    mag >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_limbs(std::vector<std::uint32_t> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.trim();
+  return out;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::cmp_mag(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_)
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  int c = BigInt::cmp_mag(a, b);
+  if (a.negative_) c = -c;
+  if (c < 0) return std::strong_ordering::less;
+  if (c > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::add_mag(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const auto& x = a.limbs_;
+  const auto& y = b.limbs_;
+  const std::size_t n = std::max(x.size(), y.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t s = carry;
+    if (i < x.size()) s += x[i];
+    if (i < y.size()) s += y[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::sub_mag(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a.limbs_[i]) - borrow -
+                     (i < b.limbs_.size() ? b.limbs_[i] : 0);
+    if (d < 0) {
+      d += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(d);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  if (a.negative_ == b.negative_) {
+    BigInt out = BigInt::add_mag(a, b);
+    out.negative_ = a.negative_ && !out.is_zero();
+    return out;
+  }
+  int c = BigInt::cmp_mag(a, b);
+  if (c == 0) return BigInt{};
+  BigInt out = c > 0 ? BigInt::sub_mag(a, b) : BigInt::sub_mag(b, a);
+  out.negative_ = (c > 0 ? a.negative_ : b.negative_) && !out.is_zero();
+  return out;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) { return a + (-b); }
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+namespace {
+
+// Schoolbook product of limb magnitudes (little-endian).
+std::vector<std::uint32_t> mul_school(const std::vector<std::uint32_t>& x,
+                                      const std::vector<std::uint32_t>& y) {
+  std::vector<std::uint32_t> out(x.size() + y.size(), 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t xi = x[i];
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      std::uint64_t cur = out[i + j] + xi * y[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + y.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> add_limbs(const std::vector<std::uint32_t>& x,
+                                     const std::vector<std::uint32_t>& y) {
+  std::vector<std::uint32_t> out(std::max(x.size(), y.size()) + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    std::uint64_t s = carry;
+    if (i < x.size()) s += x[i];
+    if (i < y.size()) s += y[i];
+    out[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  out.back() = static_cast<std::uint32_t>(carry);
+  return out;
+}
+
+// out -= x * B^shift (in place; caller guarantees no final borrow).
+void sub_limbs_at(std::vector<std::uint32_t>& out,
+                  const std::vector<std::uint32_t>& x, std::size_t shift) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < x.size() || borrow != 0; ++i) {
+    std::int64_t d = static_cast<std::int64_t>(out[shift + i]) - borrow -
+                     (i < x.size() ? x[i] : 0);
+    if (d < 0) {
+      d += 1LL << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[shift + i] = static_cast<std::uint32_t>(d);
+  }
+}
+
+// out += x * B^shift (in place; out must be large enough).
+void add_limbs_at(std::vector<std::uint32_t>& out,
+                  const std::vector<std::uint32_t>& x, std::size_t shift) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < x.size() || carry != 0; ++i) {
+    std::uint64_t s = out[shift + i] + carry;
+    if (i < x.size()) s += x[i];
+    out[shift + i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+}
+
+// Below this operand size (in limbs) schoolbook wins.
+constexpr std::size_t kKaratsubaThreshold = 24;
+
+// Karatsuba product (the "optimizations in the modular arithmetic" the
+// paper's §6 suggests; pays off for the multi-limb products in division
+// and non-Montgomery paths).
+std::vector<std::uint32_t> mul_limbs(const std::vector<std::uint32_t>& x,
+                                     const std::vector<std::uint32_t>& y) {
+  if (x.size() < kKaratsubaThreshold || y.size() < kKaratsubaThreshold) {
+    return mul_school(x, y);
+  }
+  const std::size_t half = std::max(x.size(), y.size()) / 2;
+  const auto split = [half](const std::vector<std::uint32_t>& v) {
+    std::vector<std::uint32_t> lo(v.begin(),
+                                  v.begin() + static_cast<std::ptrdiff_t>(
+                                                  std::min(half, v.size())));
+    std::vector<std::uint32_t> hi(
+        v.begin() + static_cast<std::ptrdiff_t>(std::min(half, v.size())),
+        v.end());
+    return std::pair{std::move(lo), std::move(hi)};
+  };
+  auto [x0, x1] = split(x);
+  auto [y0, y1] = split(y);
+
+  const auto z0 = mul_limbs(x0, y0);                       // low product
+  const auto z2 = mul_limbs(x1, y1);                       // high product
+  auto zm = mul_limbs(add_limbs(x0, x1), add_limbs(y0, y1));
+  // zm -= z0 + z2  => the middle term (non-negative by construction).
+  sub_limbs_at(zm, z0, 0);
+  sub_limbs_at(zm, z2, 0);
+
+  std::vector<std::uint32_t> out(x.size() + y.size() + 1, 0);
+  add_limbs_at(out, z0, 0);
+  add_limbs_at(out, zm, half);
+  add_limbs_at(out, z2, 2 * half);
+  return out;
+}
+
+}  // namespace
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt{};
+  BigInt out;
+  out.limbs_ = mul_limbs(a.limbs_, b.limbs_);
+  out.negative_ = a.negative_ != b.negative_;
+  out.trim();
+  return out;
+}
+
+BigInt operator<<(const BigInt& a, int k) {
+  if (a.is_zero() || k == 0) return k < 0 ? a >> -k : a;
+  if (k < 0) return a >> -k;
+  const int limb_shift = k / 32;
+  const int bit_shift = k % 32;
+  BigInt out;
+  out.negative_ = a.negative_;
+  out.limbs_.assign(a.limbs_.size() + static_cast<std::size_t>(limb_shift) + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + static_cast<std::size_t>(limb_shift)] |=
+        static_cast<std::uint32_t>(v);
+    out.limbs_[i + static_cast<std::size_t>(limb_shift) + 1] |=
+        static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator>>(const BigInt& a, int k) {
+  if (a.is_zero() || k == 0) return k < 0 ? a << -k : a;
+  if (k < 0) return a << -k;
+  const std::size_t limb_shift = static_cast<std::size_t>(k) / 32;
+  const int bit_shift = k % 32;
+  if (limb_shift >= a.limbs_.size()) return BigInt{};
+  BigInt out;
+  out.negative_ = a.negative_;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& a, const BigInt& b) {
+  if (b.is_zero()) throw std::domain_error("BigInt: division by zero");
+  if (cmp_mag(a, b) < 0) return {BigInt{}, a};
+
+  // Knuth Algorithm D on magnitudes.
+  BigInt u = a;
+  u.negative_ = false;
+  BigInt v = b;
+  v.negative_ = false;
+
+  if (v.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const std::uint64_t d = v.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(u.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = u.limbs_.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | u.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    BigInt r = BigInt(static_cast<std::int64_t>(rem));
+    q.negative_ = !q.is_zero() && (a.negative_ != b.negative_);
+    r.negative_ = !r.is_zero() && a.negative_;
+    return {q, r};
+  }
+
+  // Normalize so the top limb of v has its high bit set.
+  int shift = 0;
+  std::uint32_t top = v.limbs_.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  u = u << shift;
+  v = v << shift;
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+  u.limbs_.push_back(0);
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+  const std::uint64_t vtop = v.limbs_[n - 1];
+  const std::uint64_t vsec = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t num =
+        (static_cast<std::uint64_t>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    std::uint64_t qhat = num / vtop;
+    std::uint64_t rhat = num % vtop;
+    if (qhat >= kBase) {
+      qhat = kBase - 1;
+      rhat = num - qhat * vtop;
+    }
+    while (rhat < kBase &&
+           qhat * vsec > ((rhat << 32) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += vtop;
+    }
+    // u[j .. j+n] -= qhat * v
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t p = qhat * v.limbs_[i] + carry;
+      carry = p >> 32;
+      std::int64_t d = static_cast<std::int64_t>(u.limbs_[i + j]) -
+                       static_cast<std::int64_t>(p & 0xffffffffu) - borrow;
+      if (d < 0) {
+        d += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<std::uint32_t>(d);
+    }
+    std::int64_t d = static_cast<std::int64_t>(u.limbs_[j + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    if (d < 0) {
+      // qhat was one too large: add back.
+      d += static_cast<std::int64_t>(kBase);
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t s =
+            static_cast<std::uint64_t>(u.limbs_[i + j]) + v.limbs_[i] + c;
+        u.limbs_[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      d += static_cast<std::int64_t>(c);
+      d &= static_cast<std::int64_t>(kBase - 1);
+    }
+    u.limbs_[j + n] = static_cast<std::uint32_t>(d);
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  q.trim();
+  u.limbs_.resize(n);
+  u.trim();
+  BigInt r = u >> shift;
+  q.negative_ = !q.is_zero() && (a.negative_ != b.negative_);
+  r.negative_ = !r.is_zero() && a.negative_;
+  return {q, r};
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  return BigInt::div_mod(a, b).first;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  return BigInt::div_mod(a, b).second;
+}
+
+BigInt BigInt::mod(const BigInt& m) const {
+  if (m <= BigInt{0}) throw std::domain_error("BigInt::mod: modulus <= 0");
+  BigInt r = *this % m;
+  if (r.is_negative()) r += m;
+  return r;
+}
+
+BigInt BigInt::mod_pow(const BigInt& e, const BigInt& m) const {
+  if (e.is_negative()) throw std::domain_error("BigInt::mod_pow: negative exponent");
+  if (m <= BigInt{0}) throw std::domain_error("BigInt::mod_pow: modulus <= 0");
+  if (m.is_one()) return BigInt{};
+  if (m.is_odd()) return Montgomery(m).pow(this->mod(m), e);
+  // Rare even-modulus path (not used by the crypto layer): square & multiply.
+  BigInt base = this->mod(m);
+  BigInt result{1};
+  for (int i = e.bit_length() - 1; i >= 0; --i) {
+    result = (result * result).mod(m);
+    if (e.bit(i)) result = (result * base).mod(m);
+  }
+  return result;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& m) const {
+  if (m <= BigInt{0}) throw std::domain_error("BigInt::mod_inverse: modulus <= 0");
+  // Extended Euclid on (a mod m, m).
+  BigInt a = this->mod(m);
+  BigInt r0 = m, r1 = a;
+  BigInt s0{0}, s1{1};
+  while (!r1.is_zero()) {
+    auto [q, r2] = div_mod(r0, r1);
+    BigInt s2 = s0 - q * s1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    s0 = std::move(s1);
+    s1 = std::move(s2);
+  }
+  if (!r0.is_one()) throw std::domain_error("BigInt::mod_inverse: not invertible");
+  return s0.mod(m);
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+int BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  int bits = static_cast<int>(limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(int i) const {
+  const std::size_t limb = static_cast<std::size_t>(i) / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+BigInt BigInt::from_string(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) throw std::invalid_argument("BigInt::from_string: empty");
+  BigInt out;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    for (char c : s.substr(2)) {
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+      else throw std::invalid_argument("BigInt::from_string: bad hex digit");
+      out = (out << 4) + BigInt{d};
+    }
+  } else {
+    for (char c : s) {
+      if (c < '0' || c > '9')
+        throw std::invalid_argument("BigInt::from_string: bad decimal digit");
+      out = out * BigInt{10} + BigInt{c - '0'};
+    }
+  }
+  if (neg && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9 (one limb's worth of decimal digits).
+  BigInt v = *this;
+  v.negative_ = false;
+  const BigInt chunk{1000000000};
+  std::vector<std::uint32_t> groups;
+  while (!v.is_zero()) {
+    auto [q, r] = div_mod(v, chunk);
+    groups.push_back(r.is_zero() ? 0 : r.limbs_[0]);
+    v = std::move(q);
+  }
+  std::string out = negative_ ? "-" : "";
+  out += std::to_string(groups.back());
+  for (std::size_t i = groups.size() - 1; i-- > 0;) {
+    std::string g = std::to_string(groups[i]);
+    out += std::string(9 - g.size(), '0') + g;
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string out = negative_ ? "-" : "";
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%x", limbs_.back());
+  out += buf;
+  for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
+    std::snprintf(buf, sizeof buf, "%08x", limbs_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+BigInt BigInt::from_bytes(BytesView be) {
+  BigInt out;
+  for (std::uint8_t b : be) out = (out << 8) + BigInt{b};
+  return out;
+}
+
+Bytes BigInt::to_bytes() const {
+  if (negative_) throw std::logic_error("BigInt::to_bytes: negative value");
+  if (is_zero()) return {};
+  const int bytes = (bit_length() + 7) / 8;
+  return to_bytes_padded(static_cast<std::size_t>(bytes));
+}
+
+Bytes BigInt::to_bytes_padded(std::size_t len) const {
+  if (negative_) throw std::logic_error("BigInt::to_bytes_padded: negative value");
+  if (static_cast<std::size_t>((bit_length() + 7) / 8) > len)
+    throw std::logic_error("BigInt::to_bytes_padded: value too large");
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t byte_index = len - 1 - i;  // i-th least significant
+    const std::size_t limb = i / 4;
+    if (limb < limbs_.size()) {
+      out[byte_index] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (i % 4)));
+    }
+  }
+  return out;
+}
+
+std::uint64_t BigInt::to_u64() const {
+  if (negative_ || bit_length() > 64)
+    throw std::overflow_error("BigInt::to_u64: out of range");
+  std::uint64_t v = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) v = (v << 32) | limbs_[i];
+  return v;
+}
+
+BigInt BigInt::random_below(Rng& rng, const BigInt& bound) {
+  if (bound <= BigInt{0})
+    throw std::domain_error("BigInt::random_below: bound <= 0");
+  const int bits = bound.bit_length();
+  const std::size_t nbytes = static_cast<std::size_t>((bits + 7) / 8);
+  const int excess = static_cast<int>(nbytes * 8) - bits;
+  // Rejection sampling: uniform in [0, 2^bits), retry until < bound.
+  for (;;) {
+    Bytes raw = rng.bytes(nbytes);
+    if (!raw.empty()) raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    BigInt v = from_bytes(raw);
+    if (v < bound) return v;
+  }
+}
+
+BigInt BigInt::random_bits(Rng& rng, int bits) {
+  if (bits <= 0) throw std::domain_error("BigInt::random_bits: bits <= 0");
+  const std::size_t nbytes = static_cast<std::size_t>((bits + 7) / 8);
+  const int excess = static_cast<int>(nbytes * 8) - bits;
+  Bytes raw = rng.bytes(nbytes);
+  raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);  // force top bit
+  return from_bytes(raw);
+}
+
+void BigInt::write(Writer& w) const {
+  w.u8(negative_ ? 1 : 0);
+  BigInt mag = *this;
+  mag.negative_ = false;
+  w.bytes(mag.to_bytes());
+}
+
+BigInt BigInt::read(Reader& r) {
+  const bool neg = r.u8() != 0;
+  BigInt out = from_bytes(r.bytes());
+  if (neg && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+}  // namespace sintra::bignum

@@ -1,0 +1,151 @@
+#include "bignum/montgomery.hpp"
+
+#include <stdexcept>
+
+namespace sintra::bignum {
+
+namespace {
+thread_local std::uint64_t g_work = 0;
+}  // namespace
+
+std::uint64_t work_counter() noexcept { return g_work; }
+void reset_work_counter() noexcept { g_work = 0; }
+
+namespace {
+// Inverse of odd x mod 2^32 by Newton iteration.
+std::uint32_t inv32(std::uint32_t x) {
+  std::uint32_t y = x;  // correct mod 2^3
+  for (int i = 0; i < 4; ++i) y *= 2 - x * y;  // doubles precision each step
+  return y;
+}
+}  // namespace
+
+Montgomery::Montgomery(const BigInt& modulus) : modulus_(modulus) {
+  if (!modulus.is_odd() || modulus <= BigInt{1})
+    throw std::domain_error("Montgomery: modulus must be odd and > 1");
+  m_ = modulus.limbs();
+  m0inv_ = static_cast<std::uint32_t>(0) - inv32(m_[0]);
+  const int n = static_cast<int>(m_.size());
+  // R^2 mod m with R = 2^(32n).
+  BigInt r2 = (BigInt{1} << (64 * n)).mod(modulus_);
+  r2_ = r2.limbs();
+  r2_.resize(m_.size(), 0);
+  BigInt r1 = (BigInt{1} << (32 * n)).mod(modulus_);
+  one_ = r1.limbs();
+  one_.resize(m_.size(), 0);
+}
+
+Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
+  const std::size_t n = m_.size();
+  g_work += static_cast<std::uint64_t>(n) * n;
+  // CIOS: t has n+2 limbs.
+  std::vector<std::uint32_t> t(n + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      std::uint64_t cur = t[j] + ai * b[j] + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[n] + carry;
+    t[n] = static_cast<std::uint32_t>(cur);
+    t[n + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    // m = t[0] * m0inv mod 2^32; t += m * modulus; t >>= 32
+    const std::uint64_t m = static_cast<std::uint32_t>(t[0] * m0inv_);
+    carry = 0;
+    std::uint64_t first = t[0] + m * m_[0];
+    carry = first >> 32;
+    for (std::size_t j = 1; j < n; ++j) {
+      std::uint64_t c2 = t[j] + m * m_[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(c2);
+      carry = c2 >> 32;
+    }
+    std::uint64_t c2 = t[n] + carry;
+    t[n - 1] = static_cast<std::uint32_t>(c2);
+    c2 = t[n + 1] + (c2 >> 32);
+    t[n] = static_cast<std::uint32_t>(c2);
+    t[n + 1] = static_cast<std::uint32_t>(c2 >> 32);
+  }
+  // Conditional subtraction: t may be in [0, 2m).
+  Limbs out(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(n));
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (out[i] != m_[i]) {
+        ge = out[i] > m_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t d = static_cast<std::int64_t>(out[i]) - m_[i] - borrow;
+      if (d < 0) {
+        d += (1LL << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      out[i] = static_cast<std::uint32_t>(d);
+    }
+  }
+  return out;
+}
+
+Montgomery::Limbs Montgomery::to_mont(const BigInt& a) const {
+  Limbs al = a.mod(modulus_).limbs();
+  al.resize(m_.size(), 0);
+  return mont_mul(al, r2_);
+}
+
+BigInt Montgomery::from_mont(const Limbs& a) const {
+  Limbs one(m_.size(), 0);
+  one[0] = 1;
+  return BigInt::from_limbs(mont_mul(a, one));
+}
+
+BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
+  return from_mont(mont_mul(to_mont(a), to_mont(b)));
+}
+
+BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_zero()) return BigInt{1}.mod(modulus_);
+  // 4-bit fixed window exponentiation.
+  const Limbs b = to_mont(base);
+  std::vector<Limbs> table(16);
+  table[0] = one_;
+  table[1] = b;
+  for (int i = 2; i < 16; ++i) table[i] = mont_mul(table[i - 1], b);
+
+  const int bits = exp.bit_length();
+  const int windows = (bits + 3) / 4;
+  Limbs acc = one_;
+  bool started = false;
+  for (int w = windows - 1; w >= 0; --w) {
+    if (started) {
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+    }
+    int digit = 0;
+    for (int k = 3; k >= 0; --k) {
+      digit = (digit << 1) | (exp.bit(w * 4 + k) ? 1 : 0);
+    }
+    if (digit != 0) {
+      acc = mont_mul(acc, table[static_cast<std::size_t>(digit)]);
+      started = true;
+    } else if (!started) {
+      continue;
+    }
+  }
+  if (!started) return BigInt{1}.mod(modulus_);
+  return from_mont(acc);
+}
+
+}  // namespace sintra::bignum

@@ -1,0 +1,55 @@
+// Montgomery modular arithmetic for odd moduli.
+//
+// All hot-path exponentiations in SINTRA (RSA, threshold-signature share
+// generation, Diffie–Hellman coin shares, TDH2) go through this context.
+// The implementation is CIOS (coarsely integrated operand scanning) over
+// 32-bit limbs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.hpp"
+
+namespace sintra::bignum {
+
+/// Work accounting: every Montgomery multiplication adds (limbs of the
+/// modulus)^2 to a thread-local counter.  The discrete-event simulator
+/// converts accumulated work into virtual CPU time using each host's
+/// measured 1024-bit-modexp cost (the paper's `exp` column), so public-key
+/// operations slow down simulated hosts exactly in proportion to the real
+/// arithmetic they perform.
+std::uint64_t work_counter() noexcept;
+void reset_work_counter() noexcept;
+
+class Montgomery {
+ public:
+  /// modulus must be odd and > 1.
+  explicit Montgomery(const BigInt& modulus);
+
+  [[nodiscard]] const BigInt& modulus() const { return modulus_; }
+
+  /// base^exp mod modulus, base in [0, modulus).
+  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+  /// a*b mod modulus without entering/leaving Montgomery form per call
+  /// (converts at the edges); for one-off products plain BigInt is fine,
+  /// this exists for callers doing many products against one modulus.
+  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
+
+ private:
+  using Limbs = std::vector<std::uint32_t>;
+
+  [[nodiscard]] Limbs to_mont(const BigInt& a) const;
+  [[nodiscard]] BigInt from_mont(const Limbs& a) const;
+  /// out = a*b*R^-1 mod m (CIOS).
+  [[nodiscard]] Limbs mont_mul(const Limbs& a, const Limbs& b) const;
+
+  BigInt modulus_;
+  Limbs m_;               // modulus limbs, size n
+  std::uint32_t m0inv_;   // -m^{-1} mod 2^32
+  Limbs r2_;              // R^2 mod m, for conversion into Montgomery form
+  Limbs one_;             // R mod m (Montgomery representation of 1)
+};
+
+}  // namespace sintra::bignum

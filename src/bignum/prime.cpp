@@ -1,0 +1,129 @@
+#include "bignum/prime.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "bignum/montgomery.hpp"
+
+namespace sintra::bignum {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// n mod small prime, without allocating.
+std::uint32_t mod_small(const BigInt& n, std::uint32_t d) {
+  std::uint64_t rem = 0;
+  const auto& limbs = n.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs[i]) % d;
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
+bool miller_rabin_round(const Montgomery& mont, const BigInt& n_minus_1,
+                        const BigInt& d, int s, const BigInt& a) {
+  BigInt x = mont.pow(a, d);
+  if (x.is_one() || x == n_minus_1) return true;
+  for (int i = 1; i < s; ++i) {
+    x = mont.mul(x, x);
+    if (x == n_minus_1) return true;
+    if (x.is_one()) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
+  if (n < BigInt{2}) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    if (n == BigInt{static_cast<std::int64_t>(p)}) return true;
+    if (mod_small(n, p) == 0) return false;
+  }
+  // n is odd and > 251 here.
+  const BigInt n_minus_1 = n - BigInt{1};
+  BigInt d = n_minus_1;
+  int s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+  const Montgomery mont(n);
+  const BigInt two{2};
+  const BigInt span = n - BigInt{4};  // bases in [2, n-2]
+  for (int r = 0; r < rounds; ++r) {
+    const BigInt a = two + BigInt::random_below(rng, span);
+    if (!miller_rabin_round(mont, n_minus_1, d, s, a)) return false;
+  }
+  return true;
+}
+
+BigInt random_prime(Rng& rng, int bits) {
+  if (bits < 8) throw std::domain_error("random_prime: bits too small");
+  for (;;) {
+    BigInt cand = BigInt::random_bits(rng, bits);
+    if (!cand.is_odd()) cand += BigInt{1};
+    // March forward in steps of 2 for a while before drawing fresh bits,
+    // so trial division does most of the filtering cheaply.
+    for (int step = 0; step < 64; ++step) {
+      if (cand.bit_length() != bits) break;
+      if (is_probable_prime(cand, rng)) return cand;
+      cand += BigInt{2};
+    }
+  }
+}
+
+BigInt random_safe_prime(Rng& rng, int bits) {
+  if (bits < 16) throw std::domain_error("random_safe_prime: bits too small");
+  for (;;) {
+    // Generate q prime with bits-1 bits, check p = 2q+1.
+    BigInt q = BigInt::random_bits(rng, bits - 1);
+    if (!q.is_odd()) q += BigInt{1};
+    for (int step = 0; step < 64; ++step) {
+      if (q.bit_length() != bits - 1) break;
+      // Quick congruence filters: q mod 3 == 2 needed, else 3 | p.
+      if (mod_small(q, 3) == 2 && is_probable_prime(q, rng, 8)) {
+        const BigInt p = (q << 1) + BigInt{1};
+        if (is_probable_prime(p, rng, 8) && is_probable_prime(q, rng) &&
+            is_probable_prime(p, rng)) {
+          return p;
+        }
+      }
+      q += BigInt{2};
+    }
+  }
+}
+
+SchnorrGroup generate_schnorr_group(Rng& rng, int p_bits, int q_bits) {
+  if (q_bits >= p_bits)
+    throw std::domain_error("generate_schnorr_group: q_bits >= p_bits");
+  const BigInt q = random_prime(rng, q_bits);
+  const BigInt two_q = q << 1;
+  for (;;) {
+    // p = q * r + 1 for random even r of the right size.
+    BigInt r = BigInt::random_bits(rng, p_bits - q_bits);
+    r = r - (r % BigInt{2});  // make r even so p is odd
+    BigInt p = q * r + BigInt{1};
+    for (int step = 0; step < 64; ++step) {
+      if (p.bit_length() == p_bits && is_probable_prime(p, rng)) {
+        // g = h^((p-1)/q) for random h, g != 1.
+        const BigInt exp = (p - BigInt{1}) / q;
+        const Montgomery mont(p);
+        for (;;) {
+          const BigInt h =
+              BigInt{2} + BigInt::random_below(rng, p - BigInt{4});
+          const BigInt g = mont.pow(h, exp);
+          if (!g.is_one() && !g.is_zero()) return {p, q, g};
+        }
+      }
+      p += two_q;
+    }
+  }
+}
+
+}  // namespace sintra::bignum

@@ -1,0 +1,37 @@
+// Primality testing and cryptographic parameter generation.
+//
+// The dealer (crypto/dealer) uses these routines to build:
+//  - RSA moduli from safe primes (Shoup threshold signatures require
+//    N = p*q with p, q safe, so that the squares mod N form a cyclic
+//    group of order p'q');
+//  - DSA-style groups: a 1024-bit prime p such that p-1 has a 160-bit
+//    prime factor q, exactly as in the paper's experimental setup, used
+//    by the threshold coin and TDH2.
+#pragma once
+
+#include "bignum/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace sintra::bignum {
+
+/// Miller–Rabin with `rounds` random bases (after trial division by small
+/// primes).  Error probability <= 4^-rounds for odd composites.
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 32);
+
+/// Random prime with exactly `bits` bits.
+BigInt random_prime(Rng& rng, int bits);
+
+/// Random safe prime p (p and (p-1)/2 both prime) with exactly `bits` bits.
+BigInt random_safe_prime(Rng& rng, int bits);
+
+/// A Schnorr/DSA-style group: prime p with `p_bits` bits, prime q with
+/// `q_bits` bits dividing p-1, and g generating the order-q subgroup.
+struct SchnorrGroup {
+  BigInt p;
+  BigInt q;
+  BigInt g;
+};
+
+SchnorrGroup generate_schnorr_group(Rng& rng, int p_bits, int q_bits);
+
+}  // namespace sintra::bignum

@@ -1,0 +1,227 @@
+#include "core/agreement/array_agreement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::core {
+
+namespace {
+constexpr std::uint8_t kVoteTag = 1;
+}  // namespace
+
+ArrayAgreement::ArrayAgreement(Environment& env, Dispatcher& dispatcher,
+                               const std::string& pid,
+                               ArrayValidator validator, CandidateOrder order)
+    : Protocol(env, dispatcher, pid),
+      validator_(std::move(validator)),
+      order_(order) {
+  // Candidate order Π: identical at every party.  "Random-local" derives
+  // it from the (common) pid — load balancing without extra communication
+  // (paper §2.4, second variation).
+  permutation_.resize(static_cast<std::size_t>(env.n()));
+  std::iota(permutation_.begin(), permutation_.end(), 0);
+  if (order_ == CandidateOrder::kRandomLocal) {
+    const Bytes digest = crypto::Sha256::hash(to_bytes(pid));
+    std::uint64_t seed = 0;
+    for (int i = 0; i < 8; ++i) seed = (seed << 8) | digest[static_cast<std::size_t>(i)];
+    Rng perm_rng(seed);
+    std::shuffle(permutation_.begin(), permutation_.end(), perm_rng);
+  }
+
+  // One verifiable consistent broadcast per potential proposer.
+  proposals_.reserve(static_cast<std::size_t>(env.n()));
+  for (int j = 0; j < env.n(); ++j) {
+    auto cb = std::make_unique<VerifiableConsistentBroadcast>(
+        env, dispatcher, pid + ".cb", j);
+    cb->set_deliver_callback([this, j](const Bytes&) {
+      on_proposal_delivered(j);
+    });
+    proposals_.push_back(std::move(cb));
+  }
+  activate();
+}
+
+ArrayAgreement::~ArrayAgreement() = default;
+
+int ArrayAgreement::candidate_of(int iteration) const {
+  return permutation_[static_cast<std::size_t>(iteration) %
+                      permutation_.size()];
+}
+
+std::string ArrayAgreement::vba_pid(int iteration) const {
+  return pid() + ".vba." + std::to_string(iteration);
+}
+
+void ArrayAgreement::propose(BytesView value) {
+  if (proposed_) throw std::logic_error("ArrayAgreement: already proposed");
+  if (!validator_(value))
+    throw std::invalid_argument(
+        "ArrayAgreement::propose: value fails the validator");
+  proposed_ = true;
+  own_value_ = Bytes(value.begin(), value.end());
+  proposals_[static_cast<std::size_t>(env_.self())]->send(value);
+  maybe_enter_loop();
+}
+
+void ArrayAgreement::on_proposal_delivered(int sender) {
+  if (decided_.has_value()) return;
+  const auto& payload =
+      proposals_[static_cast<std::size_t>(sender)]->delivered();
+  if (!payload || !validator_(*payload)) return;  // invalid proposal: ignore
+  valid_proposals_.insert(sender);
+  maybe_enter_loop();
+}
+
+void ArrayAgreement::maybe_enter_loop() {
+  if (in_loop_ || !proposed_ || decided_.has_value()) return;
+  if (static_cast<int>(valid_proposals_.size()) < env_.n() - env_.t()) return;
+  in_loop_ = true;
+  start_iteration(0);
+}
+
+void ArrayAgreement::start_iteration(int iteration) {
+  iteration_ = iteration;
+  vba_started_ = false;
+  votes_.clear();
+  const int cand = candidate_of(iteration);
+
+  // (a) yes-vote with the closing message iff we accepted the candidate's
+  // proposal; no-vote otherwise.
+  const bool have = valid_proposals_.contains(cand);
+  Writer w;
+  w.u8(kVoteTag);
+  w.u32(static_cast<std::uint32_t>(iteration));
+  w.u8(have ? 1 : 0);
+  if (have) {
+    w.bytes(*proposals_[static_cast<std::size_t>(cand)]->get_closing());
+  } else {
+    w.bytes(Bytes{});
+  }
+  send_all(w.data());
+  maybe_start_vba(iteration);
+}
+
+void ArrayAgreement::on_message(PartyId from, BytesView payload) {
+  if (decided_.has_value()) return;
+  try {
+    Reader r(payload);
+    if (r.u8() != kVoteTag) return;
+    handle_vote(from, r);
+  } catch (const SerdeError&) {
+    // drop
+  }
+}
+
+void ArrayAgreement::handle_vote(PartyId from, Reader& r) {
+  const int iteration = static_cast<int>(r.u32());
+  const bool yes = r.u8() != 0;
+  const Bytes closing = r.bytes();
+  r.expect_end();
+  if (iteration < 0 || iteration > env_.n() * 64) return;  // sanity bound
+
+  const int cand = candidate_of(iteration);
+  if (yes) {
+    // Yes-votes only count with a valid closing (paper step b) — and the
+    // closing lets us deliver the candidate's broadcast ourselves.
+    auto& cb = *proposals_[static_cast<std::size_t>(cand)];
+    if (!VerifiableConsistentBroadcast::is_valid_closing(env_.keys(),
+                                                         cb.pid(), closing)) {
+      return;
+    }
+    const auto payload =
+        VerifiableConsistentBroadcast::payload_from_closing(closing);
+    if (!payload || !validator_(*payload)) return;
+    cb.deliver_closing(closing);  // triggers on_proposal_delivered
+    if (decided_.has_value()) return;
+  }
+
+  if (iteration != iteration_ || !in_loop_) {
+    // Early/late vote: remember it only if it is for a future iteration.
+    if (in_loop_ && iteration < iteration_) return;
+    future_votes_[iteration].emplace(from, yes);
+    return;
+  }
+  votes_.emplace(from, yes);
+  maybe_start_vba(iteration);
+}
+
+void ArrayAgreement::maybe_start_vba(int iteration) {
+  if (vba_started_ || iteration != iteration_ || !in_loop_) return;
+  // Merge any buffered votes for this iteration.
+  auto fut = future_votes_.find(iteration);
+  if (fut != future_votes_.end()) {
+    for (const auto& [voter, yes] : fut->second) votes_.emplace(voter, yes);
+    future_votes_.erase(fut);
+  }
+  if (static_cast<int>(votes_.size()) < env_.n() - env_.t()) return;
+  vba_started_ = true;
+
+  const int cand = candidate_of(iteration);
+  auto& cb = *proposals_[static_cast<std::size_t>(cand)];
+  const std::string cb_pid = cb.pid();
+
+  // (c) biased validated binary agreement: 1 must be proven by the
+  // candidate's closing message; 0 is vacuously valid.
+  BinaryValidator vba_validator =
+      [this, cb_pid](bool value, BytesView proof) {
+        if (!value) return true;
+        if (!VerifiableConsistentBroadcast::is_valid_closing(env_.keys(),
+                                                             cb_pid, proof)) {
+          return false;
+        }
+        const auto payload =
+            VerifiableConsistentBroadcast::payload_from_closing(proof);
+        return payload.has_value() && validator_(*payload);
+      };
+  vba_ = std::make_unique<ValidatedAgreement>(env_, dispatcher_,
+                                              vba_pid(iteration),
+                                              std::move(vba_validator),
+                                              /*bias=*/true);
+  vba_->set_decide_callback([this, iteration](bool selected) {
+    on_vba_decided(iteration, selected);
+  });
+  const bool have = valid_proposals_.contains(cand);
+  if (have) {
+    vba_->propose(true, *cb.get_closing());
+  } else {
+    vba_->propose(false, {});
+  }
+}
+
+void ArrayAgreement::on_vba_decided(int iteration, bool selected) {
+  if (decided_.has_value() || iteration != iteration_) return;
+  if (!selected) {
+    // (d) candidate rejected: keep the finished instance alive (late
+    // DECIDE rebroadcasts already went out) and move on.
+    finished_vbas_.push_back(std::move(vba_));
+    start_iteration(iteration + 1);
+    return;
+  }
+  const int cand = candidate_of(iteration);
+  auto& cb = *proposals_[static_cast<std::size_t>(cand)];
+  if (!cb.delivered().has_value()) {
+    // Step 3: recover the proposal from the agreement's validation proof.
+    cb.deliver_closing(vba_->proof());
+  }
+  finished_vbas_.push_back(std::move(vba_));
+  finish(cand);
+}
+
+void ArrayAgreement::finish(int candidate) {
+  const auto& payload =
+      proposals_[static_cast<std::size_t>(candidate)]->delivered();
+  if (!payload.has_value()) return;  // cannot happen with a valid proof
+  decided_ = *payload;
+  decided_candidate_ = candidate;
+  if (decide_cb_) decide_cb_(*decided_);
+}
+
+void ArrayAgreement::abort() {
+  for (auto& cb : proposals_) cb->abort();
+  if (vba_) vba_->abort();
+  Protocol::abort();
+}
+
+}  // namespace sintra::core

@@ -1,0 +1,111 @@
+// Multi-valued Byzantine agreement with external validity — the
+// Cachin–Kursawe–Petzold–Shoup protocol (CRYPTO 2001; paper §2.4), called
+// *array agreement* in SINTRA.
+//
+// Structure (paper §2.4):
+//   1. every party proposes its value via verifiable consistent broadcast;
+//      after accepting n−t predicate-valid proposals it enters the loop;
+//   2. candidates Pa are examined in the order of a permutation Π —
+//      either the identity ("fixed") or one derived pseudo-randomly from
+//      the pid ("random-local", the load-balancing variant the paper
+//      implemented):
+//      (a) a party that accepted Pa's proposal sends a yes-VOTE carrying
+//          the broadcast's closing message, else a no-VOTE;
+//      (b) after n−t votes (yes-votes only counted with a valid closing,
+//          which is also consumed to deliver Pa's broadcast locally),
+//      (c) it runs binary agreement biased toward 1, proposing 1 with the
+//          closing as external-validity proof iff it holds the proposal;
+//      (d) a 1-decision selects Pa; a 0-decision moves to the next
+//          candidate.
+//   3. a party missing the selected proposal recovers it from the binary
+//      agreement's decision proof (the closing message).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/agreement/validated_agreement.hpp"
+#include "core/broadcast/consistent_broadcast.hpp"
+
+namespace sintra::core {
+
+/// External validity predicate over proposal values (the Java API's
+/// ArrayValidator, §3.3).
+using ArrayValidator = std::function<bool(BytesView value)>;
+
+class ArrayAgreement final : public Protocol {
+ public:
+  enum class CandidateOrder { kFixed, kRandomLocal };
+
+  ArrayAgreement(Environment& env, Dispatcher& dispatcher,
+                 const std::string& pid, ArrayValidator validator,
+                 CandidateOrder order = CandidateOrder::kRandomLocal);
+
+  ~ArrayAgreement() override;
+
+  /// Proposes this party's value; must satisfy the validator.
+  void propose(BytesView value);
+
+  [[nodiscard]] const std::optional<Bytes>& decided() const {
+    return decided_;
+  }
+  /// The selected candidate's index (once decided).
+  [[nodiscard]] int decided_candidate() const { return decided_candidate_; }
+  /// Loop iterations executed (for the protocol-behaviour benchmarks: a
+  /// rejected first candidate costs one extra binary agreement, the
+  /// second band in Figure 5).
+  [[nodiscard]] int iterations_used() const { return iteration_ + 1; }
+
+  void set_decide_callback(std::function<void(const Bytes&)> cb) {
+    decide_cb_ = std::move(cb);
+  }
+
+  void abort() override;
+
+ protected:
+  void on_message(PartyId from, BytesView payload) override;
+
+ private:
+  [[nodiscard]] int candidate_of(int iteration) const;
+  [[nodiscard]] std::string vba_pid(int iteration) const;
+  void on_proposal_delivered(int sender);
+  void maybe_enter_loop();
+  void start_iteration(int iteration);
+  void handle_vote(PartyId from, Reader& r);
+  void maybe_start_vba(int iteration);
+  void on_vba_decided(int iteration, bool selected);
+  void finish(int candidate);
+
+  ArrayValidator validator_;
+  CandidateOrder order_;
+  std::vector<int> permutation_;
+
+  bool proposed_ = false;
+  Bytes own_value_;
+
+  // One verifiable consistent broadcast per potential proposer.
+  std::vector<std::unique_ptr<VerifiableConsistentBroadcast>> proposals_;
+  std::set<int> valid_proposals_;  // senders whose payload passed validator_
+
+  bool in_loop_ = false;
+  int iteration_ = -1;
+  // Votes of the current iteration (voter -> yes/no) and buffered votes
+  // for iterations we have not reached yet.
+  std::map<PartyId, bool> votes_;
+  std::map<int, std::map<PartyId, bool>> future_votes_;
+  bool vba_started_ = false;
+  std::unique_ptr<ValidatedAgreement> vba_;
+  // Finished agreement instances stay alive: their DECIDE rebroadcasts
+  // already serve stragglers, and destroying one from inside its own
+  // decide callback would be use-after-free.
+  std::vector<std::unique_ptr<ValidatedAgreement>> finished_vbas_;
+
+  std::optional<Bytes> decided_;
+  int decided_candidate_ = -1;
+  std::function<void(const Bytes&)> decide_cb_;
+};
+
+}  // namespace sintra::core

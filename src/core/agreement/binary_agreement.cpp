@@ -1,0 +1,457 @@
+#include "core/agreement/binary_agreement.hpp"
+
+#include <set>
+
+namespace sintra::core {
+
+namespace {
+enum class Tag : std::uint8_t {
+  kPreVote = 1,
+  kMainVote = 2,
+  kCoinShare = 3,
+  kDecide = 4,
+};
+}  // namespace
+
+BinaryAgreementEngine::BinaryAgreementEngine(Environment& env,
+                                             Dispatcher& dispatcher,
+                                             const std::string& pid,
+                                             Options options)
+    : Protocol(env, dispatcher, pid), options_(std::move(options)) {
+  activate();
+}
+
+// --- statements ---
+
+Bytes BinaryAgreementEngine::pre_statement(int r, bool b) const {
+  Writer w;
+  w.str("ba-pre");
+  w.str(pid());
+  w.u32(static_cast<std::uint32_t>(r));
+  w.u8(b ? 1 : 0);
+  return std::move(w).take();
+}
+
+Bytes BinaryAgreementEngine::main_statement(int r, std::uint8_t v) const {
+  Writer w;
+  w.str("ba-main");
+  w.str(pid());
+  w.u32(static_cast<std::uint32_t>(r));
+  w.u8(v);
+  return std::move(w).take();
+}
+
+Bytes BinaryAgreementEngine::coin_name(int r) const {
+  Writer w;
+  w.str("ba-coin");
+  w.str(pid());
+  w.u32(static_cast<std::uint32_t>(r));
+  return std::move(w).take();
+}
+
+// --- wire encoding ---
+
+void BinaryAgreementEngine::write_justification(Writer& w,
+                                                const Justification& j) {
+  w.u8(j.kind);
+  w.bytes(j.sig);
+  w.u32(static_cast<std::uint32_t>(j.coin_shares.size()));
+  for (const auto& [idx, share] : j.coin_shares) {
+    w.u32(static_cast<std::uint32_t>(idx));
+    w.bytes(share);
+  }
+}
+
+BinaryAgreementEngine::Justification BinaryAgreementEngine::read_justification(
+    Reader& r) {
+  Justification j;
+  j.kind = r.u8();
+  j.sig = r.bytes();
+  const std::uint32_t count = r.u32();
+  if (count > 1024) throw SerdeError("justification: too many coin shares");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const int idx = static_cast<int>(r.u32());
+    j.coin_shares.emplace_back(idx, r.bytes());
+  }
+  return j;
+}
+
+void BinaryAgreementEngine::write_pre_vote(Writer& w, const PreVote& pv) {
+  w.u8(pv.b ? 1 : 0);
+  w.bytes(pv.proof);
+  write_justification(w, pv.just);
+  w.bytes(pv.share);
+}
+
+BinaryAgreementEngine::PreVote BinaryAgreementEngine::read_pre_vote(Reader& r) {
+  PreVote pv;
+  pv.b = r.u8() != 0;
+  pv.proof = r.bytes();
+  pv.just = read_justification(r);
+  pv.share = r.bytes();
+  return pv;
+}
+
+// --- verification ---
+
+bool BinaryAgreementEngine::valid_by_validator(bool b, BytesView proof) const {
+  return options_.validator ? options_.validator(b, proof) : true;
+}
+
+bool BinaryAgreementEngine::verify_pre_vote(int r, PartyId voter,
+                                            const PreVote& pv) const {
+  const auto& sig = *env_.keys().sig_agreement;
+  if (!sig.verify_share(pre_statement(r, pv.b), voter, pv.share)) return false;
+  if (!valid_by_validator(pv.b, pv.proof)) return false;
+
+  switch (pv.just.kind) {
+    case 1:
+      return r == 1;
+    case 2:  // hard: threshold sig on pre-vote(r-1, b)
+      return r >= 2 && sig.verify(pre_statement(r - 1, pv.b), pv.just.sig);
+    case 3: {  // soft: abstain sig + coin of round r-1
+      if (r < 2) return false;
+      if (!sig.verify(main_statement(r - 1, kAbstain), pv.just.sig))
+        return false;
+      if (options_.bias.has_value() && r == 2) {
+        return pv.b == *options_.bias;  // round-1 coin replaced by the bias
+      }
+      const auto& coin = *env_.keys().coin;
+      const Bytes name = coin_name(r - 1);
+      std::set<int> seen;
+      int valid = 0;
+      for (const auto& [idx, share] : pv.just.coin_shares) {
+        if (!seen.insert(idx).second) return false;
+        if (!coin.verify_share(name, idx, share)) return false;
+        ++valid;
+      }
+      if (valid < coin.k()) return false;
+      try {
+        return coin.assemble_bit(name, pv.just.coin_shares) == pv.b;
+      } catch (const std::invalid_argument&) {
+        return false;
+      }
+    }
+    default:
+      return false;
+  }
+}
+
+bool BinaryAgreementEngine::verify_main_vote(int r, PartyId voter,
+                                             const MainVote& mv) const {
+  const auto& sig = *env_.keys().sig_agreement;
+  if (mv.v != 0 && mv.v != 1 && mv.v != kAbstain) return false;
+  if (!sig.verify_share(main_statement(r, mv.v), voter, mv.share))
+    return false;
+  if (mv.v != kAbstain) {
+    const bool b = mv.v == 1;
+    return valid_by_validator(b, mv.proof) &&
+           sig.verify(pre_statement(r, b), mv.sig);
+  }
+  // Abstain: must exhibit justified pre-votes for both bits.
+  if (mv.pv0.b || !mv.pv1.b) return false;
+  return verify_pre_vote(r, mv.voter0, mv.pv0) &&
+         verify_pre_vote(r, mv.voter1, mv.pv1);
+}
+
+// --- protocol ---
+
+void BinaryAgreementEngine::propose(bool value, BytesView proof) {
+  if (proposed_ || decided_.has_value()) return;
+  if (!valid_by_validator(value, proof))
+    throw std::invalid_argument(
+        "BinaryAgreement::propose: proof fails the validator");
+  proposed_ = true;
+  Justification just;
+  just.kind = 1;
+  start_round(1, value, Bytes(proof.begin(), proof.end()), std::move(just));
+}
+
+void BinaryAgreementEngine::start_round(int r, bool b, Bytes proof,
+                                        Justification just) {
+  current_round_ = r;
+  remember_proof(b, proof);
+  PreVote pv;
+  pv.b = b;
+  pv.proof = std::move(proof);
+  pv.just = std::move(just);
+  pv.share = env_.keys().sig_agreement->sign_share(pre_statement(r, b));
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Tag::kPreVote));
+  w.u32(static_cast<std::uint32_t>(r));
+  write_pre_vote(w, pv);
+  send_all(w.data());
+  // Buffered votes for this round may already satisfy the thresholds.
+  try_main_vote(r);
+  try_finish_round(r);
+}
+
+void BinaryAgreementEngine::remember_proof(bool b, const Bytes& proof) {
+  auto& slot = known_proof_[b ? 1 : 0];
+  if (!slot.has_value() && valid_by_validator(b, proof)) slot = proof;
+}
+
+void BinaryAgreementEngine::on_message(PartyId from, BytesView payload) {
+  if (decided_.has_value()) return;
+  try {
+    Reader r(payload);
+    const Tag tag = static_cast<Tag>(r.u8());
+    switch (tag) {
+      case Tag::kPreVote:
+        handle_pre_vote(from, r);
+        return;
+      case Tag::kMainVote:
+        handle_main_vote(from, r);
+        return;
+      case Tag::kCoinShare:
+        handle_coin_share(from, r);
+        return;
+      case Tag::kDecide:
+        handle_decide(from, r);
+        return;
+      default:
+        return;
+    }
+  } catch (const SerdeError&) {
+    // Byzantine garbage: drop.
+  }
+}
+
+void BinaryAgreementEngine::handle_pre_vote(PartyId from, Reader& rd) {
+  const int r = static_cast<int>(rd.u32());
+  if (r < 1 || r > current_round_ + 1000) return;  // sanity bound
+  PreVote pv = read_pre_vote(rd);
+  rd.expect_end();
+  Round& st = round(r);
+  if (st.pre_votes.contains(from)) return;
+  if (!verify_pre_vote(r, from, pv)) return;
+  remember_proof(pv.b, pv.proof);
+  st.pre_votes.emplace(from, std::move(pv));
+  try_main_vote(r);
+}
+
+void BinaryAgreementEngine::try_main_vote(int r) {
+  if (!proposed_ || decided_.has_value()) return;
+  if (r != current_round_) return;
+  Round& st = round(r);
+  if (st.main_voted) return;
+  const int quorum = env_.n() - env_.t();
+  if (static_cast<int>(st.pre_votes.size()) < quorum) return;
+  st.main_voted = true;
+
+  int count[2] = {0, 0};
+  PartyId voter_of[2] = {-1, -1};
+  for (const auto& [voter, pv] : st.pre_votes) {
+    count[pv.b ? 1 : 0]++;
+    voter_of[pv.b ? 1 : 0] = voter;
+  }
+
+  MainVote mv;
+  if (count[0] > 0 && count[1] > 0) {
+    mv.v = kAbstain;
+    mv.voter0 = voter_of[0];
+    mv.voter1 = voter_of[1];
+    mv.pv0 = st.pre_votes.at(mv.voter0);
+    mv.pv1 = st.pre_votes.at(mv.voter1);
+  } else {
+    const bool b = count[1] > 0;
+    mv.v = b ? 1 : 0;
+    mv.proof = known_proof_[b ? 1 : 0].value_or(Bytes{});
+    // Assemble the threshold signature from the unanimous pre-vote shares.
+    std::vector<std::pair<int, Bytes>> shares;
+    for (const auto& [voter, pv] : st.pre_votes) {
+      shares.emplace_back(voter, pv.share);
+    }
+    mv.sig = env_.keys().sig_agreement->combine(pre_statement(r, b), shares);
+  }
+  mv.share = env_.keys().sig_agreement->sign_share(main_statement(r, mv.v));
+
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Tag::kMainVote));
+  w.u32(static_cast<std::uint32_t>(r));
+  w.u8(mv.v);
+  if (mv.v != kAbstain) {
+    w.bytes(mv.proof);
+    w.bytes(mv.sig);
+  } else {
+    w.u32(static_cast<std::uint32_t>(mv.voter0));
+    write_pre_vote(w, mv.pv0);
+    w.u32(static_cast<std::uint32_t>(mv.voter1));
+    write_pre_vote(w, mv.pv1);
+  }
+  w.bytes(mv.share);
+  send_all(w.data());
+}
+
+void BinaryAgreementEngine::handle_main_vote(PartyId from, Reader& rd) {
+  const int r = static_cast<int>(rd.u32());
+  if (r < 1 || r > current_round_ + 1000) return;
+  MainVote mv;
+  mv.v = rd.u8();
+  if (mv.v != kAbstain) {
+    mv.proof = rd.bytes();
+    mv.sig = rd.bytes();
+  } else {
+    mv.voter0 = static_cast<int>(rd.u32());
+    mv.pv0 = read_pre_vote(rd);
+    mv.voter1 = static_cast<int>(rd.u32());
+    mv.pv1 = read_pre_vote(rd);
+  }
+  mv.share = rd.bytes();
+  rd.expect_end();
+
+  Round& st = round(r);
+  if (st.main_votes.contains(from)) return;
+  if (!verify_main_vote(r, from, mv)) return;
+  if (mv.v != kAbstain) {
+    remember_proof(mv.v == 1, mv.proof);
+  } else {
+    remember_proof(false, mv.pv0.proof);
+    remember_proof(true, mv.pv1.proof);
+  }
+  st.main_votes.emplace(from, std::move(mv));
+  try_finish_round(r);
+}
+
+void BinaryAgreementEngine::try_finish_round(int r) {
+  if (!proposed_ || decided_.has_value()) return;
+  if (r != current_round_) return;
+  Round& st = round(r);
+  if (!st.main_voted) return;
+  const int quorum = env_.n() - env_.t();
+
+  // A decision is possible whenever n-t bit main-votes agree — even after
+  // the coin phase started.
+  for (int bit = 0; bit < 2; ++bit) {
+    std::vector<std::pair<int, Bytes>> shares;
+    Bytes proof;
+    for (const auto& [voter, mv] : st.main_votes) {
+      if (mv.v == bit) {
+        shares.emplace_back(voter, mv.share);
+        proof = mv.proof;
+      }
+    }
+    if (static_cast<int>(shares.size()) >= quorum) {
+      const Bytes sig = env_.keys().sig_agreement->combine(
+          main_statement(r, static_cast<std::uint8_t>(bit)), shares);
+      decide(bit == 1, std::move(proof), sig, r);
+      return;
+    }
+  }
+
+  if (static_cast<int>(st.main_votes.size()) < quorum) return;
+  if (!st.snapshot_taken) {
+    st.snapshot_taken = true;
+    if (options_.bias.has_value() && r == 1) {
+      // The round-1 coin is replaced by the bias: no coin exchange.
+      advance(r, options_.bias);
+      return;
+    }
+    if (!st.coin_share_sent) {
+      st.coin_share_sent = true;
+      const Bytes share = env_.keys().coin->release(coin_name(r));
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(Tag::kCoinShare));
+      w.u32(static_cast<std::uint32_t>(r));
+      w.bytes(share);
+      send_all(w.data());
+    }
+  }
+  try_advance_with_coin(r);
+}
+
+void BinaryAgreementEngine::handle_coin_share(PartyId from, Reader& rd) {
+  const int r = static_cast<int>(rd.u32());
+  if (r < 1 || r > current_round_ + 1000) return;
+  const Bytes share = rd.bytes();
+  rd.expect_end();
+  Round& st = round(r);
+  if (st.coin_shares.contains(from)) return;
+  if (!env_.keys().coin->verify_share(coin_name(r), from, share)) return;
+  st.coin_shares.emplace(from, share);
+  try_finish_round(r);
+}
+
+void BinaryAgreementEngine::try_advance_with_coin(int r) {
+  Round& st = round(r);
+  if (st.advanced || !st.snapshot_taken) return;
+  const auto& coin = *env_.keys().coin;
+  if (static_cast<int>(st.coin_shares.size()) < coin.k()) return;
+  std::vector<std::pair<int, Bytes>> shares(st.coin_shares.begin(),
+                                            st.coin_shares.end());
+  shares.resize(static_cast<std::size_t>(coin.k()));
+  const bool value = coin.assemble_bit(coin_name(r), shares);
+  advance(r, value);
+}
+
+void BinaryAgreementEngine::advance(int r, std::optional<bool> coin) {
+  Round& st = round(r);
+  if (st.advanced || decided_.has_value()) return;
+  st.advanced = true;
+
+  // Hard pre-vote if any bit main-vote was seen, else follow the coin.
+  for (const auto& [voter, mv] : st.main_votes) {
+    if (mv.v != kAbstain) {
+      Justification just;
+      just.kind = 2;
+      just.sig = mv.sig;  // threshold sig on pre-vote(r, b)
+      start_round(r + 1, mv.v == 1, mv.proof, std::move(just));
+      return;
+    }
+  }
+  // All abstain: soft pre-vote with the coin value.
+  const bool b = coin.value();
+  std::vector<std::pair<int, Bytes>> abstain_shares;
+  for (const auto& [voter, mv] : st.main_votes) {
+    abstain_shares.emplace_back(voter, mv.share);
+  }
+  Justification just;
+  just.kind = 3;
+  just.sig = env_.keys().sig_agreement->combine(main_statement(r, kAbstain),
+                                                abstain_shares);
+  if (!(options_.bias.has_value() && r == 1)) {
+    const auto& coin_scheme = *env_.keys().coin;
+    std::vector<std::pair<int, Bytes>> cs(st.coin_shares.begin(),
+                                          st.coin_shares.end());
+    cs.resize(static_cast<std::size_t>(coin_scheme.k()));
+    just.coin_shares = std::move(cs);
+  }
+  start_round(r + 1, b, known_proof_[b ? 1 : 0].value_or(Bytes{}),
+              std::move(just));
+}
+
+void BinaryAgreementEngine::handle_decide(PartyId from, Reader& rd) {
+  (void)from;
+  const int r = static_cast<int>(rd.u32());
+  const bool b = rd.u8() != 0;
+  Bytes proof = rd.bytes();
+  Bytes sig = rd.bytes();
+  rd.expect_end();
+  if (r < 1) return;
+  if (!env_.keys().sig_agreement->verify(main_statement(r, b ? 1 : 0), sig))
+    return;
+  if (!valid_by_validator(b, proof)) return;
+  decide(b, std::move(proof), sig, r);
+}
+
+void BinaryAgreementEngine::decide(bool b, Bytes proof, const Bytes& sig,
+                                   int round) {
+  if (decided_.has_value()) return;
+  decided_ = b;
+  decision_proof_ = std::move(proof);
+  decision_round_ = round;
+  if (!decide_broadcast_) {
+    decide_broadcast_ = true;
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Tag::kDecide));
+    w.u32(static_cast<std::uint32_t>(round));
+    w.u8(b ? 1 : 0);
+    w.bytes(decision_proof_);
+    w.bytes(sig);
+    send_all(w.data());
+  }
+  if (decide_cb_) decide_cb_(b);
+  deactivate();
+}
+
+}  // namespace sintra::core

@@ -1,0 +1,171 @@
+// Randomized binary Byzantine agreement — the Cachin–Kursawe–Shoup
+// protocol (PODC 2000; paper §2.3), including the *validated* (external
+// validity) and *biased* variants used by multi-valued agreement.
+//
+// Each round has three exchanges:
+//   1. pre-vote(r, b)   — justified (see below) and accompanied by a
+//                         threshold-signature share on the pre-vote
+//                         statement;
+//   2. main-vote(r, v)  — v ∈ {0, 1, abstain}; a bit main-vote is
+//                         justified by a threshold signature assembled
+//                         from n−t unanimous pre-vote shares, an abstain
+//                         by exhibiting justified pre-votes for both bits;
+//   3. coin             — if the n−t collected main-votes are not a
+//                         unanimous bit, parties release shares of the
+//                         round's threshold coin.
+// A party decides b on n−t unanimous bit main-votes; the assembled
+// threshold signature on that statement is a transferable decision proof
+// broadcast in a DECIDE message so every party terminates.
+//
+// Justifications of a round-r pre-vote for b:
+//   - r = 1: the proposer's own input (validated: an external proof
+//     checked by the validator);
+//   - "hard": a threshold signature on pre-vote(r−1, b) — carried over
+//     from a bit main-vote seen in round r−1;
+//   - "soft": a threshold signature on main-vote(r−1, abstain) plus the
+//     round-(r−1) coin (k verifiable coin shares); b must equal the coin.
+// In the biased variant the round-1 coin is replaced by the bias
+// (paper §2.3), so a round-2 soft pre-vote needs no coin shares.
+//
+// External validity: every pre-vote and bit main-vote for b carries a
+// proof accepted by the validator.  Abstain justifications embed full
+// pre-votes for both bits — which is exactly why a party that must follow
+// the coin always possesses a valid proof for the coin's value.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace sintra::core {
+
+/// External validity predicate (the Java API's BinaryValidator, §3.3).
+using BinaryValidator = std::function<bool(bool value, BytesView proof)>;
+
+class BinaryAgreementEngine : public Protocol {
+ public:
+  struct Options {
+    BinaryValidator validator;     // nullptr => plain (everything valid)
+    std::optional<bool> bias;      // biased variant (paper §2.3)
+  };
+
+  BinaryAgreementEngine(Environment& env, Dispatcher& dispatcher,
+                        const std::string& pid, Options options);
+
+  /// Starts the protocol; exactly once.  In validated mode `proof` must
+  /// satisfy the validator for `value`.
+  void propose(bool value, BytesView proof);
+
+  [[nodiscard]] const std::optional<bool>& decided() const {
+    return decided_;
+  }
+  /// Validation proof accompanying the decision (validated mode).
+  [[nodiscard]] const Bytes& decision_proof() const { return decision_proof_; }
+  /// Round in which this party decided (1-based; 0 if undecided) — used by
+  /// the protocol-behaviour benchmarks.
+  [[nodiscard]] int decision_round() const { return decision_round_; }
+
+  void set_decide_callback(std::function<void(bool)> cb) {
+    decide_cb_ = std::move(cb);
+  }
+
+ protected:
+  void on_message(PartyId from, BytesView payload) override;
+
+ private:
+  static constexpr std::uint8_t kAbstain = 2;
+
+  struct Justification {
+    std::uint8_t kind = 0;  // 1 round-1, 2 hard, 3 soft
+    Bytes sig;              // hard: sig(SPre(r-1,b)); soft: sig(SMain(r-1,abstain))
+    std::vector<std::pair<int, Bytes>> coin_shares;  // soft (unbiased round)
+  };
+
+  struct PreVote {
+    bool b = false;
+    Bytes proof;
+    Justification just;
+    Bytes share;  // threshold share on SPre(r, b)
+  };
+
+  struct MainVote {
+    std::uint8_t v = kAbstain;
+    Bytes proof;
+    Bytes sig;  // bit vote: threshold sig on SPre(r, v)
+    // abstain: embedded justified pre-votes for both bits
+    int voter0 = -1, voter1 = -1;
+    PreVote pv0, pv1;
+    Bytes share;  // threshold share on SMain(r, v)
+  };
+
+  struct Round {
+    std::map<PartyId, PreVote> pre_votes;
+    bool main_voted = false;
+    std::map<PartyId, MainVote> main_votes;
+    bool snapshot_taken = false;
+    bool coin_share_sent = false;
+    std::map<int, Bytes> coin_shares;
+    bool advanced = false;
+  };
+
+  // --- statements bound into threshold signatures / the coin ---
+  [[nodiscard]] Bytes pre_statement(int r, bool b) const;
+  [[nodiscard]] Bytes main_statement(int r, std::uint8_t v) const;
+  [[nodiscard]] Bytes coin_name(int r) const;
+
+  // --- wire encoding ---
+  static void write_justification(Writer& w, const Justification& j);
+  static Justification read_justification(Reader& r);
+  static void write_pre_vote(Writer& w, const PreVote& pv);
+  static PreVote read_pre_vote(Reader& r);
+
+  // --- verification (all tolerant of garbage; return false) ---
+  [[nodiscard]] bool valid_by_validator(bool b, BytesView proof) const;
+  [[nodiscard]] bool verify_pre_vote(int r, PartyId voter,
+                                     const PreVote& pv) const;
+  [[nodiscard]] bool verify_main_vote(int r, PartyId voter,
+                                      const MainVote& mv) const;
+
+  // --- protocol steps ---
+  void start_round(int r, bool b, Bytes proof, Justification just);
+  void handle_pre_vote(PartyId from, Reader& r);
+  void handle_main_vote(PartyId from, Reader& r);
+  void handle_coin_share(PartyId from, Reader& r);
+  void handle_decide(PartyId from, Reader& r);
+  void try_main_vote(int r);
+  void try_finish_round(int r);
+  void try_advance_with_coin(int r);
+  void advance(int r, std::optional<bool> coin);
+  void decide(bool b, Bytes proof, const Bytes& sig, int round);
+  void remember_proof(bool b, const Bytes& proof);
+
+  Round& round(int r) { return rounds_[r]; }
+
+  Options options_;
+  bool proposed_ = false;
+  int current_round_ = 0;  // highest round we pre-voted in
+  std::map<int, Round> rounds_;
+  std::array<std::optional<Bytes>, 2> known_proof_;
+  std::optional<bool> decided_;
+  Bytes decision_proof_;
+  int decision_round_ = 0;
+  bool decide_broadcast_ = false;
+  std::function<void(bool)> decide_cb_;
+};
+
+/// Plain binary agreement (paper §3.3 BinaryAgreement): no validator, no
+/// bias; proposals need no proof.
+class BinaryAgreement final : public BinaryAgreementEngine {
+ public:
+  BinaryAgreement(Environment& env, Dispatcher& dispatcher,
+                  const std::string& pid)
+      : BinaryAgreementEngine(env, dispatcher, pid, {}) {}
+
+  void propose(bool value) { BinaryAgreementEngine::propose(value, {}); }
+};
+
+}  // namespace sintra::core

@@ -1,0 +1,3 @@
+// ValidatedAgreement is a thin header-only wrapper over the agreement
+// engine; this translation unit anchors the target.
+#include "core/agreement/validated_agreement.hpp"

@@ -1,0 +1,31 @@
+// Validated (binary) Byzantine agreement with external validity and
+// optional bias (paper §2.3 end, §3.3 ValidatedAgreement).
+//
+// The engine already implements validation and bias; this class is the
+// user-facing API mirroring the paper's Java class: propose(value, proof),
+// decide(), getProof().
+#pragma once
+
+#include <optional>
+
+#include "core/agreement/binary_agreement.hpp"
+
+namespace sintra::core {
+
+class ValidatedAgreement final : public BinaryAgreementEngine {
+ public:
+  /// `validator` is consulted for every vote; `bias`, if set, biases the
+  /// agreement toward that value (paper: "always decides for the preferred
+  /// value when it detects that an honest party proposed it").
+  ValidatedAgreement(Environment& env, Dispatcher& dispatcher,
+                     const std::string& pid, BinaryValidator validator,
+                     std::optional<bool> bias = std::nullopt)
+      : BinaryAgreementEngine(env, dispatcher, pid,
+                              {std::move(validator), bias}) {}
+
+  /// The proof that establishes the validity of the decided value
+  /// (the Java API's getProof()).
+  [[nodiscard]] const Bytes& proof() const { return decision_proof(); }
+};
+
+}  // namespace sintra::core

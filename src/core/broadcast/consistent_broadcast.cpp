@@ -1,0 +1,140 @@
+#include "core/broadcast/consistent_broadcast.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::core {
+
+ConsistentBroadcast::ConsistentBroadcast(Environment& env,
+                                         Dispatcher& dispatcher,
+                                         const std::string& basepid,
+                                         PartyId sender)
+    : Protocol(env, dispatcher, basepid + "." + std::to_string(sender)),
+      sender_(sender) {
+  activate();
+}
+
+Bytes ConsistentBroadcast::signed_statement(const std::string& pid,
+                                            BytesView payload) {
+  Writer w;
+  w.str("cb-echo");
+  w.str(pid);
+  w.bytes(crypto::Sha256::hash(payload));
+  return std::move(w).take();
+}
+
+void ConsistentBroadcast::send(BytesView payload) {
+  if (env_.self() != sender_)
+    throw std::logic_error("ConsistentBroadcast::send: not the sender");
+  if (sent_) throw std::logic_error("ConsistentBroadcast::send: already sent");
+  sent_ = true;
+  sent_payload_ = Bytes(payload.begin(), payload.end());
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Tag::kSend));
+  w.raw(payload);
+  send_all(w.data());
+}
+
+void ConsistentBroadcast::on_message(PartyId from, BytesView payload) {
+  try {
+    Reader r(payload);
+    const Tag tag = static_cast<Tag>(r.u8());
+
+    switch (tag) {
+      case Tag::kSend: {
+        if (from != sender_ || echoed_) return;
+        echoed_ = true;
+        const Bytes body = r.raw(r.remaining());
+        const Bytes statement = signed_statement(pid(), body);
+        const Bytes share = env_.keys().sig_broadcast->sign_share(statement);
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(Tag::kEchoShare));
+        w.bytes(share);
+        send_to(sender_, w.data());
+        return;
+      }
+      case Tag::kEchoShare: {
+        if (env_.self() != sender_ || !sent_payload_ || final_sent_) return;
+        if (!share_senders_.insert(from).second) return;
+        const Bytes share = r.bytes();
+        r.expect_end();
+        const Bytes statement = signed_statement(pid(), *sent_payload_);
+        const auto& scheme = *env_.keys().sig_broadcast;
+        if (!scheme.verify_share(statement, from, share)) return;
+        shares_.emplace_back(from, share);
+        if (static_cast<int>(shares_.size()) >= scheme.k()) {
+          final_sent_ = true;
+          const Bytes sig = scheme.combine(statement, shares_);
+          Writer w;
+          w.u8(static_cast<std::uint8_t>(Tag::kFinal));
+          w.bytes(*sent_payload_);
+          w.bytes(sig);
+          send_all(w.data());
+        }
+        return;
+      }
+      case Tag::kFinal: {
+        Bytes body = r.bytes();
+        Bytes sig = r.bytes();
+        r.expect_end();
+        const Bytes statement = signed_statement(pid(), body);
+        if (!env_.keys().sig_broadcast->verify(statement, sig)) return;
+        deliver_with(std::move(body), std::move(sig));
+        return;
+      }
+    }
+  } catch (const SerdeError&) {
+    // Byzantine garbage: drop.
+  }
+}
+
+void ConsistentBroadcast::deliver_with(Bytes payload, Bytes signature) {
+  if (delivered_.has_value()) return;
+  Writer w;
+  w.bytes(payload);
+  w.bytes(signature);
+  closing_ = std::move(w).take();
+  delivered_ = std::move(payload);
+  if (deliver_cb_) deliver_cb_(*delivered_);
+}
+
+void ConsistentBroadcast::accept_closing(BytesView closing) {
+  if (delivered_.has_value()) return;
+  try {
+    Reader r(closing);
+    Bytes body = r.bytes();
+    Bytes sig = r.bytes();
+    r.expect_end();
+    const Bytes statement = signed_statement(pid(), body);
+    if (!env_.keys().sig_broadcast->verify(statement, sig)) return;
+    deliver_with(std::move(body), std::move(sig));
+  } catch (const SerdeError&) {
+  }
+}
+
+std::optional<Bytes> VerifiableConsistentBroadcast::payload_from_closing(
+    BytesView closing) {
+  try {
+    Reader r(closing);
+    Bytes body = r.bytes();
+    (void)r.bytes();
+    r.expect_end();
+    return body;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+bool VerifiableConsistentBroadcast::is_valid_closing(
+    const crypto::PartyKeys& keys, const std::string& pid, BytesView closing) {
+  try {
+    Reader r(closing);
+    const Bytes body = r.bytes();
+    const Bytes sig = r.bytes();
+    r.expect_end();
+    return keys.sig_broadcast->verify(signed_statement(pid, body), sig);
+  } catch (const SerdeError&) {
+    return false;
+  }
+}
+
+}  // namespace sintra::core

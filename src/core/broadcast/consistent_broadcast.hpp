@@ -1,0 +1,111 @@
+// Consistent broadcast — Reiter's "echo broadcast" with threshold
+// signatures (paper §2.2), plus the *verifiable* extension with closing
+// messages (paper §3.2).
+//
+// Consistency only: honest parties that deliver, deliver the same payload,
+// but some may deliver nothing.  Costs O(n) messages (vs O(n^2) for
+// reliable broadcast) in exchange for threshold-signature computation:
+//   1. sender sends payload to all;
+//   2. each party signs a share binding (pid, payload) and echoes it back
+//      to the sender — at most once, which is what prevents the sender
+//      from obtaining signatures on two different payloads;
+//   3. given a quorum of ceil((n+t+1)/2) shares, the sender assembles the
+//      threshold signature and sends (payload, signature) to all;
+//   4. a party delivers on receiving a valid (payload, signature).
+//
+// The (payload, signature) pair is the instance's *closing message*: any
+// party can hand it to any other to make it deliver and terminate — used
+// by multi-valued agreement to prove that a candidate made a proposal.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/broadcast/broadcast_base.hpp"
+#include "core/protocol.hpp"
+
+namespace sintra::core {
+
+class ConsistentBroadcast : public Protocol, public BroadcastBase {
+ public:
+  ConsistentBroadcast(Environment& env, Dispatcher& dispatcher,
+                      const std::string& basepid, PartyId sender);
+
+  [[nodiscard]] PartyId sender() const { return sender_; }
+
+  /// Starts the broadcast; sender only, exactly once.
+  void send(BytesView payload);
+
+  [[nodiscard]] const std::optional<Bytes>& delivered() const {
+    return delivered_;
+  }
+
+  void set_deliver_callback(std::function<void(const Bytes&)> cb) {
+    deliver_cb_ = std::move(cb);
+  }
+
+  // --- BroadcastBase (the paper's Figure 2 Broadcast interface) ---
+  [[nodiscard]] int broadcast_sender() const override { return sender_; }
+  void send_broadcast(BytesView payload) override { send(payload); }
+  [[nodiscard]] const std::optional<Bytes>& broadcast_delivered()
+      const override {
+    return delivered();
+  }
+  void abort_broadcast() override { abort(); }
+
+ protected:
+  void on_message(PartyId from, BytesView payload) override;
+
+  /// Closing message of a delivered instance (payload + threshold sig).
+  [[nodiscard]] const std::optional<Bytes>& closing_raw() const {
+    return closing_;
+  }
+  void accept_closing(BytesView closing);
+
+  /// The string actually signed: binds pid and payload digest.
+  static Bytes signed_statement(const std::string& pid, BytesView payload);
+
+ private:
+  enum class Tag : std::uint8_t { kSend = 0, kEchoShare = 1, kFinal = 2 };
+
+  void deliver_with(Bytes payload, Bytes signature);
+
+  PartyId sender_;
+  bool sent_ = false;
+  bool echoed_ = false;
+  std::optional<Bytes> sent_payload_;            // sender side
+  std::vector<std::pair<int, Bytes>> shares_;    // sender side
+  std::set<PartyId> share_senders_;              // sender side
+  bool final_sent_ = false;
+  std::optional<Bytes> delivered_;
+  std::optional<Bytes> closing_;
+  std::function<void(const Bytes&)> deliver_cb_;
+};
+
+/// Verifiable consistent broadcast (paper §3.2): exposes the closing
+/// message so other protocols can transfer deliverability.
+class VerifiableConsistentBroadcast final : public ConsistentBroadcast {
+ public:
+  using ConsistentBroadcast::ConsistentBroadcast;
+
+  /// Closing message of an already-delivered instance; nullopt before.
+  [[nodiscard]] const std::optional<Bytes>& get_closing() const {
+    return closing_raw();
+  }
+
+  /// Delivers from a closing message obtained out-of-band; invalid
+  /// closings are ignored.
+  void deliver_closing(BytesView closing) { accept_closing(closing); }
+
+  /// Extracts the payload carried by a closing message (no verification).
+  static std::optional<Bytes> payload_from_closing(BytesView closing);
+
+  /// Verifies that `closing` closes instance `pid` under the group's
+  /// broadcast threshold-signature key.
+  static bool is_valid_closing(const crypto::PartyKeys& keys,
+                               const std::string& pid, BytesView closing);
+};
+
+}  // namespace sintra::core

@@ -1,0 +1,97 @@
+#include "core/broadcast/reliable_broadcast.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sintra::core {
+
+namespace {
+Bytes digest_of(BytesView payload) {
+  return crypto::Sha256::hash(payload);
+}
+}  // namespace
+
+ReliableBroadcast::ReliableBroadcast(Environment& env, Dispatcher& dispatcher,
+                                     const std::string& basepid,
+                                     PartyId sender)
+    : Protocol(env, dispatcher, basepid + "." + std::to_string(sender)),
+      sender_(sender) {
+  activate();
+}
+
+void ReliableBroadcast::send(BytesView payload) {
+  if (env_.self() != sender_)
+    throw std::logic_error("ReliableBroadcast::send: not the sender");
+  if (sent_) throw std::logic_error("ReliableBroadcast::send: already sent");
+  sent_ = true;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Tag::kSend));
+  w.raw(payload);
+  send_all(w.data());
+}
+
+void ReliableBroadcast::on_message(PartyId from, BytesView payload) {
+  try {
+    Reader r(payload);
+    const Tag tag = static_cast<Tag>(r.u8());
+    Bytes body = r.raw(r.remaining());
+
+    switch (tag) {
+      case Tag::kSend: {
+        if (from != sender_ || echoed_) return;
+        echoed_ = true;
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(Tag::kEcho));
+        w.raw(body);
+        send_all(w.data());
+        return;
+      }
+      case Tag::kEcho: {
+        const Bytes d = digest_of(body);
+        auto& voters = echoes_[d];
+        if (!voters.insert(from).second) return;  // duplicate echo
+        payloads_.try_emplace(d, std::move(body));
+        const int quorum = (env_.n() + env_.t() + 2) / 2;  // ceil((n+t+1)/2)
+        if (static_cast<int>(voters.size()) >= quorum) {
+          maybe_send_ready(d, payloads_[d]);
+        }
+        return;
+      }
+      case Tag::kReady: {
+        const Bytes d = digest_of(body);
+        auto& voters = readies_[d];
+        if (!voters.insert(from).second) return;
+        payloads_.try_emplace(d, std::move(body));
+        if (static_cast<int>(voters.size()) >= env_.t() + 1) {
+          maybe_send_ready(d, payloads_[d]);
+        }
+        if (static_cast<int>(voters.size()) >= 2 * env_.t() + 1) {
+          maybe_deliver(d, payloads_[d]);
+        }
+        return;
+      }
+    }
+  } catch (const SerdeError&) {
+    // Malformed message from a Byzantine peer: drop.
+  }
+}
+
+void ReliableBroadcast::maybe_send_ready(const Bytes& digest,
+                                         const Bytes& payload) {
+  (void)digest;
+  if (readied_) return;
+  readied_ = true;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Tag::kReady));
+  w.raw(payload);
+  send_all(w.data());
+}
+
+void ReliableBroadcast::maybe_deliver(const Bytes& digest,
+                                      const Bytes& payload) {
+  (void)digest;
+  if (delivered_.has_value()) return;
+  delivered_ = payload;
+  if (deliver_cb_) deliver_cb_(*delivered_);
+}
+
+}  // namespace sintra::core

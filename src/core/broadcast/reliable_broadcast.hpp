@@ -1,0 +1,77 @@
+// Reliable broadcast — the Bracha–Toueg protocol (paper §2.2).
+//
+// Guarantees *agreement*: all honest parties deliver the same payload or
+// none delivers at all.  Uses no public-key cryptography — only the
+// (already authenticated) point-to-point links — at the price of O(n^2)
+// messages:
+//   1. the sender sends the payload to all parties;
+//   2. every party echoes the first payload it received from the sender;
+//   3. on ceil((n+t+1)/2) matching ECHOs or t+1 matching READYs, a party
+//      sends READY;
+//   4. on 2t+1 matching READYs, a party accepts and delivers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/broadcast/broadcast_base.hpp"
+#include "core/protocol.hpp"
+
+namespace sintra::core {
+
+class ReliableBroadcast : public Protocol, public BroadcastBase {
+ public:
+  /// The instance pid is basepid + "." + sender, mirroring the Java API
+  /// (§3.2); `sender` is the distinguished sender's index.
+  ReliableBroadcast(Environment& env, Dispatcher& dispatcher,
+                    const std::string& basepid, PartyId sender);
+
+  [[nodiscard]] PartyId sender() const { return sender_; }
+
+  /// Starts the broadcast; only the sender may call this, exactly once.
+  void send(BytesView payload);
+
+  /// The delivered payload, once the protocol accepts one.
+  [[nodiscard]] const std::optional<Bytes>& delivered() const {
+    return delivered_;
+  }
+
+  /// Invoked exactly once on delivery.
+  void set_deliver_callback(std::function<void(const Bytes&)> cb) {
+    deliver_cb_ = std::move(cb);
+  }
+
+  // --- BroadcastBase (the paper's Figure 2 Broadcast interface) ---
+  [[nodiscard]] int broadcast_sender() const override { return sender_; }
+  void send_broadcast(BytesView payload) override { send(payload); }
+  [[nodiscard]] const std::optional<Bytes>& broadcast_delivered()
+      const override {
+    return delivered();
+  }
+  void abort_broadcast() override { abort(); }
+
+ protected:
+  void on_message(PartyId from, BytesView payload) override;
+
+ private:
+  enum class Tag : std::uint8_t { kSend = 0, kEcho = 1, kReady = 2 };
+
+  void maybe_send_ready(const Bytes& digest, const Bytes& payload);
+  void maybe_deliver(const Bytes& digest, const Bytes& payload);
+
+  PartyId sender_;
+  bool sent_ = false;
+  bool echoed_ = false;
+  bool readied_ = false;
+  std::optional<Bytes> delivered_;
+  std::function<void(const Bytes&)> deliver_cb_;
+
+  // digest -> payload (first seen), and per-digest voter sets.
+  std::map<Bytes, Bytes> payloads_;
+  std::map<Bytes, std::set<PartyId>> echoes_;
+  std::map<Bytes, std::set<PartyId>> readies_;
+};
+
+}  // namespace sintra::core

@@ -1,0 +1,172 @@
+// Atomic broadcast channel (paper §2.5).
+//
+// Continuous totally-ordered broadcast in the style of Chandra–Toueg,
+// with multi-valued Byzantine agreement replacing consensus: the parties
+// proceed in global rounds and agree on a *batch* of signed messages per
+// round.
+//
+// Round R at party Pi:
+//   1. Pi signs its next queued payload together with R and broadcasts it;
+//      with no local payload, Pi *adopts* a payload first signed by
+//      another party and signs that (the fairness mechanism);
+//   2. after collecting batch-size properly-signed round-R messages from
+//      distinct signers, Pi proposes the batch to the round's multi-valued
+//      agreement; the external-validity predicate checks the signatures,
+//      signer distinctness, the round number, and that no entry was
+//      already delivered;
+//   3. the agreed batch's messages are delivered in a fixed order (by the
+//      originating sender's index, then sequence number), skipping
+//      duplicates.
+//
+// Payload identity is (origin, per-origin sequence number) — the paper's
+// §2.5 integrity relaxation: a bit string is delivered at most once per
+// honest send, not at most once globally.
+//
+// The batch size is n − f + 1 for configurable fairness parameter f,
+// t+1 ≤ f ≤ n−t (experiments: batch = t + 1, i.e. f = n − t).
+//
+// Termination: close() enqueues a termination-request marker as a regular
+// payload; the channel closes at the end of the round in which markers
+// from t+1 distinct origins have been delivered — so it terminates when
+// all honest parties together close it, and stays open unless at least
+// one honest party closes it.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/agreement/array_agreement.hpp"
+#include "core/channel/channel_base.hpp"
+
+namespace sintra::core {
+
+class AtomicChannel : public Protocol, public ChannelBase {
+ public:
+  struct Config {
+    /// Batch size; 0 means the experiments' default t + 1.
+    int batch_size = 0;
+    ArrayAgreement::CandidateOrder order =
+        ArrayAgreement::CandidateOrder::kRandomLocal;
+  };
+
+  /// One delivered payload, with instrumentation for the benchmarks.
+  struct Delivery {
+    Bytes payload;
+    PartyId origin;
+    std::uint64_t seq;
+    int round;
+    double time_ms;
+    int mvba_iterations;  // >1 = the extra-binary-agreement band of Fig. 5
+  };
+
+  AtomicChannel(Environment& env, Dispatcher& dispatcher,
+                const std::string& pid, Config config);
+  AtomicChannel(Environment& env, Dispatcher& dispatcher,
+                const std::string& pid)
+      : AtomicChannel(env, dispatcher, pid, Config{}) {}
+  ~AtomicChannel() override;
+
+  /// Queues a payload for totally-ordered delivery.  Throws
+  /// std::logic_error once the channel is closed.
+  void send(BytesView payload);
+  [[nodiscard]] bool can_send() const { return !closed_; }
+
+  /// Pops the next delivered payload (nullopt if none pending).
+  std::optional<Bytes> receive();
+  [[nodiscard]] bool can_receive() const { return !inbox_.empty(); }
+
+  /// Requests channel termination (see the close protocol above).
+  void close();
+  [[nodiscard]] bool is_closed() const { return closed_; }
+
+  /// Full delivery log (benchmarks read timing and origins from here).
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const {
+    return deliveries_;
+  }
+  [[nodiscard]] int rounds_completed() const { return round_; }
+
+  void set_deliver_callback(
+      std::function<void(const Bytes&, PartyId origin)> cb) {
+    deliver_cb_ = std::move(cb);
+  }
+  void set_closed_callback(std::function<void()> cb) {
+    closed_cb_ = std::move(cb);
+  }
+
+  void abort() override;
+
+  // --- ChannelBase (the paper's Figure 2 Channel interface) ---
+  void send_payload(BytesView payload) override { send(payload); }
+  std::optional<Bytes> receive_payload() override { return receive(); }
+  [[nodiscard]] bool can_send_payload() const override { return can_send(); }
+  [[nodiscard]] bool can_receive_payload() const override {
+    return can_receive();
+  }
+  void close_channel() override { close(); }
+  [[nodiscard]] bool channel_closed() const override { return is_closed(); }
+
+ protected:
+  void on_message(PartyId from, BytesView payload) override;
+
+ private:
+  /// A round-R signed message: (origin, seq, payload) signed by `signer`.
+  struct SignedEntry {
+    PartyId signer = -1;
+    PartyId origin = -1;
+    std::uint64_t seq = 0;
+    Bytes payload;  // marker byte + user bytes
+    Bytes sig;
+  };
+
+  using MessageKey = std::pair<PartyId, std::uint64_t>;  // (origin, seq)
+
+  [[nodiscard]] Bytes sign_statement(int round, PartyId origin,
+                                     std::uint64_t seq,
+                                     BytesView payload) const;
+  [[nodiscard]] std::string mvba_pid(int round) const;
+  [[nodiscard]] int batch_size() const;
+
+  static void write_entry(Writer& w, const SignedEntry& e);
+  static SignedEntry read_entry(Reader& r);
+
+  void enqueue_marker(std::uint8_t marker, BytesView payload);
+  void maybe_start_round();
+  void sign_and_broadcast(int round, PartyId origin, std::uint64_t seq,
+                          const Bytes& payload);
+  void handle_signed(PartyId from, Reader& r);
+  void maybe_adopt_and_propose();
+  [[nodiscard]] bool batch_valid(int round, BytesView batch) const;
+  void on_batch_decided(int round, const Bytes& batch);
+  void deliver(SignedEntry entry, int round, int iterations);
+
+  Config config_;
+  bool closed_ = false;
+
+  int round_ = 0;           // rounds completed
+  bool round_active_ = false;
+  int current_round_ = 1;   // the round in progress (or next to start)
+  bool signed_this_round_ = false;
+  bool proposed_this_round_ = false;
+
+  std::uint64_t own_seq_ = 0;
+  std::deque<std::pair<std::uint64_t, Bytes>> own_queue_;  // (seq, payload)
+  std::map<MessageKey, Bytes> foreign_pool_;  // undelivered adopted payloads
+  std::set<MessageKey> delivered_keys_;
+  std::set<PartyId> close_origins_;
+
+  // Verified round-R signed messages, one per signer.
+  std::map<int, std::map<PartyId, SignedEntry>> signed_;
+
+  std::unique_ptr<ArrayAgreement> mvba_;
+  std::vector<std::unique_ptr<ArrayAgreement>> finished_mvbas_;
+
+  std::deque<Bytes> inbox_;
+  std::vector<Delivery> deliveries_;
+  std::function<void(const Bytes&, PartyId)> deliver_cb_;
+  std::function<void()> closed_cb_;
+};
+
+}  // namespace sintra::core

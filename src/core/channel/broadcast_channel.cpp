@@ -1,0 +1,10 @@
+// BroadcastChannel is a header-only template; this translation unit
+// instantiates both channel types to catch compile errors early.
+#include "core/channel/broadcast_channel.hpp"
+
+namespace sintra::core {
+
+template class BroadcastChannel<ReliableBroadcast>;
+template class BroadcastChannel<ConsistentBroadcast>;
+
+}  // namespace sintra::core

@@ -1,0 +1,34 @@
+// The abstract Channel interface of the paper's class hierarchy
+// (Figure 2 / §3.4): send, receive, canSend, canReceive, close,
+// isClosed.  All four channel protocols implement it, so applications
+// can be written against the channel abstraction and switch guarantees
+// (total order / causal-secure / agreement-only / consistency-only) by
+// swapping the concrete class — exactly the substitution §2.7 suggests
+// ("they offer a cheap alternative to atomic broadcast").
+#pragma once
+
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace sintra::core {
+
+class ChannelBase {
+ public:
+  virtual ~ChannelBase() = default;
+
+  /// Queues a payload on the channel (throws std::logic_error if closed).
+  virtual void send_payload(BytesView payload) = 0;
+
+  /// Pops the next delivered payload, if any.
+  virtual std::optional<Bytes> receive_payload() = 0;
+
+  [[nodiscard]] virtual bool can_send_payload() const = 0;
+  [[nodiscard]] virtual bool can_receive_payload() const = 0;
+
+  /// Requests termination (t+1 honest closes terminate the channel).
+  virtual void close_channel() = 0;
+  [[nodiscard]] virtual bool channel_closed() const = 0;
+};
+
+}  // namespace sintra::core

@@ -1,0 +1,154 @@
+#include "core/channel/secure_atomic_channel.hpp"
+
+namespace sintra::core {
+
+namespace {
+constexpr std::uint8_t kShareTag = 1;
+}  // namespace
+
+SecureAtomicChannel::SecureAtomicChannel(Environment& env,
+                                         Dispatcher& dispatcher,
+                                         const std::string& pid,
+                                         AtomicChannel::Config config)
+    : Protocol(env, dispatcher, pid) {
+  atomic_ =
+      std::make_unique<AtomicChannel>(env, dispatcher, pid + ".ac", config);
+  atomic_->set_deliver_callback([this](const Bytes& ct, PartyId) {
+    on_ciphertext_delivered(ct);
+  });
+  activate();
+}
+
+SecureAtomicChannel::~SecureAtomicChannel() = default;
+
+Bytes SecureAtomicChannel::encrypt(const crypto::Tdh2Public& channel_key,
+                                   const std::string& pid, BytesView payload,
+                                   Rng& rng) {
+  return channel_key.encrypt(payload, to_bytes(pid), rng);
+}
+
+void SecureAtomicChannel::send(BytesView payload) {
+  const Bytes ct = encrypt(env_.keys().cipher->pub(), pid(), payload,
+                           env_.rng());
+  atomic_->send(ct);
+}
+
+void SecureAtomicChannel::send_ciphertext(BytesView ciphertext) {
+  atomic_->send(ciphertext);
+}
+
+std::optional<Bytes> SecureAtomicChannel::receive() {
+  if (inbox_.empty()) return std::nullopt;
+  Bytes out = std::move(inbox_.front());
+  inbox_.pop_front();
+  return out;
+}
+
+std::optional<Bytes> SecureAtomicChannel::receive_ciphertext() {
+  if (ciphertext_cursor_ >= ciphertexts_.size()) return std::nullopt;
+  return ciphertexts_[ciphertext_cursor_++];
+}
+
+void SecureAtomicChannel::on_ciphertext_delivered(const Bytes& ciphertext) {
+  const std::size_t index = slots_.size();
+  Slot slot;
+  slot.ciphertext = ciphertext;
+  slots_.push_back(std::move(slot));
+  ciphertexts_.push_back(ciphertext);
+
+  // The label binds a ciphertext to its channel: one produced for another
+  // channel (a cross-context replay) is skipped exactly like an invalid
+  // one — uniformly at every honest party, since the label is plaintext.
+  const auto label = crypto::tdh2_ciphertext_label(ciphertext);
+  if (!label.has_value() || *label != to_bytes(pid())) {
+    slots_[index].invalid = true;
+    flush_ready();
+    return;
+  }
+
+  // Release our decryption share (an extra round of interaction, §2.6).
+  auto share = env_.keys().cipher->decrypt_share(ciphertext);
+  if (!share.has_value()) {
+    // Invalid ciphertext (a Byzantine sender bypassed encrypt()): the
+    // validity check fails identically at every honest party, so all skip
+    // this position — order stays consistent.
+    slots_[index].invalid = true;
+    flush_ready();
+    return;
+  }
+  Writer w;
+  w.u8(kShareTag);
+  w.u64(index);
+  w.bytes(*share);
+  send_all(w.data());
+
+  // Shares that raced ahead of our atomic delivery.
+  auto early = early_shares_.find(index);
+  if (early != early_shares_.end()) {
+    auto pending = std::move(early->second);
+    early_shares_.erase(early);
+    for (auto& [from, s] : pending) process_share(from, index, s);
+  }
+}
+
+void SecureAtomicChannel::on_message(PartyId from, BytesView payload) {
+  try {
+    Reader r(payload);
+    if (r.u8() != kShareTag) return;
+    const std::size_t index = static_cast<std::size_t>(r.u64());
+    const Bytes share = r.bytes();
+    r.expect_end();
+    // Bound buffered early shares: a Byzantine peer may send shares for
+    // arbitrary future indices.
+    if (index > slots_.size() + 10000) return;
+    if (index >= slots_.size()) {
+      early_shares_[index].emplace(from, share);
+      return;
+    }
+    process_share(from, index, share);
+  } catch (const SerdeError&) {
+    // drop
+  }
+}
+
+void SecureAtomicChannel::process_share(PartyId from, std::size_t index,
+                                        const Bytes& share) {
+  Slot& slot = slots_[index];
+  if (slot.invalid || slot.plaintext.has_value()) return;
+  if (slot.shares.contains(from)) return;
+  if (!env_.keys().cipher->verify_share(slot.ciphertext, from, share)) return;
+  slot.shares.emplace(from, share);
+  try_decrypt(index);
+}
+
+void SecureAtomicChannel::try_decrypt(std::size_t index) {
+  Slot& slot = slots_[index];
+  const int k = env_.keys().cipher->k();
+  if (static_cast<int>(slot.shares.size()) < k) return;
+  std::vector<std::pair<int, Bytes>> shares(slot.shares.begin(),
+                                            slot.shares.end());
+  slot.plaintext = env_.keys().cipher->combine(slot.ciphertext, shares);
+  flush_ready();
+}
+
+void SecureAtomicChannel::flush_ready() {
+  while (next_delivery_ < slots_.size()) {
+    Slot& slot = slots_[next_delivery_];
+    if (slot.invalid) {
+      ++next_delivery_;
+      continue;
+    }
+    if (!slot.plaintext.has_value()) break;
+    deliveries_.push_back(Delivery{*slot.plaintext, env_.now_ms()});
+    inbox_.push_back(*slot.plaintext);
+    if (deliver_cb_) deliver_cb_(inbox_.back());
+    ++next_delivery_;
+  }
+}
+
+void SecureAtomicChannel::abort() {
+  atomic_->abort();
+  Protocol::abort();
+}
+
+}  // namespace sintra::core

@@ -1,0 +1,116 @@
+// Secure causal atomic broadcast channel (paper §2.6, §3.4).
+//
+// Wraps an atomic channel with the TDH2 threshold cryptosystem: payloads
+// are encrypted under the channel's global public key before being
+// atomically broadcast, so their content stays hidden until their position
+// in the delivery sequence is fixed — which is exactly what preserves
+// causal order against a Byzantine adversary (Reiter–Birman).  Once the
+// atomic channel delivers a ciphertext, every party releases a decryption
+// share; k = t+1 verified shares recover the cleartext, which is delivered
+// in ciphertext order.
+//
+// Non-members can submit messages: encrypt() needs only the public key;
+// the resulting ciphertext is handed to group members who call
+// send_ciphertext() without ever seeing the cleartext (paper §3.4).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "core/channel/atomic_channel.hpp"
+
+namespace sintra::core {
+
+class SecureAtomicChannel : public Protocol, public ChannelBase {
+ public:
+  SecureAtomicChannel(Environment& env, Dispatcher& dispatcher,
+                      const std::string& pid, AtomicChannel::Config config);
+  SecureAtomicChannel(Environment& env, Dispatcher& dispatcher,
+                      const std::string& pid)
+      : SecureAtomicChannel(env, dispatcher, pid, AtomicChannel::Config{}) {}
+  ~SecureAtomicChannel() override;
+
+  /// Encrypts for this channel; callable by anyone with the public key.
+  static Bytes encrypt(const crypto::Tdh2Public& channel_key,
+                       const std::string& pid, BytesView payload, Rng& rng);
+
+  /// Encrypts `payload` under the group key and sends it (member-side
+  /// convenience for the common case).
+  void send(BytesView payload);
+
+  /// Relays an externally produced ciphertext (paper §3.4).
+  void send_ciphertext(BytesView ciphertext);
+
+  [[nodiscard]] bool can_send() const { return atomic_->can_send(); }
+
+  /// Next decrypted payload, in ciphertext order.
+  std::optional<Bytes> receive();
+  [[nodiscard]] bool can_receive() const { return !inbox_.empty(); }
+
+  /// The next *ciphertext* whose position is already fixed but whose
+  /// cleartext has not been consumed via receive() yet (paper §3.4's
+  /// receiveCiphertext); nullopt if none.
+  std::optional<Bytes> receive_ciphertext();
+  [[nodiscard]] bool can_receive_ciphertext() const {
+    return ciphertext_cursor_ < ciphertexts_.size();
+  }
+
+  void close() { atomic_->close(); }
+  [[nodiscard]] bool is_closed() const { return atomic_->is_closed(); }
+
+  /// Timing log for the benchmarks (delivery time of the *cleartext*).
+  struct Delivery {
+    Bytes payload;
+    double time_ms;
+  };
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const {
+    return deliveries_;
+  }
+
+  void set_deliver_callback(std::function<void(const Bytes&)> cb) {
+    deliver_cb_ = std::move(cb);
+  }
+
+  void abort() override;
+
+  // --- ChannelBase (the paper's Figure 2 Channel interface) ---
+  void send_payload(BytesView payload) override { send(payload); }
+  std::optional<Bytes> receive_payload() override { return receive(); }
+  [[nodiscard]] bool can_send_payload() const override { return can_send(); }
+  [[nodiscard]] bool can_receive_payload() const override {
+    return can_receive();
+  }
+  void close_channel() override { close(); }
+  [[nodiscard]] bool channel_closed() const override { return is_closed(); }
+
+ protected:
+  void on_message(PartyId from, BytesView payload) override;
+
+ private:
+  void on_ciphertext_delivered(const Bytes& ciphertext);
+  void process_share(PartyId from, std::size_t index, const Bytes& share);
+  void try_decrypt(std::size_t index);
+  void flush_ready();
+
+  std::unique_ptr<AtomicChannel> atomic_;
+
+  struct Slot {
+    Bytes ciphertext;
+    bool invalid = false;  // failed TDH2 validity: skipped uniformly
+    std::map<PartyId, Bytes> shares;
+    std::optional<Bytes> plaintext;
+  };
+  std::vector<Slot> slots_;
+  std::size_t next_delivery_ = 0;     // next slot to release in order
+  std::size_t ciphertext_cursor_ = 0; // receive_ciphertext position
+  std::vector<Bytes> ciphertexts_;
+  // Shares that arrived before their ciphertext's slot existed.
+  std::map<std::size_t, std::map<PartyId, Bytes>> early_shares_;
+
+  std::deque<Bytes> inbox_;
+  std::vector<Delivery> deliveries_;
+  std::function<void(const Bytes&)> deliver_cb_;
+};
+
+}  // namespace sintra::core

@@ -1,0 +1,159 @@
+#include "core/config.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace sintra::core {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("config line " + std::to_string(line) + ": " +
+                              what);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+int parse_int(std::string_view v, int line, const std::string& key) {
+  int out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || ptr != v.data() + v.size()) {
+    fail(line, "expected an integer for '" + key + "'");
+  }
+  return out;
+}
+
+Endpoint parse_endpoint(std::string_view v, int line) {
+  const auto colon = v.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == v.size()) {
+    fail(line, "party endpoint must be host:port");
+  }
+  Endpoint ep;
+  ep.host = std::string(v.substr(0, colon));
+  ep.port = parse_int(v.substr(colon + 1), line, "port");
+  if (ep.port < 1 || ep.port > 65535) fail(line, "port out of range");
+  return ep;
+}
+
+}  // namespace
+
+GroupConfig GroupConfig::parse(std::string_view text) {
+  GroupConfig cfg;
+  std::map<int, Endpoint> endpoints;
+  bool have_n = false, have_t = false;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const auto hash_pos = line.find('#');
+    if (hash_pos != std::string_view::npos) line = line.substr(0, hash_pos);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) fail(line_no, "expected key = value");
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+
+    if (key == "n") {
+      cfg.dealer.n = parse_int(value, line_no, key);
+      have_n = true;
+    } else if (key == "t") {
+      cfg.dealer.t = parse_int(value, line_no, key);
+      have_t = true;
+    } else if (key == "rsa_bits") {
+      cfg.dealer.rsa_bits = parse_int(value, line_no, key);
+    } else if (key == "dl_p_bits") {
+      cfg.dealer.dl_p_bits = parse_int(value, line_no, key);
+    } else if (key == "dl_q_bits") {
+      cfg.dealer.dl_q_bits = parse_int(value, line_no, key);
+    } else if (key == "seed") {
+      cfg.dealer.seed = static_cast<std::uint64_t>(
+          parse_int(value, line_no, key));
+    } else if (key == "hash") {
+      if (value == "sha1") {
+        cfg.dealer.hash = crypto::HashKind::kSha1;
+      } else if (value == "sha256") {
+        cfg.dealer.hash = crypto::HashKind::kSha256;
+      } else {
+        fail(line_no, "hash must be sha1 or sha256");
+      }
+    } else if (key == "signatures") {
+      if (value == "multi") {
+        cfg.dealer.sig_impl = crypto::SigImpl::kMultiSig;
+      } else if (value == "threshold-rsa") {
+        cfg.dealer.sig_impl = crypto::SigImpl::kThresholdRsa;
+      } else {
+        fail(line_no, "signatures must be multi or threshold-rsa");
+      }
+    } else if (key.rfind("party.", 0) == 0) {
+      const int index = parse_int(key.substr(6), line_no, key);
+      if (index < 0) fail(line_no, "negative party index");
+      if (!endpoints.emplace(index, parse_endpoint(value, line_no)).second) {
+        fail(line_no, "duplicate party." + std::to_string(index));
+      }
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+
+  if (!have_n || !have_t)
+    throw std::invalid_argument("config: n and t are required");
+  if (cfg.dealer.n <= 3 * cfg.dealer.t || cfg.dealer.n < 1)
+    throw std::invalid_argument("config: need n > 3t");
+  if (static_cast<int>(endpoints.size()) != cfg.dealer.n)
+    throw std::invalid_argument(
+        "config: expected exactly n = " + std::to_string(cfg.dealer.n) +
+        " party endpoints, got " + std::to_string(endpoints.size()));
+  for (int i = 0; i < cfg.dealer.n; ++i) {
+    auto it = endpoints.find(i);
+    if (it == endpoints.end())
+      throw std::invalid_argument("config: missing party." +
+                                  std::to_string(i));
+    cfg.parties.push_back(it->second);
+  }
+  return cfg;
+}
+
+std::string GroupConfig::to_text() const {
+  std::ostringstream out;
+  out << "# SINTRA group configuration\n";
+  out << "n = " << dealer.n << "\n";
+  out << "t = " << dealer.t << "\n";
+  out << "rsa_bits = " << dealer.rsa_bits << "\n";
+  out << "dl_p_bits = " << dealer.dl_p_bits << "\n";
+  out << "dl_q_bits = " << dealer.dl_q_bits << "\n";
+  out << "hash = "
+      << (dealer.hash == crypto::HashKind::kSha1 ? "sha1" : "sha256") << "\n";
+  out << "signatures = "
+      << (dealer.sig_impl == crypto::SigImpl::kThresholdRsa ? "threshold-rsa"
+                                                            : "multi")
+      << "\n";
+  out << "seed = " << dealer.seed << "\n";
+  for (std::size_t i = 0; i < parties.size(); ++i) {
+    out << "party." << i << " = " << parties[i].host << ":"
+        << parties[i].port << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sintra::core

@@ -1,0 +1,51 @@
+// Group configuration file (paper §3: "SINTRA uses a configuration file
+// that contains all important parameters, such as the identities of all
+// parties, the system parameters n and t, the cryptographic key sizes
+// etc.  A party is identified by an Internet address of the form
+// hostname:port").
+//
+// Line-oriented `key = value` text with `#` comments:
+//
+//   n = 4
+//   t = 1
+//   rsa_bits = 1024
+//   dl_p_bits = 1024
+//   dl_q_bits = 160
+//   hash = sha1                 # or sha256
+//   signatures = multi          # or threshold-rsa
+//   seed = 1
+//   party.0 = zurich.example.com:7001
+//   party.1 = tokyo.example.com:7001
+//   ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/dealer.hpp"
+
+namespace sintra::core {
+
+/// A party's socket endpoint.
+struct Endpoint {
+  std::string host;
+  int port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+struct GroupConfig {
+  crypto::DealerConfig dealer;
+  /// parties[i] is party i's endpoint; size must equal dealer.n.
+  std::vector<Endpoint> parties;
+
+  /// Parses the text format above; throws std::invalid_argument with a
+  /// line-numbered message on any error (unknown key, bad value, missing
+  /// or duplicate party, n/t inconsistency).
+  static GroupConfig parse(std::string_view text);
+
+  /// Renders back to the text format (parse(to_text()) round-trips).
+  [[nodiscard]] std::string to_text() const;
+};
+
+}  // namespace sintra::core

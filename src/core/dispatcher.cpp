@@ -1,0 +1,57 @@
+#include "core/dispatcher.hpp"
+
+#include <stdexcept>
+
+namespace sintra::core {
+
+void Dispatcher::register_pid(const std::string& pid, Handler handler) {
+  if (handlers_.contains(pid))
+    throw std::logic_error("Dispatcher: pid already registered: " + pid);
+  retired_.erase(pid);
+  auto [it, inserted] = handlers_.emplace(pid, std::move(handler));
+  (void)inserted;
+  // Replay buffered early messages.
+  auto buf = buffers_.find(pid);
+  if (buf != buffers_.end()) {
+    auto pending = std::move(buf->second);
+    buffered_total_ -= pending.size();
+    buffers_.erase(buf);
+    for (auto& [from, payload] : pending) {
+      // The handler may unregister mid-replay (e.g. a one-shot protocol
+      // that terminates); stop replaying then.  Invoke through a copy so
+      // self-unregistration cannot destroy the function mid-call.
+      auto h = handlers_.find(pid);
+      if (h == handlers_.end()) break;
+      Handler current = h->second;
+      current(from, payload);
+    }
+  }
+}
+
+void Dispatcher::unregister_pid(const std::string& pid) {
+  handlers_.erase(pid);
+  retired_[pid] = true;
+}
+
+void Dispatcher::on_message(PartyId from, BytesView wire) {
+  WireMessage msg;
+  try {
+    msg = parse_frame(wire);
+  } catch (const SerdeError&) {
+    return;  // malformed frame from a Byzantine sender: drop
+  }
+  auto h = handlers_.find(msg.pid);
+  if (h != handlers_.end()) {
+    // Copy: the handler may unregister itself (protocol termination)
+    // while running, which would otherwise destroy it mid-call.
+    Handler handler = h->second;
+    handler(from, msg.payload);
+    return;
+  }
+  if (retired_.contains(msg.pid)) return;  // finished protocol: drop
+  if (buffered_total_ >= kMaxBuffered) return;  // flooding guard
+  buffers_[msg.pid].emplace_back(from, std::move(msg.payload));
+  ++buffered_total_;
+}
+
+}  // namespace sintra::core

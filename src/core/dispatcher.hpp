@@ -1,0 +1,48 @@
+// Routes incoming wire messages to protocol instances by protocol id.
+//
+// Asynchrony means messages for a protocol instance can arrive before the
+// local party has created that instance (e.g. a fast peer's round-r+1
+// votes while we are still in round r).  Such early messages are buffered
+// per pid and replayed when the instance registers.  A global cap bounds
+// memory against Byzantine flooding of never-registered pids.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/env.hpp"
+#include "core/message.hpp"
+
+namespace sintra::core {
+
+class Dispatcher {
+ public:
+  using Handler = std::function<void(PartyId from, BytesView payload)>;
+
+  /// Maximum buffered early messages across all unregistered pids.
+  static constexpr std::size_t kMaxBuffered = 100000;
+
+  /// Registers a handler and synchronously replays any buffered messages
+  /// for this pid.  Throws std::logic_error on duplicate registration.
+  void register_pid(const std::string& pid, Handler handler);
+
+  /// Removes the handler; later messages for this pid are dropped if the
+  /// pid is also marked retired (finished protocols must not re-buffer).
+  void unregister_pid(const std::string& pid);
+
+  /// Routes one wire message.  Malformed frames are dropped (Byzantine
+  /// senders can always produce garbage; that must never throw past here).
+  void on_message(PartyId from, BytesView wire);
+
+  [[nodiscard]] std::size_t buffered_count() const { return buffered_total_; }
+
+ private:
+  std::map<std::string, Handler> handlers_;
+  std::map<std::string, std::deque<std::pair<PartyId, Bytes>>> buffers_;
+  std::map<std::string, bool> retired_;
+  std::size_t buffered_total_ = 0;
+};
+
+}  // namespace sintra::core

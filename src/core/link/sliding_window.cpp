@@ -1,0 +1,152 @@
+#include "core/link/sliding_window.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::core {
+
+SlidingWindowLink::SlidingWindowLink(DatagramChannel& channel, int self,
+                                     int peer, Bytes link_key,
+                                     Options options)
+    : channel_(channel),
+      self_(self),
+      peer_(peer),
+      link_key_(std::move(link_key)),
+      options_(options) {}
+
+Bytes SlidingWindowLink::mac(FrameType type, std::uint64_t seq,
+                             BytesView body) const {
+  // The MAC binds direction: data flows self->peer under (self, peer),
+  // our ACKs answer peer->self traffic and are bound to (peer, self)'s
+  // receive side with a distinct type byte — no frame can be reflected.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  if (type == FrameType::kData) {
+    w.u32(static_cast<std::uint32_t>(self_));
+    w.u32(static_cast<std::uint32_t>(peer_));
+  } else {
+    w.u32(static_cast<std::uint32_t>(peer_));
+    w.u32(static_cast<std::uint32_t>(self_));
+  }
+  w.u64(seq);
+  w.bytes(body);
+  return crypto::hmac(crypto::HashKind::kSha1, link_key_, w.data());
+}
+
+Bytes SlidingWindowLink::frame(FrameType type, std::uint64_t seq,
+                               BytesView body) const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(seq);
+  w.bytes(body);
+  w.bytes(mac(type, seq, body));
+  return std::move(w).take();
+}
+
+void SlidingWindowLink::send(Bytes message) {
+  queue_.push_back(std::move(message));
+  pump();
+}
+
+void SlidingWindowLink::pump() {
+  while (!queue_.empty() && in_flight_.size() < options_.window) {
+    const std::uint64_t seq = next_seq_++;
+    in_flight_.emplace(seq, std::move(queue_.front()));
+    queue_.pop_front();
+    transmit(seq);
+  }
+  arm_timer();
+}
+
+void SlidingWindowLink::transmit(std::uint64_t seq) {
+  const auto it = in_flight_.find(seq);
+  if (it == in_flight_.end()) return;
+  channel_.send_datagram(frame(FrameType::kData, seq, it->second));
+}
+
+void SlidingWindowLink::send_ack() {
+  channel_.send_datagram(frame(FrameType::kAck, expected_, {}));
+}
+
+void SlidingWindowLink::arm_timer() {
+  if (timer_armed_ || in_flight_.empty()) return;
+  timer_armed_ = true;
+  channel_.call_later(options_.retransmit_ms, [this] { on_timeout(); });
+}
+
+void SlidingWindowLink::on_timeout() {
+  timer_armed_ = false;
+  if (in_flight_.empty()) return;
+  // Go-back-from-base: retransmit every unacked frame (simple and robust;
+  // cumulative ACKs make over-retransmission harmless).
+  for (const auto& [seq, message] : in_flight_) {
+    ++retransmissions_;
+    transmit(seq);
+  }
+  arm_timer();
+}
+
+void SlidingWindowLink::on_datagram(BytesView datagram) {
+  try {
+    Reader r(datagram);
+    const auto type = static_cast<FrameType>(r.u8());
+    const std::uint64_t seq = r.u64();
+    const Bytes body = r.bytes();
+    const Bytes tag = r.bytes();
+    r.expect_end();
+
+    if (type == FrameType::kData) {
+      // Peer's data is authenticated under (peer -> self).
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(FrameType::kData));
+      w.u32(static_cast<std::uint32_t>(peer_));
+      w.u32(static_cast<std::uint32_t>(self_));
+      w.u64(seq);
+      w.bytes(body);
+      if (!crypto::hmac_verify(crypto::HashKind::kSha1, link_key_, w.data(),
+                               tag)) {
+        return;  // forged or corrupted
+      }
+      if (seq >= expected_ &&
+          seq < expected_ + options_.max_receive_buffer) {
+        out_of_order_.try_emplace(seq, body);
+        while (!out_of_order_.empty() &&
+               out_of_order_.begin()->first == expected_) {
+          Bytes message = std::move(out_of_order_.begin()->second);
+          out_of_order_.erase(out_of_order_.begin());
+          ++expected_;
+          if (deliver_cb_) deliver_cb_(std::move(message));
+        }
+      }
+      // Always (re-)acknowledge — this is what heals lost ACKs.
+      send_ack();
+      return;
+    }
+
+    if (type == FrameType::kAck) {
+      // Peer's ACK acknowledges our data, authenticated under
+      // (self -> peer) receive side.
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(FrameType::kAck));
+      w.u32(static_cast<std::uint32_t>(self_));
+      w.u32(static_cast<std::uint32_t>(peer_));
+      w.u64(seq);
+      w.bytes(Bytes{});
+      if (!crypto::hmac_verify(crypto::HashKind::kSha1, link_key_, w.data(),
+                               tag)) {
+        return;  // forged acknowledgment — the attack §3 worries about
+      }
+      // Cumulative: everything below `seq` is delivered at the peer.
+      while (base_ < seq) {
+        in_flight_.erase(base_);
+        ++base_;
+      }
+      pump();
+      return;
+    }
+  } catch (const SerdeError&) {
+    // Malformed datagram: drop.
+  }
+}
+
+}  // namespace sintra::core

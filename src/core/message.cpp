@@ -1,0 +1,20 @@
+#include "core/message.hpp"
+
+namespace sintra::core {
+
+Bytes frame_message(std::string_view pid, BytesView payload) {
+  Writer w;
+  w.str(pid);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+WireMessage parse_frame(BytesView wire) {
+  Reader r(wire);
+  WireMessage out;
+  out.pid = r.str();
+  out.payload = r.raw(r.remaining());
+  return out;
+}
+
+}  // namespace sintra::core

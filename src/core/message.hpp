@@ -1,0 +1,26 @@
+// Wire framing: every SINTRA message is (protocol id, payload).  The
+// protocol identifier routes the message to the right protocol instance
+// (paper §2: "Every protocol instance is identified by a protocol
+// identifier, which must be included in all cryptographic operations of
+// the instance").
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::core {
+
+struct WireMessage {
+  std::string pid;
+  Bytes payload;
+};
+
+/// Frames payload under a protocol id.
+Bytes frame_message(std::string_view pid, BytesView payload);
+
+/// Parses a frame; throws SerdeError on malformed input.
+WireMessage parse_frame(BytesView wire);
+
+}  // namespace sintra::core

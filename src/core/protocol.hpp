@@ -1,0 +1,74 @@
+// Base class of every SINTRA protocol instance (mirrors the Java
+// `Protocol` class of paper §3).
+//
+// Lifecycle contract: a concrete protocol's constructor must end with
+// activate(), which registers the message handler and replays any early
+// messages — calling it from the base constructor would dispatch into a
+// not-yet-constructed object.  Destruction (or abort()) unregisters the
+// pid; late messages for it are then dropped, matching the paper's abort
+// semantics ("the local instance is cleaned up, but the state of other
+// parties is unspecified").
+#pragma once
+
+#include <string>
+
+#include "core/dispatcher.hpp"
+#include "core/env.hpp"
+
+namespace sintra::core {
+
+class Protocol {
+ public:
+  Protocol(Environment& env, Dispatcher& dispatcher, std::string pid)
+      : env_(env), dispatcher_(dispatcher), pid_(std::move(pid)) {}
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  virtual ~Protocol() { deactivate(); }
+
+  [[nodiscard]] const std::string& pid() const { return pid_; }
+
+  /// Terminates the local instance immediately.
+  virtual void abort() { deactivate(); }
+
+ protected:
+  /// Called for every incoming message addressed to this pid.  Must not
+  /// throw for malformed payloads (catch SerdeError and drop).
+  virtual void on_message(PartyId from, BytesView payload) = 0;
+
+  /// Must be invoked at the end of the most-derived constructor.
+  void activate() {
+    if (active_) return;
+    active_ = true;
+    dispatcher_.register_pid(
+        pid_, [this](PartyId from, BytesView payload) {
+          on_message(from, payload);
+        });
+  }
+
+  void deactivate() {
+    if (!active_) return;
+    active_ = false;
+    dispatcher_.unregister_pid(pid_);
+  }
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Frames `payload` under this pid and sends it.
+  void send_to(PartyId to, BytesView payload) {
+    env_.send(to, frame_message(pid_, payload));
+  }
+  void send_all(BytesView payload) {
+    env_.send_all(frame_message(pid_, payload));
+  }
+
+  Environment& env_;
+  Dispatcher& dispatcher_;
+
+ private:
+  std::string pid_;
+  bool active_ = false;
+};
+
+}  // namespace sintra::core

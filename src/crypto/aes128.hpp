@@ -1,0 +1,36 @@
+// AES-128 (FIPS 197) with CTR mode.
+//
+// Substitution note (see DESIGN.md): the paper's prototype used the MARS
+// block cipher with 128-bit keys for bulk encryption inside the threshold
+// cryptosystem.  MARS and AES(Rijndael) were both AES-competition
+// finalists with the same block/key sizes; any IND-CPA 128-bit block
+// cipher fills this role, so we implement AES-128 from scratch instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sintra::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  /// key must be exactly 16 bytes; throws std::invalid_argument otherwise.
+  explicit Aes128(BytesView key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// CTR-mode keystream XOR: encrypts or decrypts (same operation).
+  /// `nonce` must be 16 bytes and acts as the initial counter block.
+  [[nodiscard]] Bytes ctr_crypt(BytesView nonce, BytesView data) const;
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_;  // 11 round keys * 16 bytes
+};
+
+}  // namespace sintra::crypto

@@ -1,0 +1,139 @@
+#include "crypto/coin.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "crypto/shamir.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::crypto {
+
+namespace {
+
+struct ParsedCoinShare {
+  BigInt gi;  // H2G(name)^{x_i}
+  DleqProof proof;
+};
+
+ParsedCoinShare parse_coin_share(BytesView raw) {
+  Reader r(raw);
+  ParsedCoinShare out;
+  out.gi = BigInt::read(r);
+  out.proof = DleqProof::read(r);
+  r.expect_end();
+  return out;
+}
+
+}  // namespace
+
+ThresholdCoin::ThresholdCoin(std::shared_ptr<const CoinPublic> pub, int index,
+                             BigInt share, std::uint64_t prover_seed)
+    : pub_(std::move(pub)),
+      index_(index),
+      share_(std::move(share)),
+      prover_rng_(prover_seed) {}
+
+Bytes ThresholdCoin::release(BytesView name) {
+  if (index_ < 0) throw std::logic_error("ThresholdCoin: verify-only handle");
+  const DlogGroup& grp = pub_->group;
+  const BigInt base = grp.hash_to_group(name);
+  const BigInt gi = grp.exp(base, share_);
+  const DleqProof proof = dleq_prove(
+      grp, grp.g(), pub_->verification[static_cast<std::size_t>(index_)],
+      base, gi, share_, prover_rng_);
+  Writer w;
+  gi.write(w);
+  proof.write(w);
+  return std::move(w).take();
+}
+
+bool ThresholdCoin::verify_share(BytesView name, int signer,
+                                 BytesView share) const {
+  if (signer < 0 || signer >= pub_->n) return false;
+  ParsedCoinShare s;
+  try {
+    s = parse_coin_share(share);
+  } catch (const SerdeError&) {
+    return false;
+  }
+  const DlogGroup& grp = pub_->group;
+  const BigInt base = grp.hash_to_group(name);
+  return dleq_verify(grp, grp.g(),
+                     pub_->verification[static_cast<std::size_t>(signer)],
+                     base, s.gi, s.proof);
+}
+
+Bytes ThresholdCoin::assemble(BytesView name,
+                              const std::vector<std::pair<int, Bytes>>& shares,
+                              std::size_t out_len) const {
+  if (static_cast<int>(shares.size()) < pub_->k)
+    throw std::invalid_argument("ThresholdCoin::assemble: need k shares");
+  const DlogGroup& grp = pub_->group;
+
+  std::vector<int> indices;
+  std::vector<BigInt> values;
+  std::set<int> seen;
+  for (const auto& [idx, raw] : shares) {
+    if (static_cast<int>(indices.size()) == pub_->k) break;
+    if (idx < 0 || idx >= pub_->n || !seen.insert(idx).second)
+      throw std::invalid_argument(
+          "ThresholdCoin::assemble: bad or duplicate signer index");
+    indices.push_back(idx);
+    values.push_back(parse_coin_share(raw).gi);
+  }
+
+  // Interpolate in the exponent: g0 = prod share_j ^ lambda_j.
+  BigInt g0{1};
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const BigInt lambda =
+        lagrange_coeff_zero(indices, static_cast<int>(j), grp.q());
+    g0 = grp.mul(g0, grp.exp(values[j], lambda));
+  }
+
+  // Expand H(block, name, g0) into out_len pseudo-random bytes.
+  Bytes out;
+  std::uint32_t block = 0;
+  while (out.size() < out_len) {
+    Writer w;
+    w.u32(block++);
+    w.bytes(name);
+    g0.write(w);
+    const Bytes d = hash_bytes(grp.hash_kind(), w.data());
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  out.resize(out_len);
+  return out;
+}
+
+bool ThresholdCoin::assemble_bit(
+    BytesView name, const std::vector<std::pair<int, Bytes>>& shares) const {
+  return (assemble(name, shares, 1)[0] & 1) != 0;
+}
+
+std::unique_ptr<ThresholdCoin> CoinDeal::make_party(int i) const {
+  if (i < 0) {
+    return std::make_unique<ThresholdCoin>(pub, -1, BigInt{0}, 0);
+  }
+  return std::make_unique<ThresholdCoin>(
+      pub, i, shares[static_cast<std::size_t>(i)],
+      0xc011 + static_cast<std::uint64_t>(i));
+}
+
+CoinDeal deal_coin(Rng& rng, int n, int k, const DlogGroup& group) {
+  if (n < 1 || k < 1 || k > n)
+    throw std::invalid_argument("deal_coin: need 1 <= k <= n");
+  const BigInt x0 = group.random_exponent(rng);
+  const SecretPolynomial poly(rng, x0, group.q(), k);
+
+  auto pub = std::make_shared<CoinPublic>(CoinPublic{n, k, group, {}});
+  CoinDeal deal;
+  deal.shares = poly.shares(n);
+  pub->verification.reserve(static_cast<std::size_t>(n));
+  for (const BigInt& xi : deal.shares) {
+    pub->verification.push_back(group.exp(group.g(), xi));
+  }
+  deal.pub = std::move(pub);
+  return deal;
+}
+
+}  // namespace sintra::crypto

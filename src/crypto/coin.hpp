@@ -1,0 +1,72 @@
+// Threshold coin-tossing (Cachin–Kursawe–Shoup, PODC 2000).
+//
+// The randomization source of SINTRA's binary Byzantine agreement: an
+// (n, k, t) dual-threshold pseudo-random function based on the
+// Diffie–Hellman problem.  The dealer shares a secret exponent x0 over
+// Z_q; the coin named by an arbitrary byte string C evaluates to
+// F(C) = H(C, H2G(C)^{x0}), which no coalition of < k share-holders can
+// predict, yet any k shares reconstruct — without interaction beyond
+// exchanging the shares themselves.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/group.hpp"
+#include "util/bytes.hpp"
+
+namespace sintra::crypto {
+
+struct CoinPublic {
+  int n = 0;
+  int k = 0;
+  DlogGroup group;
+  std::vector<BigInt> verification;  // g^{x_i} per party
+};
+
+class ThresholdCoin {
+ public:
+  /// index = -1, share = 0 for a verify/assemble-only handle.
+  ThresholdCoin(std::shared_ptr<const CoinPublic> pub, int index, BigInt share,
+                std::uint64_t prover_seed);
+
+  [[nodiscard]] int n() const { return pub_->n; }
+  [[nodiscard]] int k() const { return pub_->k; }
+  [[nodiscard]] int index() const { return index_; }
+
+  /// This party's share of the coin named `name`: H2G(name)^{x_i} plus a
+  /// DLEQ proof of correctness.
+  [[nodiscard]] Bytes release(BytesView name);
+
+  /// Verifies a share claimed by party `signer` for coin `name`.
+  [[nodiscard]] bool verify_share(BytesView name, int signer,
+                                  BytesView share) const;
+
+  /// Assembles k verified shares into `out_len` pseudo-random bytes.
+  /// Throws std::invalid_argument on < k shares / duplicate signers.
+  [[nodiscard]] Bytes assemble(BytesView name,
+                               const std::vector<std::pair<int, Bytes>>& shares,
+                               std::size_t out_len) const;
+
+  /// Single pseudo-random bit (the common use in binary agreement).
+  [[nodiscard]] bool assemble_bit(
+      BytesView name, const std::vector<std::pair<int, Bytes>>& shares) const;
+
+ private:
+  std::shared_ptr<const CoinPublic> pub_;
+  int index_;
+  BigInt share_;
+  Rng prover_rng_;
+};
+
+struct CoinDeal {
+  std::shared_ptr<const CoinPublic> pub;
+  std::vector<BigInt> shares;
+
+  [[nodiscard]] std::unique_ptr<ThresholdCoin> make_party(int i) const;
+};
+
+/// Deals a fresh (n, k) coin over the given group.
+CoinDeal deal_coin(Rng& rng, int n, int k, const DlogGroup& group);
+
+}  // namespace sintra::crypto

@@ -1,0 +1,34 @@
+#include "crypto/cost.hpp"
+
+#include "bignum/montgomery.hpp"
+
+namespace sintra::crypto {
+
+std::uint64_t work_per_exp1024() {
+  static const std::uint64_t calibrated = [] {
+    // A fixed odd 1024-bit modulus and a full-size exponent; the value of
+    // the result is irrelevant, only the work performed matters.
+    using bignum::BigInt;
+    const BigInt m = (BigInt{1} << 1024) - BigInt{129};  // odd
+    const BigInt e = (BigInt{1} << 1023) + BigInt{12345};
+    const BigInt base{0x0123456789abcdefLL};
+    const std::uint64_t before = bignum::work_counter();
+    const bignum::Montgomery mont(m);
+    (void)mont.pow(base, e);
+    return bignum::work_counter() - before;
+  }();
+  return calibrated;
+}
+
+double work_to_ms(std::uint64_t work, double exp_ms) {
+  return static_cast<double>(work) /
+         static_cast<double>(work_per_exp1024()) * exp_ms;
+}
+
+WorkMeter::WorkMeter() : start_(bignum::work_counter()) {}
+
+std::uint64_t WorkMeter::elapsed() const {
+  return bignum::work_counter() - start_;
+}
+
+}  // namespace sintra::crypto

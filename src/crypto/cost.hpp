@@ -1,0 +1,36 @@
+// CPU cost model bridging real cryptographic work to simulated time.
+//
+// The paper characterizes each host by the measured wall-clock time of one
+// 1024-bit modular exponentiation (the `exp` column of the tables in §4:
+// 93 ms on P0/Zurich, 427 ms on the P-Pro in California, ...).  Our
+// Montgomery arithmetic counts limb-multiplications in a thread-local
+// work counter (bignum::work_counter); this module calibrates how much of
+// that work one reference 1024-bit modexp performs, so the simulator can
+// convert *actual* work done by a protocol handler into virtual
+// milliseconds on any host:  ms = work / work_per_exp1024() * exp_ms.
+#pragma once
+
+#include <cstdint>
+
+namespace sintra::crypto {
+
+/// Work units of one 1024-bit modexp with full-size exponent (calibrated
+/// once per process; deterministic).
+std::uint64_t work_per_exp1024();
+
+/// Converts accumulated bignum work into milliseconds on a host whose
+/// measured 1024-bit modexp takes `exp_ms` milliseconds.
+double work_to_ms(std::uint64_t work, double exp_ms);
+
+/// RAII helper: captures the work counter on construction; `elapsed()`
+/// reports work performed since.
+class WorkMeter {
+ public:
+  WorkMeter();
+  [[nodiscard]] std::uint64_t elapsed() const;
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace sintra::crypto

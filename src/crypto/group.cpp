@@ -1,0 +1,149 @@
+#include "crypto/group.hpp"
+
+#include <stdexcept>
+
+namespace sintra::crypto {
+
+DlogGroup::DlogGroup(BigInt p, BigInt q, BigInt g, HashKind hash)
+    : p_(std::move(p)),
+      q_(std::move(q)),
+      g_(std::move(g)),
+      cofactor_exp_((p_ - BigInt{1}) / q_),
+      mont_(p_),
+      hash_(hash) {
+  if ((p_ - BigInt{1}) % q_ != BigInt{0})
+    throw std::invalid_argument("DlogGroup: q does not divide p-1");
+  if (!is_member(g_))
+    throw std::invalid_argument("DlogGroup: g not an order-q element");
+}
+
+DlogGroup DlogGroup::generate(Rng& rng, int p_bits, int q_bits,
+                              HashKind hash) {
+  const bignum::SchnorrGroup grp =
+      bignum::generate_schnorr_group(rng, p_bits, q_bits);
+  return DlogGroup(grp.p, grp.q, grp.g, hash);
+}
+
+BigInt DlogGroup::exp(const BigInt& base, const BigInt& e) const {
+  return mont_.pow(base, e.mod(q_));
+}
+
+BigInt DlogGroup::mul(const BigInt& a, const BigInt& b) const {
+  return mont_.mul(a, b);
+}
+
+BigInt DlogGroup::inv(const BigInt& a) const { return a.mod_inverse(p_); }
+
+bool DlogGroup::is_member(const BigInt& y) const {
+  if (y <= BigInt{1} || y >= p_) return false;
+  return mont_.pow(y, q_).is_one();
+}
+
+BigInt DlogGroup::hash_to_group(BytesView name) const {
+  const std::size_t pbytes = static_cast<std::size_t>(p_.bit_length() + 7) / 8;
+  for (std::uint32_t ctr = 0;; ++ctr) {
+    // Expand H(ctr || i || name) until we have pbytes + 8 bytes, then
+    // reduce mod p and project into the subgroup.
+    Bytes material;
+    std::uint32_t block = 0;
+    while (material.size() < pbytes + 8) {
+      Writer w;
+      w.u32(ctr);
+      w.u32(block++);
+      w.raw(name);
+      const Bytes d = hash_bytes(hash_, w.data());
+      material.insert(material.end(), d.begin(), d.end());
+    }
+    const BigInt v = BigInt::from_bytes(material).mod(p_);
+    const BigInt candidate = mont_.pow(v, cofactor_exp_);
+    if (!candidate.is_one() && !candidate.is_zero()) return candidate;
+  }
+}
+
+BigInt DlogGroup::random_exponent(Rng& rng) const {
+  return BigInt::random_below(rng, q_);
+}
+
+BigInt DlogGroup::hash_to_exponent(BytesView data) const {
+  const std::size_t qbytes = static_cast<std::size_t>(q_.bit_length() + 7) / 8;
+  Bytes material;
+  std::uint32_t block = 0;
+  while (material.size() < qbytes + 8) {
+    Writer w;
+    w.u32(block++);
+    w.raw(data);
+    const Bytes d = hash_bytes(hash_, w.data());
+    material.insert(material.end(), d.begin(), d.end());
+  }
+  return BigInt::from_bytes(material).mod(q_);
+}
+
+void DlogGroup::write(Writer& w) const {
+  p_.write(w);
+  q_.write(w);
+  g_.write(w);
+  w.u8(hash_ == HashKind::kSha1 ? 0 : 1);
+}
+
+DlogGroup DlogGroup::read(Reader& r) {
+  BigInt p = BigInt::read(r);
+  BigInt q = BigInt::read(r);
+  BigInt g = BigInt::read(r);
+  const HashKind hash = r.u8() == 0 ? HashKind::kSha1 : HashKind::kSha256;
+  return DlogGroup(std::move(p), std::move(q), std::move(g), hash);
+}
+
+void DleqProof::write(Writer& w) const {
+  c.write(w);
+  z.write(w);
+}
+
+DleqProof DleqProof::read(Reader& r) {
+  DleqProof out;
+  out.c = BigInt::read(r);
+  out.z = BigInt::read(r);
+  return out;
+}
+
+namespace {
+BigInt challenge(const DlogGroup& grp, const BigInt& g1, const BigInt& h1,
+                 const BigInt& g2, const BigInt& h2, const BigInt& a1,
+                 const BigInt& a2) {
+  Writer w;
+  g1.write(w);
+  h1.write(w);
+  g2.write(w);
+  h2.write(w);
+  a1.write(w);
+  a2.write(w);
+  return grp.hash_to_exponent(w.data());
+}
+}  // namespace
+
+DleqProof dleq_prove(const DlogGroup& grp, const BigInt& g1, const BigInt& h1,
+                     const BigInt& g2, const BigInt& h2, const BigInt& x,
+                     Rng& rng) {
+  const BigInt r = grp.random_exponent(rng);
+  const BigInt a1 = grp.exp(g1, r);
+  const BigInt a2 = grp.exp(g2, r);
+  const BigInt c = challenge(grp, g1, h1, g2, h2, a1, a2);
+  const BigInt z = (r + c * x).mod(grp.q());
+  return {c, z};
+}
+
+bool dleq_verify(const DlogGroup& grp, const BigInt& g1, const BigInt& h1,
+                 const BigInt& g2, const BigInt& h2, const DleqProof& proof) {
+  if (proof.c.is_negative() || proof.z.is_negative() || proof.c >= grp.q() ||
+      proof.z >= grp.q()) {
+    return false;
+  }
+  if (!grp.is_member(h1) || !grp.is_member(h2)) return false;
+  // a_i = g_i^z * h_i^{-c}
+  const BigInt a1 =
+      grp.mul(grp.exp(g1, proof.z), grp.inv(grp.exp(h1, proof.c)));
+  const BigInt a2 =
+      grp.mul(grp.exp(g2, proof.z), grp.inv(grp.exp(h2, proof.c)));
+  return challenge(grp, g1, h1, g2, h2, a1, a2) == proof.c;
+}
+
+}  // namespace sintra::crypto

@@ -1,0 +1,43 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha1.hpp"
+
+namespace sintra::crypto {
+
+namespace {
+
+template <typename Hash>
+Bytes hmac_impl(BytesView key, BytesView data) {
+  constexpr std::size_t kBlock = Hash::kBlockSize;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = Hash::hash(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Hash inner;
+  inner.update(ipad).update(data);
+  Hash outer;
+  outer.update(opad).update(inner.digest());
+  return outer.digest();
+}
+
+}  // namespace
+
+Bytes hmac(HashKind kind, BytesView key, BytesView data) {
+  return kind == HashKind::kSha1 ? hmac_impl<Sha1>(key, data)
+                                 : hmac_impl<Sha256>(key, data);
+}
+
+Bytes hmac_sha1(BytesView key, BytesView data) {
+  return hmac_impl<Sha1>(key, data);
+}
+
+bool hmac_verify(HashKind kind, BytesView key, BytesView data, BytesView tag) {
+  return ct_equal(hmac(kind, key, data), tag);
+}
+
+}  // namespace sintra::crypto

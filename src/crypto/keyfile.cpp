@@ -1,0 +1,187 @@
+#include "crypto/keyfile.hpp"
+
+namespace sintra::crypto {
+
+namespace {
+
+constexpr std::uint32_t kKeyFileVersion = 1;
+
+void write_rsa_keypair(Writer& w, const RsaKeyPair& kp) {
+  kp.pub.write(w);
+  kp.d.write(w);
+  kp.p.write(w);
+  kp.q.write(w);
+  kp.dp.write(w);
+  kp.dq.write(w);
+  kp.qinv.write(w);
+}
+
+RsaKeyPair read_rsa_keypair(Reader& r) {
+  RsaKeyPair kp;
+  kp.pub = RsaPublicKey::read(r);
+  kp.d = BigInt::read(r);
+  kp.p = BigInt::read(r);
+  kp.q = BigInt::read(r);
+  kp.dp = BigInt::read(r);
+  kp.dq = BigInt::read(r);
+  kp.qinv = BigInt::read(r);
+  return kp;
+}
+
+void write_bigints(Writer& w, const std::vector<BigInt>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const BigInt& x : v) x.write(w);
+}
+
+std::vector<BigInt> read_bigints(Reader& r) {
+  const std::uint32_t count = r.u32();
+  if (count > 1u << 16) throw SerdeError("keyfile: vector too large");
+  std::vector<BigInt> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(BigInt::read(r));
+  return out;
+}
+
+void write_threshold(Writer& w, const RawRsaThreshold& th) {
+  w.u32(static_cast<std::uint32_t>(th.pub.n));
+  w.u32(static_cast<std::uint32_t>(th.pub.k));
+  th.pub.modulus.write(w);
+  th.pub.e.write(w);
+  th.pub.v.write(w);
+  write_bigints(w, th.pub.vi);
+  th.pub.delta.write(w);
+  w.u8(th.pub.hash == HashKind::kSha1 ? 0 : 1);
+  th.share.write(w);
+}
+
+RawRsaThreshold read_threshold(Reader& r) {
+  RawRsaThreshold th;
+  th.pub.n = static_cast<int>(r.u32());
+  th.pub.k = static_cast<int>(r.u32());
+  th.pub.modulus = BigInt::read(r);
+  th.pub.e = BigInt::read(r);
+  th.pub.v = BigInt::read(r);
+  th.pub.vi = read_bigints(r);
+  th.pub.delta = BigInt::read(r);
+  th.pub.hash = r.u8() == 0 ? HashKind::kSha1 : HashKind::kSha256;
+  th.share = BigInt::read(r);
+  return th;
+}
+
+}  // namespace
+
+Bytes write_party_keys(const RawPartyKeys& raw) {
+  Writer w;
+  w.str("sintra-keys");
+  w.u32(kKeyFileVersion);
+  w.u32(static_cast<std::uint32_t>(raw.index));
+  w.u32(static_cast<std::uint32_t>(raw.n));
+  w.u32(static_cast<std::uint32_t>(raw.t));
+  w.u8(raw.hash == HashKind::kSha1 ? 0 : 1);
+  w.u8(raw.sig_impl == SigImpl::kThresholdRsa ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(raw.k_broadcast));
+  w.u32(static_cast<std::uint32_t>(raw.k_agreement));
+
+  w.u32(static_cast<std::uint32_t>(raw.link_keys.size()));
+  for (const Bytes& k : raw.link_keys) w.bytes(k);
+
+  write_rsa_keypair(w, raw.own_rsa);
+  w.u32(static_cast<std::uint32_t>(raw.all_rsa_publics.size()));
+  for (const RsaPublicKey& pk : raw.all_rsa_publics) pk.write(w);
+
+  w.u8(raw.threshold_broadcast.has_value() ? 1 : 0);
+  if (raw.threshold_broadcast) write_threshold(w, *raw.threshold_broadcast);
+  w.u8(raw.threshold_agreement.has_value() ? 1 : 0);
+  if (raw.threshold_agreement) write_threshold(w, *raw.threshold_agreement);
+
+  raw.coin_p.write(w);
+  raw.coin_q.write(w);
+  raw.coin_g.write(w);
+  write_bigints(w, raw.coin_verification);
+  raw.coin_share.write(w);
+  w.u32(static_cast<std::uint32_t>(raw.coin_k));
+
+  raw.tdh2_h.write(w);
+  raw.tdh2_gbar.write(w);
+  write_bigints(w, raw.tdh2_verification);
+  raw.tdh2_share.write(w);
+  w.u32(static_cast<std::uint32_t>(raw.tdh2_k));
+  return std::move(w).take();
+}
+
+RawPartyKeys read_party_keys(BytesView data) {
+  Reader r(data);
+  if (r.str() != "sintra-keys") throw SerdeError("keyfile: bad magic");
+  if (r.u32() != kKeyFileVersion) throw SerdeError("keyfile: bad version");
+  RawPartyKeys raw;
+  raw.index = static_cast<int>(r.u32());
+  raw.n = static_cast<int>(r.u32());
+  raw.t = static_cast<int>(r.u32());
+  raw.hash = r.u8() == 0 ? HashKind::kSha1 : HashKind::kSha256;
+  raw.sig_impl = r.u8() == 1 ? SigImpl::kThresholdRsa : SigImpl::kMultiSig;
+  raw.k_broadcast = static_cast<int>(r.u32());
+  raw.k_agreement = static_cast<int>(r.u32());
+  if (raw.n < 1 || raw.n > 1 << 16 || raw.index < 0 || raw.index >= raw.n)
+    throw SerdeError("keyfile: implausible group parameters");
+
+  const std::uint32_t links = r.u32();
+  if (links != static_cast<std::uint32_t>(raw.n))
+    throw SerdeError("keyfile: link key count mismatch");
+  for (std::uint32_t i = 0; i < links; ++i) raw.link_keys.push_back(r.bytes());
+
+  raw.own_rsa = read_rsa_keypair(r);
+  const std::uint32_t pubs = r.u32();
+  if (pubs != static_cast<std::uint32_t>(raw.n))
+    throw SerdeError("keyfile: public key count mismatch");
+  for (std::uint32_t i = 0; i < pubs; ++i) {
+    raw.all_rsa_publics.push_back(RsaPublicKey::read(r));
+  }
+
+  if (r.u8() != 0) raw.threshold_broadcast = read_threshold(r);
+  if (r.u8() != 0) raw.threshold_agreement = read_threshold(r);
+
+  raw.coin_p = BigInt::read(r);
+  raw.coin_q = BigInt::read(r);
+  raw.coin_g = BigInt::read(r);
+  raw.coin_verification = read_bigints(r);
+  raw.coin_share = BigInt::read(r);
+  raw.coin_k = static_cast<int>(r.u32());
+
+  raw.tdh2_h = BigInt::read(r);
+  raw.tdh2_gbar = BigInt::read(r);
+  raw.tdh2_verification = read_bigints(r);
+  raw.tdh2_share = BigInt::read(r);
+  raw.tdh2_k = static_cast<int>(r.u32());
+  r.expect_end();
+  return raw;
+}
+
+Bytes write_encryption_key(const Tdh2Public& pub) {
+  Writer w;
+  w.str("sintra-enckey");
+  w.u32(kKeyFileVersion);
+  w.u32(static_cast<std::uint32_t>(pub.n));
+  w.u32(static_cast<std::uint32_t>(pub.k));
+  pub.group.write(w);
+  pub.h.write(w);
+  pub.g_bar.write(w);
+  write_bigints(w, pub.verification);
+  return std::move(w).take();
+}
+
+Tdh2Public read_encryption_key(BytesView data) {
+  Reader r(data);
+  if (r.str() != "sintra-enckey") throw SerdeError("enckey: bad magic");
+  if (r.u32() != kKeyFileVersion) throw SerdeError("enckey: bad version");
+  const int n = static_cast<int>(r.u32());
+  const int k = static_cast<int>(r.u32());
+  DlogGroup group = DlogGroup::read(r);
+  BigInt h = BigInt::read(r);
+  BigInt gbar = BigInt::read(r);
+  std::vector<BigInt> verification = read_bigints(r);
+  r.expect_end();
+  return Tdh2Public{n, k, std::move(group), std::move(h), std::move(gbar),
+                    std::move(verification)};
+}
+
+}  // namespace sintra::crypto

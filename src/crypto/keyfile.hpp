@@ -1,0 +1,27 @@
+// Key-file serialization (paper §3: each server starts from
+// "initialization data" produced by the trusted dealer).
+//
+// A deployment runs the dealer once, writes one key file per party, and
+// ships each file over a trusted channel; a server loads its file and
+// materialize()s the live schemes.  The format is the library's binary
+// serde (length-prefixed, versioned), not tied to process endianness.
+#pragma once
+
+#include "crypto/dealer.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::crypto {
+
+/// Serializes one party's raw key material.
+Bytes write_party_keys(const RawPartyKeys& raw);
+
+/// Parses a key file; throws SerdeError on malformed or
+/// version-incompatible input.
+RawPartyKeys read_party_keys(BytesView data);
+
+/// Serializes the group's public encryption key (distributable to
+/// non-members, paper §3.4).
+Bytes write_encryption_key(const Tdh2Public& pub);
+Tdh2Public read_encryption_key(BytesView data);
+
+}  // namespace sintra::crypto

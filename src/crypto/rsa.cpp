@@ -1,0 +1,81 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "bignum/montgomery.hpp"
+
+namespace sintra::crypto {
+
+void RsaPublicKey::write(Writer& w) const {
+  n.write(w);
+  e.write(w);
+}
+
+RsaPublicKey RsaPublicKey::read(Reader& r) {
+  RsaPublicKey out;
+  out.n = BigInt::read(r);
+  out.e = BigInt::read(r);
+  return out;
+}
+
+RsaKeyPair rsa_generate(Rng& rng, int bits, bool safe_primes,
+                        const BigInt& e) {
+  if (bits < 32) throw std::domain_error("rsa_generate: modulus too small");
+  const int half = bits / 2;
+  for (;;) {
+    const BigInt p = safe_primes ? bignum::random_safe_prime(rng, half)
+                                 : bignum::random_prime(rng, half);
+    const BigInt q = safe_primes ? bignum::random_safe_prime(rng, bits - half)
+                                 : bignum::random_prime(rng, bits - half);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    const BigInt phi = (p - BigInt{1}) * (q - BigInt{1});
+    if (BigInt::gcd(e, phi) != BigInt{1}) continue;
+    RsaKeyPair key;
+    key.pub = {n, e};
+    key.d = e.mod_inverse(phi);
+    key.p = p;
+    key.q = q;
+    key.dp = key.d.mod(p - BigInt{1});
+    key.dq = key.d.mod(q - BigInt{1});
+    key.qinv = q.mod_inverse(p);
+    return key;
+  }
+}
+
+BigInt rsa_fdh(BytesView msg, const BigInt& n, HashKind hash) {
+  const std::size_t nbytes = static_cast<std::size_t>(n.bit_length() + 7) / 8;
+  Bytes material;
+  std::uint32_t block = 0;
+  while (material.size() < nbytes + 8) {
+    Writer w;
+    w.u32(block++);
+    w.raw(msg);
+    const Bytes d = hash_bytes(hash, w.data());
+    material.insert(material.end(), d.begin(), d.end());
+  }
+  return BigInt::from_bytes(material).mod(n);
+}
+
+Bytes rsa_sign(const RsaKeyPair& key, BytesView msg, HashKind hash) {
+  const BigInt x = rsa_fdh(msg, key.pub.n, hash);
+  // CRT: two half-size exponentiations.
+  const bignum::Montgomery mp(key.p);
+  const bignum::Montgomery mq(key.q);
+  const BigInt m1 = mp.pow(x.mod(key.p), key.dp);
+  const BigInt m2 = mq.pow(x.mod(key.q), key.dq);
+  const BigInt h = (key.qinv * (m1 - m2)).mod(key.p);
+  const BigInt s = m2 + key.q * h;
+  return s.to_bytes_padded(key.pub.modulus_bytes());
+}
+
+bool rsa_verify(const RsaPublicKey& key, BytesView msg, BytesView sig,
+                HashKind hash) {
+  if (sig.size() != key.modulus_bytes()) return false;
+  const BigInt s = BigInt::from_bytes(sig);
+  if (s >= key.n) return false;
+  return s.mod_pow(key.e, key.n) == rsa_fdh(msg, key.n, hash);
+}
+
+}  // namespace sintra::crypto

@@ -1,0 +1,102 @@
+#include "crypto/shamir.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace sintra::crypto {
+
+SecretPolynomial::SecretPolynomial(Rng& rng, const BigInt& secret,
+                                   const BigInt& modulus, int k)
+    : modulus_(modulus) {
+  if (k < 1) throw std::invalid_argument("SecretPolynomial: k < 1");
+  coeffs_.reserve(static_cast<std::size_t>(k));
+  coeffs_.push_back(secret.mod(modulus_));
+  for (int i = 1; i < k; ++i) {
+    coeffs_.push_back(BigInt::random_below(rng, modulus_));
+  }
+}
+
+BigInt SecretPolynomial::share_for(int party_index) const {
+  const BigInt x{party_index + 1};
+  // Horner evaluation mod m.
+  BigInt acc;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = (acc * x + coeffs_[i]).mod(modulus_);
+  }
+  return acc;
+}
+
+std::vector<BigInt> SecretPolynomial::shares(int n) const {
+  std::vector<BigInt> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(share_for(i));
+  return out;
+}
+
+namespace {
+void check_distinct(const std::vector<int>& indices) {
+  std::set<int> seen(indices.begin(), indices.end());
+  if (seen.size() != indices.size())
+    throw std::invalid_argument("lagrange: duplicate indices");
+  for (int i : indices) {
+    if (i < 0) throw std::invalid_argument("lagrange: negative index");
+  }
+}
+}  // namespace
+
+BigInt lagrange_coeff_zero(const std::vector<int>& indices, int j,
+                           const BigInt& q) {
+  check_distinct(indices);
+  const BigInt xj{indices[static_cast<std::size_t>(j)] + 1};
+  BigInt num{1}, den{1};
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (static_cast<int>(i) == j) continue;
+    const BigInt xi{indices[i] + 1};
+    num = (num * xi).mod(q);
+    den = (den * (xi - xj)).mod(q);
+  }
+  return (num * den.mod(q).mod_inverse(q)).mod(q);
+}
+
+BigInt lagrange_zero(const std::vector<SharePoint>& points, const BigInt& q) {
+  std::vector<int> indices;
+  indices.reserve(points.size());
+  for (const auto& p : points) indices.push_back(p.index);
+  BigInt acc;
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    const BigInt lambda =
+        lagrange_coeff_zero(indices, static_cast<int>(j), q);
+    acc = (acc + lambda * points[j].value).mod(q);
+  }
+  return acc;
+}
+
+BigInt factorial(int n) {
+  BigInt out{1};
+  for (int i = 2; i <= n; ++i) out *= BigInt{i};
+  return out;
+}
+
+BigInt integer_lagrange_coeff(const BigInt& delta,
+                              const std::vector<int>& indices, int j) {
+  check_distinct(indices);
+  const BigInt xj{indices[static_cast<std::size_t>(j)] + 1};
+  BigInt num = delta;
+  BigInt den{1};
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (static_cast<int>(i) == j) continue;
+    const BigInt xi{indices[i] + 1};
+    num *= xi;          // (0 - x_i) contributes sign below
+    den *= (xi - xj);   // (x_i - x_j) — note: matches (0-x_i)/(x_j-x_i) up to
+                        // a shared (-1)^{k-1} that cancels between num/den
+  }
+  // num/den = delta * prod x_i / prod (x_i - x_j)
+  //         = delta * prod (0 - x_i) / prod (x_j - x_i)   (signs cancel)
+  const auto [quot, rem] = BigInt::div_mod(num, den);
+  if (!rem.is_zero())
+    throw std::logic_error(
+        "integer_lagrange_coeff: delta does not clear denominators");
+  return quot;
+}
+
+}  // namespace sintra::crypto

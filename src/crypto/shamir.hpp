@@ -1,0 +1,72 @@
+// Shamir polynomial secret sharing and Lagrange interpolation.
+//
+// Two flavours are needed by SINTRA's threshold schemes:
+//  - over the prime field Z_q (threshold coin, TDH2): interpolation uses
+//    modular inverses;
+//  - over Z_m with secret composite m = p'q' (Shoup threshold RSA):
+//    inverses may not exist, so recombination uses *integer* Lagrange
+//    coefficients scaled by Δ = n! (Shoup's trick), applied in the
+//    exponent by the signature scheme.
+//
+// Party indices are 1-based in the polynomial (share of party i is f(i+1)
+// would invite off-by-ones; here share_for(i) evaluates f at x = i+1 for
+// 0-based party index i, and the interpolation helpers take the same
+// 0-based indices).
+#pragma once
+
+#include <vector>
+
+#include "bignum/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace sintra::crypto {
+
+using bignum::BigInt;
+
+/// A degree-(k-1) polynomial with coefficients mod m and f(0) = secret.
+class SecretPolynomial {
+ public:
+  SecretPolynomial(Rng& rng, const BigInt& secret, const BigInt& modulus,
+                   int k);
+
+  /// Share for 0-based party index i: f(i+1) mod m.
+  [[nodiscard]] BigInt share_for(int party_index) const;
+
+  /// All n shares.
+  [[nodiscard]] std::vector<BigInt> shares(int n) const;
+
+  [[nodiscard]] const std::vector<BigInt>& coefficients() const {
+    return coeffs_;
+  }
+
+ private:
+  BigInt modulus_;
+  std::vector<BigInt> coeffs_;  // coeffs_[0] == secret
+};
+
+/// One recombination point: 0-based party index and its share value.
+struct SharePoint {
+  int index;
+  BigInt value;
+};
+
+/// Lagrange interpolation of f(0) over the prime field Z_q.
+/// Indices must be distinct; throws std::invalid_argument otherwise.
+BigInt lagrange_zero(const std::vector<SharePoint>& points, const BigInt& q);
+
+/// Lagrange coefficient at zero, in Z_q, for the point with 0-based index
+/// `j` among `indices`:  prod_{j' != j} x_{j'} / (x_{j'} - x_j) mod q
+/// with x_i = index_i + 1.
+BigInt lagrange_coeff_zero(const std::vector<int>& indices, int j,
+                           const BigInt& q);
+
+/// n! as a BigInt (Shoup's Δ).
+BigInt factorial(int n);
+
+/// Integer Lagrange coefficient Δ · λ_{0,j} for Shoup recombination:
+/// an exact (possibly negative) integer when Δ = n!.
+/// `indices` are 0-based party indices, `j` selects the point.
+BigInt integer_lagrange_coeff(const BigInt& delta,
+                              const std::vector<int>& indices, int j);
+
+}  // namespace sintra::crypto

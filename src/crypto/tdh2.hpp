@@ -1,0 +1,90 @@
+// TDH2 threshold public-key encryption (Shoup–Gennaro, EUROCRYPT '98).
+//
+// Secure causal atomic broadcast (paper §2.6) encrypts every payload under
+// the channel's global public key; replicas exchange decryption shares
+// only after the ciphertext's position in the delivery sequence is fixed.
+// TDH2 is chosen-ciphertext secure — the ciphertext-validity check (a
+// Schnorr-style proof embedded in the ciphertext) stops a Byzantine party
+// from mauling a ciphertext into a related one, which is exactly the
+// property that preserves causal order.
+//
+// Hybrid encryption: the DH value h^r keys an AES-128-CTR bulk encryption
+// of the payload (the paper used MARS; see DESIGN.md for the
+// substitution).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/group.hpp"
+#include "util/bytes.hpp"
+
+namespace sintra::crypto {
+
+struct Tdh2Public {
+  int n = 0;
+  int k = 0;
+  DlogGroup group;
+  BigInt h;                          // g^x, the encryption key
+  BigInt g_bar;                      // independent second generator
+  std::vector<BigInt> verification;  // g^{x_i} per party
+
+  /// Encrypts `plaintext` with label `label` (the label binds context —
+  /// SINTRA uses the channel pid).  Anyone holding the public key may
+  /// encrypt, including non-members (paper §3.4).
+  [[nodiscard]] Bytes encrypt(BytesView plaintext, BytesView label,
+                              Rng& rng) const;
+
+  /// Public ciphertext validity check (anyone can run it).
+  [[nodiscard]] bool ciphertext_valid(BytesView ciphertext) const;
+};
+
+/// Extracts the (authenticated) label of a ciphertext without verifying
+/// it; nullopt on malformed input.  Applications must compare it with the
+/// expected context — the label is what stops a ciphertext produced for
+/// one channel from being replayed onto another (Shoup–Gennaro's labeled
+/// CCA security).
+std::optional<Bytes> tdh2_ciphertext_label(BytesView ciphertext);
+
+class Tdh2Party {
+ public:
+  Tdh2Party(std::shared_ptr<const Tdh2Public> pub, int index, BigInt share,
+            std::uint64_t prover_seed);
+
+  [[nodiscard]] int n() const { return pub_->n; }
+  [[nodiscard]] int k() const { return pub_->k; }
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] const Tdh2Public& pub() const { return *pub_; }
+
+  /// Produces this party's decryption share, or nullopt if the ciphertext
+  /// is invalid (an honest party never helps decrypt a mauled ciphertext).
+  [[nodiscard]] std::optional<Bytes> decrypt_share(BytesView ciphertext);
+
+  /// Verifies a share from `signer` against the ciphertext.
+  [[nodiscard]] bool verify_share(BytesView ciphertext, int signer,
+                                  BytesView share) const;
+
+  /// Combines k verified shares into the plaintext.  Throws
+  /// std::invalid_argument on bad share sets or an invalid ciphertext.
+  [[nodiscard]] Bytes combine(
+      BytesView ciphertext,
+      const std::vector<std::pair<int, Bytes>>& shares) const;
+
+ private:
+  std::shared_ptr<const Tdh2Public> pub_;
+  int index_;
+  BigInt share_;
+  Rng prover_rng_;
+};
+
+struct Tdh2Deal {
+  std::shared_ptr<const Tdh2Public> pub;
+  std::vector<BigInt> shares;
+
+  [[nodiscard]] std::unique_ptr<Tdh2Party> make_party(int i) const;
+};
+
+Tdh2Deal deal_tdh2(Rng& rng, int n, int k, const DlogGroup& group);
+
+}  // namespace sintra::crypto

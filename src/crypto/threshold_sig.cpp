@@ -1,0 +1,220 @@
+#include "crypto/threshold_sig.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "bignum/montgomery.hpp"
+#include "crypto/shamir.hpp"
+
+namespace sintra::crypto {
+
+namespace {
+
+// Fiat–Shamir challenge for the share-correctness proof: maps the proof
+// transcript to an integer of hash-output length.
+BigInt share_challenge(const RsaThresholdPublic& pub, const BigInt& x_tilde,
+                       const BigInt& vi, const BigInt& xi2, const BigInt& vp,
+                       const BigInt& xp) {
+  Writer w;
+  pub.v.write(w);
+  x_tilde.write(w);
+  vi.write(w);
+  xi2.write(w);
+  vp.write(w);
+  xp.write(w);
+  return BigInt::from_bytes(hash_bytes(pub.hash, w.data()));
+}
+
+struct ParsedShare {
+  BigInt xi;
+  BigInt c;
+  BigInt z;
+};
+
+ParsedShare parse_share(BytesView share) {
+  Reader r(share);
+  ParsedShare out;
+  out.xi = BigInt::read(r);
+  out.c = BigInt::read(r);
+  out.z = BigInt::read(r);
+  r.expect_end();
+  return out;
+}
+
+}  // namespace
+
+RsaThresholdScheme::RsaThresholdScheme(
+    std::shared_ptr<const RsaThresholdPublic> pub, int index, BigInt share,
+    std::uint64_t prover_seed)
+    : pub_(std::move(pub)),
+      index_(index),
+      share_(std::move(share)),
+      prover_rng_(prover_seed) {}
+
+Bytes RsaThresholdScheme::sign_share(BytesView msg) {
+  if (index_ < 0)
+    throw std::logic_error("RsaThresholdScheme: verify-only handle");
+  const bignum::Montgomery mont(pub_->modulus);
+  const BigInt x = rsa_fdh(msg, pub_->modulus, pub_->hash);
+  const BigInt two_delta = pub_->delta << 1;
+  const BigInt xi = mont.pow(x, two_delta * share_);
+
+  // Proof of correctness (discrete-log equality between the verification
+  // key pair (v, v_i) and (x~, x_i^2) with x~ = x^{4Δ}).
+  const BigInt x_tilde = mont.pow(x, two_delta << 1);
+  const BigInt xi2 = mont.mul(xi, xi);
+  // r uniform in [0, 2^(bits(N) + 2*hash_bits)).
+  const int rbits =
+      pub_->modulus.bit_length() +
+      2 * static_cast<int>(hash_digest_size(pub_->hash)) * 8;
+  const BigInt r =
+      BigInt::from_bytes(prover_rng_.bytes(static_cast<std::size_t>(rbits) / 8));
+  const BigInt vp = mont.pow(pub_->v, r);
+  const BigInt xp = mont.pow(x_tilde, r);
+  const BigInt c = share_challenge(*pub_, x_tilde,
+                                   pub_->vi[static_cast<std::size_t>(index_)],
+                                   xi2, vp, xp);
+  const BigInt z = share_ * c + r;
+
+  Writer w;
+  xi.write(w);
+  c.write(w);
+  z.write(w);
+  return std::move(w).take();
+}
+
+bool RsaThresholdScheme::verify_share(BytesView msg, int signer,
+                                      BytesView share) const {
+  if (signer < 0 || signer >= pub_->n) return false;
+  ParsedShare s;
+  try {
+    s = parse_share(share);
+  } catch (const SerdeError&) {
+    return false;
+  }
+  if (s.xi.is_negative() || s.xi >= pub_->modulus || s.xi.is_zero())
+    return false;
+  if (s.c.is_negative() || s.z.is_negative()) return false;
+
+  const bignum::Montgomery mont(pub_->modulus);
+  const BigInt x = rsa_fdh(msg, pub_->modulus, pub_->hash);
+  const BigInt x_tilde = mont.pow(x, pub_->delta << 2);
+  const BigInt xi2 = mont.mul(s.xi, s.xi);
+  const BigInt& vi = pub_->vi[static_cast<std::size_t>(signer)];
+
+  // v' = v^z * v_i^{-c},  x' = x~^z * x_i^{-2c}
+  BigInt vp, xp;
+  try {
+    vp = mont.mul(mont.pow(pub_->v, s.z),
+                  mont.pow(vi, s.c).mod_inverse(pub_->modulus));
+    xp = mont.mul(mont.pow(x_tilde, s.z),
+                  mont.pow(xi2, s.c).mod_inverse(pub_->modulus));
+  } catch (const std::domain_error&) {
+    return false;  // a non-invertible element would factor N; treat as bad
+  }
+  return share_challenge(*pub_, x_tilde, vi, xi2, vp, xp) == s.c;
+}
+
+Bytes RsaThresholdScheme::combine(
+    BytesView msg, const std::vector<std::pair<int, Bytes>>& shares) const {
+  if (static_cast<int>(shares.size()) < pub_->k)
+    throw std::invalid_argument("RsaThresholdScheme::combine: need k shares");
+  std::vector<int> indices;
+  std::vector<BigInt> xs;
+  std::set<int> seen;
+  for (const auto& [idx, raw] : shares) {
+    if (static_cast<int>(indices.size()) == pub_->k) break;
+    if (idx < 0 || idx >= pub_->n || !seen.insert(idx).second)
+      throw std::invalid_argument(
+          "RsaThresholdScheme::combine: bad or duplicate signer index");
+    indices.push_back(idx);
+    xs.push_back(parse_share(raw).xi);
+  }
+
+  const bignum::Montgomery mont(pub_->modulus);
+  BigInt w{1};
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const BigInt lambda =
+        integer_lagrange_coeff(pub_->delta, indices, static_cast<int>(j));
+    const BigInt exp2 = lambda << 1;  // 2*lambda
+    if (exp2.is_negative()) {
+      const BigInt inv = xs[j].mod_inverse(pub_->modulus);
+      w = mont.mul(w, mont.pow(inv, -exp2));
+    } else {
+      w = mont.mul(w, mont.pow(xs[j], exp2));
+    }
+  }
+  // w^e == x^{4Δ²}.  With a·4Δ² + b·e = 1 and y = w^a·x^b we get
+  // y^e = x^{4Δ²·a + e·b} = x.
+  const BigInt x = rsa_fdh(msg, pub_->modulus, pub_->hash);
+  const BigInt four_delta_sq = (pub_->delta * pub_->delta) << 2;
+  const BigInt a = four_delta_sq.mod_inverse(pub_->e);
+  const BigInt b = (BigInt{1} - a * four_delta_sq) / pub_->e;  // exact, <= 0
+  BigInt y = mont.pow(w, a);
+  if (b.is_negative()) {
+    y = mont.mul(y, mont.pow(x.mod_inverse(pub_->modulus), -b));
+  } else {
+    y = mont.mul(y, mont.pow(x, b));
+  }
+  return y.to_bytes_padded(
+      static_cast<std::size_t>(pub_->modulus.bit_length() + 7) / 8);
+}
+
+bool RsaThresholdScheme::verify(BytesView msg, BytesView sig) const {
+  const RsaPublicKey key{pub_->modulus, pub_->e};
+  return rsa_verify(key, msg, sig, pub_->hash);
+}
+
+std::unique_ptr<RsaThresholdScheme> RsaThresholdDeal::make_party(int i) const {
+  if (i < 0) {
+    return std::make_unique<RsaThresholdScheme>(pub, -1, BigInt{0}, 0);
+  }
+  return std::make_unique<RsaThresholdScheme>(
+      pub, i, shares[static_cast<std::size_t>(i)],
+      0x7e51 + static_cast<std::uint64_t>(i));
+}
+
+RsaThresholdDeal deal_rsa_threshold_with_key(Rng& rng, int n, int k,
+                                             const RsaKeyPair& key,
+                                             HashKind hash) {
+  if (n < 1 || k < 1 || k > n)
+    throw std::invalid_argument("deal_rsa_threshold: need 1 <= k <= n");
+  if (BigInt{n} >= key.pub.e)
+    throw std::invalid_argument("deal_rsa_threshold: e must exceed n");
+  const BigInt pprime = (key.p - BigInt{1}) >> 1;
+  const BigInt qprime = (key.q - BigInt{1}) >> 1;
+  const BigInt m = pprime * qprime;
+  const BigInt d = key.pub.e.mod_inverse(m);
+
+  const SecretPolynomial poly(rng, d, m, k);
+  auto pub = std::make_shared<RsaThresholdPublic>();
+  pub->n = n;
+  pub->k = k;
+  pub->modulus = key.pub.n;
+  pub->e = key.pub.e;
+  pub->delta = factorial(n);
+  pub->hash = hash;
+  // v = u^2 for random u: a generator of the squares w.h.p.
+  const bignum::Montgomery mont(key.pub.n);
+  const BigInt u =
+      BigInt{2} + BigInt::random_below(rng, key.pub.n - BigInt{3});
+  pub->v = mont.mul(u, u);
+
+  RsaThresholdDeal deal;
+  deal.shares = poly.shares(n);
+  pub->vi.reserve(static_cast<std::size_t>(n));
+  for (const BigInt& si : deal.shares) {
+    pub->vi.push_back(mont.pow(pub->v, si));
+  }
+  deal.pub = std::move(pub);
+  return deal;
+}
+
+RsaThresholdDeal deal_rsa_threshold(Rng& rng, int n, int k, int modulus_bits,
+                                    HashKind hash) {
+  const RsaKeyPair key =
+      rsa_generate(rng, modulus_bits, /*safe_primes=*/true, BigInt{65537});
+  return deal_rsa_threshold_with_key(rng, n, k, key, hash);
+}
+
+}  // namespace sintra::crypto

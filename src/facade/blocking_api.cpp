@@ -1,0 +1,12 @@
+// BlockingChannel is a header-only template; instantiate all four channel
+// facades here to catch compile errors early.
+#include "facade/blocking_api.hpp"
+
+namespace sintra::facade {
+
+template class BlockingChannel<core::AtomicChannel>;
+template class BlockingChannel<core::SecureAtomicChannel>;
+template class BlockingChannel<core::ReliableChannel>;
+template class BlockingChannel<core::ConsistentChannel>;
+
+}  // namespace sintra::facade

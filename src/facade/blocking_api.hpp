@@ -1,0 +1,184 @@
+// Blocking channel API mirroring the paper's Java interface (§3.4):
+// send / receive / canReceive / close / closeWait / isClosed.
+//
+// Protocol objects live on their party's transport thread; this wrapper
+// marshals calls onto that thread and blocks the caller on condition
+// variables fed by the protocol's delivery callbacks.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/channel/atomic_channel.hpp"
+#include "core/channel/broadcast_channel.hpp"
+#include "core/channel/secure_atomic_channel.hpp"
+#include "facade/local_transport.hpp"
+
+namespace sintra::facade {
+
+namespace detail {
+
+/// Construction/adaptation glue per channel type.
+template <typename C>
+struct ChannelTraits;
+
+template <>
+struct ChannelTraits<core::AtomicChannel> {
+  static std::unique_ptr<core::AtomicChannel> make(
+      core::Environment& env, core::Dispatcher& disp, const std::string& pid) {
+    return std::make_unique<core::AtomicChannel>(env, disp, pid);
+  }
+  template <typename F>
+  static void hook(core::AtomicChannel& ch, F deliver) {
+    ch.set_deliver_callback(
+        [deliver](const Bytes& payload, core::PartyId) { deliver(payload); });
+  }
+};
+
+template <>
+struct ChannelTraits<core::SecureAtomicChannel> {
+  static std::unique_ptr<core::SecureAtomicChannel> make(
+      core::Environment& env, core::Dispatcher& disp, const std::string& pid) {
+    return std::make_unique<core::SecureAtomicChannel>(env, disp, pid);
+  }
+  template <typename F>
+  static void hook(core::SecureAtomicChannel& ch, F deliver) {
+    ch.set_deliver_callback(deliver);
+  }
+};
+
+template <>
+struct ChannelTraits<core::ReliableChannel> {
+  static std::unique_ptr<core::ReliableChannel> make(
+      core::Environment& env, core::Dispatcher& disp, const std::string& pid) {
+    return std::make_unique<core::ReliableChannel>(env, disp, pid);
+  }
+  template <typename F>
+  static void hook(core::ReliableChannel& ch, F deliver) {
+    ch.set_deliver_callback(
+        [deliver](const Bytes& payload, core::PartyId) { deliver(payload); });
+  }
+};
+
+template <>
+struct ChannelTraits<core::ConsistentChannel> {
+  static std::unique_ptr<core::ConsistentChannel> make(
+      core::Environment& env, core::Dispatcher& disp, const std::string& pid) {
+    return std::make_unique<core::ConsistentChannel>(env, disp, pid);
+  }
+  template <typename F>
+  static void hook(core::ConsistentChannel& ch, F deliver) {
+    ch.set_deliver_callback(
+        [deliver](const Bytes& payload, core::PartyId) { deliver(payload); });
+  }
+};
+
+}  // namespace detail
+
+/// Blocking facade over any SINTRA channel type, bound to one party of a
+/// LocalGroup.
+template <typename C>
+class BlockingChannel {
+ public:
+  BlockingChannel(LocalGroup& group, int party, const std::string& pid)
+      : group_(group), party_(party) {
+    group_.post_sync(party, [&] {
+      channel_ = detail::ChannelTraits<C>::make(
+          group_.node(party_), group_.node(party_).dispatcher(), pid);
+      detail::ChannelTraits<C>::hook(*channel_, [this](const Bytes& payload) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          inbox_.push_back(payload);
+        }
+        cv_.notify_all();
+      });
+    });
+  }
+
+  ~BlockingChannel() {
+    // Destroy the protocol object on its owning thread.
+    group_.post_sync(party_, [&] { channel_.reset(); });
+  }
+
+  /// Queues a payload (asynchronous, like the Java API's non-blocking
+  /// send when buffers are free).
+  void send(Bytes payload) {
+    group_.post(party_, [this, payload = std::move(payload)] {
+      channel_->send(payload);
+    });
+  }
+
+  /// Blocks until the next payload is delivered.
+  Bytes receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !inbox_.empty(); });
+    Bytes out = std::move(inbox_.front());
+    inbox_.pop_front();
+    return out;
+  }
+
+  /// Non-blocking probe (the Java API's canReceive).
+  [[nodiscard]] bool can_receive() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return !inbox_.empty();
+  }
+
+  /// Bounded-wait receive for robust example code.
+  std::optional<Bytes> receive_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [&] { return !inbox_.empty(); })) {
+      return std::nullopt;
+    }
+    Bytes out = std::move(inbox_.front());
+    inbox_.pop_front();
+    return out;
+  }
+
+  void close() {
+    group_.post(party_, [this] { channel_->close(); });
+  }
+
+  [[nodiscard]] bool is_closed() {
+    bool closed = false;
+    group_.post_sync(party_, [&] { closed = channel_->is_closed(); });
+    return closed;
+  }
+
+  /// Blocks until the channel has terminated (the Java API's closeWait
+  /// when preceded by close()).
+  void wait_done(std::chrono::milliseconds poll = std::chrono::milliseconds(5)) {
+    while (!is_closed()) std::this_thread::sleep_for(poll);
+  }
+
+  void close_wait() {
+    close();
+    wait_done();
+  }
+
+  /// Direct access *on the owning thread only* — for example code that
+  /// needs channel-specific calls (e.g. send_ciphertext).
+  template <typename F>
+  void with(F fn) {
+    group_.post_sync(party_, [&] { fn(*channel_); });
+  }
+
+ private:
+  LocalGroup& group_;
+  int party_;
+  std::unique_ptr<C> channel_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Bytes> inbox_;
+};
+
+using BlockingAtomicChannel = BlockingChannel<core::AtomicChannel>;
+using BlockingSecureAtomicChannel = BlockingChannel<core::SecureAtomicChannel>;
+using BlockingReliableChannel = BlockingChannel<core::ReliableChannel>;
+using BlockingConsistentChannel = BlockingChannel<core::ConsistentChannel>;
+
+}  // namespace sintra::facade

@@ -1,0 +1,194 @@
+// Blocking facades for the broadcast and agreement primitives, mirroring
+// the paper's Java API (§3.2 Broadcast: send/receive/canReceive;
+// §3.3 Agreement: propose/negotiate/decide/canDecide).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+#include "core/agreement/array_agreement.hpp"
+#include "core/agreement/binary_agreement.hpp"
+#include "core/broadcast/consistent_broadcast.hpp"
+#include "core/broadcast/reliable_broadcast.hpp"
+#include "facade/local_transport.hpp"
+
+namespace sintra::facade {
+
+/// Blocking facade over ReliableBroadcast / ConsistentBroadcast /
+/// VerifiableConsistentBroadcast.
+template <typename B>
+class BlockingBroadcast {
+ public:
+  BlockingBroadcast(LocalGroup& group, int party, const std::string& basepid,
+                    int sender)
+      : group_(group), party_(party) {
+    group_.post_sync(party, [&] {
+      protocol_ = std::make_unique<B>(group_.node(party_),
+                                      group_.node(party_).dispatcher(),
+                                      basepid, sender);
+      protocol_->set_deliver_callback([this](const Bytes& payload) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          delivered_ = payload;
+        }
+        cv_.notify_all();
+      });
+    });
+  }
+
+  ~BlockingBroadcast() {
+    group_.post_sync(party_, [&] { protocol_.reset(); });
+  }
+
+  /// Non-blocking send; sender only, exactly once (§3.2).
+  void send(Bytes payload) {
+    group_.post(party_, [this, payload = std::move(payload)] {
+      protocol_->send(payload);
+    });
+  }
+
+  /// Blocks until the payload is delivered; returns at most once
+  /// meaningfully (subsequent calls return the same payload).
+  Bytes receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return delivered_.has_value(); });
+    return *delivered_;
+  }
+
+  std::optional<Bytes> receive_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [&] { return delivered_.has_value(); }))
+      return std::nullopt;
+    return *delivered_;
+  }
+
+  [[nodiscard]] bool can_receive() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return delivered_.has_value();
+  }
+
+ private:
+  LocalGroup& group_;
+  int party_;
+  std::unique_ptr<B> protocol_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<Bytes> delivered_;
+};
+
+using BlockingReliableBroadcast = BlockingBroadcast<core::ReliableBroadcast>;
+using BlockingConsistentBroadcast =
+    BlockingBroadcast<core::ConsistentBroadcast>;
+
+/// Blocking facade over plain binary agreement (§3.3).
+class BlockingBinaryAgreement {
+ public:
+  BlockingBinaryAgreement(LocalGroup& group, int party,
+                          const std::string& pid)
+      : group_(group), party_(party) {
+    group_.post_sync(party, [&] {
+      protocol_ = std::make_unique<core::BinaryAgreement>(
+          group_.node(party_), group_.node(party_).dispatcher(), pid);
+      protocol_->set_decide_callback([this](bool value) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          decided_ = value;
+        }
+        cv_.notify_all();
+      });
+    });
+  }
+
+  ~BlockingBinaryAgreement() {
+    group_.post_sync(party_, [&] { protocol_.reset(); });
+  }
+
+  void propose(bool value) {
+    group_.post(party_, [this, value] { protocol_->propose(value); });
+  }
+
+  /// Blocks until the protocol decides.
+  bool decide() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return decided_.has_value(); });
+    return *decided_;
+  }
+
+  /// propose() then decide() — the Java API's negotiate (§3.3).
+  bool negotiate(bool value) {
+    propose(value);
+    return decide();
+  }
+
+  [[nodiscard]] bool can_decide() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return decided_.has_value();
+  }
+
+ private:
+  LocalGroup& group_;
+  int party_;
+  std::unique_ptr<core::BinaryAgreement> protocol_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<bool> decided_;
+};
+
+/// Blocking facade over multi-valued ("array") agreement (§3.3).
+class BlockingArrayAgreement {
+ public:
+  BlockingArrayAgreement(LocalGroup& group, int party, const std::string& pid,
+                         core::ArrayValidator validator)
+      : group_(group), party_(party) {
+    group_.post_sync(party, [&] {
+      protocol_ = std::make_unique<core::ArrayAgreement>(
+          group_.node(party_), group_.node(party_).dispatcher(), pid,
+          std::move(validator));
+      protocol_->set_decide_callback([this](const Bytes& value) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          decided_ = value;
+        }
+        cv_.notify_all();
+      });
+    });
+  }
+
+  ~BlockingArrayAgreement() {
+    group_.post_sync(party_, [&] { protocol_.reset(); });
+  }
+
+  void propose(Bytes value) {
+    group_.post(party_, [this, value = std::move(value)] {
+      protocol_->propose(value);
+    });
+  }
+
+  Bytes decide() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return decided_.has_value(); });
+    return *decided_;
+  }
+
+  Bytes negotiate(Bytes value) {
+    propose(std::move(value));
+    return decide();
+  }
+
+  [[nodiscard]] bool can_decide() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return decided_.has_value();
+  }
+
+ private:
+  LocalGroup& group_;
+  int party_;
+  std::unique_ptr<core::ArrayAgreement> protocol_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<Bytes> decided_;
+};
+
+}  // namespace sintra::facade

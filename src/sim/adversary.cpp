@@ -1,0 +1,3 @@
+// Adversary is header-only; this translation unit exists to give the
+// target a home for future out-of-line growth.
+#include "sim/adversary.hpp"

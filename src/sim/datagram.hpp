@@ -1,0 +1,57 @@
+// Unreliable datagram service over the simulated network.
+//
+// The paper's prototype ran over TCP and noted the plan "to replace TCP
+// by SINTRA's own sliding-window implementation, which will provide
+// authenticated acknowledgments" (§3).  This service is the substrate
+// for that link layer (core/link/sliding_window.hpp): datagrams may be
+// dropped, duplicated and reordered under test-controlled hooks, unlike
+// the reliable FIFO channel the Simulator gives protocol code.
+#pragma once
+
+#include <functional>
+
+#include "util/bytes.hpp"
+
+namespace sintra::sim {
+
+class Simulator;
+
+/// Per-node endpoint for unreliable datagrams plus one-shot timers — the
+/// two capabilities a reliable-link implementation needs.
+class DatagramService {
+ public:
+  using Handler = std::function<void(int from, BytesView datagram)>;
+
+  DatagramService(Simulator& sim, int self);
+
+  [[nodiscard]] int self() const { return self_; }
+
+  /// Fire-and-forget: subject to the simulator's drop/duplicate/reorder
+  /// hooks; never retransmitted by the network.
+  void send_datagram(int to, Bytes datagram);
+
+  /// Registers the receive handler (one per node).
+  void set_handler(Handler handler);
+
+  /// One-shot timer on this node's virtual clock.
+  void call_later(double delay_ms, std::function<void()> fn);
+
+ private:
+  friend class Simulator;
+
+  Simulator& sim_;
+  int self_;
+  Handler handler_;
+};
+
+/// Network fault model applied to datagrams (not to the reliable links).
+struct DatagramFaults {
+  /// Return true to drop this datagram.
+  std::function<bool(int from, int to, double depart_ms)> drop;
+  /// Return k >= 0 extra copies to inject (default 0).
+  std::function<int(int from, int to, double depart_ms)> duplicate;
+  /// Extra delay per copy (enables reordering when randomized).
+  std::function<double(int from, int to, double depart_ms)> extra_delay;
+};
+
+}  // namespace sintra::sim

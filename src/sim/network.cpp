@@ -1,0 +1,45 @@
+#include "sim/network.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::sim {
+
+namespace {
+Bytes mac_input(int from, int to, BytesView frame) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(from));
+  w.u32(static_cast<std::uint32_t>(to));
+  w.raw(frame);
+  return std::move(w).take();
+}
+}  // namespace
+
+Bytes authenticate_frame(BytesView link_key, int from, int to,
+                         BytesView frame) {
+  const Bytes tag =
+      crypto::hmac(crypto::HashKind::kSha1, link_key, mac_input(from, to, frame));
+  Writer w;
+  w.bytes(tag);
+  w.raw(frame);
+  return std::move(w).take();
+}
+
+bool open_frame(BytesView link_key, int from, int to, BytesView wire,
+                Bytes& frame_out) {
+  try {
+    Reader r(wire);
+    const Bytes tag = r.bytes();
+    Bytes frame = r.raw(r.remaining());
+    if (!crypto::hmac_verify(crypto::HashKind::kSha1, link_key,
+                             mac_input(from, to, frame), tag)) {
+      return false;
+    }
+    frame_out = std::move(frame);
+    return true;
+  } catch (const SerdeError&) {
+    return false;
+  }
+}
+
+}  // namespace sintra::sim

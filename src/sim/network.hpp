@@ -1,0 +1,18 @@
+// Link-layer authentication: HMAC-SHA1 over (from, to, frame) under the
+// pairwise dealer key, exactly as the paper's prototype authenticates its
+// TCP links (§3).
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace sintra::sim {
+
+/// Wraps a frame with its authentication tag.
+Bytes authenticate_frame(BytesView link_key, int from, int to, BytesView frame);
+
+/// Verifies and strips the tag; returns false (leaving `frame_out`
+/// untouched) on any tampering or malformed input.
+bool open_frame(BytesView link_key, int from, int to, BytesView wire,
+                Bytes& frame_out);
+
+}  // namespace sintra::sim

@@ -1,0 +1,100 @@
+#include "sim/topologies.hpp"
+
+#include <stdexcept>
+
+namespace sintra::sim {
+
+namespace {
+
+constexpr double kLanRttMs = 0.2;       // 100 Mbit/s switched Ethernet
+constexpr double kLoopbackMs = 0.01;
+
+// Figure 3 round-trip times (ms).  The figure labels six edges with
+// {93, 164, 230, 242, 285, 373}; the text adds that "packet round-trip
+// times range from about 100 to 400 ms between most pairs".  We assign
+// them geographically: Zurich–NewYork is the best transatlantic path (93),
+// Zurich–California adds the US crossing (164), Zurich–Tokyo 230,
+// NewYork–California 242, NewYork–Tokyo 285, and California–Tokyo 373 —
+// consistent with §4.1's observation that Tokyo is "the most difficult to
+// reach from the others".
+constexpr double kZurTok = 230, kZurNyc = 93, kZurCal = 164;
+constexpr double kTokNyc = 285, kTokCal = 373, kNycCal = 242;
+
+std::vector<std::vector<double>> symmetric(int n, double fill) {
+  std::vector<std::vector<double>> m(static_cast<std::size_t>(n),
+                                     std::vector<double>(static_cast<std::size_t>(n), fill));
+  for (int i = 0; i < n; ++i) {
+    m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = kLoopbackMs;
+  }
+  return m;
+}
+
+void set_rtt(Topology& topo, int i, int j, double rtt) {
+  topo.latency_ms[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+      rtt / 2;
+  topo.latency_ms[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+      rtt / 2;
+}
+
+}  // namespace
+
+Topology lan_setup() {
+  Topology t;
+  t.hosts = {{"Zurich-P0-Linux", 93.0},
+             {"Zurich-P1-Linux", 70.0},
+             {"Zurich-P2-AIX", 105.0},
+             {"Zurich-P3-Win2k", 132.0}};
+  t.latency_ms = symmetric(4, kLanRttMs / 2);
+  return t;
+}
+
+Topology internet_setup() {
+  Topology t;
+  t.hosts = {{"Zurich-P0", 93.0},
+             {"Tokyo-P1", 55.0},
+             {"NewYork-P2", 101.0},
+             {"California-P3", 427.0}};
+  t.latency_ms = symmetric(4, 0.0);
+  set_rtt(t, 0, 1, kZurTok);
+  set_rtt(t, 0, 2, kZurNyc);
+  set_rtt(t, 0, 3, kZurCal);
+  set_rtt(t, 1, 2, kTokNyc);
+  set_rtt(t, 1, 3, kTokCal);
+  set_rtt(t, 2, 3, kNycCal);
+  return t;
+}
+
+Topology combined_setup() {
+  // Hosts 0..3: the LAN machines (0 is Zurich P0, part of both setups);
+  // hosts 4..6: Tokyo, New York, California.
+  Topology t;
+  t.hosts = {{"Zurich-P0-Linux", 93.0},  {"Zurich-P1-Linux", 70.0},
+             {"Zurich-P2-AIX", 105.0},   {"Zurich-P3-Win2k", 132.0},
+             {"Tokyo-P1", 55.0},         {"NewYork-P2", 101.0},
+             {"California-P3", 427.0}};
+  t.latency_ms = symmetric(7, kLanRttMs / 2);
+  // Every Zurich host reaches the remote sites with the Figure 3 RTTs.
+  for (int z = 0; z < 4; ++z) {
+    set_rtt(t, z, 4, kZurTok);
+    set_rtt(t, z, 5, kZurNyc);
+    set_rtt(t, z, 6, kZurCal);
+  }
+  set_rtt(t, 4, 5, kTokNyc);
+  set_rtt(t, 4, 6, kTokCal);
+  set_rtt(t, 5, 6, kNycCal);
+  return t;
+}
+
+Topology uniform_setup(int n, double exp_ms, double latency_ms,
+                       double jitter) {
+  if (n < 1) throw std::invalid_argument("uniform_setup: n < 1");
+  Topology t;
+  for (int i = 0; i < n; ++i) {
+    t.hosts.push_back({"host-" + std::to_string(i), exp_ms});
+  }
+  t.latency_ms = symmetric(n, latency_ms);
+  t.jitter = jitter;
+  return t;
+}
+
+}  // namespace sintra::sim

@@ -1,0 +1,45 @@
+// The experimental setups of the paper's §4, expressed as simulator
+// topologies: per-host CPU speed (the measured 1024-bit-modexp `exp`
+// column) and the pairwise round-trip times of Figure 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sintra::sim {
+
+struct HostSpec {
+  std::string name;   // e.g. "Zurich-P0"
+  double exp_ms;      // measured 1024-bit modexp time (paper's exp column)
+};
+
+struct Topology {
+  std::vector<HostSpec> hosts;
+  /// One-way latency in milliseconds between host i and host j
+  /// (RTT/2 of Figure 3); latency[i][i] is the loopback cost.
+  std::vector<std::vector<double>> latency_ms;
+  /// Relative jitter: each message's latency is multiplied by a factor
+  /// uniform in [1-jitter, 1+jitter] ("variation is quite large, often
+  /// 10% or more", §4).
+  double jitter = 0.10;
+
+  [[nodiscard]] int n() const { return static_cast<int>(hosts.size()); }
+};
+
+/// The LAN setup (§4): four hosts at the Zurich lab on 100 Mbit/s
+/// switched Ethernet; exp = {93, 70, 105, 132} ms.
+Topology lan_setup();
+
+/// The Internet setup (§4): Zurich / Tokyo / New York / California with
+/// the Figure 3 RTTs; exp = {93, 55, 101, 427} ms.
+Topology internet_setup();
+
+/// The combined 7-host LAN+Internet setup (Zurich P0 is in both).
+Topology combined_setup();
+
+/// A uniform synthetic topology for tests: n hosts, identical CPU speed
+/// and identical pairwise latency.
+Topology uniform_setup(int n, double exp_ms = 90.0, double latency_ms = 1.0,
+                       double jitter = 0.10);
+
+}  // namespace sintra::sim

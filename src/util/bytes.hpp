@@ -1,0 +1,34 @@
+// Byte-string utilities shared by every SINTRA subsystem.
+//
+// All protocol payloads, cryptographic values and wire messages are carried
+// as `Bytes` (a std::vector<uint8_t>); `BytesView` (std::span) is used for
+// non-owning parameters per the Core Guidelines (F.24).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sintra {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes from a UTF-8/ASCII string (no terminator included).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte string as text (for human-readable payloads in tests
+/// and examples; arbitrary bytes are copied verbatim).
+std::string to_string(BytesView b);
+
+/// Concatenates any number of byte strings.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Constant-time equality for secret-dependent comparisons (MAC tags,
+/// signature checks).  Returns false on length mismatch without leaking
+/// the position of the first difference.
+bool ct_equal(BytesView a, BytesView b) noexcept;
+
+}  // namespace sintra

@@ -1,0 +1,40 @@
+#include "util/hex.hpp"
+
+#include <stdexcept>
+
+namespace sintra {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("hex_decode: invalid hex character");
+}
+}  // namespace
+
+std::string hex_encode(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0)
+    throw std::invalid_argument("hex_decode: odd-length input");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) |
+                                            nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace sintra

@@ -1,0 +1,19 @@
+// Hex encoding/decoding, used for test vectors, logging and the dealer's
+// configuration files.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace sintra {
+
+/// Lower-case hex encoding of a byte string.
+std::string hex_encode(BytesView data);
+
+/// Decodes a hex string (case-insensitive).  Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes hex_decode(std::string_view hex);
+
+}  // namespace sintra

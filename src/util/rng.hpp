@@ -1,0 +1,48 @@
+// Deterministic random source.
+//
+// SINTRA's protocols are randomized, but every experiment in this
+// reproduction must be replayable, so all randomness flows through a
+// seedable generator.  We use xoshiro256** — tiny, fast, and good enough
+// for simulation schedules; cryptographic key generation additionally
+// mixes through SHA-256 in the crypto layer (see crypto/dealer).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/bytes.hpp"
+
+namespace sintra {
+
+class Rng {
+ public:
+  /// Seeds deterministically via splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x5157a11a2002dULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Fills `out` with random bytes.
+  void fill(Bytes& out);
+  Bytes bytes(std::size_t n);
+
+  bool coin() { return (next_u64() & 1) != 0; }
+
+  // UniformRandomBitGenerator interface so <algorithm>/<random> accept Rng.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sintra

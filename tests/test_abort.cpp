@@ -1,0 +1,128 @@
+// abort() semantics across the protocol stack (paper §3.2/3.3: "provides
+// a way to terminate a broadcast/agreement instance immediately.  The
+// local instance of the protocol is cleaned up, but the state of other
+// parties engaged in the protocol is unspecified").
+#include <gtest/gtest.h>
+
+#include "core/agreement/array_agreement.hpp"
+#include "core/agreement/binary_agreement.hpp"
+#include "core/broadcast/reliable_broadcast.hpp"
+#include "core/channel/atomic_channel.hpp"
+#include "sim_fixture.hpp"
+
+namespace sintra::core {
+namespace {
+
+using testing::Cluster;
+
+TEST(Abort, AbortedBroadcastStopsLocallyOthersFinish) {
+  Cluster c(4, 1, 0xab0);
+  auto ps = c.make_protocols<ReliableBroadcast>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<ReliableBroadcast>(env, disp, "ab.rbc", 0);
+      });
+  c.sim.at(0.0, 0, [&] { ps[0]->send(to_bytes("payload")); });
+  // Party 3 aborts its local instance immediately.
+  c.sim.at(0.1, 3, [&] { ps[3]->abort(); });
+  // The remaining three (n-t = 3 honest participants) still deliver.
+  ASSERT_TRUE(c.sim.run_until(
+      [&] {
+        for (int i = 0; i < 3; ++i) {
+          if (!ps[static_cast<std::size_t>(i)]->delivered()) return false;
+        }
+        return true;
+      },
+      8e6));
+  EXPECT_FALSE(ps[3]->delivered().has_value());
+}
+
+TEST(Abort, AbortedAgreementNeverDecides) {
+  Cluster c(4, 1, 0xab1);
+  auto ps = c.make_protocols<BinaryAgreement>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<BinaryAgreement>(env, disp, "ab.ba");
+      });
+  for (int i = 0; i < 4; ++i) {
+    c.sim.at(0.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(true); });
+  }
+  c.sim.at(0.5, 2, [&] { ps[2]->abort(); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] {
+        return ps[0]->decided() && ps[1]->decided() && ps[3]->decided();
+      },
+      8e6));
+  EXPECT_FALSE(ps[2]->decided().has_value());
+}
+
+TEST(Abort, AbortedMvbaStopsCleanly) {
+  Cluster c(4, 1, 0xab2);
+  auto ps = c.make_protocols<ArrayAgreement>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<ArrayAgreement>(env, disp, "ab.mvba",
+                                                [](BytesView) { return true; });
+      });
+  for (int i = 0; i < 4; ++i) {
+    c.sim.at(0.0, i, [&, i] {
+      ps[static_cast<std::size_t>(i)]->propose(to_bytes("v" + std::to_string(i)));
+    });
+  }
+  c.sim.at(0.5, 1, [&] { ps[1]->abort(); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] {
+        return ps[0]->decided() && ps[2]->decided() && ps[3]->decided();
+      },
+      8e6));
+  EXPECT_FALSE(ps[1]->decided().has_value());
+  // Agreement among the finishers.
+  EXPECT_EQ(*ps[0]->decided(), *ps[2]->decided());
+  EXPECT_EQ(*ps[0]->decided(), *ps[3]->decided());
+}
+
+TEST(Abort, AbortedChannelDropsLateTraffic) {
+  Cluster c(4, 1, 0xab3);
+  auto chans = c.make_protocols<AtomicChannel>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<AtomicChannel>(env, disp, "ab.ac");
+      });
+  c.sim.at(0.0, 0, [&] { chans[0]->send(to_bytes("first")); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return chans[3]->deliveries().size() >= 1; }, 8e6));
+  c.sim.at(c.sim.now_ms(), 3, [&] { chans[3]->abort(); });
+  // More traffic flows; the aborted party must not process it or crash.
+  c.sim.at(c.sim.now_ms() + 1, 0, [&] { chans[0]->send(to_bytes("second")); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] {
+        return chans[0]->deliveries().size() >= 2 &&
+               chans[1]->deliveries().size() >= 2 &&
+               chans[2]->deliveries().size() >= 2;
+      },
+      8e6));
+  EXPECT_EQ(chans[3]->deliveries().size(), 1u);
+  EXPECT_FALSE(chans[3]->can_send());
+}
+
+TEST(Abort, DoubleAbortIsIdempotent) {
+  Cluster c(4, 1, 0xab4);
+  auto ps = c.make_protocols<ReliableBroadcast>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<ReliableBroadcast>(env, disp, "ab.twice", 0);
+      });
+  ps[1]->abort();
+  ps[1]->abort();  // no throw, no double-unregister
+  SUCCEED();
+}
+
+TEST(Abort, PidReusableAfterAbort) {
+  // After aborting, the pid slot is free: a fresh instance under the same
+  // pid can be created (dispatcher re-registration works).
+  Cluster c(4, 1, 0xab5);
+  auto& env = c.sim.node(0);
+  auto& disp = c.sim.node(0).dispatcher();
+  auto first = std::make_unique<ReliableBroadcast>(env, disp, "ab.reuse", 0);
+  first->abort();
+  EXPECT_NO_THROW(
+      (void)std::make_unique<ReliableBroadcast>(env, disp, "ab.reuse", 0));
+}
+
+}  // namespace
+}  // namespace sintra::core

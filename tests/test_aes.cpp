@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.hpp"
+#include "util/hex.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+// FIPS 197 Appendix C.1 known-answer test.
+TEST(Aes128, Fips197Vector) {
+  const Bytes key = hex_decode("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  Aes128 aes(key);
+  std::uint8_t block[16];
+  std::copy(pt.begin(), pt.end(), block);
+  aes.encrypt_block(block);
+  EXPECT_EQ(hex_encode(Bytes(block, block + 16)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// NIST SP 800-38A F.5.1 CTR-AES128 test vectors.
+TEST(Aes128, Sp80038aCtr) {
+  const Bytes key = hex_decode("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes ctr = hex_decode("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = hex_decode(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes expected = hex_decode(
+      "874d6191b620e3261bef6864990db6ce"
+      "9806f66b7970fdff8617187bb9fffdff"
+      "5ae4df3edbd5d35e5b4f09020db03eab"
+      "1e031dda2fbe03d1792170a0f3009cee");
+  Aes128 aes(key);
+  EXPECT_EQ(aes.ctr_crypt(ctr, pt), expected);
+}
+
+TEST(Aes128, CtrRoundTrip) {
+  const Bytes key = hex_decode("00112233445566778899aabbccddeeff");
+  const Bytes nonce(16, 0x42);
+  Aes128 aes(key);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 4096u}) {
+    Bytes msg(len);
+    for (std::size_t i = 0; i < len; ++i)
+      msg[i] = static_cast<std::uint8_t>(i * 7);
+    EXPECT_EQ(aes.ctr_crypt(nonce, aes.ctr_crypt(nonce, msg)), msg)
+        << "len=" << len;
+  }
+}
+
+TEST(Aes128, CtrCounterCarriesAcrossBytes) {
+  // A nonce of all-0xff forces the counter increment to carry through
+  // every byte after the first block.
+  const Bytes key = hex_decode("000102030405060708090a0b0c0d0e0f");
+  const Bytes nonce(16, 0xff);
+  Aes128 aes(key);
+  const Bytes msg(48, 0x00);
+  const Bytes ct = aes.ctr_crypt(nonce, msg);
+  // Decryption must invert even across the wraparound.
+  EXPECT_EQ(aes.ctr_crypt(nonce, ct), msg);
+  // Keystream blocks must differ (counter must actually change).
+  EXPECT_NE(Bytes(ct.begin(), ct.begin() + 16),
+            Bytes(ct.begin() + 16, ct.begin() + 32));
+}
+
+TEST(Aes128, DifferentKeysProduceDifferentStreams) {
+  const Bytes nonce(16, 0);
+  const Bytes msg(32, 0);
+  const Bytes a = Aes128(hex_decode("00000000000000000000000000000000"))
+                      .ctr_crypt(nonce, msg);
+  const Bytes b = Aes128(hex_decode("00000000000000000000000000000001"))
+                      .ctr_crypt(nonce, msg);
+  EXPECT_NE(a, b);
+}
+
+TEST(Aes128, RejectsBadSizes) {
+  EXPECT_THROW(Aes128(Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes128(Bytes(17, 0)), std::invalid_argument);
+  Aes128 aes(Bytes(16, 0));
+  EXPECT_THROW((void)aes.ctr_crypt(Bytes(8, 0), Bytes(4, 0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sintra::crypto

@@ -1,0 +1,306 @@
+#include "core/agreement/binary_agreement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/agreement/validated_agreement.hpp"
+#include "sim_fixture.hpp"
+
+namespace sintra::core {
+namespace {
+
+using testing::Cluster;
+
+std::vector<std::unique_ptr<BinaryAgreement>> make_ba(Cluster& c,
+                                                      const std::string& pid) {
+  return c.make_protocols<BinaryAgreement>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<BinaryAgreement>(env, disp, pid);
+      });
+}
+
+template <typename P>
+bool all_decided(const std::vector<std::unique_ptr<P>>& ps,
+                 const std::set<int>& skip = {}) {
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (skip.contains(static_cast<int>(i))) continue;
+    if (!ps[i]->decided().has_value()) return false;
+  }
+  return true;
+}
+
+template <typename P>
+std::set<bool> decision_values(const std::vector<std::unique_ptr<P>>& ps,
+                               const std::set<int>& skip = {}) {
+  std::set<bool> out;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (skip.contains(static_cast<int>(i))) continue;
+    if (ps[i]->decided().has_value()) out.insert(*ps[i]->decided());
+  }
+  return out;
+}
+
+TEST(BinaryAgreement, UnanimousProposalDecidesThatValue) {
+  for (bool value : {false, true}) {
+    Cluster c(4, 1, value ? 11 : 12);
+    auto ps = make_ba(c, value ? "ba.u1" : "ba.u0");
+    for (int i = 0; i < 4; ++i) {
+      c.sim.at(0.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(value); });
+    }
+    ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 60000));
+    EXPECT_EQ(decision_values(ps), std::set<bool>{value});
+  }
+}
+
+TEST(BinaryAgreement, MixedProposalsAgreeOnProposedValue) {
+  // 2 parties propose 1, 2 propose 0: must agree, and on a proposed value
+  // (both are proposed here, so just agreement + termination).
+  Cluster c(4, 1, 21);
+  auto ps = make_ba(c, "ba.mixed");
+  for (int i = 0; i < 4; ++i) {
+    c.sim.at(0.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(i % 2 == 0); });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 120000));
+  EXPECT_EQ(decision_values(ps).size(), 1u);
+}
+
+TEST(BinaryAgreement, MixedProposalsManySeeds) {
+  // Randomized protocol: exercise several schedules; agreement must hold
+  // in every one.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Cluster c(4, 1, seed, /*latency=*/2.0, /*jitter=*/0.45);
+    auto ps = make_ba(c, "ba.seed" + std::to_string(seed));
+    for (int i = 0; i < 4; ++i) {
+      c.sim.at(static_cast<double>(i), i,
+               [&, i] { ps[static_cast<std::size_t>(i)]->propose(i < 2); });
+    }
+    ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 120000))
+        << "seed " << seed;
+    EXPECT_EQ(decision_values(ps).size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(BinaryAgreement, ValidityUnderUnanimity) {
+  // If all honest parties propose 0, the decision must be 0 even with a
+  // crashed party (t = 1).
+  Cluster c(4, 1, 31);
+  auto ps = make_ba(c, "ba.validity");
+  c.sim.node(3).crash();
+  for (int i = 0; i < 3; ++i) {
+    c.sim.at(0.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(false); });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps, {3}); }, 120000));
+  EXPECT_EQ(decision_values(ps, {3}), std::set<bool>{false});
+}
+
+TEST(BinaryAgreement, ToleratesCrashWithMixedProposals) {
+  Cluster c(4, 1, 41);
+  auto ps = make_ba(c, "ba.crash");
+  c.sim.node(2).crash();
+  c.sim.at(0.0, 0, [&] { ps[0]->propose(true); });
+  c.sim.at(0.0, 1, [&] { ps[1]->propose(false); });
+  c.sim.at(0.0, 3, [&] { ps[3]->propose(true); });
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps, {2}); }, 240000));
+  EXPECT_EQ(decision_values(ps, {2}).size(), 1u);
+}
+
+TEST(BinaryAgreement, AgreementUnderByzantineGarbage) {
+  // A corrupted party floods every message type with garbage; honest
+  // parties must still agree on a proposed value.
+  Cluster c(4, 1, 51);
+  auto ps = make_ba(c, "ba.garbage");
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(3);
+  for (int burst = 0; burst < 3; ++burst) {
+    for (std::uint8_t tag = 0; tag <= 5; ++tag) {
+      Writer w;
+      w.u8(tag);
+      w.u32(1);
+      w.raw(Bytes(17, static_cast<std::uint8_t>(tag * 7 + burst)));
+      adv.send_as_all(3, ps[0]->pid(), w.data(), burst * 5.0);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    c.sim.at(1.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(i == 0); });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps, {3}); }, 240000));
+  EXPECT_EQ(decision_values(ps, {3}).size(), 1u);
+}
+
+TEST(BinaryAgreement, ForgedDecideRejected) {
+  // A corrupted party sends DECIDE with a bogus threshold signature;
+  // honest parties must not adopt it.
+  Cluster c(4, 1, 61);
+  auto ps = make_ba(c, "ba.forgedecide");
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(1);
+  Writer w;
+  w.u8(4);  // kDecide
+  w.u32(1);
+  w.u8(1);
+  w.bytes(Bytes{});
+  w.bytes(Bytes(64, 0x5a));
+  adv.send_as_all(1, ps[0]->pid(), w.data(), 0.0);
+  c.sim.run(2000);
+  for (int i : {0, 2, 3}) {
+    EXPECT_FALSE(ps[static_cast<std::size_t>(i)]->decided().has_value()) << i;
+  }
+  // And the protocol still completes afterwards.
+  for (int i : {0, 2, 3}) {
+    c.sim.at(c.sim.now_ms(), i,
+             [&, i] { ps[static_cast<std::size_t>(i)]->propose(true); });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps, {1}); }, 240000));
+  EXPECT_EQ(decision_values(ps, {1}), std::set<bool>{true});
+}
+
+TEST(BinaryAgreement, DecideCallbackFires) {
+  Cluster c(4, 1, 71);
+  auto ps = make_ba(c, "ba.cb");
+  int fired = 0;
+  std::optional<bool> got;
+  ps[2]->set_decide_callback([&](bool b) {
+    ++fired;
+    got = b;
+  });
+  for (int i = 0; i < 4; ++i) {
+    c.sim.at(0.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(true); });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 60000));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(got, true);
+}
+
+TEST(BinaryAgreement, LargerGroupMixed) {
+  Cluster c(7, 2, 81);
+  auto ps = make_ba(c, "ba.n7");
+  for (int i = 0; i < 7; ++i) {
+    c.sim.at(0.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(i % 3 == 0); });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 240000));
+  EXPECT_EQ(decision_values(ps).size(), 1u);
+}
+
+TEST(BinaryAgreement, WorksWithShoupThresholdSignatures) {
+  Cluster c(4, 1, 91, 2.0, 0.25, crypto::SigImpl::kThresholdRsa);
+  auto ps = make_ba(c, "ba.shoup");
+  for (int i = 0; i < 4; ++i) {
+    c.sim.at(0.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(i % 2 == 0); });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 600000));
+  EXPECT_EQ(decision_values(ps).size(), 1u);
+}
+
+// --- Validated agreement ---
+
+BinaryValidator even_proof_validator() {
+  // A toy external-validity predicate: a proof for value b is a nonempty
+  // byte string whose first byte has parity b.
+  return [](bool value, BytesView proof) {
+    return !proof.empty() && (proof[0] % 2 == (value ? 1 : 0));
+  };
+}
+
+TEST(ValidatedAgreement, DecisionCarriesValidProof) {
+  Cluster c(4, 1, 101);
+  auto ps = c.make_protocols<ValidatedAgreement>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<ValidatedAgreement>(env, disp, "vba.proof",
+                                                    even_proof_validator());
+      });
+  const Bytes proof1{1, 0xaa};
+  const Bytes proof0{2, 0xbb};
+  for (int i = 0; i < 4; ++i) {
+    c.sim.at(0.0, i, [&, i] {
+      const bool v = i < 2;
+      ps[static_cast<std::size_t>(i)]->propose(v, v ? proof1 : proof0);
+    });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 240000));
+  const bool decided = *ps[0]->decided();
+  for (const auto& p : ps) {
+    EXPECT_EQ(*p->decided(), decided);
+    EXPECT_TRUE(even_proof_validator()(decided, p->proof()));
+  }
+}
+
+TEST(ValidatedAgreement, ProposeRejectsInvalidProof) {
+  Cluster c(4, 1, 111);
+  auto ps = c.make_protocols<ValidatedAgreement>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<ValidatedAgreement>(env, disp, "vba.badproof",
+                                                    even_proof_validator());
+      });
+  EXPECT_THROW(ps[0]->propose(true, Bytes{2}), std::invalid_argument);
+  EXPECT_THROW(ps[0]->propose(false, Bytes{}), std::invalid_argument);
+}
+
+TEST(ValidatedAgreement, BiasedDecidesPreferredValueOnDetection) {
+  // Bias 1; one honest party proposes 1 (with proof) *early*, the rest
+  // propose 0 much later, so every party's first n−t pre-votes contain
+  // the 1 — the detection event.  With detection guaranteed, the paper's
+  // bias guarantee applies: the protocol must decide 1 in every schedule.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Cluster c(4, 1, seed * 7);
+    auto ps = c.make_protocols<ValidatedAgreement>(
+        [&](Environment& env, Dispatcher& disp, int) {
+          return std::make_unique<ValidatedAgreement>(
+              env, disp, "vba.bias" + std::to_string(seed),
+              even_proof_validator(), /*bias=*/true);
+        });
+    const Bytes proof1{3};
+    const Bytes proof0{4};
+    c.sim.at(0.0, 0, [&] { ps[0]->propose(true, proof1); });
+    for (int i = 1; i < 4; ++i) {
+      c.sim.at(100.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(false, proof0); });
+    }
+    ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 240000));
+    EXPECT_EQ(decision_values(ps), std::set<bool>{true}) << "seed " << seed;
+  }
+}
+
+TEST(ValidatedAgreement, BiasedMixedProposalsAlwaysAgree) {
+  // Without guaranteed detection the decision value may be either, but
+  // agreement and external validity must always hold.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Cluster c(4, 1, seed * 13);
+    auto ps = c.make_protocols<ValidatedAgreement>(
+        [&](Environment& env, Dispatcher& disp, int) {
+          return std::make_unique<ValidatedAgreement>(
+              env, disp, "vba.biasmix" + std::to_string(seed),
+              even_proof_validator(), /*bias=*/true);
+        });
+    const Bytes proof1{3};
+    const Bytes proof0{4};
+    for (int i = 0; i < 4; ++i) {
+      const bool v = i == 0;
+      c.sim.at(0.0, i, [&, i, v] {
+        ps[static_cast<std::size_t>(i)]->propose(v, v ? proof1 : proof0);
+      });
+    }
+    ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 240000));
+    ASSERT_EQ(decision_values(ps).size(), 1u) << "seed " << seed;
+    for (const auto& p : ps) {
+      EXPECT_TRUE(even_proof_validator()(*p->decided(), p->proof()));
+    }
+  }
+}
+
+TEST(ValidatedAgreement, UnanimousZeroStaysZeroDespiteBias) {
+  // Bias must never override validity: all honest propose 0 => decide 0.
+  Cluster c(4, 1, 131);
+  auto ps = c.make_protocols<ValidatedAgreement>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<ValidatedAgreement>(env, disp, "vba.allzero",
+                                                    even_proof_validator(),
+                                                    /*bias=*/true);
+      });
+  const Bytes proof0{6};
+  for (int i = 0; i < 4; ++i) {
+    c.sim.at(0.0, i, [&, i] { ps[static_cast<std::size_t>(i)]->propose(false, proof0); });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_decided(ps); }, 240000));
+  EXPECT_EQ(decision_values(ps), std::set<bool>{false});
+}
+
+}  // namespace
+}  // namespace sintra::core

@@ -1,0 +1,105 @@
+#include "facade/blocking_primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hpp"
+
+namespace sintra::facade {
+namespace {
+
+using namespace std::chrono_literals;
+
+crypto::Deal deal4() { return testing::cached_deal(4, 1); }
+
+TEST(BlockingBroadcast, ReliableRoundTrip) {
+  const auto deal = deal4();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingReliableBroadcast>> bs;
+  for (int i = 0; i < 4; ++i) {
+    bs.push_back(std::make_unique<BlockingReliableBroadcast>(
+        group, i, "fb.rbc", /*sender=*/2));
+  }
+  EXPECT_FALSE(bs[0]->can_receive());
+  bs[2]->send(to_bytes("reliable payload"));
+  for (auto& b : bs) {
+    auto payload = b->receive_for(30s);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(to_string(*payload), "reliable payload");
+  }
+  EXPECT_TRUE(bs[0]->can_receive());
+}
+
+TEST(BlockingBroadcast, ConsistentRoundTrip) {
+  const auto deal = deal4();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingConsistentBroadcast>> bs;
+  for (int i = 0; i < 4; ++i) {
+    bs.push_back(std::make_unique<BlockingConsistentBroadcast>(
+        group, i, "fb.cb", /*sender=*/0));
+  }
+  bs[0]->send(to_bytes("echo payload"));
+  for (auto& b : bs) {
+    auto payload = b->receive_for(30s);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(to_string(*payload), "echo payload");
+  }
+}
+
+TEST(BlockingAgreement, NegotiateUnanimous) {
+  const auto deal = deal4();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingBinaryAgreement>> as;
+  for (int i = 0; i < 4; ++i) {
+    as.push_back(
+        std::make_unique<BlockingBinaryAgreement>(group, i, "fb.ba"));
+  }
+  // negotiate() from several threads at once (it blocks per caller).
+  std::vector<std::thread> threads;
+  std::vector<int> results(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      results[static_cast<std::size_t>(i)] =
+          as[static_cast<std::size_t>(i)]->negotiate(true) ? 1 : 0;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int r : results) EXPECT_EQ(r, 1);
+  EXPECT_TRUE(as[0]->can_decide());
+}
+
+TEST(BlockingAgreement, MixedProposalsAgree) {
+  const auto deal = deal4();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingBinaryAgreement>> as;
+  for (int i = 0; i < 4; ++i) {
+    as.push_back(
+        std::make_unique<BlockingBinaryAgreement>(group, i, "fb.bamix"));
+  }
+  for (int i = 0; i < 4; ++i) as[static_cast<std::size_t>(i)]->propose(i % 2 == 0);
+  const bool v0 = as[0]->decide();
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(as[static_cast<std::size_t>(i)]->decide(), v0);
+  }
+}
+
+TEST(BlockingArrayAgreement, NegotiateValues) {
+  const auto deal = deal4();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingArrayAgreement>> as;
+  for (int i = 0; i < 4; ++i) {
+    as.push_back(std::make_unique<BlockingArrayAgreement>(
+        group, i, "fb.mvba", [](BytesView) { return true; }));
+  }
+  for (int i = 0; i < 4; ++i) {
+    as[static_cast<std::size_t>(i)]->propose(
+        to_bytes("value-" + std::to_string(i)));
+  }
+  const Bytes v0 = as[0]->decide();
+  EXPECT_EQ(to_string(v0).rfind("value-", 0), 0u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(as[static_cast<std::size_t>(i)]->decide(), v0);
+  }
+}
+
+}  // namespace
+}  // namespace sintra::facade

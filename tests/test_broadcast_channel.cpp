@@ -1,0 +1,174 @@
+#include "core/channel/broadcast_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hpp"
+
+namespace sintra::core {
+namespace {
+
+using testing::Cluster;
+
+template <typename C>
+std::vector<std::unique_ptr<C>> make_channels(Cluster& c,
+                                              const std::string& pid) {
+  return c.make_protocols<C>([&](Environment& env, Dispatcher& disp, int) {
+    return std::make_unique<C>(env, disp, pid);
+  });
+}
+
+template <typename C>
+std::multiset<std::string> delivered_set(const C& ch) {
+  std::multiset<std::string> out;
+  for (const auto& d : ch.deliveries()) out.insert(to_string(d.payload));
+  return out;
+}
+
+template <typename C>
+bool all_have(const std::vector<std::unique_ptr<C>>& cs, std::size_t count,
+              const std::set<int>& skip = {}) {
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (skip.contains(static_cast<int>(i))) continue;
+    if (cs[i]->deliveries().size() < count) return false;
+  }
+  return true;
+}
+
+using ChannelTypes = ::testing::Types<ReliableChannel, ConsistentChannel>;
+
+template <typename C>
+class BroadcastChannelTest : public ::testing::Test {};
+TYPED_TEST_SUITE(BroadcastChannelTest, ChannelTypes);
+
+TYPED_TEST(BroadcastChannelTest, MultiplexesManyMessagesPerSender) {
+  Cluster c(4, 1, 1);
+  auto chans = make_channels<TypeParam>(c, "bc.multi");
+  for (int s = 0; s < 3; ++s) {
+    for (int m = 0; m < 3; ++m) {
+      c.sim.at(m * 1.0, s, [&, s, m] {
+        chans[static_cast<std::size_t>(s)]->send(
+            to_bytes("s" + std::to_string(s) + "m" + std::to_string(m)));
+      });
+    }
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_have(chans, 9); }, 4e6));
+  const auto expected = delivered_set(*chans[0]);
+  EXPECT_EQ(expected.size(), 9u);
+  for (const auto& ch : chans) EXPECT_EQ(delivered_set(*ch), expected);
+}
+
+TYPED_TEST(BroadcastChannelTest, PerSenderFifo) {
+  // Instances are sequenced per sender, so one sender's messages arrive
+  // in send order even though the channel itself guarantees no ordering.
+  Cluster c(4, 1, 2);
+  auto chans = make_channels<TypeParam>(c, "bc.fifo");
+  for (int m = 0; m < 5; ++m) {
+    c.sim.at(m * 0.5, 0, [&, m] {
+      chans[0]->send(to_bytes("f" + std::to_string(m)));
+    });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_have(chans, 5); }, 4e6));
+  for (const auto& ch : chans) {
+    std::uint64_t expected_seq = 0;
+    for (const auto& d : ch->deliveries()) {
+      EXPECT_EQ(d.sender, 0);
+      EXPECT_EQ(d.seq, expected_seq++);
+    }
+  }
+}
+
+TYPED_TEST(BroadcastChannelTest, ReceiveApiDrains) {
+  Cluster c(4, 1, 3);
+  auto chans = make_channels<TypeParam>(c, "bc.drain");
+  c.sim.at(0.0, 1, [&] { chans[1]->send(to_bytes("one")); });
+  ASSERT_TRUE(c.sim.run_until([&] { return all_have(chans, 1); }, 4e6));
+  EXPECT_TRUE(chans[0]->can_receive());
+  EXPECT_EQ(to_string(*chans[0]->receive()), "one");
+  EXPECT_FALSE(chans[0]->can_receive());
+}
+
+TYPED_TEST(BroadcastChannelTest, CloseNeedsQuorum) {
+  Cluster c(4, 1, 4);
+  auto chans = make_channels<TypeParam>(c, "bc.close");
+  c.sim.at(0.0, 0, [&] { chans[0]->close(); });
+  c.sim.run(200000);
+  for (const auto& ch : chans) EXPECT_FALSE(ch->is_closed());
+  c.sim.at(c.sim.now_ms(), 2, [&] { chans[2]->close(); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] {
+        return std::all_of(chans.begin(), chans.end(),
+                           [](const auto& ch) { return ch->is_closed(); });
+      },
+      4e6));
+  EXPECT_THROW(chans[1]->send(to_bytes("late")), std::logic_error);
+}
+
+TYPED_TEST(BroadcastChannelTest, ToleratesCrashedParty) {
+  Cluster c(4, 1, 5);
+  auto chans = make_channels<TypeParam>(c, "bc.crash");
+  c.sim.node(3).crash();
+  for (int m = 0; m < 3; ++m) {
+    c.sim.at(m * 1.0, 0, [&, m] {
+      chans[0]->send(to_bytes("c" + std::to_string(m)));
+    });
+  }
+  ASSERT_TRUE(c.sim.run_until([&] { return all_have(chans, 3, {3}); }, 4e6));
+  EXPECT_EQ(delivered_set(*chans[1]), delivered_set(*chans[2]));
+}
+
+TEST(ReliableChannelTest, AgreementPerMessage) {
+  // Reliable channel inherits reliable broadcast's agreement: honest
+  // parties deliver identical multisets even with an equivocating sender.
+  Cluster c(4, 1, 6);
+  auto chans = make_channels<ReliableChannel>(c, "rc.agree");
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(0);
+  // Forge the corrupted sender's first instance: payload A to 1, B to 2/3.
+  Writer wa;
+  wa.u8(0);  // RBC kSend
+  wa.u8(0);  // channel data marker inside the broadcast payload
+  wa.raw(to_bytes("AAA"));
+  Writer wb;
+  wb.u8(0);
+  wb.u8(0);
+  wb.raw(to_bytes("BBB"));
+  const std::string inst_pid = "rc.agree.q0.0";
+  adv.send_as(0, 1, inst_pid, wa.data(), 0.0);
+  adv.send_as(0, 2, inst_pid, wb.data(), 0.0);
+  adv.send_as(0, 3, inst_pid, wb.data(), 0.0);
+  c.sim.run(400000);
+  EXPECT_EQ(delivered_set(*chans[1]), delivered_set(*chans[2]));
+  EXPECT_EQ(delivered_set(*chans[2]), delivered_set(*chans[3]));
+}
+
+TEST(ConsistentChannelTest, NoTwoHonestDeliverDifferentForSameSeq) {
+  Cluster c(4, 1, 7);
+  auto chans = make_channels<ConsistentChannel>(c, "cc.consist");
+  c.sim.at(0.0, 2, [&] { chans[2]->send(to_bytes("v")); });
+  ASSERT_TRUE(c.sim.run_until([&] { return all_have(chans, 1); }, 4e6));
+  for (const auto& ch : chans) {
+    EXPECT_EQ(ch->deliveries()[0].sender, 2);
+    EXPECT_EQ(to_string(ch->deliveries()[0].payload), "v");
+  }
+}
+
+TEST(ChannelComparison, ReliableVsConsistentBothDeliver) {
+  // Table 1's cheap channels: both deliver the same workload; reliable
+  // needs no signatures (more messages), consistent needs signatures
+  // (fewer messages) — here we just pin the functional equivalence.
+  Cluster c(4, 1, 8);
+  auto rc = make_channels<ReliableChannel>(c, "cmp.rc");
+  auto cc = make_channels<ConsistentChannel>(c, "cmp.cc");
+  for (int m = 0; m < 3; ++m) {
+    c.sim.at(m * 1.0, 0, [&, m] {
+      rc[0]->send(to_bytes("m" + std::to_string(m)));
+      cc[0]->send(to_bytes("m" + std::to_string(m)));
+    });
+  }
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_have(rc, 3) && all_have(cc, 3); }, 4e6));
+  EXPECT_EQ(delivered_set(*rc[1]), delivered_set(*cc[1]));
+}
+
+}  // namespace
+}  // namespace sintra::core

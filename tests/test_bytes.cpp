@@ -1,0 +1,45 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sintra {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  const std::string s = "hello SINTRA";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, EmptyString) {
+  EXPECT_TRUE(to_bytes("").empty());
+  EXPECT_EQ(to_string(Bytes{}), "");
+}
+
+TEST(Bytes, ConcatJoinsInOrder) {
+  const Bytes a = to_bytes("ab");
+  const Bytes b = to_bytes("cd");
+  const Bytes c = to_bytes("e");
+  EXPECT_EQ(to_string(concat({a, b, c})), "abcde");
+}
+
+TEST(Bytes, ConcatEmptyParts) {
+  EXPECT_TRUE(concat({}).empty());
+  EXPECT_EQ(to_string(concat({Bytes{}, to_bytes("x"), Bytes{}})), "x");
+}
+
+TEST(Bytes, CtEqualMatches) {
+  EXPECT_TRUE(ct_equal(to_bytes("same"), to_bytes("same")));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, CtEqualRejectsDifferentContent) {
+  EXPECT_FALSE(ct_equal(to_bytes("aaaa"), to_bytes("aaab")));
+  EXPECT_FALSE(ct_equal(to_bytes("baaa"), to_bytes("aaaa")));
+}
+
+TEST(Bytes, CtEqualRejectsDifferentLength) {
+  EXPECT_FALSE(ct_equal(to_bytes("aa"), to_bytes("aaa")));
+}
+
+}  // namespace
+}  // namespace sintra

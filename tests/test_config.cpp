@@ -1,0 +1,134 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sintra::core {
+namespace {
+
+constexpr const char* kGoodConfig = R"(
+# SINTRA test group
+n = 4
+t = 1
+rsa_bits = 1024
+dl_p_bits = 1024
+dl_q_bits = 160
+hash = sha1
+signatures = multi
+seed = 42
+party.0 = zurich.example.com:7001   # P0
+party.1 = tokyo.example.com:7001
+party.2 = newyork.example.com:7001
+party.3 = california.example.com:7001
+)";
+
+TEST(GroupConfig, ParsesFullConfig) {
+  const GroupConfig cfg = GroupConfig::parse(kGoodConfig);
+  EXPECT_EQ(cfg.dealer.n, 4);
+  EXPECT_EQ(cfg.dealer.t, 1);
+  EXPECT_EQ(cfg.dealer.rsa_bits, 1024);
+  EXPECT_EQ(cfg.dealer.dl_p_bits, 1024);
+  EXPECT_EQ(cfg.dealer.dl_q_bits, 160);
+  EXPECT_EQ(cfg.dealer.hash, crypto::HashKind::kSha1);
+  EXPECT_EQ(cfg.dealer.sig_impl, crypto::SigImpl::kMultiSig);
+  EXPECT_EQ(cfg.dealer.seed, 42u);
+  ASSERT_EQ(cfg.parties.size(), 4u);
+  EXPECT_EQ(cfg.parties[0], (Endpoint{"zurich.example.com", 7001}));
+  EXPECT_EQ(cfg.parties[3], (Endpoint{"california.example.com", 7001}));
+}
+
+TEST(GroupConfig, RoundTripsThroughText) {
+  const GroupConfig cfg = GroupConfig::parse(kGoodConfig);
+  const GroupConfig again = GroupConfig::parse(cfg.to_text());
+  EXPECT_EQ(again.dealer.n, cfg.dealer.n);
+  EXPECT_EQ(again.dealer.hash, cfg.dealer.hash);
+  EXPECT_EQ(again.parties, cfg.parties);
+}
+
+TEST(GroupConfig, DefaultsApplyForOptionalKeys) {
+  const GroupConfig cfg = GroupConfig::parse(
+      "n = 4\nt = 1\n"
+      "party.0 = a:1\nparty.1 = b:2\nparty.2 = c:3\nparty.3 = d:4\n");
+  EXPECT_EQ(cfg.dealer.rsa_bits, crypto::DealerConfig{}.rsa_bits);
+  EXPECT_EQ(cfg.dealer.sig_impl, crypto::SigImpl::kMultiSig);
+}
+
+TEST(GroupConfig, ThresholdRsaAndSha256Options) {
+  const GroupConfig cfg = GroupConfig::parse(
+      "n = 4\nt = 1\nhash = sha256\nsignatures = threshold-rsa\n"
+      "party.0 = a:1\nparty.1 = b:2\nparty.2 = c:3\nparty.3 = d:4\n");
+  EXPECT_EQ(cfg.dealer.hash, crypto::HashKind::kSha256);
+  EXPECT_EQ(cfg.dealer.sig_impl, crypto::SigImpl::kThresholdRsa);
+}
+
+TEST(GroupConfig, IPv6StyleHostUsesLastColon) {
+  const GroupConfig cfg = GroupConfig::parse(
+      "n = 4\nt = 1\n"
+      "party.0 = ::1:7001\nparty.1 = b:2\nparty.2 = c:3\nparty.3 = d:4\n");
+  EXPECT_EQ(cfg.parties[0], (Endpoint{"::1", 7001}));
+}
+
+TEST(GroupConfig, RejectsBadInputs) {
+  // Missing n/t.
+  EXPECT_THROW((void)GroupConfig::parse("party.0 = a:1\n"),
+               std::invalid_argument);
+  // n <= 3t.
+  EXPECT_THROW((void)GroupConfig::parse(
+                   "n = 3\nt = 1\nparty.0=a:1\nparty.1=b:2\nparty.2=c:3\n"),
+               std::invalid_argument);
+  // Wrong endpoint count.
+  EXPECT_THROW((void)GroupConfig::parse("n = 4\nt = 1\nparty.0 = a:1\n"),
+               std::invalid_argument);
+  // Missing index 2.
+  EXPECT_THROW((void)GroupConfig::parse(
+                   "n = 4\nt = 1\nparty.0=a:1\nparty.1=b:2\nparty.4=e:5\n"
+                   "party.3=d:4\n"),
+               std::invalid_argument);
+  // Duplicate party.
+  EXPECT_THROW((void)GroupConfig::parse(
+                   "n = 4\nt = 1\nparty.0=a:1\nparty.0=b:2\nparty.2=c:3\n"
+                   "party.3=d:4\n"),
+               std::invalid_argument);
+  // Unknown key.
+  EXPECT_THROW((void)GroupConfig::parse("n = 4\nt = 1\nbogus = 1\n"),
+               std::invalid_argument);
+  // Malformed endpoint.
+  EXPECT_THROW((void)GroupConfig::parse(
+                   "n = 4\nt = 1\nparty.0 = nocolon\nparty.1=b:2\n"
+                   "party.2=c:3\nparty.3=d:4\n"),
+               std::invalid_argument);
+  // Port out of range.
+  EXPECT_THROW((void)GroupConfig::parse(
+                   "n = 4\nt = 1\nparty.0 = a:99999\nparty.1=b:2\n"
+                   "party.2=c:3\nparty.3=d:4\n"),
+               std::invalid_argument);
+  // Bad hash value.
+  EXPECT_THROW((void)GroupConfig::parse(
+                   "n = 4\nt = 1\nhash = md5\nparty.0=a:1\nparty.1=b:2\n"
+                   "party.2=c:3\nparty.3=d:4\n"),
+               std::invalid_argument);
+  // Garbage line.
+  EXPECT_THROW((void)GroupConfig::parse("n = 4\nt = 1\njust some words\n"),
+               std::invalid_argument);
+}
+
+TEST(GroupConfig, ErrorsCarryLineNumbers) {
+  try {
+    (void)GroupConfig::parse("n = 4\nt = 1\nbogus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GroupConfig, ConfigDrivesDealer) {
+  // End-to-end: parse a config, run the dealer from it.
+  const GroupConfig cfg = GroupConfig::parse(
+      "n = 4\nt = 1\nrsa_bits = 512\ndl_p_bits = 256\ndl_q_bits = 96\n"
+      "party.0=a:1\nparty.1=b:2\nparty.2=c:3\nparty.3=d:4\n");
+  const crypto::Deal deal = crypto::run_dealer(cfg.dealer);
+  EXPECT_EQ(deal.parties.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sintra::core

@@ -1,0 +1,204 @@
+#include "core/broadcast/consistent_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hpp"
+
+namespace sintra::core {
+namespace {
+
+using testing::Cluster;
+
+std::vector<std::unique_ptr<VerifiableConsistentBroadcast>> make_cb(
+    Cluster& c, int sender, const std::string& basepid = "cb") {
+  return c.make_protocols<VerifiableConsistentBroadcast>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<VerifiableConsistentBroadcast>(env, disp,
+                                                               basepid, sender);
+      });
+}
+
+template <typename P>
+bool all_delivered(const std::vector<std::unique_ptr<P>>& ps,
+                   const Bytes& expect, const std::set<int>& skip = {}) {
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (skip.contains(static_cast<int>(i))) continue;
+    if (!ps[i]->delivered() || *ps[i]->delivered() != expect) return false;
+  }
+  return true;
+}
+
+TEST(ConsistentBroadcast, AllHonestDeliver) {
+  Cluster c;
+  auto ps = make_cb(c, 0);
+  const Bytes payload = to_bytes("echo broadcast payload");
+  c.sim.at(0.0, 0, [&] { ps[0]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload); }, 30000));
+}
+
+TEST(ConsistentBroadcast, WorksWithThresholdRsaSignatures) {
+  // Same protocol, proper Shoup threshold signatures instead of
+  // multi-signatures (paper §2.1 drop-in).
+  Cluster c(4, 1, 1, 2.0, 0.25, crypto::SigImpl::kThresholdRsa);
+  auto ps = make_cb(c, 2);
+  const Bytes payload = to_bytes("threshold-RSA run");
+  c.sim.at(0.0, 2, [&] { ps[2]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload); }, 60000));
+}
+
+TEST(ConsistentBroadcast, ToleratesCrashedReceiver) {
+  Cluster c;
+  auto ps = make_cb(c, 0);
+  c.sim.node(2).crash();
+  const Bytes payload = to_bytes("crash-tolerant");
+  c.sim.at(0.0, 0, [&] { ps[0]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload, {2}); }, 30000));
+}
+
+TEST(ConsistentBroadcast, NonSenderCannotSend) {
+  Cluster c;
+  auto ps = make_cb(c, 0);
+  EXPECT_THROW(ps[2]->send(to_bytes("x")), std::logic_error);
+}
+
+TEST(ConsistentBroadcast, ConsistencyUnderEquivocatingSender) {
+  // The Byzantine sender runs the protocol twice in parallel with two
+  // payloads, hoping different honest parties deliver different values.
+  // Because each honest party signs at most one echo share, at most one
+  // payload can gather the ceil((n+t+1)/2)=3 quorum.
+  Cluster c;
+  auto ps = make_cb(c, 0);
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(0);
+  const std::string pid = ps[1]->pid();
+  Writer wa;
+  wa.u8(0);
+  wa.raw(to_bytes("A"));
+  Writer wb;
+  wb.u8(0);
+  wb.raw(to_bytes("B"));
+  // Send A to 1, B to 2 and 3.
+  adv.send_as(0, 1, pid, wa.data(), 0.0);
+  adv.send_as(0, 2, pid, wb.data(), 0.0);
+  adv.send_as(0, 3, pid, wb.data(), 0.0);
+  c.sim.run(5000);
+
+  // The adversary now holds at most: 1 share for A, 2 shares for B, plus
+  // its own share for each => max 2 for A, 3 for B. It could therefore
+  // close B but not A. Whatever it does, honest deliveries must agree.
+  const crypto::PartyKeys& k0 = adv.keys_of(0);
+  const Bytes stA = [] {
+    return Bytes{};
+  }();
+  (void)stA;
+  (void)k0;
+  std::set<std::string> seen;
+  for (int i = 1; i < 4; ++i) {
+    if (ps[static_cast<std::size_t>(i)]->delivered()) {
+      seen.insert(to_string(*ps[static_cast<std::size_t>(i)]->delivered()));
+    }
+  }
+  EXPECT_LE(seen.size(), 1u);
+}
+
+TEST(ConsistentBroadcast, ForgedFinalRejected) {
+  Cluster c;
+  auto ps = make_cb(c, 0);
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(3);
+  // Party 3 forges a FINAL with a garbage "signature".
+  Writer w;
+  w.u8(2);  // kFinal
+  w.bytes(to_bytes("forged payload"));
+  w.bytes(Bytes(64, 0xaa));
+  adv.send_as_all(3, ps[0]->pid(), w.data(), 0.0);
+  c.sim.run(5000);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(ps[static_cast<std::size_t>(i)]->delivered().has_value()) << i;
+  }
+}
+
+TEST(ConsistentBroadcast, BadEchoSharesDoNotBlockQuorum) {
+  // A corrupted party sends an invalid share; the sender must still close
+  // with the three honest shares (incl. its own).
+  Cluster c;
+  auto ps = make_cb(c, 0);
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(2);
+  Writer bad;
+  bad.u8(1);  // kEchoShare
+  bad.bytes(Bytes(40, 0x13));
+  adv.send_as(2, 0, ps[0]->pid(), bad.data(), 1.0);
+  const Bytes payload = to_bytes("resilient");
+  c.sim.at(0.0, 0, [&] { ps[0]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload, {2}); }, 30000));
+}
+
+TEST(ConsistentBroadcast, ClosingMessageTransfersDelivery) {
+  Cluster c;
+  auto ps = make_cb(c, 0);
+  // Cut party 3 off from everyone (drop all its inbound traffic).
+  c.sim.delay_hook = [](int, int to, double) {
+    return to == 3 ? 1e12 : 0.0;
+  };
+  const Bytes payload = to_bytes("verifiable");
+  c.sim.at(0.0, 0, [&] { ps[0]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload, {3}); }, 30000));
+  EXPECT_FALSE(ps[3]->delivered().has_value());
+
+  // Party 1 extracts the closing message and hands it to 3 out-of-band.
+  ASSERT_TRUE(ps[1]->get_closing().has_value());
+  const Bytes closing = *ps[1]->get_closing();
+  EXPECT_TRUE(VerifiableConsistentBroadcast::is_valid_closing(
+      c.deal.parties[3], ps[3]->pid(), closing));
+  EXPECT_EQ(VerifiableConsistentBroadcast::payload_from_closing(closing),
+            payload);
+  ps[3]->deliver_closing(closing);
+  ASSERT_TRUE(ps[3]->delivered().has_value());
+  EXPECT_EQ(*ps[3]->delivered(), payload);
+}
+
+TEST(ConsistentBroadcast, InvalidClosingIgnored) {
+  Cluster c;
+  auto ps = make_cb(c, 0);
+  Writer w;
+  w.bytes(to_bytes("fake payload"));
+  w.bytes(Bytes(64, 0x77));
+  ps[1]->deliver_closing(w.data());
+  EXPECT_FALSE(ps[1]->delivered().has_value());
+  ps[1]->deliver_closing(Bytes{});
+  EXPECT_FALSE(ps[1]->delivered().has_value());
+  EXPECT_FALSE(VerifiableConsistentBroadcast::is_valid_closing(
+      c.deal.parties[1], ps[1]->pid(), w.data()));
+}
+
+TEST(ConsistentBroadcast, ClosingBoundToInstance) {
+  // A closing for instance "cb.x" must not close instance "cb.y".
+  Cluster c;
+  auto x = make_cb(c, 0, "cb.x");
+  auto y = make_cb(c, 0, "cb.y");
+  const Bytes payload = to_bytes("pid binding");
+  c.sim.at(0.0, 0, [&] { x[0]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(x, payload); }, 30000));
+  const Bytes closing = *x[1]->get_closing();
+  y[1]->deliver_closing(closing);
+  EXPECT_FALSE(y[1]->delivered().has_value());
+}
+
+TEST(ConsistentBroadcast, LargerGroup) {
+  Cluster c(7, 2);
+  auto ps = make_cb(c, 6);
+  const Bytes payload = to_bytes("n=7 echo");
+  c.sim.at(0.0, 6, [&] { ps[6]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload); }, 30000));
+}
+
+}  // namespace
+}  // namespace sintra::core

@@ -1,0 +1,94 @@
+// Cost-model regression canaries: the simulator's virtual timing drives
+// every reproduced figure, so pin its behaviour with coarse bounds and a
+// determinism check.  A change that breaks these very likely invalidates
+// EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+
+namespace sintra::bench {
+namespace {
+
+const crypto::Deal& paper_deal() {
+  static const crypto::Deal deal = crypto::run_dealer(paper_dealer_config(4, 1));
+  return deal;
+}
+
+TEST(CostModel, LanAtomicLatencyInCalibratedBand) {
+  WorkloadOptions opt;
+  opt.kind = ChannelKind::kAtomic;
+  opt.senders = {0};
+  opt.total_messages = 10;
+  opt.per_message_cpu_ms = 12.0;  // the calibrated default
+  const WorkloadResult res = run_workload(sim::lan_setup(), paper_deal(), opt);
+  ASSERT_TRUE(res.completed);
+  // Paper: 0.69 s.  Anything outside [0.3, 3] means the cost model moved.
+  EXPECT_GT(res.mean_interdelivery_s(), 0.3);
+  EXPECT_LT(res.mean_interdelivery_s(), 3.0);
+}
+
+TEST(CostModel, WanSlowerThanLan) {
+  WorkloadOptions opt;
+  opt.kind = ChannelKind::kAtomic;
+  opt.senders = {0};
+  opt.total_messages = 10;
+  const double lan =
+      run_workload(sim::lan_setup(), paper_deal(), opt).mean_interdelivery_s();
+  const double wan = run_workload(sim::internet_setup(), paper_deal(), opt)
+                         .mean_interdelivery_s();
+  EXPECT_GT(wan, lan * 1.2);
+}
+
+TEST(CostModel, ChannelOrderingMatchesTable1) {
+  // reliable ≈ consistent < atomic < secure, on the LAN, always.
+  WorkloadOptions opt;
+  opt.senders = {0};
+  opt.total_messages = 10;
+  std::map<ChannelKind, double> s;
+  for (ChannelKind k : {ChannelKind::kAtomic, ChannelKind::kSecure,
+                        ChannelKind::kReliable, ChannelKind::kConsistent}) {
+    opt.kind = k;
+    const WorkloadResult res = run_workload(sim::lan_setup(), paper_deal(), opt);
+    ASSERT_TRUE(res.completed) << channel_name(k);
+    s[k] = res.mean_interdelivery_s();
+  }
+  EXPECT_LT(s[ChannelKind::kReliable], s[ChannelKind::kAtomic]);
+  EXPECT_LT(s[ChannelKind::kConsistent], s[ChannelKind::kAtomic]);
+  EXPECT_LT(s[ChannelKind::kAtomic], s[ChannelKind::kSecure]);
+}
+
+TEST(CostModel, WorkloadsAreDeterministic) {
+  WorkloadOptions opt;
+  opt.kind = ChannelKind::kAtomic;
+  opt.senders = {0, 2};
+  opt.total_messages = 8;
+  const WorkloadResult a = run_workload(sim::lan_setup(), paper_deal(), opt);
+  const WorkloadResult b = run_workload(sim::lan_setup(), paper_deal(), opt);
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.deliveries[i].time_ms, b.deliveries[i].time_ms);
+    EXPECT_EQ(a.deliveries[i].origin, b.deliveries[i].origin);
+  }
+}
+
+TEST(CostModel, SeedChangesSchedule) {
+  WorkloadOptions opt;
+  opt.kind = ChannelKind::kAtomic;
+  opt.senders = {0};
+  opt.total_messages = 8;
+  opt.seed = 1;
+  const WorkloadResult a = run_workload(sim::lan_setup(), paper_deal(), opt);
+  opt.seed = 2;
+  const WorkloadResult b = run_workload(sim::lan_setup(), paper_deal(), opt);
+  ASSERT_TRUE(a.completed && b.completed);
+  // Jitter differs => at least one delivery timestamp differs.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.deliveries.size(), b.deliveries.size());
+       ++i) {
+    if (a.deliveries[i].time_ms != b.deliveries[i].time_ms) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace sintra::bench

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "crypto/cost.hpp"
+#include "crypto/dealer.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+DealerConfig small_config() {
+  DealerConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.rsa_bits = 512;
+  cfg.dl_p_bits = 256;
+  cfg.dl_q_bits = 96;
+  return cfg;
+}
+
+TEST(Dealer, ProducesNParties) {
+  const Deal deal = run_dealer(small_config());
+  EXPECT_EQ(deal.parties.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const PartyKeys& k = deal.parties[static_cast<std::size_t>(i)];
+    EXPECT_EQ(k.index, i);
+    EXPECT_EQ(k.n, 4);
+    EXPECT_EQ(k.t, 1);
+    EXPECT_NE(k.own_rsa, nullptr);
+    EXPECT_NE(k.sig_broadcast, nullptr);
+    EXPECT_NE(k.sig_agreement, nullptr);
+    EXPECT_NE(k.coin, nullptr);
+    EXPECT_NE(k.cipher, nullptr);
+  }
+}
+
+TEST(Dealer, RejectsBadGroupSizes) {
+  DealerConfig cfg = small_config();
+  cfg.n = 3;  // violates n > 3t
+  EXPECT_THROW((void)run_dealer(cfg), std::invalid_argument);
+  cfg.n = 0;
+  cfg.t = 0;
+  EXPECT_THROW((void)run_dealer(cfg), std::invalid_argument);
+}
+
+TEST(Dealer, LinkKeysAreSymmetricAndPairwiseDistinct) {
+  const Deal deal = run_dealer(small_config());
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(deal.parties[static_cast<std::size_t>(i)].link_keys[static_cast<std::size_t>(j)],
+                deal.parties[static_cast<std::size_t>(j)].link_keys[static_cast<std::size_t>(i)]);
+    }
+  }
+  EXPECT_NE(deal.parties[0].link_keys[1], deal.parties[0].link_keys[2]);
+  // Link keys actually authenticate.
+  const Bytes msg = to_bytes("p2p message");
+  const Bytes tag = hmac(HashKind::kSha1, deal.parties[0].link_keys[1], msg);
+  EXPECT_TRUE(hmac_verify(HashKind::kSha1, deal.parties[1].link_keys[0], msg, tag));
+}
+
+TEST(Dealer, StandardSignaturesInteroperate) {
+  const Deal deal = run_dealer(small_config());
+  const Bytes msg = to_bytes("round 3|payload xyz");
+  const Bytes sig = deal.parties[2].sign(msg);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_TRUE(deal.parties[static_cast<std::size_t>(j)].verify_party_sig(2, msg, sig));
+    EXPECT_FALSE(deal.parties[static_cast<std::size_t>(j)].verify_party_sig(1, msg, sig));
+  }
+  EXPECT_FALSE(deal.parties[0].verify_party_sig(-1, msg, sig));
+  EXPECT_FALSE(deal.parties[0].verify_party_sig(9, msg, sig));
+}
+
+TEST(Dealer, ThresholdQuorumsAreCorrect) {
+  const Deal deal = run_dealer(small_config());
+  // n=4, t=1: broadcast quorum ceil((4+1+1)/2) = 3, agreement n-t = 3,
+  // coin and cipher t+1 = 2.
+  EXPECT_EQ(deal.parties[0].sig_broadcast->k(), 3);
+  EXPECT_EQ(deal.parties[0].sig_agreement->k(), 3);
+  EXPECT_EQ(deal.parties[0].coin->k(), 2);
+  EXPECT_EQ(deal.parties[0].cipher->k(), 2);
+}
+
+TEST(Dealer, MultiSigPartiesInteroperate) {
+  const Deal deal = run_dealer(small_config());
+  const Bytes msg = to_bytes("consistent broadcast echo");
+  std::vector<std::pair<int, Bytes>> shares;
+  for (int i = 0; i < 3; ++i) {
+    shares.emplace_back(
+        i, deal.parties[static_cast<std::size_t>(i)].sig_broadcast->sign_share(msg));
+  }
+  const Bytes sig = deal.parties[3].sig_broadcast->combine(msg, shares);
+  EXPECT_TRUE(deal.parties[0].sig_broadcast->verify(msg, sig));
+}
+
+TEST(Dealer, ThresholdRsaVariantWorks) {
+  DealerConfig cfg = small_config();
+  cfg.sig_impl = SigImpl::kThresholdRsa;
+  cfg.rsa_bits = 256;  // keep safe-prime generation cheap in tests
+  const Deal deal = run_dealer(cfg);
+  const Bytes msg = to_bytes("m");
+  std::vector<std::pair<int, Bytes>> shares;
+  for (int i = 0; i < 3; ++i) {
+    shares.emplace_back(
+        i, deal.parties[static_cast<std::size_t>(i)].sig_agreement->sign_share(msg));
+  }
+  const Bytes sig = deal.parties[3].sig_agreement->combine(msg, shares);
+  EXPECT_TRUE(deal.parties[1].sig_agreement->verify(msg, sig));
+}
+
+TEST(Dealer, CoinAndCipherInteroperate) {
+  const Deal deal = run_dealer(small_config());
+  // Coin round-trip across dealt parties.
+  const Bytes name = to_bytes("dealer coin");
+  std::vector<std::pair<int, Bytes>> cs;
+  cs.emplace_back(0, deal.parties[0].coin->release(name));
+  cs.emplace_back(2, deal.parties[2].coin->release(name));
+  EXPECT_NO_THROW((void)deal.parties[1].coin->assemble(name, cs, 8));
+
+  // Cipher round-trip via the published channel key.
+  Rng rng(1);
+  const Bytes ct =
+      deal.encryption_key->encrypt(to_bytes("msg"), to_bytes("chan"), rng);
+  std::vector<std::pair<int, Bytes>> ds;
+  ds.emplace_back(1, *deal.parties[1].cipher->decrypt_share(ct));
+  ds.emplace_back(3, *deal.parties[3].cipher->decrypt_share(ct));
+  EXPECT_EQ(deal.parties[0].cipher->combine(ct, ds), to_bytes("msg"));
+}
+
+TEST(Dealer, DeterministicForSeed) {
+  const Deal a = run_dealer(small_config());
+  const Deal b = run_dealer(small_config());
+  EXPECT_EQ(a.parties[0].own_rsa->pub.n, b.parties[0].own_rsa->pub.n);
+  EXPECT_EQ(a.parties[0].link_keys[1], b.parties[0].link_keys[1]);
+}
+
+TEST(Dealer, DifferentSeedsDiffer) {
+  DealerConfig c1 = small_config();
+  DealerConfig c2 = small_config();
+  c2.seed = 999;
+  EXPECT_NE(run_dealer(c1).parties[0].link_keys[1],
+            run_dealer(c2).parties[0].link_keys[1]);
+}
+
+TEST(Dealer, LargerGroup) {
+  DealerConfig cfg = small_config();
+  cfg.n = 7;
+  cfg.t = 2;
+  const Deal deal = run_dealer(cfg);
+  EXPECT_EQ(deal.parties.size(), 7u);
+  EXPECT_EQ(deal.parties[0].sig_broadcast->k(), 5);  // ceil((7+2+1)/2)
+  EXPECT_EQ(deal.parties[0].sig_agreement->k(), 5);  // 7-2
+  EXPECT_EQ(deal.parties[0].coin->k(), 3);
+}
+
+TEST(CostModel, CalibrationIsPositiveAndStable) {
+  const std::uint64_t w = work_per_exp1024();
+  EXPECT_GT(w, 100000u);
+  EXPECT_EQ(w, work_per_exp1024());
+}
+
+TEST(CostModel, ScalesLinearlyWithHostSpeed) {
+  const std::uint64_t w = work_per_exp1024();
+  EXPECT_DOUBLE_EQ(work_to_ms(w, 93.0), 93.0);
+  EXPECT_DOUBLE_EQ(work_to_ms(w, 427.0), 427.0);
+  EXPECT_DOUBLE_EQ(work_to_ms(2 * w, 93.0), 186.0);
+}
+
+TEST(CostModel, WorkMeterObservesCrypto) {
+  WorkMeter meter;
+  Rng rng(1);
+  const RsaKeyPair key = rsa_generate(rng, 256);
+  (void)rsa_sign(key, to_bytes("x"));
+  EXPECT_GT(meter.elapsed(), 0u);
+}
+
+}  // namespace
+}  // namespace sintra::crypto

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/dispatcher.hpp"
+
+namespace sintra::core {
+namespace {
+
+TEST(Dispatcher, RoutesToRegisteredHandler) {
+  Dispatcher d;
+  std::vector<std::pair<PartyId, std::string>> got;
+  d.register_pid("p1", [&](PartyId from, BytesView payload) {
+    got.emplace_back(from, to_string(payload));
+  });
+  d.on_message(2, frame_message("p1", to_bytes("hello")));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 2);
+  EXPECT_EQ(got[0].second, "hello");
+}
+
+TEST(Dispatcher, BuffersEarlyMessagesAndReplaysInOrder) {
+  Dispatcher d;
+  d.on_message(0, frame_message("late", to_bytes("a")));
+  d.on_message(1, frame_message("late", to_bytes("b")));
+  EXPECT_EQ(d.buffered_count(), 2u);
+  std::vector<std::string> got;
+  d.register_pid("late", [&](PartyId, BytesView p) {
+    got.push_back(to_string(p));
+  });
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(d.buffered_count(), 0u);
+}
+
+TEST(Dispatcher, SeparatePidsDoNotInterfere) {
+  Dispatcher d;
+  int c1 = 0, c2 = 0;
+  d.register_pid("a", [&](PartyId, BytesView) { ++c1; });
+  d.register_pid("b", [&](PartyId, BytesView) { ++c2; });
+  d.on_message(0, frame_message("a", {}));
+  d.on_message(0, frame_message("b", {}));
+  d.on_message(0, frame_message("b", {}));
+  EXPECT_EQ(c1, 1);
+  EXPECT_EQ(c2, 2);
+}
+
+TEST(Dispatcher, DuplicateRegistrationThrows) {
+  Dispatcher d;
+  d.register_pid("x", [](PartyId, BytesView) {});
+  EXPECT_THROW(d.register_pid("x", [](PartyId, BytesView) {}),
+               std::logic_error);
+}
+
+TEST(Dispatcher, UnregisteredRetiredPidDropsMessages) {
+  Dispatcher d;
+  d.register_pid("x", [](PartyId, BytesView) {});
+  d.unregister_pid("x");
+  d.on_message(0, frame_message("x", to_bytes("dropped")));
+  EXPECT_EQ(d.buffered_count(), 0u);
+  // Re-registration is allowed and starts clean.
+  int count = 0;
+  d.register_pid("x", [&](PartyId, BytesView) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Dispatcher, MalformedFramesDropped) {
+  Dispatcher d;
+  int count = 0;
+  d.register_pid("x", [&](PartyId, BytesView) { ++count; });
+  d.on_message(0, Bytes{0x01});  // truncated frame
+  d.on_message(0, Bytes{});
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Dispatcher, HandlerCanUnregisterDuringReplay) {
+  Dispatcher d;
+  d.on_message(0, frame_message("p", to_bytes("1")));
+  d.on_message(0, frame_message("p", to_bytes("2")));
+  int seen = 0;
+  d.register_pid("p", [&](PartyId, BytesView) {
+    ++seen;
+    d.unregister_pid("p");  // one-shot protocol terminates
+  });
+  EXPECT_EQ(seen, 1);  // second buffered message must not be delivered
+}
+
+TEST(Dispatcher, FloodingGuardCapsBuffer) {
+  Dispatcher d;
+  const Bytes frame = frame_message("never-registered", to_bytes("x"));
+  for (std::size_t i = 0; i < Dispatcher::kMaxBuffered + 10; ++i) {
+    d.on_message(0, frame);
+  }
+  EXPECT_EQ(d.buffered_count(), Dispatcher::kMaxBuffered);
+}
+
+}  // namespace
+}  // namespace sintra::core

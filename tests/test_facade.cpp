@@ -1,0 +1,154 @@
+#include "facade/blocking_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim_fixture.hpp"
+
+namespace sintra::facade {
+namespace {
+
+using namespace std::chrono_literals;
+
+crypto::Deal facade_deal() { return testing::cached_deal(4, 1); }
+
+TEST(LocalTransport, DeliversAuthenticatedMessages) {
+  const auto deal = facade_deal();
+  LocalGroup group(deal);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> got;
+  group.post_sync(1, [&] {
+    group.node(1).dispatcher().register_pid(
+        "t", [&](core::PartyId from, BytesView p) {
+          const std::lock_guard<std::mutex> lock(mu);
+          got.push_back(std::to_string(from) + ":" + to_string(p));
+          cv.notify_all();
+        });
+  });
+  group.post(0, [&] {
+    group.node(0).send(1, core::frame_message("t", to_bytes("hello")));
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, 10s, [&] { return !got.empty(); }));
+  EXPECT_EQ(got[0], "0:hello");
+}
+
+TEST(LocalTransport, PostSyncRunsOnNodeThread) {
+  const auto deal = facade_deal();
+  LocalGroup group(deal);
+  std::thread::id main_id = std::this_thread::get_id();
+  std::thread::id node_id;
+  group.post_sync(2, [&] { node_id = std::this_thread::get_id(); });
+  EXPECT_NE(node_id, main_id);
+  // Same thread every time.
+  std::thread::id again;
+  group.post_sync(2, [&] { again = std::this_thread::get_id(); });
+  EXPECT_EQ(node_id, again);
+}
+
+TEST(LocalTransport, CrashedNodeStopsParticipating) {
+  const auto deal = facade_deal();
+  LocalGroup group(deal);
+  group.crash(3);
+  // post_sync to a crashed node must not deadlock.
+  bool ran = false;
+  group.post_sync(3, [&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(BlockingApi, AtomicChannelEndToEnd) {
+  const auto deal = facade_deal();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingAtomicChannel>> chans;
+  for (int i = 0; i < 4; ++i) {
+    chans.push_back(
+        std::make_unique<BlockingAtomicChannel>(group, i, "fac.ac"));
+  }
+  chans[0]->send(to_bytes("a"));
+  chans[1]->send(to_bytes("b"));
+  std::vector<std::vector<std::string>> streams(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int m = 0; m < 2; ++m) {
+      auto payload = chans[static_cast<std::size_t>(i)]->receive_for(30s);
+      ASSERT_TRUE(payload.has_value()) << i << "," << m;
+      streams[static_cast<std::size_t>(i)].push_back(to_string(*payload));
+    }
+  }
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(streams[static_cast<std::size_t>(i)], streams[0]);
+  }
+}
+
+TEST(BlockingApi, CanReceiveProbe) {
+  const auto deal = facade_deal();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingAtomicChannel>> chans;
+  for (int i = 0; i < 4; ++i) {
+    chans.push_back(
+        std::make_unique<BlockingAtomicChannel>(group, i, "fac.probe"));
+  }
+  EXPECT_FALSE(chans[2]->can_receive());
+  chans[0]->send(to_bytes("x"));
+  auto payload = chans[2]->receive_for(30s);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(to_string(*payload), "x");
+  EXPECT_FALSE(chans[2]->can_receive());
+}
+
+TEST(BlockingApi, CloseWaitTerminates) {
+  const auto deal = facade_deal();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingAtomicChannel>> chans;
+  for (int i = 0; i < 4; ++i) {
+    chans.push_back(
+        std::make_unique<BlockingAtomicChannel>(group, i, "fac.close"));
+  }
+  chans[0]->close();
+  chans[1]->close();
+  chans[2]->close_wait();
+  EXPECT_TRUE(chans[2]->is_closed());
+}
+
+TEST(BlockingApi, ReliableAndConsistentChannels) {
+  const auto deal = facade_deal();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingReliableChannel>> rc;
+  std::vector<std::unique_ptr<BlockingConsistentChannel>> cc;
+  for (int i = 0; i < 4; ++i) {
+    rc.push_back(
+        std::make_unique<BlockingReliableChannel>(group, i, "fac.rc"));
+    cc.push_back(
+        std::make_unique<BlockingConsistentChannel>(group, i, "fac.cc"));
+  }
+  rc[0]->send(to_bytes("r"));
+  cc[1]->send(to_bytes("c"));
+  for (int i = 0; i < 4; ++i) {
+    auto r = rc[static_cast<std::size_t>(i)]->receive_for(30s);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(to_string(*r), "r");
+    auto c = cc[static_cast<std::size_t>(i)]->receive_for(30s);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(to_string(*c), "c");
+  }
+}
+
+TEST(BlockingApi, SecureChannelEndToEnd) {
+  const auto deal = facade_deal();
+  LocalGroup group(deal);
+  std::vector<std::unique_ptr<BlockingSecureAtomicChannel>> chans;
+  for (int i = 0; i < 4; ++i) {
+    chans.push_back(
+        std::make_unique<BlockingSecureAtomicChannel>(group, i, "fac.sac"));
+  }
+  chans[3]->send(to_bytes("sealed"));
+  for (int i = 0; i < 4; ++i) {
+    auto payload = chans[static_cast<std::size_t>(i)]->receive_for(60s);
+    ASSERT_TRUE(payload.has_value()) << i;
+    EXPECT_EQ(to_string(*payload), "sealed");
+  }
+}
+
+}  // namespace
+}  // namespace sintra::facade

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "crypto/group.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+const DlogGroup& test_group() {
+  static const DlogGroup grp = [] {
+    Rng rng(0x9199);
+    return DlogGroup::generate(rng, 256, 96);
+  }();
+  return grp;
+}
+
+TEST(DlogGroup, GeneratorIsMember) {
+  const DlogGroup& grp = test_group();
+  EXPECT_TRUE(grp.is_member(grp.g()));
+  EXPECT_FALSE(grp.is_member(BigInt{1}));
+  EXPECT_FALSE(grp.is_member(BigInt{0}));
+  EXPECT_FALSE(grp.is_member(grp.p()));
+  EXPECT_FALSE(grp.is_member(grp.p() - BigInt{1}));  // order 2 element
+}
+
+TEST(DlogGroup, ExpHomomorphic) {
+  const DlogGroup& grp = test_group();
+  Rng rng(1);
+  const BigInt a = grp.random_exponent(rng);
+  const BigInt b = grp.random_exponent(rng);
+  EXPECT_EQ(grp.exp(grp.g(), (a + b).mod(grp.q())),
+            grp.mul(grp.exp(grp.g(), a), grp.exp(grp.g(), b)));
+}
+
+TEST(DlogGroup, InvIsInverse) {
+  const DlogGroup& grp = test_group();
+  Rng rng(2);
+  const BigInt y = grp.exp(grp.g(), grp.random_exponent(rng));
+  EXPECT_EQ(grp.mul(y, grp.inv(y)), BigInt{1});
+}
+
+TEST(DlogGroup, HashToGroupProducesMembers) {
+  const DlogGroup& grp = test_group();
+  for (int i = 0; i < 10; ++i) {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(i));
+    const BigInt el = grp.hash_to_group(w.data());
+    EXPECT_TRUE(grp.is_member(el)) << i;
+  }
+}
+
+TEST(DlogGroup, HashToGroupDeterministicAndDistinct) {
+  const DlogGroup& grp = test_group();
+  EXPECT_EQ(grp.hash_to_group(to_bytes("coin.42")),
+            grp.hash_to_group(to_bytes("coin.42")));
+  EXPECT_NE(grp.hash_to_group(to_bytes("coin.42")),
+            grp.hash_to_group(to_bytes("coin.43")));
+}
+
+TEST(DlogGroup, HashToExponentInRange) {
+  const DlogGroup& grp = test_group();
+  for (int i = 0; i < 20; ++i) {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(i));
+    const BigInt e = grp.hash_to_exponent(w.data());
+    EXPECT_GE(e, BigInt{0});
+    EXPECT_LT(e, grp.q());
+  }
+}
+
+TEST(DlogGroup, RejectsBadParameters) {
+  // q does not divide p-1.
+  EXPECT_THROW(DlogGroup(BigInt{23}, BigInt{7}, BigInt{2}),
+               std::invalid_argument);
+  // g not of order q (23 = 2*11+1, q=11, g=22 has order 2).
+  EXPECT_THROW(DlogGroup(BigInt{23}, BigInt{11}, BigInt{22}),
+               std::invalid_argument);
+}
+
+TEST(DlogGroup, SerdeRoundTrip) {
+  const DlogGroup& grp = test_group();
+  Writer w;
+  grp.write(w);
+  Reader r(w.data());
+  const DlogGroup back = DlogGroup::read(r);
+  EXPECT_EQ(back.p(), grp.p());
+  EXPECT_EQ(back.q(), grp.q());
+  EXPECT_EQ(back.g(), grp.g());
+}
+
+TEST(Dleq, ProveVerifyRoundTrip) {
+  const DlogGroup& grp = test_group();
+  Rng rng(3);
+  const BigInt x = grp.random_exponent(rng);
+  const BigInt g2 = grp.hash_to_group(to_bytes("second base"));
+  const BigInt h1 = grp.exp(grp.g(), x);
+  const BigInt h2 = grp.exp(g2, x);
+  const DleqProof proof = dleq_prove(grp, grp.g(), h1, g2, h2, x, rng);
+  EXPECT_TRUE(dleq_verify(grp, grp.g(), h1, g2, h2, proof));
+}
+
+TEST(Dleq, RejectsUnequalLogs) {
+  const DlogGroup& grp = test_group();
+  Rng rng(4);
+  const BigInt x = grp.random_exponent(rng);
+  const BigInt y = (x + BigInt{1}).mod(grp.q());
+  const BigInt g2 = grp.hash_to_group(to_bytes("second base"));
+  const BigInt h1 = grp.exp(grp.g(), x);
+  const BigInt h2 = grp.exp(g2, y);  // different exponent!
+  const DleqProof proof = dleq_prove(grp, grp.g(), h1, g2, h2, x, rng);
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, proof));
+}
+
+TEST(Dleq, RejectsTamperedProof) {
+  const DlogGroup& grp = test_group();
+  Rng rng(5);
+  const BigInt x = grp.random_exponent(rng);
+  const BigInt g2 = grp.hash_to_group(to_bytes("b2"));
+  const BigInt h1 = grp.exp(grp.g(), x);
+  const BigInt h2 = grp.exp(g2, x);
+  DleqProof proof = dleq_prove(grp, grp.g(), h1, g2, h2, x, rng);
+  DleqProof bad_c = proof;
+  bad_c.c = (bad_c.c + BigInt{1}).mod(grp.q());
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, bad_c));
+  DleqProof bad_z = proof;
+  bad_z.z = (bad_z.z + BigInt{1}).mod(grp.q());
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, bad_z));
+}
+
+TEST(Dleq, RejectsOutOfRangeValues) {
+  const DlogGroup& grp = test_group();
+  Rng rng(6);
+  const BigInt x = grp.random_exponent(rng);
+  const BigInt g2 = grp.hash_to_group(to_bytes("b2"));
+  const BigInt h1 = grp.exp(grp.g(), x);
+  const BigInt h2 = grp.exp(g2, x);
+  DleqProof proof = dleq_prove(grp, grp.g(), h1, g2, h2, x, rng);
+  proof.z = proof.z + grp.q();  // out of range
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, proof));
+  // Non-member h values must be rejected regardless of the proof.
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), BigInt{1}, g2, h2,
+                           dleq_prove(grp, grp.g(), h1, g2, h2, x, rng)));
+}
+
+TEST(Dleq, ProofBoundToBases) {
+  const DlogGroup& grp = test_group();
+  Rng rng(7);
+  const BigInt x = grp.random_exponent(rng);
+  const BigInt g2 = grp.hash_to_group(to_bytes("base A"));
+  const BigInt g3 = grp.hash_to_group(to_bytes("base B"));
+  const BigInt h1 = grp.exp(grp.g(), x);
+  const BigInt h2 = grp.exp(g2, x);
+  const BigInt h3 = grp.exp(g3, x);
+  const DleqProof proof = dleq_prove(grp, grp.g(), h1, g2, h2, x, rng);
+  // Valid statement, wrong transcript base — must fail.
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g3, h3, proof));
+}
+
+}  // namespace
+}  // namespace sintra::crypto

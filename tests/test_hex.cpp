@@ -1,0 +1,35 @@
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sintra {
+namespace {
+
+TEST(Hex, EncodeKnownBytes) {
+  EXPECT_EQ(hex_encode(Bytes{0x00, 0xff, 0x10, 0xab}), "00ff10ab");
+}
+
+TEST(Hex, EncodeEmpty) { EXPECT_EQ(hex_encode(Bytes{}), ""); }
+
+TEST(Hex, DecodeLowerAndUpper) {
+  EXPECT_EQ(hex_decode("00ff10ab"), (Bytes{0x00, 0xff, 0x10, 0xab}));
+  EXPECT_EQ(hex_decode("00FF10AB"), (Bytes{0x00, 0xff, 0x10, 0xab}));
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(hex_decode(hex_encode(data)), data);
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+}
+
+TEST(Hex, RejectsNonHex) {
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+  EXPECT_THROW(hex_decode("0g"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sintra

@@ -1,0 +1,112 @@
+#include "crypto/keyfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+Deal small_deal(SigImpl impl = SigImpl::kMultiSig) {
+  return sintra::testing::cached_deal(4, 1, impl);
+}
+
+TEST(KeyFile, RoundTripMultiSig) {
+  const Deal deal = small_deal();
+  for (int i = 0; i < 4; ++i) {
+    const Bytes file = write_party_keys(deal.raw[static_cast<std::size_t>(i)]);
+    const RawPartyKeys back = read_party_keys(file);
+    EXPECT_EQ(back.index, i);
+    EXPECT_EQ(back.n, 4);
+    EXPECT_EQ(back.t, 1);
+    EXPECT_EQ(back.link_keys, deal.raw[static_cast<std::size_t>(i)].link_keys);
+    EXPECT_EQ(back.own_rsa.pub, deal.raw[static_cast<std::size_t>(i)].own_rsa.pub);
+    EXPECT_EQ(back.coin_share, deal.raw[static_cast<std::size_t>(i)].coin_share);
+    EXPECT_EQ(back.tdh2_share, deal.raw[static_cast<std::size_t>(i)].tdh2_share);
+    EXPECT_FALSE(back.threshold_broadcast.has_value());
+  }
+}
+
+TEST(KeyFile, RoundTripThresholdRsa) {
+  const Deal deal = small_deal(SigImpl::kThresholdRsa);
+  const Bytes file = write_party_keys(deal.raw[2]);
+  const RawPartyKeys back = read_party_keys(file);
+  ASSERT_TRUE(back.threshold_broadcast.has_value());
+  ASSERT_TRUE(back.threshold_agreement.has_value());
+  EXPECT_EQ(back.threshold_broadcast->pub.modulus,
+            deal.raw[2].threshold_broadcast->pub.modulus);
+  EXPECT_EQ(back.threshold_broadcast->share,
+            deal.raw[2].threshold_broadcast->share);
+}
+
+TEST(KeyFile, MaterializedKeysInteroperateWithOriginals) {
+  // Serialize party 1's keys, reload, materialize — the resurrected party
+  // must interoperate with the untouched parties on every scheme.
+  const Deal deal = small_deal();
+  const PartyKeys revived = materialize(
+      read_party_keys(write_party_keys(deal.raw[1])));
+
+  // Standard signatures.
+  const Bytes msg = to_bytes("signed after reload");
+  EXPECT_TRUE(deal.parties[0].verify_party_sig(1, msg, revived.sign(msg)));
+
+  // Threshold (multi-)signatures.
+  std::vector<std::pair<int, Bytes>> shares;
+  shares.emplace_back(1, revived.sig_broadcast->sign_share(msg));
+  shares.emplace_back(0, deal.parties[0].sig_broadcast->sign_share(msg));
+  shares.emplace_back(2, deal.parties[2].sig_broadcast->sign_share(msg));
+  const Bytes sig = deal.parties[3].sig_broadcast->combine(msg, shares);
+  EXPECT_TRUE(deal.parties[0].sig_broadcast->verify(msg, sig));
+
+  // Coin.
+  const Bytes name = to_bytes("reload coin");
+  std::vector<std::pair<int, Bytes>> cs;
+  cs.emplace_back(1, revived.coin->release(name));
+  cs.emplace_back(3, deal.parties[3].coin->release(name));
+  const Bytes coin_val = deal.parties[0].coin->assemble(name, cs, 8);
+  // Cross-check against a fully original share pair.
+  std::vector<std::pair<int, Bytes>> cs2;
+  cs2.emplace_back(0, deal.parties[0].coin->release(name));
+  cs2.emplace_back(2, deal.parties[2].coin->release(name));
+  EXPECT_EQ(deal.parties[0].coin->assemble(name, cs2, 8), coin_val);
+
+  // TDH2.
+  Rng rng(5);
+  const Bytes ct =
+      deal.encryption_key->encrypt(to_bytes("m"), to_bytes("L"), rng);
+  std::vector<std::pair<int, Bytes>> ds;
+  ds.emplace_back(1, *revived.cipher->decrypt_share(ct));
+  ds.emplace_back(0, *deal.parties[0].cipher->decrypt_share(ct));
+  EXPECT_EQ(deal.parties[2].cipher->combine(ct, ds), to_bytes("m"));
+}
+
+TEST(KeyFile, RejectsCorruptedFiles) {
+  const Deal deal = small_deal();
+  const Bytes good = write_party_keys(deal.raw[0]);
+  EXPECT_THROW((void)read_party_keys(Bytes{}), SerdeError);
+  Bytes truncated(good.begin(), good.begin() + static_cast<std::ptrdiff_t>(good.size() / 2));
+  EXPECT_THROW((void)read_party_keys(truncated), SerdeError);
+  Bytes bad_magic = good;
+  bad_magic[4] ^= 0xff;  // inside the magic string
+  EXPECT_THROW((void)read_party_keys(bad_magic), SerdeError);
+  Bytes trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_THROW((void)read_party_keys(trailing), SerdeError);
+}
+
+TEST(KeyFile, EncryptionKeyRoundTripUsableByOutsider) {
+  const Deal deal = small_deal();
+  const Bytes file = write_encryption_key(*deal.encryption_key);
+  const Tdh2Public pub = read_encryption_key(file);
+  Rng rng(7);
+  const Bytes ct = pub.encrypt(to_bytes("outsider message"), to_bytes("L"), rng);
+  std::vector<std::pair<int, Bytes>> ds;
+  ds.emplace_back(0, *deal.parties[0].cipher->decrypt_share(ct));
+  ds.emplace_back(1, *deal.parties[1].cipher->decrypt_share(ct));
+  EXPECT_EQ(deal.parties[2].cipher->combine(ct, ds),
+            to_bytes("outsider message"));
+  EXPECT_THROW((void)read_encryption_key(Bytes(10, 3)), SerdeError);
+}
+
+}  // namespace
+}  // namespace sintra::crypto

@@ -1,0 +1,102 @@
+#include "bignum/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sintra::bignum {
+namespace {
+
+BigInt bi(std::string_view s) { return BigInt::from_string(s); }
+
+// Reference square-and-multiply that does not use Montgomery.
+BigInt naive_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  BigInt result{1};
+  BigInt b = base.mod(m);
+  for (int i = exp.bit_length() - 1; i >= 0; --i) {
+    result = (result * result).mod(m);
+    if (exp.bit(i)) result = (result * b).mod(m);
+  }
+  return result;
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigInt{10}), std::domain_error);
+  EXPECT_THROW(Montgomery(BigInt{1}), std::domain_error);
+}
+
+TEST(Montgomery, MulMatchesPlainArithmetic) {
+  const BigInt m = bi("1000000007");
+  Montgomery mont(m);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt b = BigInt::random_below(rng, m);
+    EXPECT_EQ(mont.mul(a, b), (a * b).mod(m));
+  }
+}
+
+TEST(Montgomery, PowMatchesNaiveSmall) {
+  const BigInt m = bi("1000003");
+  Montgomery mont(m);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt e = BigInt::random_below(rng, bi("100000"));
+    EXPECT_EQ(mont.pow(a, e), naive_pow(a, e, m));
+  }
+}
+
+TEST(Montgomery, PowMatchesNaiveMultiLimb) {
+  // 521-bit Mersenne prime 2^521 - 1 — odd, many limbs.
+  const BigInt m = (BigInt{1} << 521) - BigInt{1};
+  Montgomery mont(m);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt e = BigInt::random_bits(rng, 64);
+    EXPECT_EQ(mont.pow(a, e), naive_pow(a, e, m));
+  }
+}
+
+TEST(Montgomery, PowEdgeCases) {
+  const BigInt m = bi("1000000007");
+  Montgomery mont(m);
+  EXPECT_EQ(mont.pow(BigInt{5}, BigInt{0}), BigInt{1});
+  EXPECT_EQ(mont.pow(BigInt{0}, BigInt{5}), BigInt{0});
+  EXPECT_EQ(mont.pow(BigInt{1}, bi("123456789123456789")), BigInt{1});
+  EXPECT_EQ(mont.pow(m - BigInt{1}, BigInt{2}), BigInt{1});  // (-1)^2
+}
+
+TEST(Montgomery, FermatLargePrime) {
+  // 2^607-1 is a Mersenne prime.
+  const BigInt p = (BigInt{1} << 607) - BigInt{1};
+  Montgomery mont(p);
+  Rng rng(4);
+  const BigInt a = BigInt{2} + BigInt::random_below(rng, p - BigInt{3});
+  EXPECT_EQ(mont.pow(a, p - BigInt{1}), BigInt{1});
+}
+
+TEST(Montgomery, ExponentWithZeroWindows) {
+  // Exponent with long runs of zero bits exercises the windowed loop.
+  const BigInt m = bi("0xffffffffffffffffffffffffffffff61");
+  Montgomery mont(m);
+  const BigInt e = (BigInt{1} << 120) + BigInt{1};
+  EXPECT_EQ(mont.pow(BigInt{3}, e), naive_pow(BigInt{3}, e, m));
+}
+
+TEST(Montgomery, MulPowConsistency) {
+  const BigInt m = (BigInt{1} << 127) - BigInt{1};
+  Montgomery mont(m);
+  Rng rng(5);
+  const BigInt a = BigInt::random_below(rng, m);
+  // a^2 via pow == a*a via mul
+  EXPECT_EQ(mont.pow(a, BigInt{2}), mont.mul(a, a));
+  // a^(e1+e2) == a^e1 * a^e2
+  const BigInt e1 = BigInt::random_bits(rng, 50);
+  const BigInt e2 = BigInt::random_bits(rng, 50);
+  EXPECT_EQ(mont.pow(a, e1 + e2), mont.mul(mont.pow(a, e1), mont.pow(a, e2)));
+}
+
+}  // namespace
+}  // namespace sintra::bignum

@@ -1,0 +1,218 @@
+#include "core/broadcast/reliable_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_fixture.hpp"
+
+namespace sintra::core {
+namespace {
+
+using testing::Cluster;
+
+std::vector<std::unique_ptr<ReliableBroadcast>> make_rbc(Cluster& c,
+                                                         int sender,
+                                                         const std::string& basepid = "rbc") {
+  return c.make_protocols<ReliableBroadcast>(
+      [&](Environment& env, Dispatcher& disp, int) {
+        return std::make_unique<ReliableBroadcast>(env, disp, basepid, sender);
+      });
+}
+
+bool all_delivered(const std::vector<std::unique_ptr<ReliableBroadcast>>& ps,
+                   const Bytes& expect,
+                   const std::set<int>& skip = {}) {
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (skip.contains(static_cast<int>(i))) continue;
+    if (!ps[i]->delivered() || *ps[i]->delivered() != expect) return false;
+  }
+  return true;
+}
+
+TEST(ReliableBroadcast, AllHonestDeliverSenderPayload) {
+  Cluster c;
+  auto ps = make_rbc(c, 0);
+  const Bytes payload = to_bytes("state update #1");
+  c.sim.at(0.0, 0, [&] { ps[0]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload); }, 10000));
+}
+
+TEST(ReliableBroadcast, WorksForEverySenderIndex) {
+  Cluster c;
+  for (int s = 0; s < 4; ++s) {
+    auto ps = make_rbc(c, s, "rbc.sender" + std::to_string(s));
+    const Bytes payload = to_bytes("from " + std::to_string(s));
+    c.sim.at(c.sim.now_ms(), s, [&, s] { ps[static_cast<std::size_t>(s)]->send(payload); });
+    ASSERT_TRUE(c.sim.run_until(
+        [&] { return all_delivered(ps, payload); }, c.sim.now_ms() + 10000))
+        << s;
+  }
+}
+
+TEST(ReliableBroadcast, EmptyAndLargePayloads) {
+  Cluster c;
+  auto small = make_rbc(c, 1, "rbc.small");
+  auto large = make_rbc(c, 2, "rbc.large");
+  const Bytes empty;
+  Bytes big(20000);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i);
+  c.sim.at(0.0, 1, [&] { small[1]->send(empty); });
+  c.sim.at(0.0, 2, [&] { large[2]->send(big); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] {
+        return all_delivered(small, empty) && all_delivered(large, big);
+      },
+      10000));
+}
+
+TEST(ReliableBroadcast, NonSenderCannotSend) {
+  Cluster c;
+  auto ps = make_rbc(c, 0);
+  EXPECT_THROW(ps[1]->send(to_bytes("x")), std::logic_error);
+}
+
+TEST(ReliableBroadcast, DoubleSendRejected) {
+  Cluster c;
+  auto ps = make_rbc(c, 0);
+  c.sim.at(0.0, 0, [&] {
+    ps[0]->send(to_bytes("a"));
+    EXPECT_THROW(ps[0]->send(to_bytes("b")), std::logic_error);
+  });
+  c.sim.run();
+}
+
+TEST(ReliableBroadcast, ToleratesOneCrashedReceiver) {
+  Cluster c;
+  auto ps = make_rbc(c, 0);
+  c.sim.node(3).crash();
+  const Bytes payload = to_bytes("survives crash");
+  c.sim.at(0.0, 0, [&] { ps[0]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload, {3}); }, 10000));
+}
+
+TEST(ReliableBroadcast, CrashedSenderDeliversNothing) {
+  Cluster c;
+  auto ps = make_rbc(c, 0);
+  c.sim.node(0).crash();
+  c.sim.run(5000);
+  for (const auto& p : ps) EXPECT_FALSE(p->delivered().has_value());
+}
+
+TEST(ReliableBroadcast, AgreementUnderEquivocatingSender) {
+  // Byzantine sender sends payload A to parties {1,2} and B to {3}.
+  // Agreement: the honest parties must never deliver different payloads.
+  Cluster c;
+  auto ps = make_rbc(c, 0);
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(0);
+  const std::string pid = ps[1]->pid();
+
+  Writer wa;
+  wa.u8(0);  // SEND
+  wa.raw(to_bytes("payload-A"));
+  Writer wb;
+  wb.u8(0);
+  wb.raw(to_bytes("payload-B"));
+  adv.send_as(0, 1, pid, wa.data(), 0.0);
+  adv.send_as(0, 2, pid, wa.data(), 0.0);
+  adv.send_as(0, 3, pid, wb.data(), 0.0);
+  c.sim.run(20000);
+
+  std::set<std::string> delivered;
+  for (int i = 1; i < 4; ++i) {
+    if (ps[static_cast<std::size_t>(i)]->delivered()) {
+      delivered.insert(to_string(*ps[static_cast<std::size_t>(i)]->delivered()));
+    }
+  }
+  EXPECT_LE(delivered.size(), 1u);
+}
+
+TEST(ReliableBroadcast, TotalityWithEquivocatingSenderAndUnanimousMajority) {
+  // n=4, t=1: if the Byzantine sender gives the same payload to all three
+  // honest parties, they must all deliver it.
+  Cluster c;
+  auto ps = make_rbc(c, 3);
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(3);
+  const std::string pid = ps[0]->pid();
+  Writer w;
+  w.u8(0);
+  w.raw(to_bytes("common"));
+  for (int i = 0; i < 3; ++i) adv.send_as(3, i, pid, w.data(), 0.0);
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, to_bytes("common"), {3}); }, 20000));
+}
+
+TEST(ReliableBroadcast, ForgedEchoesCannotForceDelivery) {
+  // A single corrupted party (t=1) echoes/readies a payload the sender
+  // never sent; quorums of ceil((n+t+1)/2)=3 echoes resp. 2t+1=3 readies
+  // cannot be met with one voter, so nothing may be delivered.
+  Cluster c;
+  auto ps = make_rbc(c, 0);
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(2);
+  const std::string pid = ps[0]->pid();
+  Writer echo;
+  echo.u8(1);
+  echo.raw(to_bytes("phantom"));
+  Writer ready;
+  ready.u8(2);
+  ready.raw(to_bytes("phantom"));
+  for (int rep = 0; rep < 5; ++rep) {  // duplicates must not inflate counts
+    adv.send_as_all(2, pid, echo.data(), rep * 1.0);
+    adv.send_as_all(2, pid, ready.data(), rep * 1.0);
+  }
+  c.sim.run(20000);
+  for (int i = 0; i < 4; ++i) {
+    if (i == 2) continue;
+    EXPECT_FALSE(ps[static_cast<std::size_t>(i)]->delivered().has_value()) << i;
+  }
+}
+
+TEST(ReliableBroadcast, MalformedMessagesIgnored) {
+  Cluster c;
+  auto ps = make_rbc(c, 0);
+  sim::Adversary adv(c.sim, c.deal);
+  adv.corrupt(1);
+  adv.send_as_all(1, ps[0]->pid(), Bytes{}, 0.0);
+  adv.send_as_all(1, ps[0]->pid(), Bytes{0xff, 0x00}, 0.0);
+  const Bytes payload = to_bytes("still works");
+  c.sim.at(1.0, 0, [&] { ps[0]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload, {1}); }, 20000));
+}
+
+TEST(ReliableBroadcast, DeliverCallbackFiresOnce) {
+  Cluster c;
+  auto ps = make_rbc(c, 0);
+  int fires = 0;
+  ps[1]->set_deliver_callback([&](const Bytes&) { ++fires; });
+  c.sim.at(0.0, 0, [&] { ps[0]->send(to_bytes("x")); });
+  c.sim.run(10000);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(ReliableBroadcast, LargerGroupN7T2) {
+  Cluster c(7, 2);
+  auto ps = make_rbc(c, 4);
+  const Bytes payload = to_bytes("n=7");
+  c.sim.at(0.0, 4, [&] { ps[4]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload); }, 20000));
+}
+
+TEST(ReliableBroadcast, ToleratesTwoCrashesInN7) {
+  Cluster c(7, 2);
+  auto ps = make_rbc(c, 0);
+  c.sim.node(5).crash();
+  c.sim.node(6).crash();
+  const Bytes payload = to_bytes("two crashes");
+  c.sim.at(0.0, 0, [&] { ps[0]->send(payload); });
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered(ps, payload, {5, 6}); }, 20000));
+}
+
+}  // namespace
+}  // namespace sintra::core

@@ -1,0 +1,69 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sintra {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BytesHaveRequestedLength) {
+  Rng rng(13);
+  EXPECT_EQ(rng.bytes(0).size(), 0u);
+  EXPECT_EQ(rng.bytes(1).size(), 1u);
+  EXPECT_EQ(rng.bytes(33).size(), 33u);
+}
+
+TEST(Rng, BytesLookRandom) {
+  Rng rng(17);
+  const Bytes b = rng.bytes(4096);
+  // Count distinct byte values; 4 KiB of uniform bytes hits all 256 w.h.p.
+  std::set<std::uint8_t> seen(b.begin(), b.end());
+  EXPECT_GT(seen.size(), 250u);
+}
+
+TEST(Rng, CoinIsNotConstant) {
+  Rng rng(19);
+  int heads = 0;
+  for (int i = 0; i < 1000; ++i) heads += rng.coin() ? 1 : 0;
+  EXPECT_GT(heads, 400);
+  EXPECT_LT(heads, 600);
+}
+
+}  // namespace
+}  // namespace sintra

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+#include "crypto/rsa.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+RsaKeyPair test_key() {
+  static const RsaKeyPair key = [] {
+    Rng rng(0xabc);
+    return rsa_generate(rng, 512);
+  }();
+  return key;
+}
+
+TEST(Rsa, KeyStructure) {
+  const RsaKeyPair key = test_key();
+  EXPECT_EQ(key.pub.n.bit_length(), 512);
+  EXPECT_EQ(key.pub.n, key.p * key.q);
+  Rng rng(1);
+  EXPECT_TRUE(bignum::is_probable_prime(key.p, rng));
+  EXPECT_TRUE(bignum::is_probable_prime(key.q, rng));
+  // e*d == 1 mod phi
+  const BigInt phi = (key.p - BigInt{1}) * (key.q - BigInt{1});
+  EXPECT_EQ((key.pub.e * key.d).mod(phi), BigInt{1});
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  const RsaKeyPair key = test_key();
+  const Bytes msg = to_bytes("pid.atomic.0|round 7|payload");
+  const Bytes sig = rsa_sign(key, msg);
+  EXPECT_EQ(sig.size(), key.pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(key.pub, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongMessage) {
+  const RsaKeyPair key = test_key();
+  const Bytes sig = rsa_sign(key, to_bytes("message A"));
+  EXPECT_FALSE(rsa_verify(key.pub, to_bytes("message B"), sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedSignature) {
+  const RsaKeyPair key = test_key();
+  const Bytes msg = to_bytes("message");
+  Bytes sig = rsa_sign(key, msg);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(key.pub, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongKey) {
+  const RsaKeyPair key = test_key();
+  Rng rng(0xdef);
+  const RsaKeyPair other = rsa_generate(rng, 512);
+  const Bytes msg = to_bytes("message");
+  EXPECT_FALSE(rsa_verify(other.pub, msg, rsa_sign(key, msg)));
+}
+
+TEST(Rsa, VerifyRejectsMalformedSignature) {
+  const RsaKeyPair key = test_key();
+  const Bytes msg = to_bytes("message");
+  EXPECT_FALSE(rsa_verify(key.pub, msg, Bytes{}));
+  EXPECT_FALSE(rsa_verify(key.pub, msg, Bytes(3, 0xab)));
+  // Right length but >= n.
+  Bytes huge(key.pub.modulus_bytes(), 0xff);
+  EXPECT_FALSE(rsa_verify(key.pub, msg, huge));
+}
+
+TEST(Rsa, SignatureIsDeterministic) {
+  const RsaKeyPair key = test_key();
+  const Bytes msg = to_bytes("same input");
+  EXPECT_EQ(rsa_sign(key, msg), rsa_sign(key, msg));
+}
+
+TEST(Rsa, Sha1AndSha256Differ) {
+  const RsaKeyPair key = test_key();
+  const Bytes msg = to_bytes("m");
+  const Bytes s1 = rsa_sign(key, msg, HashKind::kSha1);
+  const Bytes s256 = rsa_sign(key, msg, HashKind::kSha256);
+  EXPECT_NE(s1, s256);
+  EXPECT_TRUE(rsa_verify(key.pub, msg, s1, HashKind::kSha1));
+  EXPECT_FALSE(rsa_verify(key.pub, msg, s1, HashKind::kSha256));
+}
+
+TEST(Rsa, FdhCoversModulusRange) {
+  // The FDH output should not be systematically short.
+  const RsaKeyPair key = test_key();
+  int high_bit_set = 0;
+  for (int i = 0; i < 64; ++i) {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(i));
+    const BigInt x = rsa_fdh(w.data(), key.pub.n, HashKind::kSha256);
+    EXPECT_LT(x, key.pub.n);
+    if (x.bit_length() >= key.pub.n.bit_length() - 1) ++high_bit_set;
+  }
+  EXPECT_GT(high_bit_set, 16);  // ~50% expected
+}
+
+TEST(Rsa, CrtMatchesPlainExponentiation) {
+  const RsaKeyPair key = test_key();
+  const Bytes msg = to_bytes("crt check");
+  const BigInt x = rsa_fdh(msg, key.pub.n, HashKind::kSha256);
+  const BigInt plain = x.mod_pow(key.d, key.pub.n);
+  EXPECT_EQ(rsa_sign(key, msg), plain.to_bytes_padded(key.pub.modulus_bytes()));
+}
+
+TEST(Rsa, SafePrimeGeneration) {
+  Rng rng(0x5afe);
+  const RsaKeyPair key = rsa_generate(rng, 256, /*safe_primes=*/true);
+  const BigInt pp = (key.p - BigInt{1}) >> 1;
+  const BigInt qp = (key.q - BigInt{1}) >> 1;
+  EXPECT_TRUE(bignum::is_probable_prime(pp, rng));
+  EXPECT_TRUE(bignum::is_probable_prime(qp, rng));
+}
+
+TEST(Rsa, SmallModuliWork) {
+  // Figure 6 sweeps key sizes down to 128 bits.
+  for (int bits : {128, 256}) {
+    Rng rng(static_cast<std::uint64_t>(bits));
+    const RsaKeyPair key = rsa_generate(rng, bits);
+    const Bytes msg = to_bytes("tiny key test");
+    EXPECT_TRUE(rsa_verify(key.pub, msg, rsa_sign(key, msg))) << bits;
+  }
+}
+
+TEST(Rsa, PublicKeySerdeRoundTrip) {
+  const RsaKeyPair key = test_key();
+  Writer w;
+  key.pub.write(w);
+  Reader r(w.data());
+  EXPECT_EQ(RsaPublicKey::read(r), key.pub);
+}
+
+}  // namespace
+}  // namespace sintra::crypto

@@ -1,0 +1,81 @@
+#include "util/serde.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sintra {
+namespace {
+
+TEST(Serde, RoundTripScalars) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Serde, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(Serde, RoundTripBytesAndStrings) {
+  Writer w;
+  w.bytes(to_bytes("payload"));
+  w.str("pid.0.echo");
+  w.bytes(Bytes{});
+  Reader r(w.data());
+  EXPECT_EQ(to_string(r.bytes()), "payload");
+  EXPECT_EQ(r.str(), "pid.0.echo");
+  EXPECT_TRUE(r.bytes().empty());
+  r.expect_end();
+}
+
+TEST(Serde, RawHasNoPrefix) {
+  Writer w;
+  w.raw(to_bytes("xyz"));
+  EXPECT_EQ(w.data().size(), 3u);
+  Reader r(w.data());
+  EXPECT_EQ(to_string(r.raw(3)), "xyz");
+}
+
+TEST(Serde, TruncatedScalarThrows) {
+  const Bytes two{0x00, 0x01};
+  Reader r(two);
+  EXPECT_THROW(r.u32(), SerdeError);
+}
+
+TEST(Serde, TruncatedBytesThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  w.raw(to_bytes("short"));
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), SerdeError);
+}
+
+TEST(Serde, TrailingGarbageDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_end(), SerdeError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Serde, RemainingTracksPosition) {
+  Writer w;
+  w.u64(7);
+  Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace sintra

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bignum/prime.hpp"
+#include "crypto/shamir.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+TEST(Shamir, InterpolationRecoversSecret) {
+  Rng rng(1);
+  const BigInt q = bignum::random_prime(rng, 128);
+  const BigInt secret = BigInt::random_below(rng, q);
+  const SecretPolynomial poly(rng, secret, q, 3);
+  const std::vector<BigInt> shares = poly.shares(7);
+
+  // Any 3 of the 7 shares recover the secret.
+  for (const auto& pick : std::vector<std::vector<int>>{
+           {0, 1, 2}, {4, 5, 6}, {0, 3, 6}, {2, 4, 5}, {6, 1, 3}}) {
+    std::vector<SharePoint> pts;
+    for (int i : pick) pts.push_back({i, shares[static_cast<std::size_t>(i)]});
+    EXPECT_EQ(lagrange_zero(pts, q), secret);
+  }
+}
+
+TEST(Shamir, TooFewSharesGiveWrongSecret) {
+  Rng rng(2);
+  const BigInt q = bignum::random_prime(rng, 128);
+  const BigInt secret = BigInt::random_below(rng, q);
+  const SecretPolynomial poly(rng, secret, q, 4);
+  const std::vector<BigInt> shares = poly.shares(7);
+  // Interpolating with only 3 points of a degree-3 polynomial is (w.h.p.)
+  // not the secret.
+  std::vector<SharePoint> pts{{0, shares[0]}, {1, shares[1]}, {2, shares[2]}};
+  EXPECT_NE(lagrange_zero(pts, q), secret);
+}
+
+TEST(Shamir, KEqualsOneIsConstant) {
+  Rng rng(3);
+  const BigInt q = bignum::random_prime(rng, 64);
+  const BigInt secret = BigInt::random_below(rng, q);
+  const SecretPolynomial poly(rng, secret, q, 1);
+  for (const BigInt& s : poly.shares(5)) EXPECT_EQ(s, secret);
+}
+
+TEST(Shamir, DuplicateIndicesRejected) {
+  Rng rng(4);
+  const BigInt q = bignum::random_prime(rng, 64);
+  std::vector<SharePoint> pts{{0, BigInt{1}}, {0, BigInt{2}}, {1, BigInt{3}}};
+  EXPECT_THROW((void)lagrange_zero(pts, q), std::invalid_argument);
+  EXPECT_THROW((void)lagrange_coeff_zero({0, 0, 1}, 0, q),
+               std::invalid_argument);
+}
+
+TEST(Shamir, CoefficientsSumToIdentity) {
+  // sum_j lambda_j * f(x_j) must equal f(0) for every polynomial; with the
+  // constant polynomial f == 1, the lambdas must sum to 1.
+  Rng rng(5);
+  const BigInt q = bignum::random_prime(rng, 96);
+  const std::vector<int> indices{1, 3, 4, 6};
+  BigInt sum;
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    sum = (sum + lagrange_coeff_zero(indices, static_cast<int>(j), q)).mod(q);
+  }
+  EXPECT_EQ(sum, BigInt{1});
+}
+
+TEST(Shamir, Factorial) {
+  EXPECT_EQ(factorial(0), BigInt{1});
+  EXPECT_EQ(factorial(1), BigInt{1});
+  EXPECT_EQ(factorial(5), BigInt{120});
+  EXPECT_EQ(factorial(20), BigInt::from_string("2432902008176640000"));
+}
+
+TEST(Shamir, IntegerLagrangeIsExact) {
+  // For every subset the scaled coefficients must be integers and satisfy
+  // the interpolation identity Δ·f(0) = sum_j (Δλ_j) f(x_j) over the
+  // integers for any integer polynomial.
+  const int n = 7;
+  const BigInt delta = factorial(n);
+  Rng rng(6);
+  // Integer polynomial of degree 2.
+  const BigInt a0{12345}, a1{678}, a2{91};
+  auto f = [&](int x) {
+    const BigInt bx{x};
+    return a0 + a1 * bx + a2 * bx * bx;
+  };
+  const std::vector<int> indices{0, 2, 5};  // 0-based parties -> x = 1,3,6
+  BigInt acc;
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const BigInt lambda =
+        integer_lagrange_coeff(delta, indices, static_cast<int>(j));
+    acc += lambda * f(indices[j] + 1);
+  }
+  EXPECT_EQ(acc, delta * a0);
+}
+
+TEST(Shamir, IntegerLagrangeAllSubsetsOfFive) {
+  const int n = 5;
+  const BigInt delta = factorial(n);
+  // Exhaustively check every 3-subset of 5 parties.
+  const BigInt a0{7}, a1{11};
+  auto f = [&](int x) { return a0 + a1 * BigInt{x}; };
+  std::vector<int> parties{0, 1, 2, 3, 4};
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      for (int k = j + 1; k < n; ++k) {
+        const std::vector<int> idx{i, j, k};
+        BigInt acc;
+        for (int m = 0; m < 3; ++m) {
+          acc += integer_lagrange_coeff(delta, idx, m) * f(idx[static_cast<std::size_t>(m)] + 1);
+        }
+        EXPECT_EQ(acc, delta * a0) << i << "," << j << "," << k;
+      }
+    }
+  }
+}
+
+TEST(Shamir, ShareForMatchesShares) {
+  Rng rng(7);
+  const BigInt q = bignum::random_prime(rng, 64);
+  const SecretPolynomial poly(rng, BigInt{42}, q, 3);
+  const auto all = poly.shares(6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(all[static_cast<std::size_t>(i)], poly.share_for(i));
+  }
+}
+
+}  // namespace
+}  // namespace sintra::crypto

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "crypto/tdh2.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+struct Tdh2Fixture {
+  Tdh2Deal deal;
+  std::vector<std::unique_ptr<Tdh2Party>> parties;
+};
+
+Tdh2Fixture make_tdh2(int n, int k) {
+  Rng rng(0x7d42);
+  static const DlogGroup grp = [] {
+    Rng g(0x7d42601);
+    return DlogGroup::generate(g, 256, 96);
+  }();
+  Tdh2Fixture fx;
+  fx.deal = deal_tdh2(rng, n, k, grp);
+  for (int i = 0; i < n; ++i) fx.parties.push_back(fx.deal.make_party(i));
+  return fx;
+}
+
+std::vector<std::pair<int, Bytes>> shares_from(Tdh2Fixture& fx, BytesView ct,
+                                               const std::vector<int>& who) {
+  std::vector<std::pair<int, Bytes>> out;
+  for (int i : who) {
+    auto s = fx.parties[static_cast<std::size_t>(i)]->decrypt_share(ct);
+    EXPECT_TRUE(s.has_value()) << i;
+    out.emplace_back(i, std::move(*s));
+  }
+  return out;
+}
+
+TEST(Tdh2, EncryptDecryptRoundTrip) {
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(1);
+  const Bytes msg = to_bytes("the secret transaction payload");
+  const Bytes label = to_bytes("channel.pid.0");
+  const Bytes ct = fx.deal.pub->encrypt(msg, label, rng);
+  auto shares = shares_from(fx, ct, {0, 1});
+  EXPECT_EQ(fx.parties[2]->combine(ct, shares), msg);
+}
+
+TEST(Tdh2, AnyKSubsetDecrypts) {
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(2);
+  const Bytes msg = to_bytes("m");
+  const Bytes ct = fx.deal.pub->encrypt(msg, to_bytes("L"), rng);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      auto shares = shares_from(fx, ct, {a, b});
+      EXPECT_EQ(fx.parties[0]->combine(ct, shares), msg) << a << "," << b;
+    }
+  }
+}
+
+TEST(Tdh2, EmptyAndLargePlaintexts) {
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(3);
+  for (std::size_t len : {0u, 1u, 16u, 1000u}) {
+    Bytes msg(len);
+    for (std::size_t i = 0; i < len; ++i)
+      msg[i] = static_cast<std::uint8_t>(i);
+    const Bytes ct = fx.deal.pub->encrypt(msg, to_bytes("L"), rng);
+    auto shares = shares_from(fx, ct, {1, 3});
+    EXPECT_EQ(fx.parties[0]->combine(ct, shares), msg) << len;
+  }
+}
+
+TEST(Tdh2, CiphertextValidity) {
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(4);
+  const Bytes ct = fx.deal.pub->encrypt(to_bytes("m"), to_bytes("L"), rng);
+  EXPECT_TRUE(fx.deal.pub->ciphertext_valid(ct));
+  EXPECT_FALSE(fx.deal.pub->ciphertext_valid(Bytes{}));
+  EXPECT_FALSE(fx.deal.pub->ciphertext_valid(Bytes(30, 0x11)));
+}
+
+TEST(Tdh2, MauledCiphertextRejected) {
+  // The CCA property SINTRA needs: flipping any byte invalidates the
+  // ciphertext, so honest parties refuse decryption shares (paper §2.6).
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(5);
+  const Bytes ct = fx.deal.pub->encrypt(to_bytes("bid: 100 CHF"), to_bytes("L"), rng);
+  for (std::size_t pos = 0; pos < ct.size(); pos += 7) {
+    Bytes mauled = ct;
+    mauled[pos] ^= 0x01;
+    EXPECT_FALSE(fx.deal.pub->ciphertext_valid(mauled)) << pos;
+    EXPECT_EQ(fx.parties[0]->decrypt_share(mauled), std::nullopt) << pos;
+  }
+}
+
+TEST(Tdh2, LabelIsAuthenticated) {
+  // The label binds the ciphertext to its context (the channel pid); a
+  // swapped label must invalidate it.
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(6);
+  const Bytes ct = fx.deal.pub->encrypt(to_bytes("m"), to_bytes("channel-A"), rng);
+  // Re-serialize with a different label by surgically editing: simplest is
+  // to check that two encryptions with different labels are both valid but
+  // a byte flip in the label region invalidates (covered by Mauled test);
+  // here verify decrypt_share refuses a ciphertext whose label was swapped
+  // wholesale via parse/re-encode (no public API — flip a label byte).
+  Bytes mauled = ct;
+  // label is stored right after the 4-byte length + c bytes; flip a byte in
+  // the first 40 bytes region conservatively:
+  mauled[6] ^= 0xff;
+  EXPECT_FALSE(fx.deal.pub->ciphertext_valid(mauled));
+}
+
+TEST(Tdh2, SharesVerify) {
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(7);
+  const Bytes ct = fx.deal.pub->encrypt(to_bytes("m"), to_bytes("L"), rng);
+  for (int i = 0; i < 4; ++i) {
+    auto share = fx.parties[static_cast<std::size_t>(i)]->decrypt_share(ct);
+    ASSERT_TRUE(share.has_value());
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_TRUE(fx.parties[static_cast<std::size_t>(j)]->verify_share(ct, i, *share));
+    }
+  }
+}
+
+TEST(Tdh2, WrongSignerShareRejected) {
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(8);
+  const Bytes ct = fx.deal.pub->encrypt(to_bytes("m"), to_bytes("L"), rng);
+  auto share = fx.parties[0]->decrypt_share(ct);
+  ASSERT_TRUE(share.has_value());
+  EXPECT_FALSE(fx.parties[1]->verify_share(ct, 1, *share));
+  EXPECT_FALSE(fx.parties[1]->verify_share(ct, 5, *share));
+}
+
+TEST(Tdh2, ForgedShareRejected) {
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(9);
+  const Bytes ct = fx.deal.pub->encrypt(to_bytes("m"), to_bytes("L"), rng);
+  auto share = fx.parties[0]->decrypt_share(ct);
+  ASSERT_TRUE(share.has_value());
+  Bytes bad = *share;
+  bad[bad.size() / 3] ^= 0x10;
+  EXPECT_FALSE(fx.parties[1]->verify_share(ct, 0, bad));
+  EXPECT_FALSE(fx.parties[1]->verify_share(ct, 0, Bytes{}));
+}
+
+TEST(Tdh2, ShareBoundToCiphertext) {
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(10);
+  const Bytes ct1 = fx.deal.pub->encrypt(to_bytes("m1"), to_bytes("L"), rng);
+  const Bytes ct2 = fx.deal.pub->encrypt(to_bytes("m2"), to_bytes("L"), rng);
+  auto share = fx.parties[0]->decrypt_share(ct1);
+  ASSERT_TRUE(share.has_value());
+  EXPECT_FALSE(fx.parties[1]->verify_share(ct2, 0, *share));
+}
+
+TEST(Tdh2, CombineChecksArguments) {
+  Tdh2Fixture fx = make_tdh2(4, 3);
+  Rng rng(11);
+  const Bytes ct = fx.deal.pub->encrypt(to_bytes("m"), to_bytes("L"), rng);
+  auto shares = shares_from(fx, ct, {0, 1});
+  EXPECT_THROW((void)fx.parties[0]->combine(ct, shares),
+               std::invalid_argument);
+  auto s0 = fx.parties[0]->decrypt_share(ct);
+  std::vector<std::pair<int, Bytes>> dup{{0, *s0}, {0, *s0}, {0, *s0}};
+  EXPECT_THROW((void)fx.parties[0]->combine(ct, dup), std::invalid_argument);
+}
+
+TEST(Tdh2, NonMemberCanEncrypt) {
+  // Paper §3.4: an external client only needs the public key.
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  const Tdh2Public pub_copy = *fx.deal.pub;  // "shipped" to an outsider
+  Rng rng(12);
+  const Bytes ct = pub_copy.encrypt(to_bytes("external request"), to_bytes("L"), rng);
+  auto shares = shares_from(fx, ct, {2, 3});
+  EXPECT_EQ(fx.parties[0]->combine(ct, shares), to_bytes("external request"));
+}
+
+TEST(Tdh2, CiphertextsRandomized) {
+  Tdh2Fixture fx = make_tdh2(4, 2);
+  Rng rng(13);
+  const Bytes m = to_bytes("same message");
+  EXPECT_NE(fx.deal.pub->encrypt(m, to_bytes("L"), rng),
+            fx.deal.pub->encrypt(m, to_bytes("L"), rng));
+}
+
+}  // namespace
+}  // namespace sintra::crypto

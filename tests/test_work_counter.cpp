@@ -1,0 +1,91 @@
+// The bignum work counter is the foundation of the simulator's timing —
+// pin its semantics: deterministic, monotonic, and proportional to the
+// arithmetic actually performed.
+#include <gtest/gtest.h>
+
+#include "bignum/montgomery.hpp"
+#include "crypto/cost.hpp"
+#include "crypto/rsa.hpp"
+
+namespace sintra {
+namespace {
+
+using bignum::BigInt;
+
+TEST(WorkCounter, MonotonicAndDeterministic) {
+  const BigInt m = (BigInt{1} << 512) - BigInt{569};
+  const bignum::Montgomery mont(m);
+  Rng rng(1);
+  const BigInt base = BigInt::random_below(rng, m);
+  const BigInt e = BigInt::random_bits(rng, 512);
+
+  const std::uint64_t w0 = bignum::work_counter();
+  (void)mont.pow(base, e);
+  const std::uint64_t w1 = bignum::work_counter();
+  (void)mont.pow(base, e);
+  const std::uint64_t w2 = bignum::work_counter();
+  EXPECT_GT(w1, w0);
+  // Same operation, same work.
+  EXPECT_EQ(w2 - w1, w1 - w0);
+}
+
+TEST(WorkCounter, ScalesWithModulusSize) {
+  Rng rng(2);
+  auto work_of = [&](int bits) {
+    const BigInt m = (BigInt{1} << bits) - BigInt{569};
+    const bignum::Montgomery mont(m);
+    const BigInt base = BigInt::random_below(rng, m);
+    const BigInt e = BigInt::random_bits(rng, bits);
+    const crypto::WorkMeter meter;
+    (void)mont.pow(base, e);
+    return meter.elapsed();
+  };
+  const auto w256 = work_of(256);
+  const auto w512 = work_of(512);
+  const auto w1024 = work_of(1024);
+  // Cubic-ish growth: each doubling should cost 6-10x.
+  EXPECT_GT(static_cast<double>(w512) / w256, 5.0);
+  EXPECT_LT(static_cast<double>(w512) / w256, 12.0);
+  EXPECT_GT(static_cast<double>(w1024) / w512, 5.0);
+  EXPECT_LT(static_cast<double>(w1024) / w512, 12.0);
+}
+
+TEST(WorkCounter, CrtSigningCheaperThanFullExp) {
+  // The structural fact behind Figure 6's multi-signature advantage.
+  Rng rng(3);
+  const crypto::RsaKeyPair key = crypto::rsa_generate(rng, 1024);
+  const Bytes msg = to_bytes("m");
+
+  const crypto::WorkMeter crt_meter;
+  (void)crypto::rsa_sign(key, msg);
+  const auto crt_work = crt_meter.elapsed();
+
+  const crypto::BigInt x = crypto::rsa_fdh(msg, key.pub.n,
+                                           crypto::HashKind::kSha256);
+  const crypto::WorkMeter full_meter;
+  (void)x.mod_pow(key.d, key.pub.n);
+  const auto full_work = full_meter.elapsed();
+
+  EXPECT_GT(static_cast<double>(full_work) / crt_work, 2.5);
+}
+
+TEST(WorkCounter, VerificationNearlyFree) {
+  Rng rng(4);
+  const crypto::RsaKeyPair key = crypto::rsa_generate(rng, 1024);
+  const Bytes msg = to_bytes("m");
+  const Bytes sig = crypto::rsa_sign(key, msg);
+
+  const crypto::WorkMeter sign_meter;
+  (void)crypto::rsa_sign(key, msg);
+  const auto sign_work = sign_meter.elapsed();
+
+  const crypto::WorkMeter verify_meter;
+  EXPECT_TRUE(crypto::rsa_verify(key.pub, msg, sig));
+  const auto verify_work = verify_meter.elapsed();
+
+  // e = 65537: verification is an order of magnitude cheaper than signing.
+  EXPECT_GT(static_cast<double>(sign_work) / verify_work, 5.0);
+}
+
+}  // namespace
+}  // namespace sintra
