@@ -5,17 +5,44 @@
 // generation dominated by one or two exponentiations, verification with
 // e=65537 nearly free) are what drive the shapes of Table 1 and Figure 6
 // through the simulator's work accounting.
+// The *Seed benchmarks replicate the pre-fast-path operation sequences
+// (plain square-and-multiply per base, explicit modular inverses,
+// unmemoized hash-to-group arithmetic) so one binary reports both sides
+// of the before/after comparison in BENCH_crypto.json; the *Fast
+// benchmarks exercise the shipped simultaneous-multi-exp / comb-table
+// paths.  Every benchmark also reports the Montgomery work counter per
+// operation — the unit the simulator's virtual clock is driven by.
 #include <benchmark/benchmark.h>
 
 #include "bignum/montgomery.hpp"
 #include "crypto/coin.hpp"
 #include "crypto/dealer.hpp"
+#include "crypto/group.hpp"
 #include "crypto/tdh2.hpp"
 
 namespace {
 
 using namespace sintra;
 using crypto::BigInt;
+
+// Reports bignum work units per operation alongside wall-clock time.
+class WorkTracker {
+ public:
+  explicit WorkTracker(benchmark::State& state)
+      : state_(state), start_(bignum::work_counter()) {}
+  ~WorkTracker() {
+    const std::uint64_t total = bignum::work_counter() - start_;
+    state_.counters["work_per_op"] = benchmark::Counter(
+        static_cast<double>(total) /
+        static_cast<double>(std::max<std::int64_t>(1, state_.iterations())));
+  }
+  WorkTracker(const WorkTracker&) = delete;
+  WorkTracker& operator=(const WorkTracker&) = delete;
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t start_;
+};
 
 struct Fixture {
   crypto::Deal deal;
@@ -53,6 +80,7 @@ void BM_Modexp(benchmark::State& state) {
   const bignum::Montgomery mont(m);
   const BigInt base = BigInt::random_below(rng, m);
   const BigInt e = BigInt::random_bits(rng, bits);
+  WorkTracker wt(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(mont.pow(base, e));
   }
@@ -82,6 +110,7 @@ BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024);
 void BM_ThresholdSigShare(benchmark::State& state) {
   Fixture& fx = fixture(static_cast<int>(state.range(0)),
                         crypto::SigImpl::kThresholdRsa);
+  WorkTracker wt(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         fx.deal.parties[0].sig_broadcast->sign_share(fx.msg));
@@ -93,6 +122,7 @@ void BM_ThresholdSigVerifyShare(benchmark::State& state) {
   Fixture& fx = fixture(static_cast<int>(state.range(0)),
                         crypto::SigImpl::kThresholdRsa);
   const Bytes share = fx.deal.parties[0].sig_broadcast->sign_share(fx.msg);
+  WorkTracker wt(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         fx.deal.parties[1].sig_broadcast->verify_share(fx.msg, 0, share));
@@ -109,6 +139,7 @@ void BM_ThresholdSigCombine(benchmark::State& state) {
         i, fx.deal.parties[static_cast<std::size_t>(i)].sig_broadcast
                ->sign_share(fx.msg));
   }
+  WorkTracker wt(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         fx.deal.parties[0].sig_broadcast->combine(fx.msg, shares));
@@ -119,6 +150,7 @@ BENCHMARK(BM_ThresholdSigCombine)->Arg(512)->Arg(1024);
 void BM_CoinRelease(benchmark::State& state) {
   Fixture& fx = fixture(1024, crypto::SigImpl::kMultiSig);
   std::uint64_t i = 0;
+  WorkTracker wt(state);
   for (auto _ : state) {
     Writer w;
     w.u64(i++);
@@ -135,6 +167,7 @@ void BM_CoinVerifyAndAssemble(benchmark::State& state) {
     shares.emplace_back(
         i, fx.deal.parties[static_cast<std::size_t>(i)].coin->release(name));
   }
+  WorkTracker wt(state);
   for (auto _ : state) {
     bool ok = fx.deal.parties[2].coin->verify_share(name, 0, shares[0].second);
     benchmark::DoNotOptimize(ok);
@@ -147,6 +180,7 @@ BENCHMARK(BM_CoinVerifyAndAssemble);
 void BM_Tdh2Encrypt(benchmark::State& state) {
   Fixture& fx = fixture(1024, crypto::SigImpl::kMultiSig);
   Rng rng(7);
+  WorkTracker wt(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         fx.deal.encryption_key->encrypt(fx.msg, to_bytes("L"), rng));
@@ -158,6 +192,7 @@ void BM_Tdh2DecryptShare(benchmark::State& state) {
   Fixture& fx = fixture(1024, crypto::SigImpl::kMultiSig);
   Rng rng(8);
   const Bytes ct = fx.deal.encryption_key->encrypt(fx.msg, to_bytes("L"), rng);
+  WorkTracker wt(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(fx.deal.parties[0].cipher->decrypt_share(ct));
   }
@@ -174,11 +209,164 @@ void BM_Tdh2Combine(benchmark::State& state) {
         i,
         *fx.deal.parties[static_cast<std::size_t>(i)].cipher->decrypt_share(ct));
   }
+  WorkTracker wt(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(fx.deal.parties[3].cipher->combine(ct, shares));
   }
 }
 BENCHMARK(BM_Tdh2Combine);
+
+// --- Before/after comparison: seed op sequences vs fast paths ------------
+
+struct DleqBench {
+  crypto::DlogGroup grp;  // private copy: its precomputation cache is ours
+  BigInt vk;              // h1 = g^x, a long-lived verification key
+  BigInt base;            // g2 = H2G(name), fresh per coin
+  BigInt gi;              // h2 = base^x, fresh per share
+  crypto::DleqProof proof;
+  BigInt cofactor;        // (p-1)/q, the hash-to-group projection exponent
+
+  DleqBench()
+      : grp(fixture(1024, crypto::SigImpl::kMultiSig)
+                .deal.encryption_key->group) {
+    Rng rng(0xd1e9);
+    const BigInt x = grp.random_exponent(rng);
+    vk = grp.exp(grp.g(), x);
+    base = grp.hash_to_group(to_bytes("bench dleq base"));
+    gi = grp.exp(base, x);
+    proof = crypto::dleq_prove(grp, grp.g(), vk, base, gi, x, rng);
+    cofactor = (grp.p() - BigInt{1}) / grp.q();
+  }
+};
+
+DleqBench& dleq_bench() {
+  static DleqBench b;
+  return b;
+}
+
+// Seed-identical DLEQ verification: one plain exponentiation per base,
+// explicit modular inverses, unmemoized membership checks.
+bool seed_dleq_verify(const crypto::DlogGroup& grp, const BigInt& g1,
+                      const BigInt& h1, const BigInt& g2, const BigInt& h2,
+                      const crypto::DleqProof& pf) {
+  if (pf.c.is_negative() || pf.z.is_negative() || pf.c >= grp.q() ||
+      pf.z >= grp.q()) {
+    return false;
+  }
+  if (!grp.is_member(h1) || !grp.is_member(h2)) return false;
+  const BigInt a1 = grp.mul(grp.exp(g1, pf.z), grp.inv(grp.exp(h1, pf.c)));
+  const BigInt a2 = grp.mul(grp.exp(g2, pf.z), grp.inv(grp.exp(h2, pf.c)));
+  Writer w;
+  g1.write(w);
+  h1.write(w);
+  g2.write(w);
+  h2.write(w);
+  a1.write(w);
+  a2.write(w);
+  return grp.hash_to_exponent(w.data()) == pf.c;
+}
+
+void BM_SingleExp(benchmark::State& state) {
+  DleqBench& b = dleq_bench();
+  Rng rng(11);
+  const BigInt e = b.grp.random_exponent(rng);
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.grp.exp(b.grp.g(), e));
+  }
+}
+BENCHMARK(BM_SingleExp);
+
+void BM_SingleExpFixedBase(benchmark::State& state) {
+  DleqBench& b = dleq_bench();
+  Rng rng(12);
+  const BigInt e = b.grp.random_exponent(rng);
+  benchmark::DoNotOptimize(b.grp.exp_cached(b.grp.g(), e));  // warm the comb
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.grp.exp_cached(b.grp.g(), e));
+  }
+}
+BENCHMARK(BM_SingleExpFixedBase);
+
+void BM_DualExpSeed(benchmark::State& state) {
+  DleqBench& b = dleq_bench();
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        b.grp.mul(b.grp.exp(b.grp.g(), b.proof.z),
+                  b.grp.inv(b.grp.exp(b.vk, b.proof.c))));
+  }
+}
+BENCHMARK(BM_DualExpSeed);
+
+void BM_DualExpFast(benchmark::State& state) {
+  DleqBench& b = dleq_bench();
+  benchmark::DoNotOptimize(
+      b.grp.dual_exp_neg(b.grp.g(), b.proof.z, true, b.vk, b.proof.c, true));
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        b.grp.dual_exp_neg(b.grp.g(), b.proof.z, true, b.vk, b.proof.c, true));
+  }
+}
+BENCHMARK(BM_DualExpFast);
+
+void BM_DleqVerifySeed(benchmark::State& state) {
+  DleqBench& b = dleq_bench();
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        seed_dleq_verify(b.grp, b.grp.g(), b.vk, b.base, b.gi, b.proof));
+  }
+}
+BENCHMARK(BM_DleqVerifySeed);
+
+void BM_DleqVerifyFast(benchmark::State& state) {
+  DleqBench& b = dleq_bench();
+  const crypto::DleqHints hints{.g1_long_lived = true,
+                                .h1_long_lived = true,
+                                .g2_long_lived = false,
+                                .h2_long_lived = false};
+  benchmark::DoNotOptimize(
+      crypto::dleq_verify(b.grp, b.grp.g(), b.vk, b.base, b.gi, b.proof,
+                          hints));  // warm the combs
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::dleq_verify(b.grp, b.grp.g(), b.vk, b.base, b.gi, b.proof,
+                            hints));
+  }
+}
+BENCHMARK(BM_DleqVerifyFast);
+
+void BM_CoinShareVerifySeed(benchmark::State& state) {
+  // Seed coin-share verification = recompute H2G(name) from scratch (its
+  // arithmetic core is the cofactor exponentiation) + a plain DLEQ verify.
+  DleqBench& b = dleq_bench();
+  const bignum::Montgomery mont(b.grp.p());
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.pow(b.base, b.cofactor));
+    benchmark::DoNotOptimize(
+        seed_dleq_verify(b.grp, b.grp.g(), b.vk, b.base, b.gi, b.proof));
+  }
+}
+BENCHMARK(BM_CoinShareVerifySeed);
+
+void BM_CoinShareVerifyFast(benchmark::State& state) {
+  Fixture& fx = fixture(1024, crypto::SigImpl::kMultiSig);
+  const Bytes name = to_bytes("bench coin fastpath");
+  const Bytes share = fx.deal.parties[0].coin->release(name);
+  benchmark::DoNotOptimize(
+      fx.deal.parties[2].coin->verify_share(name, 0, share));  // warm caches
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.deal.parties[2].coin->verify_share(name, 0, share));
+  }
+}
+BENCHMARK(BM_CoinShareVerifyFast);
 
 }  // namespace
 

@@ -223,12 +223,17 @@ bench/CMakeFiles/layer_breakdown.dir/layer_breakdown.cpp.o: \
  /root/repo/src/core/protocol.hpp /root/repo/src/core/dispatcher.hpp \
  /root/repo/src/core/env.hpp /root/repo/src/crypto/dealer.hpp \
  /root/repo/src/crypto/coin.hpp /root/repo/src/crypto/group.hpp \
- /root/repo/src/bignum/montgomery.hpp /root/repo/src/bignum/bigint.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/bignum/montgomery.hpp /root/repo/src/bignum/bigint.hpp \
  /root/repo/src/util/bytes.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/util/rng.hpp \
  /root/repo/src/util/serde.hpp /root/repo/src/bignum/prime.hpp \
- /root/repo/src/crypto/sha256.hpp /root/repo/src/crypto/multi_sig.hpp \
+ /root/repo/src/crypto/sha256.hpp /root/repo/src/crypto/shamir.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/crypto/multi_sig.hpp \
  /root/repo/src/crypto/threshold_sig.hpp /root/repo/src/crypto/rsa.hpp \
  /root/repo/src/crypto/tdh2.hpp /root/repo/src/core/message.hpp \
  /root/repo/src/core/broadcast/consistent_broadcast.hpp \

@@ -218,12 +218,18 @@ examples/CMakeFiles/dealer_tool.dir/dealer_tool.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/crypto/coin.hpp /root/repo/src/crypto/group.hpp \
- /root/repo/src/bignum/montgomery.hpp /root/repo/src/bignum/bigint.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/bignum/montgomery.hpp /root/repo/src/bignum/bigint.hpp \
  /root/repo/src/util/bytes.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/util/rng.hpp /root/repo/src/util/serde.hpp \
  /root/repo/src/bignum/prime.hpp /root/repo/src/crypto/sha256.hpp \
- /root/repo/src/crypto/multi_sig.hpp \
+ /root/repo/src/crypto/shamir.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/crypto/multi_sig.hpp \
  /root/repo/src/crypto/threshold_sig.hpp /root/repo/src/crypto/rsa.hpp \
  /root/repo/src/crypto/tdh2.hpp /root/repo/src/crypto/keyfile.hpp

@@ -219,12 +219,17 @@ src/CMakeFiles/sintra_core_base.dir/core/agreement/validated_agreement.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/crypto/coin.hpp \
- /root/repo/src/crypto/group.hpp /root/repo/src/bignum/montgomery.hpp \
- /root/repo/src/bignum/bigint.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/bytes.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/util/serde.hpp /root/repo/src/bignum/prime.hpp \
- /root/repo/src/crypto/sha256.hpp /root/repo/src/crypto/multi_sig.hpp \
+ /root/repo/src/crypto/group.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/bignum/montgomery.hpp /root/repo/src/bignum/bigint.hpp \
+ /root/repo/src/util/bytes.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/util/serde.hpp \
+ /root/repo/src/bignum/prime.hpp /root/repo/src/crypto/sha256.hpp \
+ /root/repo/src/crypto/shamir.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/crypto/multi_sig.hpp \
  /root/repo/src/crypto/threshold_sig.hpp /root/repo/src/crypto/rsa.hpp \
  /root/repo/src/crypto/tdh2.hpp /root/repo/src/core/message.hpp

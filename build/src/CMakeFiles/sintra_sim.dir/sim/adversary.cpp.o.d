@@ -205,21 +205,26 @@ src/CMakeFiles/sintra_sim.dir/sim/adversary.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/crypto/coin.hpp \
- /root/repo/src/crypto/group.hpp /root/repo/src/bignum/montgomery.hpp \
- /root/repo/src/bignum/bigint.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/bytes.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/limits /root/repo/src/util/serde.hpp \
- /root/repo/src/bignum/prime.hpp /root/repo/src/crypto/sha256.hpp \
+ /root/repo/src/crypto/group.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/bignum/montgomery.hpp /root/repo/src/bignum/bigint.hpp \
+ /root/repo/src/util/bytes.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/util/serde.hpp /root/repo/src/bignum/prime.hpp \
+ /root/repo/src/crypto/sha256.hpp /root/repo/src/crypto/shamir.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/crypto/multi_sig.hpp \
  /root/repo/src/crypto/threshold_sig.hpp /root/repo/src/crypto/rsa.hpp \
  /root/repo/src/crypto/tdh2.hpp /root/repo/src/sim/network.hpp \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

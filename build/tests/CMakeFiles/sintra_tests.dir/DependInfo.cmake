@@ -36,6 +36,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_keyfile.cpp" "tests/CMakeFiles/sintra_tests.dir/test_keyfile.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_keyfile.cpp.o.d"
   "/root/repo/tests/test_label_binding.cpp" "tests/CMakeFiles/sintra_tests.dir/test_label_binding.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_label_binding.cpp.o.d"
   "/root/repo/tests/test_montgomery.cpp" "tests/CMakeFiles/sintra_tests.dir/test_montgomery.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_montgomery.cpp.o.d"
+  "/root/repo/tests/test_multi_exp.cpp" "tests/CMakeFiles/sintra_tests.dir/test_multi_exp.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_multi_exp.cpp.o.d"
   "/root/repo/tests/test_optimistic_channel.cpp" "tests/CMakeFiles/sintra_tests.dir/test_optimistic_channel.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_optimistic_channel.cpp.o.d"
   "/root/repo/tests/test_prime.cpp" "tests/CMakeFiles/sintra_tests.dir/test_prime.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_prime.cpp.o.d"
   "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sintra_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_properties.cpp.o.d"

@@ -217,13 +217,18 @@ tests/CMakeFiles/sintra_tests.dir/test_binary_agreement.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/crypto/coin.hpp \
- /root/repo/src/crypto/group.hpp /root/repo/src/bignum/montgomery.hpp \
- /root/repo/src/bignum/bigint.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/bytes.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/util/serde.hpp /root/repo/src/bignum/prime.hpp \
- /root/repo/src/crypto/sha256.hpp /root/repo/src/crypto/multi_sig.hpp \
+ /root/repo/src/crypto/group.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/bignum/montgomery.hpp /root/repo/src/bignum/bigint.hpp \
+ /root/repo/src/util/bytes.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/util/serde.hpp \
+ /root/repo/src/bignum/prime.hpp /root/repo/src/crypto/sha256.hpp \
+ /root/repo/src/crypto/shamir.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/crypto/multi_sig.hpp \
  /root/repo/src/crypto/threshold_sig.hpp /root/repo/src/crypto/rsa.hpp \
  /root/repo/src/crypto/tdh2.hpp /root/repo/src/core/message.hpp \
  /root/miniconda/include/gtest/gtest.h \
@@ -247,7 +252,7 @@ tests/CMakeFiles/sintra_tests.dir/test_binary_agreement.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -256,7 +261,6 @@ tests/CMakeFiles/sintra_tests.dir/test_binary_agreement.cpp.o: \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
  /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \

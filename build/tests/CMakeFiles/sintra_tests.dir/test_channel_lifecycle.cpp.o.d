@@ -313,6 +313,8 @@ tests/CMakeFiles/sintra_tests.dir/test_channel_lifecycle.cpp.o: \
  /root/repo/src/util/bytes.hpp /usr/include/c++/12/span \
  /root/repo/src/util/rng.hpp /root/repo/src/util/serde.hpp \
  /root/repo/src/bignum/prime.hpp /root/repo/src/crypto/sha256.hpp \
+ /root/repo/src/crypto/shamir.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/crypto/multi_sig.hpp \
  /root/repo/src/crypto/threshold_sig.hpp /root/repo/src/crypto/rsa.hpp \
  /root/repo/src/crypto/tdh2.hpp /root/repo/src/core/message.hpp \
@@ -322,7 +324,6 @@ tests/CMakeFiles/sintra_tests.dir/test_channel_lifecycle.cpp.o: \
  /root/repo/src/core/link/sliding_window.hpp \
  /root/repo/src/facade/blocking_api.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /root/repo/src/core/channel/broadcast_channel.hpp \
  /root/repo/src/core/broadcast/reliable_broadcast.hpp \
  /root/repo/src/core/channel/secure_atomic_channel.hpp \

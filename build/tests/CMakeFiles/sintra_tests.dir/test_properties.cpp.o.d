@@ -302,7 +302,10 @@ tests/CMakeFiles/sintra_tests.dir/test_properties.cpp.o: \
  /root/repo/src/bignum/bigint.hpp /root/repo/src/util/bytes.hpp \
  /usr/include/c++/12/span /root/repo/src/util/rng.hpp \
  /root/repo/src/util/serde.hpp /root/repo/src/bignum/prime.hpp \
- /root/repo/src/crypto/sha256.hpp /root/repo/src/crypto/multi_sig.hpp \
+ /root/repo/src/crypto/sha256.hpp /root/repo/src/crypto/shamir.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/crypto/multi_sig.hpp \
  /root/repo/src/crypto/threshold_sig.hpp /root/repo/src/crypto/rsa.hpp \
  /root/repo/src/crypto/tdh2.hpp /root/repo/src/core/message.hpp \
  /root/repo/src/core/channel/atomic_channel.hpp \

@@ -299,4 +299,6 @@ tests/CMakeFiles/sintra_tests.dir/test_shamir.cpp.o: \
  /root/repo/src/bignum/prime.hpp /root/repo/src/bignum/bigint.hpp \
  /root/repo/src/util/bytes.hpp /usr/include/c++/12/span \
  /root/repo/src/util/rng.hpp /root/repo/src/util/serde.hpp \
- /root/repo/src/crypto/shamir.hpp
+ /root/repo/src/crypto/shamir.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -299,7 +299,10 @@ tests/CMakeFiles/sintra_tests.dir/test_simulator.cpp.o: \
  /root/repo/src/bignum/prime.hpp /root/repo/src/crypto/sha256.hpp \
  /root/repo/src/sim/adversary.hpp /root/repo/src/crypto/dealer.hpp \
  /root/repo/src/crypto/coin.hpp /root/repo/src/crypto/group.hpp \
- /root/repo/src/bignum/montgomery.hpp /root/repo/src/crypto/multi_sig.hpp \
+ /root/repo/src/bignum/montgomery.hpp /root/repo/src/crypto/shamir.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/crypto/multi_sig.hpp \
  /root/repo/src/crypto/threshold_sig.hpp /root/repo/src/crypto/tdh2.hpp \
  /root/repo/src/sim/network.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \

@@ -306,6 +306,9 @@ tests/CMakeFiles/sintra_tests.dir/test_sliding_window.cpp.o: \
  /root/repo/src/bignum/montgomery.hpp /root/repo/src/bignum/bigint.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/util/serde.hpp \
  /root/repo/src/bignum/prime.hpp /root/repo/src/crypto/sha256.hpp \
+ /root/repo/src/crypto/shamir.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/crypto/multi_sig.hpp \
  /root/repo/src/crypto/threshold_sig.hpp /root/repo/src/crypto/rsa.hpp \
  /root/repo/src/crypto/tdh2.hpp /root/repo/src/core/message.hpp \

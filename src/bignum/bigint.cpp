@@ -453,6 +453,19 @@ bool BigInt::bit(int i) const {
   return (limbs_[limb] >> (i % 32)) & 1u;
 }
 
+std::uint32_t BigInt::bits_window(int i, int width) const {
+  const std::size_t limb = static_cast<std::size_t>(i) / 32;
+  const int off = i % 32;
+  std::uint64_t word = limb < limbs_.size() ? limbs_[limb] : 0u;
+  if (limb + 1 < limbs_.size()) {
+    word |= static_cast<std::uint64_t>(limbs_[limb + 1]) << 32;
+  }
+  word >>= off;
+  const std::uint64_t mask =
+      width >= 32 ? 0xffffffffULL : (1ULL << width) - 1;
+  return static_cast<std::uint32_t>(word & mask);
+}
+
 BigInt BigInt::from_string(std::string_view s) {
   bool neg = false;
   if (!s.empty() && (s[0] == '-' || s[0] == '+')) {

@@ -46,6 +46,10 @@ class BigInt {
   /// Number of significant bits (0 for zero).
   [[nodiscard]] int bit_length() const;
   [[nodiscard]] bool bit(int i) const;
+  /// Bits [i, i+width) of the magnitude as an unsigned value (width in
+  /// [1, 32]; bits past the top read as 0).  The digit-extraction primitive
+  /// of windowed and comb exponentiation.
+  [[nodiscard]] std::uint32_t bits_window(int i, int width) const;
 
   [[nodiscard]] std::string to_string() const;   // decimal
   [[nodiscard]] std::string to_hex() const;      // lowercase, no prefix

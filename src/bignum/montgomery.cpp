@@ -1,5 +1,7 @@
 #include "bignum/montgomery.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace sintra::bignum {
@@ -18,6 +20,47 @@ std::uint32_t inv32(std::uint32_t x) {
   for (int i = 0; i < 4; ++i) y *= 2 - x * y;  // doubles precision each step
   return y;
 }
+
+// Exponentiation working set (window table + accumulator + temporaries).
+// Small instances live on the stack; anything larger reuses one
+// thread-local buffer, so the hot path never pays a per-call heap
+// allocation for its tables.
+constexpr std::size_t kStackLimbs = 1280;  // covers 2048-bit moduli for pow()
+
+thread_local std::vector<std::uint32_t> g_scratch;
+
+struct Workspace {
+  std::uint32_t stack[kStackLimbs];
+  std::uint32_t* p;
+
+  explicit Workspace(std::size_t limbs) {
+    if (limbs <= kStackLimbs) {
+      p = stack;
+    } else {
+      if (g_scratch.size() < limbs) g_scratch.resize(limbs);
+      p = g_scratch.data();
+    }
+  }
+};
+
+// Largest 4-bit window digit occurring in e: short or structured exponents
+// (membership checks, 2*lambda, 4*delta) need only a partial table.
+int max_window_digit(const BigInt& e) {
+  const int windows = (e.bit_length() + 3) / 4;
+  int maxd = 0;
+  for (int w = 0; w < windows && maxd < 15; ++w) {
+    maxd = std::max<int>(maxd, static_cast<int>(e.bits_window(4 * w, 4)));
+  }
+  return maxd;
+}
+
+void check_nonneg(const BigInt& e) {
+  if (e.is_negative()) {
+    throw std::domain_error(
+        "Montgomery::mul_pow: negative exponent (reduce mod the group order "
+        "or invert the base instead)");
+  }
+}
 }  // namespace
 
 Montgomery::Montgomery(const BigInt& modulus) : modulus_(modulus) {
@@ -35,11 +78,12 @@ Montgomery::Montgomery(const BigInt& modulus) : modulus_(modulus) {
   one_.resize(m_.size(), 0);
 }
 
-Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
+void Montgomery::mmul(std::uint32_t* out, const std::uint32_t* a,
+                      const std::uint32_t* b, std::uint32_t* t) const {
   const std::size_t n = m_.size();
   g_work += static_cast<std::uint64_t>(n) * n;
   // CIOS: t has n+2 limbs.
-  std::vector<std::uint32_t> t(n + 2, 0);
+  std::fill(t, t + n + 2, 0u);
   for (std::size_t i = 0; i < n; ++i) {
     // t += a[i] * b
     std::uint64_t carry = 0;
@@ -70,13 +114,12 @@ Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
     t[n + 1] = static_cast<std::uint32_t>(c2 >> 32);
   }
   // Conditional subtraction: t may be in [0, 2m).
-  Limbs out(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(n));
   bool ge = t[n] != 0;
   if (!ge) {
     ge = true;
     for (std::size_t i = n; i-- > 0;) {
-      if (out[i] != m_[i]) {
-        ge = out[i] > m_[i];
+      if (t[i] != m_[i]) {
+        ge = t[i] > m_[i];
         break;
       }
     }
@@ -84,7 +127,7 @@ Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
   if (ge) {
     std::int64_t borrow = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      std::int64_t d = static_cast<std::int64_t>(out[i]) - m_[i] - borrow;
+      std::int64_t d = static_cast<std::int64_t>(t[i]) - m_[i] - borrow;
       if (d < 0) {
         d += (1LL << 32);
         borrow = 1;
@@ -93,7 +136,16 @@ Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
       }
       out[i] = static_cast<std::uint32_t>(d);
     }
+  } else {
+    std::copy(t, t + n, out);
   }
+}
+
+Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
+  const std::size_t n = m_.size();
+  Limbs out(n);
+  Limbs t(n + 2);
+  mmul(out.data(), a.data(), b.data(), t.data());
   return out;
 }
 
@@ -103,49 +155,274 @@ Montgomery::Limbs Montgomery::to_mont(const BigInt& a) const {
   return mont_mul(al, r2_);
 }
 
+void Montgomery::to_mont_into(std::uint32_t* out, const BigInt& a,
+                              std::uint32_t* t) const {
+  Limbs al = a.mod(modulus_).limbs();
+  al.resize(m_.size(), 0);
+  mmul(out, al.data(), r2_.data(), t);
+}
+
 BigInt Montgomery::from_mont(const Limbs& a) const {
   Limbs one(m_.size(), 0);
   one[0] = 1;
   return BigInt::from_limbs(mont_mul(a, one));
 }
 
+BigInt Montgomery::from_mont_raw(const std::uint32_t* a) const {
+  const std::size_t n = m_.size();
+  Limbs unit(n, 0);
+  unit[0] = 1;
+  Limbs out(n);
+  Limbs t(n + 2);
+  mmul(out.data(), a, unit.data(), t.data());
+  return BigInt::from_limbs(std::move(out));
+}
+
 BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
   return from_mont(mont_mul(to_mont(a), to_mont(b)));
 }
 
+void Montgomery::build_window_table(std::uint32_t* table,
+                                    const std::uint32_t* basemont,
+                                    int max_digit, std::uint32_t* t) const {
+  const std::size_t n = m_.size();
+  for (int d = 2; d <= max_digit; ++d) {
+    mmul(table + static_cast<std::size_t>(d) * n,
+         table + static_cast<std::size_t>(d - 1) * n, basemont, t);
+  }
+}
+
 BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
   if (exp.is_zero()) return BigInt{1}.mod(modulus_);
-  // 4-bit fixed window exponentiation.
-  const Limbs b = to_mont(base);
-  std::vector<Limbs> table(16);
-  table[0] = one_;
-  table[1] = b;
-  for (int i = 2; i < 16; ++i) table[i] = mont_mul(table[i - 1], b);
+  const std::size_t n = m_.size();
+  // Partial 4-bit window table: entries above the largest digit actually
+  // present in the exponent are never read, so they are never built —
+  // short exponents (order checks, Lagrange-scaled integers) pay only for
+  // the table they use.
+  const int maxd = max_window_digit(exp);
+  const std::size_t table_limbs = static_cast<std::size_t>(maxd + 1) * n;
+  Workspace ws(table_limbs + 2 * n + (n + 2));
+  std::uint32_t* table = ws.p;
+  std::uint32_t* acc = table + table_limbs;
+  std::uint32_t* t = acc + n;  // n+2 limbs, followed by nothing
+  // table[1] = base in Montgomery form; table[2..maxd] by one mult each.
+  to_mont_into(table + n, base, t);
+  build_window_table(table, table + n, maxd, t);
 
   const int bits = exp.bit_length();
   const int windows = (bits + 3) / 4;
-  Limbs acc = one_;
+  std::copy(one_.begin(), one_.end(), acc);
   bool started = false;
   for (int w = windows - 1; w >= 0; --w) {
     if (started) {
-      acc = mont_mul(acc, acc);
-      acc = mont_mul(acc, acc);
-      acc = mont_mul(acc, acc);
-      acc = mont_mul(acc, acc);
+      mmul(acc, acc, acc, t);
+      mmul(acc, acc, acc, t);
+      mmul(acc, acc, acc, t);
+      mmul(acc, acc, acc, t);
     }
-    int digit = 0;
-    for (int k = 3; k >= 0; --k) {
-      digit = (digit << 1) | (exp.bit(w * 4 + k) ? 1 : 0);
-    }
+    const auto digit = exp.bits_window(4 * w, 4);
     if (digit != 0) {
-      acc = mont_mul(acc, table[static_cast<std::size_t>(digit)]);
+      mmul(acc, acc, table + static_cast<std::size_t>(digit) * n, t);
       started = true;
-    } else if (!started) {
-      continue;
     }
   }
   if (!started) return BigInt{1}.mod(modulus_);
-  return from_mont(acc);
+  return from_mont_raw(acc);
+}
+
+BigInt Montgomery::simul_pow(const std::pair<BigInt, BigInt>* terms,
+                             std::size_t count) const {
+  assert(count >= 1 && count <= 8);
+  const std::size_t n = m_.size();
+  int bits = 0;
+  int maxd[8];
+  std::size_t offset[8];
+  std::size_t table_limbs = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    check_nonneg(terms[i].second);
+    bits = std::max(bits, terms[i].second.bit_length());
+    maxd[i] = max_window_digit(terms[i].second);
+    offset[i] = table_limbs;
+    table_limbs += static_cast<std::size_t>(maxd[i] + 1) * n;
+  }
+  if (bits == 0) return BigInt{1}.mod(modulus_);
+
+  Workspace ws(table_limbs + 2 * n + (n + 2));
+  std::uint32_t* tables = ws.p;
+  std::uint32_t* acc = tables + table_limbs;
+  std::uint32_t* t = acc + n;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (maxd[i] == 0) continue;  // zero exponent contributes nothing
+    std::uint32_t* table = tables + offset[i];
+    to_mont_into(table + n, terms[i].first, t);
+    build_window_table(table, table + n, maxd[i], t);
+  }
+
+  const int windows = (bits + 3) / 4;
+  std::copy(one_.begin(), one_.end(), acc);
+  bool started = false;
+  for (int w = windows - 1; w >= 0; --w) {
+    if (started) {
+      mmul(acc, acc, acc, t);
+      mmul(acc, acc, acc, t);
+      mmul(acc, acc, acc, t);
+      mmul(acc, acc, acc, t);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto digit = terms[i].second.bits_window(4 * w, 4);
+      if (digit != 0) {
+        mmul(acc, acc, tables + offset[i] + static_cast<std::size_t>(digit) * n,
+             t);
+        started = true;
+      }
+    }
+  }
+  if (!started) return BigInt{1}.mod(modulus_);
+  return from_mont_raw(acc);
+}
+
+BigInt Montgomery::mul_pow(const BigInt& a, const BigInt& ea, const BigInt& b,
+                           const BigInt& eb) const {
+  check_nonneg(ea);
+  check_nonneg(eb);
+  const std::pair<BigInt, BigInt> terms[2] = {{a, ea}, {b, eb}};
+  return simul_pow(terms, 2);
+}
+
+BigInt Montgomery::multi_pow(
+    const std::vector<std::pair<BigInt, BigInt>>& terms) const {
+  if (terms.empty()) return BigInt{1}.mod(modulus_);
+  // The shared squaring chain serves up to 8 bases per pass; longer
+  // products fold the per-chunk results together.
+  BigInt acc;
+  bool have = false;
+  for (std::size_t i = 0; i < terms.size(); i += 8) {
+    const std::size_t count = std::min<std::size_t>(8, terms.size() - i);
+    BigInt part = simul_pow(terms.data() + i, count);
+    acc = have ? mul(acc, part) : std::move(part);
+    have = true;
+  }
+  return acc;
+}
+
+FixedBaseTable Montgomery::precompute(const BigInt& base,
+                                      int max_exp_bits) const {
+  const std::size_t n = m_.size();
+  FixedBaseTable out;
+  out.base_ = base;
+  out.modulus_ = modulus_;
+  out.n_ = n;
+  out.windows_ = (std::max(max_exp_bits, 4) + 3) / 4;
+  out.entries_.assign(static_cast<std::size_t>(out.windows_) * 16 * n, 0);
+  Limbs t(n + 2);
+  auto entry = [&](int j, int d) -> std::uint32_t* {
+    return out.entries_.data() +
+           (static_cast<std::size_t>(j) * 16 + static_cast<std::size_t>(d)) * n;
+  };
+  to_mont_into(entry(0, 1), base, t.data());
+  for (int j = 0; j < out.windows_; ++j) {
+    if (j > 0) {
+      // base^(16^j) = (base^(16^(j-1)))^16: four squarings.
+      std::copy(entry(j - 1, 1), entry(j - 1, 1) + n, entry(j, 1));
+      for (int s = 0; s < 4; ++s) mmul(entry(j, 1), entry(j, 1), entry(j, 1), t.data());
+    }
+    for (int d = 2; d < 16; ++d) {
+      mmul(entry(j, d), entry(j, d - 1), entry(j, 1), t.data());
+    }
+  }
+  return out;
+}
+
+bool Montgomery::accepts(const FixedBaseTable& table, const BigInt& e) const {
+  return table.valid() && table.n_ == m_.size() && table.modulus_ == modulus_ &&
+         !e.is_negative() && e.bit_length() <= table.max_exp_bits();
+}
+
+void Montgomery::comb_mul_into(std::uint32_t* acc, const FixedBaseTable& table,
+                               const BigInt& e, std::uint32_t* t) const {
+  const std::size_t n = m_.size();
+  const int windows = (e.bit_length() + 3) / 4;
+  for (int j = 0; j < windows; ++j) {
+    const auto digit = e.bits_window(4 * j, 4);
+    if (digit != 0) {
+      mmul(acc,
+           acc,
+           table.entries_.data() +
+               (static_cast<std::size_t>(j) * 16 + digit) * n,
+           t);
+    }
+  }
+}
+
+BigInt Montgomery::pow(const FixedBaseTable& table, const BigInt& e) const {
+  if (e.is_zero()) return BigInt{1}.mod(modulus_);
+  if (!accepts(table, e)) return pow(table.base_, e);
+  const std::size_t n = m_.size();
+  Workspace ws(2 * n + 2);
+  std::uint32_t* acc = ws.p;
+  std::uint32_t* t = acc + n;
+  std::copy(one_.begin(), one_.end(), acc);
+  comb_mul_into(acc, table, e, t);
+  return from_mont_raw(acc);
+}
+
+BigInt Montgomery::mul_pow(const FixedBaseTable& ta, const BigInt& ea,
+                           const FixedBaseTable& tb, const BigInt& eb) const {
+  check_nonneg(ea);
+  check_nonneg(eb);
+  if (!accepts(ta, ea) || !accepts(tb, eb)) {
+    return mul(pow(ta, ea), pow(tb, eb));
+  }
+  if (ea.is_zero()) return pow(tb, eb);
+  if (eb.is_zero()) return pow(ta, ea);
+  const std::size_t n = m_.size();
+  Workspace ws(2 * n + 2);
+  std::uint32_t* acc = ws.p;
+  std::uint32_t* t = acc + n;
+  std::copy(one_.begin(), one_.end(), acc);
+  comb_mul_into(acc, ta, ea, t);
+  comb_mul_into(acc, tb, eb, t);
+  return from_mont_raw(acc);
+}
+
+BigInt Montgomery::mul_pow(const FixedBaseTable& ta, const BigInt& ea,
+                           const BigInt& b, const BigInt& eb) const {
+  check_nonneg(ea);
+  check_nonneg(eb);
+  if (!accepts(ta, ea)) return mul_pow(ta.base_, ea, b, eb);
+  if (ea.is_zero()) return pow(b, eb);
+  if (eb.is_zero()) return pow(ta, ea);
+  // The fresh base pays the squaring chain; the cached base folds in with
+  // squaring-free comb multiplications.
+  const std::size_t n = m_.size();
+  const int maxd = max_window_digit(eb);
+  const std::size_t table_limbs = static_cast<std::size_t>(maxd + 1) * n;
+  Workspace ws(table_limbs + 2 * n + (n + 2));
+  std::uint32_t* table = ws.p;
+  std::uint32_t* acc = table + table_limbs;
+  std::uint32_t* t = acc + n;
+  to_mont_into(table + n, b, t);
+  build_window_table(table, table + n, maxd, t);
+
+  const int windows = (eb.bit_length() + 3) / 4;
+  std::copy(one_.begin(), one_.end(), acc);
+  bool started = false;
+  for (int w = windows - 1; w >= 0; --w) {
+    if (started) {
+      mmul(acc, acc, acc, t);
+      mmul(acc, acc, acc, t);
+      mmul(acc, acc, acc, t);
+      mmul(acc, acc, acc, t);
+    }
+    const auto digit = eb.bits_window(4 * w, 4);
+    if (digit != 0) {
+      mmul(acc, acc, table + static_cast<std::size_t>(digit) * n, t);
+      started = true;
+    }
+  }
+  if (!started) std::copy(one_.begin(), one_.end(), acc);
+  comb_mul_into(acc, ta, ea, t);
+  return from_mont_raw(acc);
 }
 
 }  // namespace sintra::bignum

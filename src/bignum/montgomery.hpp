@@ -4,9 +4,23 @@
 // generation, Diffie–Hellman coin shares, TDH2) go through this context.
 // The implementation is CIOS (coarsely integrated operand scanning) over
 // 32-bit limbs.
+//
+// Beyond plain `pow`, the context offers the fast-path entry points that
+// the threshold-crypto stack is built on:
+//
+//  - mul_pow / multi_pow: simultaneous multi-exponentiation (Shamir's
+//    trick) — one shared squaring chain for several bases, so a product
+//    like g^z * h^c costs barely more than a single exponentiation;
+//  - FixedBaseTable: a comb table for a long-lived base (generator,
+//    verification key, hash-to-group output).  Evaluation needs no
+//    squarings at all — one multiplication per nonzero 4-bit digit of the
+//    exponent — at the price of a one-off table build that is charged to
+//    the work counter when it happens, so amortization is visible to the
+//    simulator's virtual-time model rather than hidden from it.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "bignum/bigint.hpp"
@@ -22,6 +36,32 @@ namespace sintra::bignum {
 std::uint64_t work_counter() noexcept;
 void reset_work_counter() noexcept;
 
+class Montgomery;
+
+/// Precomputed fixed-base comb table (Brickell–Gordon–McCurley–Wilson
+/// style): entry (j, d) holds base^(d * 16^j) in Montgomery form.  Built by
+/// Montgomery::precompute for one long-lived base and reused across many
+/// exponentiations; the build performs real Montgomery multiplications and
+/// is therefore charged to the work counter like any other arithmetic.
+class FixedBaseTable {
+ public:
+  FixedBaseTable() = default;
+
+  [[nodiscard]] bool valid() const { return windows_ > 0; }
+  /// Widest exponent the comb covers; wider exponents fall back to pow().
+  [[nodiscard]] int max_exp_bits() const { return windows_ * 4; }
+  [[nodiscard]] const BigInt& base() const { return base_; }
+
+ private:
+  friend class Montgomery;
+
+  BigInt base_;
+  BigInt modulus_;  // guards against use with a different context
+  int windows_ = 0;
+  std::size_t n_ = 0;                   // limbs of the modulus
+  std::vector<std::uint32_t> entries_;  // windows x 16 x n_, row-major
+};
+
 class Montgomery {
  public:
   /// modulus must be odd and > 1.
@@ -29,7 +69,8 @@ class Montgomery {
 
   [[nodiscard]] const BigInt& modulus() const { return modulus_; }
 
-  /// base^exp mod modulus, base in [0, modulus).
+  /// base^exp mod modulus (exp >= 0; the sign of a negative exp is
+  /// ignored, as only magnitudes reach the window scan).
   [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
 
   /// a*b mod modulus without entering/leaving Montgomery form per call
@@ -37,13 +78,67 @@ class Montgomery {
   /// this exists for callers doing many products against one modulus.
   [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
 
+  /// a^ea * b^eb mod modulus in one interleaved pass: the squaring chain
+  /// is shared between both bases (Shamir's trick), so the cost is one
+  /// exponentiation's squarings plus each base's digit multiplications.
+  /// Exponents must be >= 0 — callers with a negative exponent either fold
+  /// it into the group order (DlogGroup::dual_exp_neg) or invert the base
+  /// once; throws std::domain_error otherwise.
+  [[nodiscard]] BigInt mul_pow(const BigInt& a, const BigInt& ea,
+                               const BigInt& b, const BigInt& eb) const;
+
+  /// prod terms[i].first ^ terms[i].second — the k-way generalization of
+  /// mul_pow (used for Lagrange interpolation in the exponent).  All
+  /// exponents must be >= 0.
+  [[nodiscard]] BigInt multi_pow(
+      const std::vector<std::pair<BigInt, BigInt>>& terms) const;
+
+  /// Builds a comb table covering exponents up to max_exp_bits wide.
+  [[nodiscard]] FixedBaseTable precompute(const BigInt& base,
+                                          int max_exp_bits) const;
+
+  /// base^e via the comb — no squarings, one multiplication per nonzero
+  /// 4-bit digit of e.  Falls back to plain pow() when e is wider than the
+  /// table or the table belongs to a different modulus.
+  [[nodiscard]] BigInt pow(const FixedBaseTable& table, const BigInt& e) const;
+
+  /// Dual fixed-base: ta.base^ea * tb.base^eb with no squarings at all.
+  [[nodiscard]] BigInt mul_pow(const FixedBaseTable& ta, const BigInt& ea,
+                               const FixedBaseTable& tb,
+                               const BigInt& eb) const;
+
+  /// Mixed: one cached base (comb, no squarings) times one fresh base
+  /// (windowed, with squarings).
+  [[nodiscard]] BigInt mul_pow(const FixedBaseTable& ta, const BigInt& ea,
+                               const BigInt& b, const BigInt& eb) const;
+
  private:
   using Limbs = std::vector<std::uint32_t>;
 
   [[nodiscard]] Limbs to_mont(const BigInt& a) const;
   [[nodiscard]] BigInt from_mont(const Limbs& a) const;
-  /// out = a*b*R^-1 mod m (CIOS).
+  /// out = a*b*R^-1 mod m (CIOS) over raw n-limb arrays; t is n+2 limbs of
+  /// scratch.  out may alias a and/or b.
+  void mmul(std::uint32_t* out, const std::uint32_t* a, const std::uint32_t* b,
+            std::uint32_t* t) const;
   [[nodiscard]] Limbs mont_mul(const Limbs& a, const Limbs& b) const;
+  /// Writes the Montgomery form of a into out (n limbs).
+  void to_mont_into(std::uint32_t* out, const BigInt& a,
+                    std::uint32_t* t) const;
+  [[nodiscard]] BigInt from_mont_raw(const std::uint32_t* a) const;
+  /// Fills table entries d = 2..max_digit with basemont^d (entry 1 must
+  /// already hold basemont; entry 0 is never read).
+  void build_window_table(std::uint32_t* table, const std::uint32_t* basemont,
+                          int max_digit, std::uint32_t* t) const;
+  /// acc *= table-eval of e (both in Montgomery form); the comb needs no
+  /// squarings.
+  void comb_mul_into(std::uint32_t* acc, const FixedBaseTable& table,
+                     const BigInt& e, std::uint32_t* t) const;
+  [[nodiscard]] bool accepts(const FixedBaseTable& table,
+                             const BigInt& e) const;
+  /// Core shared-squaring simultaneous exponentiation over <= 8 terms.
+  [[nodiscard]] BigInt simul_pow(const std::pair<BigInt, BigInt>* terms,
+                                 std::size_t count) const;
 
   BigInt modulus_;
   Limbs m_;               // modulus limbs, size n

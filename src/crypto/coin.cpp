@@ -33,14 +33,25 @@ ThresholdCoin::ThresholdCoin(std::shared_ptr<const CoinPublic> pub, int index,
       share_(std::move(share)),
       prover_rng_(prover_seed) {}
 
+// The generator and the per-party verification keys live for the whole
+// deal, so they go through the group's precomputation cache; the coin
+// base H2G(name) and the share g_i are fresh per coin and are not worth a
+// table build (a comb table only pays for itself after several uses).
+namespace {
+constexpr DleqHints kCoinHints{.g1_long_lived = true,
+                               .h1_long_lived = true,
+                               .g2_long_lived = false,
+                               .h2_long_lived = false};
+}  // namespace
+
 Bytes ThresholdCoin::release(BytesView name) {
   if (index_ < 0) throw std::logic_error("ThresholdCoin: verify-only handle");
   const DlogGroup& grp = pub_->group;
   const BigInt base = grp.hash_to_group(name);
-  const BigInt gi = grp.exp(base, share_);
+  const BigInt gi = grp.exp_reduced(base, share_);
   const DleqProof proof = dleq_prove(
       grp, grp.g(), pub_->verification[static_cast<std::size_t>(index_)],
-      base, gi, share_, prover_rng_);
+      base, gi, share_, prover_rng_, kCoinHints);
   Writer w;
   gi.write(w);
   proof.write(w);
@@ -60,7 +71,7 @@ bool ThresholdCoin::verify_share(BytesView name, int signer,
   const BigInt base = grp.hash_to_group(name);
   return dleq_verify(grp, grp.g(),
                      pub_->verification[static_cast<std::size_t>(signer)],
-                     base, s.gi, s.proof);
+                     base, s.gi, s.proof, kCoinHints);
 }
 
 Bytes ThresholdCoin::assemble(BytesView name,
@@ -82,13 +93,15 @@ Bytes ThresholdCoin::assemble(BytesView name,
     values.push_back(parse_coin_share(raw).gi);
   }
 
-  // Interpolate in the exponent: g0 = prod share_j ^ lambda_j.
-  BigInt g0{1};
+  // Interpolate in the exponent: g0 = prod share_j ^ lambda_j, evaluated
+  // as one simultaneous multi-exponentiation with memoized coefficients.
+  const std::vector<BigInt> lambdas = lagrange_.coeffs_zero(indices, grp.q());
+  std::vector<std::pair<BigInt, BigInt>> terms;
+  terms.reserve(indices.size());
   for (std::size_t j = 0; j < indices.size(); ++j) {
-    const BigInt lambda =
-        lagrange_coeff_zero(indices, static_cast<int>(j), grp.q());
-    g0 = grp.mul(g0, grp.exp(values[j], lambda));
+    terms.emplace_back(values[j], lambdas[j]);
   }
+  const BigInt g0 = grp.multi_exp(terms);
 
   // Expand H(block, name, g0) into out_len pseudo-random bytes.
   Bytes out;

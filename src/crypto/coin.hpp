@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "crypto/group.hpp"
+#include "crypto/shamir.hpp"
 #include "util/bytes.hpp"
 
 namespace sintra::crypto {
@@ -57,6 +58,8 @@ class ThresholdCoin {
   int index_;
   BigInt share_;
   Rng prover_rng_;
+  // Coin names repeat the same few index sets at assemble time.
+  mutable LagrangeCache lagrange_;
 };
 
 struct CoinDeal {

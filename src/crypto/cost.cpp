@@ -1,8 +1,23 @@
 #include "crypto/cost.hpp"
 
+#include <atomic>
+
 #include "bignum/montgomery.hpp"
 
 namespace sintra::crypto {
+
+namespace {
+// Starts at 1 so a default-initialized stamp of 0 always reads as stale.
+std::atomic<std::uint64_t> g_cache_epoch{1};
+}  // namespace
+
+std::uint64_t cache_epoch() noexcept {
+  return g_cache_epoch.load(std::memory_order_relaxed);
+}
+
+void bump_cache_epoch() noexcept {
+  g_cache_epoch.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::uint64_t work_per_exp1024() {
   static const std::uint64_t calibrated = [] {

@@ -22,6 +22,16 @@ std::uint64_t work_per_exp1024();
 /// measured 1024-bit modexp takes `exp_ms` milliseconds.
 double work_to_ms(std::uint64_t work, double exp_ms);
 
+/// Amortization epoch for the precomputation caches of the fast
+/// exponentiation layer (fixed-base comb tables, memoized hash-to-group
+/// bases and subgroup-membership checks).  The discrete-event simulator
+/// bumps the epoch when a run starts, so every run rebuilds — and is
+/// re-charged for — its precomputation from scratch: virtual timing stays
+/// deterministic across repeated runs, and amortization is modeled as a
+/// per-deployment startup cost rather than leaking between experiments.
+std::uint64_t cache_epoch() noexcept;
+void bump_cache_epoch() noexcept;
+
 /// RAII helper: captures the work counter on construction; `elapsed()`
 /// reports work performed since.
 class WorkMeter {

@@ -1,8 +1,66 @@
 #include "crypto/group.hpp"
 
+#include <cassert>
+#include <mutex>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/cost.hpp"
 
 namespace sintra::crypto {
+
+namespace {
+
+/// Map key for a group element: its minimal big-endian magnitude.  Callers
+/// only reach the cache after range checks, so values are non-negative.
+std::string element_key(const BigInt& y) {
+  const Bytes b = y.to_bytes();
+  return {b.begin(), b.end()};
+}
+
+}  // namespace
+
+/// Per-group precomputation cache.  Everything in here is derived state:
+/// dropping it at any moment is only a performance (and work-accounting)
+/// event, never a correctness one.  The epoch stamp ties amortization to
+/// one simulator run — see cost.hpp.
+struct DlogGroup::FastCache {
+  struct Entry {
+    bignum::FixedBaseTable table;  // may be !valid() if only membership known
+    int member = -1;               // -1 unknown, 0 non-member, 1 member
+    std::uint64_t last_use = 0;
+  };
+
+  static constexpr std::size_t kMaxElements = 96;
+  static constexpr std::size_t kMaxNamed = 64;
+
+  std::mutex mu;
+  std::uint64_t epoch = 0;  // 0 never matches a live epoch
+  std::uint64_t tick = 0;
+  std::unordered_map<std::string, Entry> elements;
+  std::unordered_map<std::string, BigInt> named;  // hash_to_group memo
+
+  /// Finds or inserts the entry for `key`, evicting the least recently
+  /// used entry when full.  References stay valid across later inserts
+  /// (unordered_map nodes are stable), and the eviction victim can never
+  /// be a just-touched entry, so two live touch() references are safe.
+  Entry& touch(std::string key) {
+    auto it = elements.find(key);
+    if (it == elements.end()) {
+      if (elements.size() >= kMaxElements) {
+        auto victim = elements.begin();
+        for (auto j = elements.begin(); j != elements.end(); ++j) {
+          if (j->second.last_use < victim->second.last_use) victim = j;
+        }
+        elements.erase(victim);
+      }
+      it = elements.emplace(std::move(key), Entry{}).first;
+    }
+    it->second.last_use = ++tick;
+    return it->second;
+  }
+};
 
 DlogGroup::DlogGroup(BigInt p, BigInt q, BigInt g, HashKind hash)
     : p_(std::move(p)),
@@ -10,12 +68,39 @@ DlogGroup::DlogGroup(BigInt p, BigInt q, BigInt g, HashKind hash)
       g_(std::move(g)),
       cofactor_exp_((p_ - BigInt{1}) / q_),
       mont_(p_),
-      hash_(hash) {
+      hash_(hash),
+      cache_(std::make_unique<FastCache>()) {
   if ((p_ - BigInt{1}) % q_ != BigInt{0})
     throw std::invalid_argument("DlogGroup: q does not divide p-1");
   if (!is_member(g_))
     throw std::invalid_argument("DlogGroup: g not an order-q element");
 }
+
+DlogGroup::DlogGroup(const DlogGroup& other)
+    : p_(other.p_),
+      q_(other.q_),
+      g_(other.g_),
+      cofactor_exp_(other.cofactor_exp_),
+      mont_(other.mont_),
+      hash_(other.hash_),
+      cache_(std::make_unique<FastCache>()) {}
+
+DlogGroup& DlogGroup::operator=(const DlogGroup& other) {
+  if (this != &other) {
+    p_ = other.p_;
+    q_ = other.q_;
+    g_ = other.g_;
+    cofactor_exp_ = other.cofactor_exp_;
+    mont_ = other.mont_;
+    hash_ = other.hash_;
+    cache_ = std::make_unique<FastCache>();
+  }
+  return *this;
+}
+
+DlogGroup::DlogGroup(DlogGroup&&) noexcept = default;
+DlogGroup& DlogGroup::operator=(DlogGroup&&) noexcept = default;
+DlogGroup::~DlogGroup() = default;
 
 DlogGroup DlogGroup::generate(Rng& rng, int p_bits, int q_bits,
                               HashKind hash) {
@@ -24,8 +109,72 @@ DlogGroup DlogGroup::generate(Rng& rng, int p_bits, int q_bits,
   return DlogGroup(grp.p, grp.q, grp.g, hash);
 }
 
+void DlogGroup::locked_refresh_epoch() const {
+  const std::uint64_t now = cache_epoch();
+  if (cache_->epoch != now) {
+    cache_->elements.clear();
+    cache_->named.clear();
+    cache_->epoch = now;
+  }
+}
+
+const bignum::FixedBaseTable& DlogGroup::locked_table(
+    const BigInt& base) const {
+  FastCache::Entry& entry = cache_->touch(element_key(base));
+  if (!entry.table.valid()) {
+    entry.table = mont_.precompute(base, q_.bit_length());
+  }
+  return entry.table;
+}
+
 BigInt DlogGroup::exp(const BigInt& base, const BigInt& e) const {
+  if (!e.is_negative() && e < q_) return mont_.pow(base, e);
   return mont_.pow(base, e.mod(q_));
+}
+
+BigInt DlogGroup::exp_reduced(const BigInt& base, const BigInt& e) const {
+  assert(!e.is_negative() && e < q_);
+  return mont_.pow(base, e);
+}
+
+BigInt DlogGroup::exp_cached(const BigInt& base, const BigInt& e) const {
+  const std::lock_guard lk(cache_->mu);
+  locked_refresh_epoch();
+  const bignum::FixedBaseTable& t = locked_table(base);
+  if (!e.is_negative() && e < q_) return mont_.pow(t, e);
+  return mont_.pow(t, e.mod(q_));
+}
+
+BigInt DlogGroup::dual_exp(const BigInt& b1, const BigInt& e1, bool cached1,
+                           const BigInt& b2, const BigInt& e2,
+                           bool cached2) const {
+  const BigInt r1 = (!e1.is_negative() && e1 < q_) ? e1 : e1.mod(q_);
+  const BigInt r2 = (!e2.is_negative() && e2 < q_) ? e2 : e2.mod(q_);
+  if (!cached1 && !cached2) return mont_.mul_pow(b1, r1, b2, r2);
+  const std::lock_guard lk(cache_->mu);
+  locked_refresh_epoch();
+  if (cached1 && cached2)
+    return mont_.mul_pow(locked_table(b1), r1, locked_table(b2), r2);
+  if (cached1) return mont_.mul_pow(locked_table(b1), r1, b2, r2);
+  return mont_.mul_pow(locked_table(b2), r2, b1, r1);
+}
+
+BigInt DlogGroup::dual_exp_neg(const BigInt& b1, const BigInt& e1,
+                               bool cached1, const BigInt& b2,
+                               const BigInt& e2, bool cached2) const {
+  BigInt r2 = e2.mod(q_);
+  if (!r2.is_zero()) r2 = q_ - r2;
+  return dual_exp(b1, e1, cached1, b2, r2, cached2);
+}
+
+BigInt DlogGroup::multi_exp(
+    const std::vector<std::pair<BigInt, BigInt>>& terms) const {
+  std::vector<std::pair<BigInt, BigInt>> reduced;
+  reduced.reserve(terms.size());
+  for (const auto& [b, e] : terms) {
+    reduced.emplace_back(b, (!e.is_negative() && e < q_) ? e : e.mod(q_));
+  }
+  return mont_.multi_pow(reduced);
 }
 
 BigInt DlogGroup::mul(const BigInt& a, const BigInt& b) const {
@@ -39,7 +188,31 @@ bool DlogGroup::is_member(const BigInt& y) const {
   return mont_.pow(y, q_).is_one();
 }
 
+bool DlogGroup::is_member_cached(const BigInt& y) const {
+  if (y <= BigInt{1} || y >= p_) return false;
+  const std::lock_guard lk(cache_->mu);
+  locked_refresh_epoch();
+  FastCache::Entry& entry = cache_->touch(element_key(y));
+  if (entry.member < 0) {
+    entry.member = mont_.pow(y, q_).is_one() ? 1 : 0;
+  }
+  return entry.member == 1;
+}
+
 BigInt DlogGroup::hash_to_group(BytesView name) const {
+  std::string key(name.begin(), name.end());
+  const std::lock_guard lk(cache_->mu);
+  locked_refresh_epoch();
+  auto it = cache_->named.find(key);
+  if (it == cache_->named.end()) {
+    if (cache_->named.size() >= FastCache::kMaxNamed) cache_->named.clear();
+    it = cache_->named.emplace(std::move(key), hash_to_group_uncached(name))
+             .first;
+  }
+  return it->second;
+}
+
+BigInt DlogGroup::hash_to_group_uncached(BytesView name) const {
   const std::size_t pbytes = static_cast<std::size_t>(p_.bit_length() + 7) / 8;
   for (std::uint32_t ctr = 0;; ++ctr) {
     // Expand H(ctr || i || name) until we have pbytes + 8 bytes, then
@@ -122,27 +295,34 @@ BigInt challenge(const DlogGroup& grp, const BigInt& g1, const BigInt& h1,
 
 DleqProof dleq_prove(const DlogGroup& grp, const BigInt& g1, const BigInt& h1,
                      const BigInt& g2, const BigInt& h2, const BigInt& x,
-                     Rng& rng) {
+                     Rng& rng, const DleqHints& hints) {
   const BigInt r = grp.random_exponent(rng);
-  const BigInt a1 = grp.exp(g1, r);
-  const BigInt a2 = grp.exp(g2, r);
+  const BigInt a1 =
+      hints.g1_long_lived ? grp.exp_cached(g1, r) : grp.exp_reduced(g1, r);
+  const BigInt a2 =
+      hints.g2_long_lived ? grp.exp_cached(g2, r) : grp.exp_reduced(g2, r);
   const BigInt c = challenge(grp, g1, h1, g2, h2, a1, a2);
   const BigInt z = (r + c * x).mod(grp.q());
   return {c, z};
 }
 
 bool dleq_verify(const DlogGroup& grp, const BigInt& g1, const BigInt& h1,
-                 const BigInt& g2, const BigInt& h2, const DleqProof& proof) {
+                 const BigInt& g2, const BigInt& h2, const DleqProof& proof,
+                 const DleqHints& hints) {
   if (proof.c.is_negative() || proof.z.is_negative() || proof.c >= grp.q() ||
       proof.z >= grp.q()) {
     return false;
   }
-  if (!grp.is_member(h1) || !grp.is_member(h2)) return false;
-  // a_i = g_i^z * h_i^{-c}
-  const BigInt a1 =
-      grp.mul(grp.exp(g1, proof.z), grp.inv(grp.exp(h1, proof.c)));
-  const BigInt a2 =
-      grp.mul(grp.exp(g2, proof.z), grp.inv(grp.exp(h2, proof.c)));
+  if (!(hints.h1_long_lived ? grp.is_member_cached(h1) : grp.is_member(h1)))
+    return false;
+  if (!(hints.h2_long_lived ? grp.is_member_cached(h2) : grp.is_member(h2)))
+    return false;
+  // a_i = g_i^z * h_i^{-c}, one simultaneous exponentiation each: the
+  // negation is folded into the group order, so no modular inverse.
+  const BigInt a1 = grp.dual_exp_neg(g1, proof.z, hints.g1_long_lived, h1,
+                                     proof.c, hints.h1_long_lived);
+  const BigInt a2 = grp.dual_exp_neg(g2, proof.z, hints.g2_long_lived, h2,
+                                     proof.c, hints.h2_long_lived);
   return challenge(grp, g1, h1, g2, h2, a1, a2) == proof.c;
 }
 

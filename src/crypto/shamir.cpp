@@ -99,4 +99,50 @@ BigInt integer_lagrange_coeff(const BigInt& delta,
   return quot;
 }
 
+namespace {
+std::string cache_key(const BigInt& scale, const std::vector<int>& indices) {
+  std::string key = scale.to_hex();
+  for (int i : indices) {
+    key += ',';
+    key += std::to_string(i);
+  }
+  return key;
+}
+}  // namespace
+
+std::vector<BigInt> LagrangeCache::coeffs_zero(const std::vector<int>& indices,
+                                               const BigInt& q) {
+  std::string key = "q:" + cache_key(q, indices);
+  const std::lock_guard lk(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    std::vector<BigInt> coeffs;
+    coeffs.reserve(indices.size());
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      coeffs.push_back(lagrange_coeff_zero(indices, static_cast<int>(j), q));
+    }
+    if (entries_.size() >= kMaxEntries) entries_.clear();
+    it = entries_.emplace(std::move(key), std::move(coeffs)).first;
+  }
+  return it->second;
+}
+
+std::vector<BigInt> LagrangeCache::integer_coeffs(
+    const BigInt& delta, const std::vector<int>& indices) {
+  std::string key = "d:" + cache_key(delta, indices);
+  const std::lock_guard lk(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    std::vector<BigInt> coeffs;
+    coeffs.reserve(indices.size());
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      coeffs.push_back(
+          integer_lagrange_coeff(delta, indices, static_cast<int>(j)));
+    }
+    if (entries_.size() >= kMaxEntries) entries_.clear();
+    it = entries_.emplace(std::move(key), std::move(coeffs)).first;
+  }
+  return it->second;
+}
+
 }  // namespace sintra::crypto

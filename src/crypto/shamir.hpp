@@ -14,6 +14,9 @@
 // 0-based indices).
 #pragma once
 
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bignum/bigint.hpp"
@@ -68,5 +71,28 @@ BigInt factorial(int n);
 /// `indices` are 0-based party indices, `j` selects the point.
 BigInt integer_lagrange_coeff(const BigInt& delta,
                               const std::vector<int>& indices, int j);
+
+/// Memo for full coefficient vectors, keyed by the index set (and the
+/// modulus or Δ).  Combiners see the same small family of index sets over
+/// and over — with n parties and threshold t+1 there are only C(n, t+1)
+/// of them — so each scheme keeps one of these as a mutable member.
+/// Lagrange math is plain BigInt arithmetic and therefore invisible to
+/// the Montgomery work counter: the cache changes wall-clock time, never
+/// simulated time, so it needs no epoch handling (see crypto/cost.hpp).
+class LagrangeCache {
+ public:
+  /// All coefficients lagrange_coeff_zero(indices, j, q), j = 0..size-1.
+  std::vector<BigInt> coeffs_zero(const std::vector<int>& indices,
+                                  const BigInt& q);
+  /// All coefficients integer_lagrange_coeff(delta, indices, j).
+  std::vector<BigInt> integer_coeffs(const BigInt& delta,
+                                     const std::vector<int>& indices);
+
+ private:
+  static constexpr std::size_t kMaxEntries = 32;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, std::vector<BigInt>> entries_;
+};
 
 }  // namespace sintra::crypto

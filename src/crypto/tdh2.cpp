@@ -86,6 +86,14 @@ ParsedShare parse_share(BytesView raw) {
   return out;
 }
 
+// g, g_bar, h and the verification keys live for the whole deal and go
+// through the group's precomputation cache; u, u_bar, u_i are fresh per
+// ciphertext, so a table build would never pay off for them.
+constexpr DleqHints kShareHints{.g1_long_lived = true,
+                                .h1_long_lived = true,
+                                .g2_long_lived = false,
+                                .h2_long_lived = false};
+
 bool ct_valid_impl(const Tdh2Public& pub, const Ciphertext& ct) {
   const DlogGroup& grp = pub.group;
   if (!grp.is_member(ct.u) || !grp.is_member(ct.u_bar)) return false;
@@ -93,11 +101,11 @@ bool ct_valid_impl(const Tdh2Public& pub, const Ciphertext& ct) {
       ct.f >= grp.q()) {
     return false;
   }
-  // w = g^f * u^{-e}, w_bar = g_bar^f * u_bar^{-e}
-  const BigInt w =
-      grp.mul(grp.exp(grp.g(), ct.f), grp.inv(grp.exp(ct.u, ct.e)));
+  // w = g^f * u^{-e}, w_bar = g_bar^f * u_bar^{-e} — each one simultaneous
+  // exponentiation with the negation folded into the group order.
+  const BigInt w = grp.dual_exp_neg(grp.g(), ct.f, true, ct.u, ct.e, false);
   const BigInt w_bar =
-      grp.mul(grp.exp(pub.g_bar, ct.f), grp.inv(grp.exp(ct.u_bar, ct.e)));
+      grp.dual_exp_neg(pub.g_bar, ct.f, true, ct.u_bar, ct.e, false);
   return ct_challenge(grp, ct, w, w_bar) == ct.e;
 }
 
@@ -110,14 +118,14 @@ Bytes Tdh2Public::encrypt(BytesView plaintext, BytesView label,
 
   Ciphertext ct;
   ct.label.assign(label.begin(), label.end());
-  ct.u = group.exp(group.g(), r);
-  ct.u_bar = group.exp(g_bar, r);
-  const BigInt hr = group.exp(h, r);
+  ct.u = group.exp_cached(group.g(), r);
+  ct.u_bar = group.exp_cached(g_bar, r);
+  const BigInt hr = group.exp_cached(h, r);
   const auto [key, nonce] = derive_keys(group, hr);
   ct.c = Aes128(key).ctr_crypt(nonce, plaintext);
 
-  const BigInt w = group.exp(group.g(), s);
-  const BigInt w_bar = group.exp(g_bar, s);
+  const BigInt w = group.exp_cached(group.g(), s);
+  const BigInt w_bar = group.exp_cached(g_bar, s);
   ct.e = ct_challenge(group, ct, w, w_bar);
   ct.f = (s + r * ct.e).mod(group.q());
   return serialize_ct(ct);
@@ -157,10 +165,10 @@ std::optional<Bytes> Tdh2Party::decrypt_share(BytesView ciphertext) {
   if (!ct_valid_impl(*pub_, ct)) return std::nullopt;
 
   const DlogGroup& grp = pub_->group;
-  const BigInt ui = grp.exp(ct.u, share_);
+  const BigInt ui = grp.exp_reduced(ct.u, share_);
   const DleqProof proof = dleq_prove(
       grp, grp.g(), pub_->verification[static_cast<std::size_t>(index_)],
-      ct.u, ui, share_, prover_rng_);
+      ct.u, ui, share_, prover_rng_, kShareHints);
   Writer w;
   ui.write(w);
   proof.write(w);
@@ -182,7 +190,7 @@ bool Tdh2Party::verify_share(BytesView ciphertext, int signer,
   const DlogGroup& grp = pub_->group;
   return dleq_verify(grp, grp.g(),
                      pub_->verification[static_cast<std::size_t>(signer)],
-                     ct.u, s.ui, s.proof);
+                     ct.u, s.ui, s.proof, kShareHints);
 }
 
 Bytes Tdh2Party::combine(
@@ -207,13 +215,15 @@ Bytes Tdh2Party::combine(
     values.push_back(parse_share(raw).ui);
   }
 
-  // h^r = u^x via Lagrange in the exponent.
-  BigInt hr{1};
+  // h^r = u^x via Lagrange in the exponent, as one simultaneous
+  // multi-exponentiation with memoized coefficients.
+  const std::vector<BigInt> lambdas = lagrange_.coeffs_zero(indices, grp.q());
+  std::vector<std::pair<BigInt, BigInt>> terms;
+  terms.reserve(indices.size());
   for (std::size_t j = 0; j < indices.size(); ++j) {
-    const BigInt lambda =
-        lagrange_coeff_zero(indices, static_cast<int>(j), grp.q());
-    hr = grp.mul(hr, grp.exp(values[j], lambda));
+    terms.emplace_back(values[j], lambdas[j]);
   }
+  const BigInt hr = grp.multi_exp(terms);
   const auto [key, nonce] = derive_keys(grp, hr);
   return Aes128(key).ctr_crypt(nonce, ct.c);
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "crypto/group.hpp"
+#include "crypto/shamir.hpp"
 #include "util/bytes.hpp"
 
 namespace sintra::crypto {
@@ -76,6 +77,8 @@ class Tdh2Party {
   int index_;
   BigInt share_;
   Rng prover_rng_;
+  // Combiners see the same few signer sets across ciphertexts.
+  mutable LagrangeCache lagrange_;
 };
 
 struct Tdh2Deal {

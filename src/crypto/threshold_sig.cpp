@@ -1,12 +1,78 @@
 #include "crypto/threshold_sig.hpp"
 
+#include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
 #include "bignum/montgomery.hpp"
+#include "crypto/cost.hpp"
 #include "crypto/shamir.hpp"
 
 namespace sintra::crypto {
+
+namespace {
+
+// Upper bound on the response z = s_i*c + r: the share is below the secret
+// modulus m < N, c spans one hash output, and r spans bits(N) + two hash
+// outputs; the margin absorbs the carries.
+int z_exp_bits(const RsaThresholdPublic& pub) {
+  return pub.modulus.bit_length() +
+         2 * static_cast<int>(hash_digest_size(pub.hash)) * 8 + 16;
+}
+
+int challenge_bits(const RsaThresholdPublic& pub) {
+  return static_cast<int>(hash_digest_size(pub.hash)) * 8;
+}
+
+}  // namespace
+
+/// Precomputation shared by sign/verify/combine on one scheme handle.  The
+/// comb tables perform real multiplications when built, so they carry the
+/// global cache epoch: a new simulator run drops them and pays the build
+/// again, keeping virtual timings reproducible (see crypto/cost.hpp).
+struct RsaThresholdScheme::FastPath {
+  struct Signer {
+    BigInt vi_inv;                        // v_i^{-1} mod N
+    bignum::FixedBaseTable vi_inv_table;  // comb over one hash output
+    bool ready = false;
+  };
+
+  std::mutex mu;
+  std::uint64_t epoch = 0;  // 0 never matches a live epoch
+  // The Montgomery context costs no counted work to build; it persists
+  // across epochs and only the charged tables are epoch-guarded.
+  std::optional<bignum::Montgomery> mont;
+  bignum::FixedBaseTable v_table;  // comb for v over full-width responses
+  std::vector<Signer> signers;
+
+  const bignum::Montgomery& refreshed(const RsaThresholdPublic& pub) {
+    const std::uint64_t now = cache_epoch();
+    if (epoch != now) {
+      v_table = {};
+      signers.assign(static_cast<std::size_t>(pub.n), {});
+      epoch = now;
+    }
+    if (!mont) mont.emplace(pub.modulus);
+    return *mont;
+  }
+
+  const bignum::FixedBaseTable& v_comb(const RsaThresholdPublic& pub) {
+    if (!v_table.valid()) v_table = mont->precompute(pub.v, z_exp_bits(pub));
+    return v_table;
+  }
+
+  const Signer& signer_comb(const RsaThresholdPublic& pub, int signer) {
+    Signer& s = signers[static_cast<std::size_t>(signer)];
+    if (!s.ready) {
+      s.vi_inv = pub.vi[static_cast<std::size_t>(signer)].mod_inverse(
+          pub.modulus);
+      s.vi_inv_table = mont->precompute(s.vi_inv, challenge_bits(pub));
+      s.ready = true;
+    }
+    return s;
+  }
+};
 
 namespace {
 
@@ -49,12 +115,16 @@ RsaThresholdScheme::RsaThresholdScheme(
     : pub_(std::move(pub)),
       index_(index),
       share_(std::move(share)),
-      prover_rng_(prover_seed) {}
+      prover_rng_(prover_seed),
+      fast_(std::make_unique<FastPath>()) {}
+
+RsaThresholdScheme::~RsaThresholdScheme() = default;
 
 Bytes RsaThresholdScheme::sign_share(BytesView msg) {
   if (index_ < 0)
     throw std::logic_error("RsaThresholdScheme: verify-only handle");
-  const bignum::Montgomery mont(pub_->modulus);
+  const std::lock_guard lk(fast_->mu);
+  const bignum::Montgomery& mont = fast_->refreshed(*pub_);
   const BigInt x = rsa_fdh(msg, pub_->modulus, pub_->hash);
   const BigInt two_delta = pub_->delta << 1;
   const BigInt xi = mont.pow(x, two_delta * share_);
@@ -69,7 +139,7 @@ Bytes RsaThresholdScheme::sign_share(BytesView msg) {
       2 * static_cast<int>(hash_digest_size(pub_->hash)) * 8;
   const BigInt r =
       BigInt::from_bytes(prover_rng_.bytes(static_cast<std::size_t>(rbits) / 8));
-  const BigInt vp = mont.pow(pub_->v, r);
+  const BigInt vp = mont.pow(fast_->v_comb(*pub_), r);
   const BigInt xp = mont.pow(x_tilde, r);
   const BigInt c = share_challenge(*pub_, x_tilde,
                                    pub_->vi[static_cast<std::size_t>(index_)],
@@ -96,19 +166,25 @@ bool RsaThresholdScheme::verify_share(BytesView msg, int signer,
     return false;
   if (s.c.is_negative() || s.z.is_negative()) return false;
 
-  const bignum::Montgomery mont(pub_->modulus);
+  const std::lock_guard lk(fast_->mu);
+  const bignum::Montgomery& mont = fast_->refreshed(*pub_);
   const BigInt x = rsa_fdh(msg, pub_->modulus, pub_->hash);
   const BigInt x_tilde = mont.pow(x, pub_->delta << 2);
   const BigInt xi2 = mont.mul(s.xi, s.xi);
   const BigInt& vi = pub_->vi[static_cast<std::size_t>(signer)];
 
-  // v' = v^z * v_i^{-c},  x' = x~^z * x_i^{-2c}
+  // v' = v^z * v_i^{-c},  x' = x~^z * x_i^{-2c}.  The RSA group order is
+  // unknown, so negative exponents cannot be folded into it; instead the
+  // cached v_i^{-1} (and a per-share xi2^{-1}) turn both products into
+  // simultaneous exponentiations with non-negative exponents.  The v/v_i
+  // pair evaluates over comb tables with no squarings at all; honest
+  // shares always fit the table widths, oversized adversarial exponents
+  // take the slow fallback inside mul_pow.
   BigInt vp, xp;
   try {
-    vp = mont.mul(mont.pow(pub_->v, s.z),
-                  mont.pow(vi, s.c).mod_inverse(pub_->modulus));
-    xp = mont.mul(mont.pow(x_tilde, s.z),
-                  mont.pow(xi2, s.c).mod_inverse(pub_->modulus));
+    const FastPath::Signer& sg = fast_->signer_comb(*pub_, signer);
+    vp = mont.mul_pow(fast_->v_comb(*pub_), s.z, sg.vi_inv_table, s.c);
+    xp = mont.mul_pow(x_tilde, s.z, xi2.mod_inverse(pub_->modulus), s.c);
   } catch (const std::domain_error&) {
     return false;  // a non-invertible element would factor N; treat as bad
   }
@@ -131,31 +207,35 @@ Bytes RsaThresholdScheme::combine(
     xs.push_back(parse_share(raw).xi);
   }
 
-  const bignum::Montgomery mont(pub_->modulus);
-  BigInt w{1};
+  const std::lock_guard lk(fast_->mu);
+  const bignum::Montgomery& mont = fast_->refreshed(*pub_);
+  // w = prod x_j^{2λ_j} as one simultaneous multi-exponentiation.  The
+  // integer coefficients are memoized per signer set; a negative 2λ_j is
+  // handled by inverting the share once (the group order is unknown, so
+  // the exponent itself cannot be reduced).
+  const std::vector<BigInt> lambdas =
+      lagrange_.integer_coeffs(pub_->delta, indices);
+  std::vector<std::pair<BigInt, BigInt>> terms;
+  terms.reserve(indices.size());
   for (std::size_t j = 0; j < indices.size(); ++j) {
-    const BigInt lambda =
-        integer_lagrange_coeff(pub_->delta, indices, static_cast<int>(j));
-    const BigInt exp2 = lambda << 1;  // 2*lambda
+    const BigInt exp2 = lambdas[j] << 1;  // 2*lambda
     if (exp2.is_negative()) {
-      const BigInt inv = xs[j].mod_inverse(pub_->modulus);
-      w = mont.mul(w, mont.pow(inv, -exp2));
+      terms.emplace_back(xs[j].mod_inverse(pub_->modulus), -exp2);
     } else {
-      w = mont.mul(w, mont.pow(xs[j], exp2));
+      terms.emplace_back(xs[j], exp2);
     }
   }
+  const BigInt w = mont.multi_pow(terms);
   // w^e == x^{4Δ²}.  With a·4Δ² + b·e = 1 and y = w^a·x^b we get
   // y^e = x^{4Δ²·a + e·b} = x.
   const BigInt x = rsa_fdh(msg, pub_->modulus, pub_->hash);
   const BigInt four_delta_sq = (pub_->delta * pub_->delta) << 2;
   const BigInt a = four_delta_sq.mod_inverse(pub_->e);
   const BigInt b = (BigInt{1} - a * four_delta_sq) / pub_->e;  // exact, <= 0
-  BigInt y = mont.pow(w, a);
-  if (b.is_negative()) {
-    y = mont.mul(y, mont.pow(x.mod_inverse(pub_->modulus), -b));
-  } else {
-    y = mont.mul(y, mont.pow(x, b));
-  }
+  const BigInt y =
+      b.is_negative()
+          ? mont.mul_pow(w, a, x.mod_inverse(pub_->modulus), -b)
+          : mont.mul_pow(w, a, x, b);
   return y.to_bytes_padded(
       static_cast<std::size_t>(pub_->modulus.bit_length() + 7) / 8);
 }

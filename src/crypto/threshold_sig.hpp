@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "crypto/rsa.hpp"
+#include "crypto/shamir.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -74,6 +75,7 @@ class RsaThresholdScheme final : public ThresholdSigScheme {
   /// handle (e.g. an external client).
   RsaThresholdScheme(std::shared_ptr<const RsaThresholdPublic> pub, int index,
                      BigInt share, std::uint64_t prover_seed);
+  ~RsaThresholdScheme() override;
 
   [[nodiscard]] int n() const override { return pub_->n; }
   [[nodiscard]] int k() const override { return pub_->k; }
@@ -88,10 +90,18 @@ class RsaThresholdScheme final : public ThresholdSigScheme {
   [[nodiscard]] bool verify(BytesView msg, BytesView sig) const override;
 
  private:
+  struct FastPath;
+
   std::shared_ptr<const RsaThresholdPublic> pub_;
   int index_;
   BigInt share_;
   Rng prover_rng_;
+  // Epoch-stamped precomputation: persistent Montgomery context plus comb
+  // tables for v and the per-signer inverse verification keys.  Builds
+  // are charged to the work counter when they happen (see crypto/cost.hpp).
+  mutable std::unique_ptr<FastPath> fast_;
+  // Combine sees the same few signer sets over and over.
+  mutable LagrangeCache lagrange_;
 };
 
 /// Dealer output: the public data plus each party's secret share.

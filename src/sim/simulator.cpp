@@ -45,6 +45,11 @@ Simulator::Simulator(Topology topology, const crypto::Deal& deal,
   if (static_cast<int>(deal.parties.size()) != topology_.n())
     throw std::invalid_argument(
         "Simulator: deal size does not match topology");
+  // Deals (and their scheme handles) outlive simulator runs; invalidating
+  // the precomputation caches here makes every run rebuild — and be
+  // re-charged for — its comb tables, so repeated runs from one deal see
+  // identical virtual timings.
+  crypto::bump_cache_epoch();
   nodes_.reserve(deal.parties.size());
   for (int i = 0; i < topology_.n(); ++i) {
     nodes_.push_back(std::make_unique<Node>(

@@ -1,0 +1,337 @@
+// Property tests for the fast exponentiation layer: simultaneous
+// multi-exponentiation, fixed-base comb tables, the DlogGroup cached
+// paths, and Lagrange coefficient memoization.  Every fast path is checked
+// against the naive composition of pow/mul/inv it replaces.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bignum/montgomery.hpp"
+#include "crypto/cost.hpp"
+#include "crypto/group.hpp"
+#include "crypto/shamir.hpp"
+
+namespace sintra::bignum {
+namespace {
+
+using sintra::Rng;
+
+// Random odd modulus of roughly `bits` bits (top bit set, forced odd).
+BigInt random_odd_modulus(Rng& rng, int bits) {
+  BigInt m = BigInt::random_bits(rng, bits);
+  if (!m.is_odd()) m += BigInt{1};
+  return m;
+}
+
+TEST(MultiExp, MulPowMatchesNaiveAcrossModuli) {
+  Rng rng(0x517a);
+  for (const int bits : {32, 64, 160, 512}) {
+    const BigInt m = random_odd_modulus(rng, bits);
+    const Montgomery mont(m);
+    for (int trial = 0; trial < 8; ++trial) {
+      const BigInt a = BigInt::random_below(rng, m);
+      const BigInt b = BigInt::random_below(rng, m);
+      const BigInt ea = BigInt::random_bits(rng, 1 + trial * 23);
+      const BigInt eb = BigInt::random_bits(rng, 1 + trial * 31);
+      EXPECT_EQ(mont.mul_pow(a, ea, b, eb),
+                mont.mul(mont.pow(a, ea), mont.pow(b, eb)))
+          << bits << " bits, trial " << trial;
+    }
+  }
+}
+
+TEST(MultiExp, MulPowHandlesDegenerateExponents) {
+  Rng rng(0xdede);
+  const BigInt m = random_odd_modulus(rng, 192);
+  const Montgomery mont(m);
+  const BigInt a = BigInt::random_below(rng, m);
+  const BigInt b = BigInt::random_below(rng, m);
+  // Width 0 (exponent zero), width 1, and mismatched widths.
+  EXPECT_EQ(mont.mul_pow(a, BigInt{0}, b, BigInt{0}), BigInt{1}.mod(m));
+  EXPECT_EQ(mont.mul_pow(a, BigInt{1}, b, BigInt{0}), a.mod(m));
+  EXPECT_EQ(mont.mul_pow(a, BigInt{0}, b, BigInt{1}), b.mod(m));
+  const BigInt wide = BigInt::random_bits(rng, 500);
+  EXPECT_EQ(mont.mul_pow(a, BigInt{1}, b, wide),
+            mont.mul(a.mod(m), mont.pow(b, wide)));
+}
+
+TEST(MultiExp, MulPowRejectsNegativeExponents) {
+  const Montgomery mont(BigInt{1000003});
+  EXPECT_THROW((void)mont.mul_pow(BigInt{2}, BigInt{-1}, BigInt{3}, BigInt{5}),
+               std::domain_error);
+  EXPECT_THROW((void)mont.mul_pow(BigInt{2}, BigInt{1}, BigInt{3}, BigInt{-5}),
+               std::domain_error);
+  EXPECT_THROW((void)mont.multi_pow({{BigInt{2}, BigInt{-7}}}),
+               std::domain_error);
+}
+
+TEST(MultiExp, MultiPowMatchesNaiveIncludingChunkBoundary) {
+  Rng rng(0xabc1);
+  const BigInt m = random_odd_modulus(rng, 256);
+  const Montgomery mont(m);
+  // 10 terms crosses the 8-term shared-squaring chunk boundary.
+  for (const std::size_t count : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{8}, std::size_t{10}}) {
+    std::vector<std::pair<BigInt, BigInt>> terms;
+    BigInt expected{1};
+    for (std::size_t i = 0; i < count; ++i) {
+      const BigInt base = BigInt::random_below(rng, m);
+      const BigInt e = BigInt::random_bits(rng, 16 + static_cast<int>(i) * 29);
+      expected = mont.mul(expected, mont.pow(base, e));
+      terms.emplace_back(base, e);
+    }
+    EXPECT_EQ(mont.multi_pow(terms), expected) << count << " terms";
+  }
+  EXPECT_EQ(mont.multi_pow({}), BigInt{1}.mod(m));
+}
+
+TEST(FixedBase, CombMatchesPlainPow) {
+  Rng rng(0xc0b1);
+  const BigInt m = random_odd_modulus(rng, 320);
+  const Montgomery mont(m);
+  const BigInt base = BigInt::random_below(rng, m);
+  const FixedBaseTable table = mont.precompute(base, 160);
+  ASSERT_TRUE(table.valid());
+  EXPECT_EQ(table.max_exp_bits(), 160);
+  EXPECT_EQ(mont.pow(table, BigInt{0}), BigInt{1}.mod(m));
+  EXPECT_EQ(mont.pow(table, BigInt{1}), base.mod(m));
+  for (int trial = 0; trial < 8; ++trial) {
+    const BigInt e = BigInt::random_bits(rng, 1 + trial * 22);
+    EXPECT_EQ(mont.pow(table, e), mont.pow(base, e)) << trial;
+  }
+}
+
+TEST(FixedBase, FallsBackWhenExponentTooWideOrModulusMismatched) {
+  Rng rng(0xfa11);
+  const BigInt m1 = random_odd_modulus(rng, 224);
+  const BigInt m2 = random_odd_modulus(rng, 224);
+  const Montgomery mont1(m1), mont2(m2);
+  const BigInt base = BigInt::random_below(rng, m1);
+  const FixedBaseTable table = mont1.precompute(base, 64);
+  // Wider than the comb covers: must still be correct (plain-pow path).
+  const BigInt wide = BigInt::random_bits(rng, 200);
+  EXPECT_EQ(mont1.pow(table, wide), mont1.pow(base, wide));
+  // Table built under a different modulus: same.
+  const BigInt e = BigInt::random_bits(rng, 48);
+  EXPECT_EQ(mont2.pow(table, e), mont2.pow(base, e));
+}
+
+TEST(FixedBase, DualAndMixedMulPowMatchNaive) {
+  Rng rng(0xd0a1);
+  const BigInt m = random_odd_modulus(rng, 288);
+  const Montgomery mont(m);
+  const BigInt a = BigInt::random_below(rng, m);
+  const BigInt b = BigInt::random_below(rng, m);
+  const FixedBaseTable ta = mont.precompute(a, 128);
+  const FixedBaseTable tb = mont.precompute(b, 128);
+  for (int trial = 0; trial < 6; ++trial) {
+    const BigInt ea = BigInt::random_bits(rng, 1 + trial * 25);
+    const BigInt eb = BigInt::random_bits(rng, 128 - trial * 20);
+    const BigInt expected = mont.mul(mont.pow(a, ea), mont.pow(b, eb));
+    EXPECT_EQ(mont.mul_pow(ta, ea, tb, eb), expected) << trial;
+    EXPECT_EQ(mont.mul_pow(ta, ea, b, eb), expected) << trial;
+  }
+  // Zero exponents and the too-wide fallback on each side.
+  EXPECT_EQ(mont.mul_pow(ta, BigInt{0}, tb, BigInt{3}), mont.pow(b, BigInt{3}));
+  EXPECT_EQ(mont.mul_pow(ta, BigInt{3}, b, BigInt{0}), mont.pow(a, BigInt{3}));
+  const BigInt wide = BigInt::random_bits(rng, 180);
+  EXPECT_EQ(mont.mul_pow(ta, wide, tb, BigInt{5}),
+            mont.mul(mont.pow(a, wide), mont.pow(b, BigInt{5})));
+  EXPECT_EQ(mont.mul_pow(ta, wide, b, BigInt{5}),
+            mont.mul(mont.pow(a, wide), mont.pow(b, BigInt{5})));
+  EXPECT_THROW((void)mont.mul_pow(ta, BigInt{-2}, tb, BigInt{5}),
+               std::domain_error);
+}
+
+TEST(FixedBase, TableBuildIsChargedToWorkCounter) {
+  Rng rng(0x3011);
+  const BigInt m = random_odd_modulus(rng, 512);
+  const Montgomery mont(m);
+  const BigInt base = BigInt::random_below(rng, m);
+  const BigInt e = BigInt::random_bits(rng, 160);
+
+  const std::uint64_t before_build = work_counter();
+  const FixedBaseTable table = mont.precompute(base, 160);
+  const std::uint64_t build_cost = work_counter() - before_build;
+  EXPECT_GT(build_cost, 0u);
+
+  const std::uint64_t before_eval = work_counter();
+  (void)mont.pow(table, e);
+  const std::uint64_t eval_cost = work_counter() - before_eval;
+
+  const std::uint64_t before_plain = work_counter();
+  (void)mont.pow(base, e);
+  const std::uint64_t plain_cost = work_counter() - before_plain;
+
+  // The comb evaluation must beat plain pow by a wide margin (it spends no
+  // squarings); the build is the price, paid exactly once.
+  EXPECT_LT(eval_cost * 3, plain_cost);
+}
+
+}  // namespace
+}  // namespace sintra::bignum
+
+namespace sintra::crypto {
+namespace {
+
+const DlogGroup& test_group() {
+  static const DlogGroup grp = [] {
+    Rng rng(0x6e1);
+    return DlogGroup::generate(rng, 256, 96);
+  }();
+  return grp;
+}
+
+TEST(GroupFastPath, ExpCachedMatchesExp) {
+  const DlogGroup& grp = test_group();
+  Rng rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    const BigInt e = grp.random_exponent(rng);
+    EXPECT_EQ(grp.exp_cached(grp.g(), e), grp.exp(grp.g(), e)) << trial;
+    EXPECT_EQ(grp.exp_reduced(grp.g(), e), grp.exp(grp.g(), e)) << trial;
+  }
+  // Unreduced exponent still folds mod q on the cached path.
+  const BigInt big = grp.q() * BigInt{3} + BigInt{17};
+  EXPECT_EQ(grp.exp_cached(grp.g(), big), grp.exp(grp.g(), BigInt{17}));
+}
+
+TEST(GroupFastPath, DualExpNegMatchesMulInvComposition) {
+  const DlogGroup& grp = test_group();
+  Rng rng(4);
+  const BigInt h = grp.exp(grp.g(), grp.random_exponent(rng));
+  for (const bool c1 : {false, true}) {
+    for (const bool c2 : {false, true}) {
+      const BigInt e1 = grp.random_exponent(rng);
+      const BigInt e2 = grp.random_exponent(rng);
+      const BigInt expected =
+          grp.mul(grp.exp(grp.g(), e1), grp.inv(grp.exp(h, e2)));
+      EXPECT_EQ(grp.dual_exp_neg(grp.g(), e1, c1, h, e2, c2), expected)
+          << c1 << c2;
+      EXPECT_EQ(grp.dual_exp(grp.g(), e1, c1, h, e2, c2),
+                grp.mul(grp.exp(grp.g(), e1), grp.exp(h, e2)))
+          << c1 << c2;
+    }
+  }
+  // e2 == 0: no inversion at all.
+  const BigInt e1 = grp.random_exponent(rng);
+  EXPECT_EQ(grp.dual_exp_neg(grp.g(), e1, false, h, BigInt{0}, false),
+            grp.exp(grp.g(), e1));
+}
+
+TEST(GroupFastPath, MultiExpMatchesProductOfExps) {
+  const DlogGroup& grp = test_group();
+  Rng rng(5);
+  std::vector<std::pair<BigInt, BigInt>> terms;
+  BigInt expected{1};
+  for (int i = 0; i < 5; ++i) {
+    const BigInt base = grp.exp(grp.g(), grp.random_exponent(rng));
+    const BigInt e = grp.random_exponent(rng);
+    expected = grp.mul(expected, grp.exp(base, e));
+    terms.emplace_back(base, e);
+  }
+  EXPECT_EQ(grp.multi_exp(terms), expected);
+}
+
+TEST(GroupFastPath, IsMemberCachedAgreesWithIsMember) {
+  const DlogGroup& grp = test_group();
+  Rng rng(6);
+  const BigInt member = grp.exp(grp.g(), grp.random_exponent(rng));
+  EXPECT_TRUE(grp.is_member_cached(member));
+  EXPECT_TRUE(grp.is_member_cached(member));  // memoized second call
+  EXPECT_FALSE(grp.is_member_cached(BigInt{0}));
+  EXPECT_FALSE(grp.is_member_cached(BigInt{1}));
+  EXPECT_FALSE(grp.is_member_cached(grp.p()));
+  // An element outside the order-q subgroup (order-2 element p-1).
+  const BigInt nonmember = grp.p() - BigInt{1};
+  EXPECT_EQ(grp.is_member_cached(nonmember), grp.is_member(nonmember));
+  EXPECT_FALSE(grp.is_member_cached(nonmember));
+}
+
+TEST(GroupFastPath, CacheAmortizesAndEpochBumpRecharges) {
+  // Fresh group so this test owns its cache state.
+  Rng grng(0xeb0c);
+  const DlogGroup grp = DlogGroup::generate(grng, 256, 96);
+  Rng rng(7);
+  const BigInt e1 = grp.random_exponent(rng);
+  const BigInt e2 = grp.random_exponent(rng);
+
+  bump_cache_epoch();
+  const std::uint64_t before_first = bignum::work_counter();
+  (void)grp.exp_cached(grp.g(), e1);
+  const std::uint64_t first_cost = bignum::work_counter() - before_first;
+
+  const std::uint64_t before_second = bignum::work_counter();
+  (void)grp.exp_cached(grp.g(), e2);
+  const std::uint64_t second_cost = bignum::work_counter() - before_second;
+
+  // First call pays the comb build; later calls ride the table.
+  EXPECT_GT(first_cost, 4 * second_cost);
+
+  // After an epoch bump the build is charged again in full.
+  bump_cache_epoch();
+  const std::uint64_t before_again = bignum::work_counter();
+  (void)grp.exp_cached(grp.g(), e1);
+  const std::uint64_t again_cost = bignum::work_counter() - before_again;
+  EXPECT_GT(again_cost, 4 * second_cost);
+}
+
+TEST(GroupFastPath, DleqWithHintsRoundTripsAndRejectsTampering) {
+  const DlogGroup& grp = test_group();
+  Rng rng(8);
+  const DleqHints hints{.g1_long_lived = true,
+                        .h1_long_lived = true,
+                        .g2_long_lived = false,
+                        .h2_long_lived = false};
+  const BigInt x = grp.random_exponent(rng);
+  const BigInt g2 = grp.hash_to_group(to_bytes("multi-exp test base"));
+  const BigInt h1 = grp.exp(grp.g(), x);
+  const BigInt h2 = grp.exp(g2, x);
+  const DleqProof proof =
+      dleq_prove(grp, grp.g(), h1, g2, h2, x, rng, hints);
+  // Hinted and unhinted verification agree with each other.
+  EXPECT_TRUE(dleq_verify(grp, grp.g(), h1, g2, h2, proof, hints));
+  EXPECT_TRUE(dleq_verify(grp, grp.g(), h1, g2, h2, proof));
+  // Tampering with any component must fail, hints or not.
+  DleqProof bad = proof;
+  bad.z = (bad.z + BigInt{1}).mod(grp.q());
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, bad, hints));
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, grp.g(), h2, proof, hints));
+  const BigInt h2_bad = grp.mul(h2, grp.g());
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2_bad, proof, hints));
+  // Out-of-range proof components are rejected before any arithmetic.
+  DleqProof huge = proof;
+  huge.c = grp.q() + BigInt{5};
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, huge, hints));
+}
+
+TEST(LagrangeCacheTest, MatchesPerCoefficientFunctions) {
+  const BigInt q{4093};  // prime
+  LagrangeCache cache;
+  const std::vector<int> indices{0, 2, 5};
+  const std::vector<BigInt> got = cache.coeffs_zero(indices, q);
+  ASSERT_EQ(got.size(), indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    EXPECT_EQ(got[j], lagrange_coeff_zero(indices, static_cast<int>(j), q))
+        << j;
+  }
+  // Second lookup returns identical values (memo hit).
+  EXPECT_EQ(cache.coeffs_zero(indices, q), got);
+
+  const BigInt delta = factorial(6);
+  const std::vector<BigInt> ints = cache.integer_coeffs(delta, indices);
+  ASSERT_EQ(ints.size(), indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    EXPECT_EQ(ints[j],
+              integer_lagrange_coeff(delta, indices, static_cast<int>(j)))
+        << j;
+  }
+  EXPECT_EQ(cache.integer_coeffs(delta, indices), ints);
+  // A different index set under the same moduli is a distinct entry.
+  const std::vector<int> other{1, 3, 4};
+  EXPECT_NE(cache.coeffs_zero(other, q), got);
+}
+
+}  // namespace
+}  // namespace sintra::crypto
