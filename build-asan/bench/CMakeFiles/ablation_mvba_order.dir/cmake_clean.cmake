@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mvba_order.dir/ablation_mvba_order.cpp.o"
+  "CMakeFiles/ablation_mvba_order.dir/ablation_mvba_order.cpp.o.d"
+  "ablation_mvba_order"
+  "ablation_mvba_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mvba_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

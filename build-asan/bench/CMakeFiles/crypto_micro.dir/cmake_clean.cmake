@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_micro.dir/crypto_micro.cpp.o"
+  "CMakeFiles/crypto_micro.dir/crypto_micro.cpp.o.d"
+  "crypto_micro"
+  "crypto_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

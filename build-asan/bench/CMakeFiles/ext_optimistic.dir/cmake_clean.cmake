@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_optimistic.dir/ext_optimistic.cpp.o"
+  "CMakeFiles/ext_optimistic.dir/ext_optimistic.cpp.o.d"
+  "ext_optimistic"
+  "ext_optimistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_optimistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lan_scatter.dir/fig4_lan_scatter.cpp.o"
+  "CMakeFiles/fig4_lan_scatter.dir/fig4_lan_scatter.cpp.o.d"
+  "fig4_lan_scatter"
+  "fig4_lan_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lan_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

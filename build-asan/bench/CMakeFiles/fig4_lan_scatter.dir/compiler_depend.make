@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_lan_scatter.
+# This may be replaced when dependencies are built.

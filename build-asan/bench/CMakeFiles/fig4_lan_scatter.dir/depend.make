@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_lan_scatter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_wan_scatter.dir/fig5_wan_scatter.cpp.o"
+  "CMakeFiles/fig5_wan_scatter.dir/fig5_wan_scatter.cpp.o.d"
+  "fig5_wan_scatter"
+  "fig5_wan_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_wan_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

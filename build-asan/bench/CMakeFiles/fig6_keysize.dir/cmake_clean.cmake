@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_keysize.dir/fig6_keysize.cpp.o"
+  "CMakeFiles/fig6_keysize.dir/fig6_keysize.cpp.o.d"
+  "fig6_keysize"
+  "fig6_keysize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_keysize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

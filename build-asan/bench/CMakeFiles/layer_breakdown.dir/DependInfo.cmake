@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/layer_breakdown.cpp" "bench/CMakeFiles/layer_breakdown.dir/layer_breakdown.cpp.o" "gcc" "bench/CMakeFiles/layer_breakdown.dir/layer_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/sintra_facade.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_core_base.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_bignum.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

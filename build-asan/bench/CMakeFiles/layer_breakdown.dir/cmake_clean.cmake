@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_breakdown.dir/layer_breakdown.cpp.o"
+  "CMakeFiles/layer_breakdown.dir/layer_breakdown.cpp.o.d"
+  "layer_breakdown"
+  "layer_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_complexity.dir/msg_complexity.cpp.o"
+  "CMakeFiles/msg_complexity.dir/msg_complexity.cpp.o.d"
+  "msg_complexity"
+  "msg_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_channels.dir/table1_channels.cpp.o"
+  "CMakeFiles/table1_channels.dir/table1_channels.cpp.o.d"
+  "table1_channels"
+  "table1_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

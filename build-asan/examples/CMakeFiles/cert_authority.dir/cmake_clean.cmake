@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cert_authority.dir/cert_authority.cpp.o"
+  "CMakeFiles/cert_authority.dir/cert_authority.cpp.o.d"
+  "cert_authority"
+  "cert_authority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cert_authority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dealer_tool.dir/dealer_tool.cpp.o"
+  "CMakeFiles/dealer_tool.dir/dealer_tool.cpp.o.d"
+  "dealer_tool"
+  "dealer_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dealer_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

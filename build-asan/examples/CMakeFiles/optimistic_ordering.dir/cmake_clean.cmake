@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimistic_ordering.dir/optimistic_ordering.cpp.o"
+  "CMakeFiles/optimistic_ordering.dir/optimistic_ordering.cpp.o.d"
+  "optimistic_ordering"
+  "optimistic_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimistic_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

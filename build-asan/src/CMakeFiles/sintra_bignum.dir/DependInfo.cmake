@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bignum/bigint.cpp" "src/CMakeFiles/sintra_bignum.dir/bignum/bigint.cpp.o" "gcc" "src/CMakeFiles/sintra_bignum.dir/bignum/bigint.cpp.o.d"
+  "/root/repo/src/bignum/montgomery.cpp" "src/CMakeFiles/sintra_bignum.dir/bignum/montgomery.cpp.o" "gcc" "src/CMakeFiles/sintra_bignum.dir/bignum/montgomery.cpp.o.d"
+  "/root/repo/src/bignum/prime.cpp" "src/CMakeFiles/sintra_bignum.dir/bignum/prime.cpp.o" "gcc" "src/CMakeFiles/sintra_bignum.dir/bignum/prime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/sintra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_bignum.dir/bignum/bigint.cpp.o"
+  "CMakeFiles/sintra_bignum.dir/bignum/bigint.cpp.o.d"
+  "CMakeFiles/sintra_bignum.dir/bignum/montgomery.cpp.o"
+  "CMakeFiles/sintra_bignum.dir/bignum/montgomery.cpp.o.d"
+  "CMakeFiles/sintra_bignum.dir/bignum/prime.cpp.o"
+  "CMakeFiles/sintra_bignum.dir/bignum/prime.cpp.o.d"
+  "libsintra_bignum.a"
+  "libsintra_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sintra_bignum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sintra_bignum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agreement/array_agreement.cpp" "src/CMakeFiles/sintra_core_base.dir/core/agreement/array_agreement.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/agreement/array_agreement.cpp.o.d"
+  "/root/repo/src/core/agreement/binary_agreement.cpp" "src/CMakeFiles/sintra_core_base.dir/core/agreement/binary_agreement.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/agreement/binary_agreement.cpp.o.d"
+  "/root/repo/src/core/agreement/validated_agreement.cpp" "src/CMakeFiles/sintra_core_base.dir/core/agreement/validated_agreement.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/agreement/validated_agreement.cpp.o.d"
+  "/root/repo/src/core/broadcast/consistent_broadcast.cpp" "src/CMakeFiles/sintra_core_base.dir/core/broadcast/consistent_broadcast.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/broadcast/consistent_broadcast.cpp.o.d"
+  "/root/repo/src/core/broadcast/reliable_broadcast.cpp" "src/CMakeFiles/sintra_core_base.dir/core/broadcast/reliable_broadcast.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/broadcast/reliable_broadcast.cpp.o.d"
+  "/root/repo/src/core/channel/atomic_channel.cpp" "src/CMakeFiles/sintra_core_base.dir/core/channel/atomic_channel.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/channel/atomic_channel.cpp.o.d"
+  "/root/repo/src/core/channel/broadcast_channel.cpp" "src/CMakeFiles/sintra_core_base.dir/core/channel/broadcast_channel.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/channel/broadcast_channel.cpp.o.d"
+  "/root/repo/src/core/channel/optimistic_channel.cpp" "src/CMakeFiles/sintra_core_base.dir/core/channel/optimistic_channel.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/channel/optimistic_channel.cpp.o.d"
+  "/root/repo/src/core/channel/secure_atomic_channel.cpp" "src/CMakeFiles/sintra_core_base.dir/core/channel/secure_atomic_channel.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/channel/secure_atomic_channel.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/sintra_core_base.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/dispatcher.cpp" "src/CMakeFiles/sintra_core_base.dir/core/dispatcher.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/dispatcher.cpp.o.d"
+  "/root/repo/src/core/link/sliding_window.cpp" "src/CMakeFiles/sintra_core_base.dir/core/link/sliding_window.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/link/sliding_window.cpp.o.d"
+  "/root/repo/src/core/message.cpp" "src/CMakeFiles/sintra_core_base.dir/core/message.cpp.o" "gcc" "src/CMakeFiles/sintra_core_base.dir/core/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/sintra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_bignum.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_core_base.dir/core/agreement/array_agreement.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/agreement/array_agreement.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/agreement/binary_agreement.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/agreement/binary_agreement.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/agreement/validated_agreement.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/agreement/validated_agreement.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/broadcast/consistent_broadcast.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/broadcast/consistent_broadcast.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/broadcast/reliable_broadcast.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/broadcast/reliable_broadcast.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/channel/atomic_channel.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/channel/atomic_channel.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/channel/broadcast_channel.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/channel/broadcast_channel.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/channel/optimistic_channel.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/channel/optimistic_channel.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/channel/secure_atomic_channel.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/channel/secure_atomic_channel.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/config.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/config.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/dispatcher.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/dispatcher.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/link/sliding_window.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/link/sliding_window.cpp.o.d"
+  "CMakeFiles/sintra_core_base.dir/core/message.cpp.o"
+  "CMakeFiles/sintra_core_base.dir/core/message.cpp.o.d"
+  "libsintra_core_base.a"
+  "libsintra_core_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_core_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/aes128.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/aes128.cpp.o.d"
+  "/root/repo/src/crypto/coin.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/coin.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/coin.cpp.o.d"
+  "/root/repo/src/crypto/cost.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/cost.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/cost.cpp.o.d"
+  "/root/repo/src/crypto/dealer.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/dealer.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/dealer.cpp.o.d"
+  "/root/repo/src/crypto/group.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/group.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/group.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keyfile.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/keyfile.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/keyfile.cpp.o.d"
+  "/root/repo/src/crypto/multi_sig.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/multi_sig.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/multi_sig.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/rsa.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/sha1.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/shamir.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/shamir.cpp.o.d"
+  "/root/repo/src/crypto/tdh2.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/tdh2.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/tdh2.cpp.o.d"
+  "/root/repo/src/crypto/threshold_sig.cpp" "src/CMakeFiles/sintra_crypto.dir/crypto/threshold_sig.cpp.o" "gcc" "src/CMakeFiles/sintra_crypto.dir/crypto/threshold_sig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/sintra_bignum.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_crypto.dir/crypto/aes128.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/aes128.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/coin.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/coin.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/cost.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/cost.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/dealer.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/dealer.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/group.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/group.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/keyfile.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/keyfile.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/multi_sig.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/multi_sig.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/rsa.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/rsa.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/sha1.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/sha1.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/shamir.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/shamir.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/tdh2.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/tdh2.cpp.o.d"
+  "CMakeFiles/sintra_crypto.dir/crypto/threshold_sig.cpp.o"
+  "CMakeFiles/sintra_crypto.dir/crypto/threshold_sig.cpp.o.d"
+  "libsintra_crypto.a"
+  "libsintra_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_facade.dir/facade/blocking_api.cpp.o"
+  "CMakeFiles/sintra_facade.dir/facade/blocking_api.cpp.o.d"
+  "CMakeFiles/sintra_facade.dir/facade/local_transport.cpp.o"
+  "CMakeFiles/sintra_facade.dir/facade/local_transport.cpp.o.d"
+  "libsintra_facade.a"
+  "libsintra_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

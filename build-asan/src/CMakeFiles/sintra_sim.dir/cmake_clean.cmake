@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_sim.dir/sim/adversary.cpp.o"
+  "CMakeFiles/sintra_sim.dir/sim/adversary.cpp.o.d"
+  "CMakeFiles/sintra_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/sintra_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/sintra_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/sintra_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/sintra_sim.dir/sim/topologies.cpp.o"
+  "CMakeFiles/sintra_sim.dir/sim/topologies.cpp.o.d"
+  "libsintra_sim.a"
+  "libsintra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

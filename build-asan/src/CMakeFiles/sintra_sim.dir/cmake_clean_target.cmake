@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsintra_sim.a"
+)

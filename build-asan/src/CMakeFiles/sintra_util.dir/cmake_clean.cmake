@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sintra_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/sintra_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/sintra_util.dir/util/hex.cpp.o"
+  "CMakeFiles/sintra_util.dir/util/hex.cpp.o.d"
+  "CMakeFiles/sintra_util.dir/util/rng.cpp.o"
+  "CMakeFiles/sintra_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/sintra_util.dir/util/serde.cpp.o"
+  "CMakeFiles/sintra_util.dir/util/serde.cpp.o.d"
+  "libsintra_util.a"
+  "libsintra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sintra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

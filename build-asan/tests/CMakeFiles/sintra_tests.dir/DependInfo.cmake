@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abort.cpp" "tests/CMakeFiles/sintra_tests.dir/test_abort.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_abort.cpp.o.d"
+  "/root/repo/tests/test_aes.cpp" "tests/CMakeFiles/sintra_tests.dir/test_aes.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_aes.cpp.o.d"
+  "/root/repo/tests/test_array_agreement.cpp" "tests/CMakeFiles/sintra_tests.dir/test_array_agreement.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_array_agreement.cpp.o.d"
+  "/root/repo/tests/test_atomic_channel.cpp" "tests/CMakeFiles/sintra_tests.dir/test_atomic_channel.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_atomic_channel.cpp.o.d"
+  "/root/repo/tests/test_bigint.cpp" "tests/CMakeFiles/sintra_tests.dir/test_bigint.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_bigint.cpp.o.d"
+  "/root/repo/tests/test_binary_agreement.cpp" "tests/CMakeFiles/sintra_tests.dir/test_binary_agreement.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_binary_agreement.cpp.o.d"
+  "/root/repo/tests/test_blocking_primitives.cpp" "tests/CMakeFiles/sintra_tests.dir/test_blocking_primitives.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_blocking_primitives.cpp.o.d"
+  "/root/repo/tests/test_broadcast_channel.cpp" "tests/CMakeFiles/sintra_tests.dir/test_broadcast_channel.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_broadcast_channel.cpp.o.d"
+  "/root/repo/tests/test_bytes.cpp" "tests/CMakeFiles/sintra_tests.dir/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_bytes.cpp.o.d"
+  "/root/repo/tests/test_byzantine.cpp" "tests/CMakeFiles/sintra_tests.dir/test_byzantine.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_byzantine.cpp.o.d"
+  "/root/repo/tests/test_channel_lifecycle.cpp" "tests/CMakeFiles/sintra_tests.dir/test_channel_lifecycle.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_channel_lifecycle.cpp.o.d"
+  "/root/repo/tests/test_coin.cpp" "tests/CMakeFiles/sintra_tests.dir/test_coin.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_coin.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/sintra_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_consistent_broadcast.cpp" "tests/CMakeFiles/sintra_tests.dir/test_consistent_broadcast.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_consistent_broadcast.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/sintra_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_dealer.cpp" "tests/CMakeFiles/sintra_tests.dir/test_dealer.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_dealer.cpp.o.d"
+  "/root/repo/tests/test_dispatcher.cpp" "tests/CMakeFiles/sintra_tests.dir/test_dispatcher.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_dispatcher.cpp.o.d"
+  "/root/repo/tests/test_e2e.cpp" "tests/CMakeFiles/sintra_tests.dir/test_e2e.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_e2e.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/sintra_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_facade.cpp" "tests/CMakeFiles/sintra_tests.dir/test_facade.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_facade.cpp.o.d"
+  "/root/repo/tests/test_figure2.cpp" "tests/CMakeFiles/sintra_tests.dir/test_figure2.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_figure2.cpp.o.d"
+  "/root/repo/tests/test_group.cpp" "tests/CMakeFiles/sintra_tests.dir/test_group.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_group.cpp.o.d"
+  "/root/repo/tests/test_hashes.cpp" "tests/CMakeFiles/sintra_tests.dir/test_hashes.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_hashes.cpp.o.d"
+  "/root/repo/tests/test_hex.cpp" "tests/CMakeFiles/sintra_tests.dir/test_hex.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_hex.cpp.o.d"
+  "/root/repo/tests/test_karatsuba.cpp" "tests/CMakeFiles/sintra_tests.dir/test_karatsuba.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_karatsuba.cpp.o.d"
+  "/root/repo/tests/test_keyfile.cpp" "tests/CMakeFiles/sintra_tests.dir/test_keyfile.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_keyfile.cpp.o.d"
+  "/root/repo/tests/test_label_binding.cpp" "tests/CMakeFiles/sintra_tests.dir/test_label_binding.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_label_binding.cpp.o.d"
+  "/root/repo/tests/test_montgomery.cpp" "tests/CMakeFiles/sintra_tests.dir/test_montgomery.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_montgomery.cpp.o.d"
+  "/root/repo/tests/test_multi_exp.cpp" "tests/CMakeFiles/sintra_tests.dir/test_multi_exp.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_multi_exp.cpp.o.d"
+  "/root/repo/tests/test_optimistic_channel.cpp" "tests/CMakeFiles/sintra_tests.dir/test_optimistic_channel.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_optimistic_channel.cpp.o.d"
+  "/root/repo/tests/test_prime.cpp" "tests/CMakeFiles/sintra_tests.dir/test_prime.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_prime.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sintra_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_reliable_broadcast.cpp" "tests/CMakeFiles/sintra_tests.dir/test_reliable_broadcast.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_reliable_broadcast.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/sintra_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/sintra_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_rsa.cpp" "tests/CMakeFiles/sintra_tests.dir/test_rsa.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_rsa.cpp.o.d"
+  "/root/repo/tests/test_secure_atomic_channel.cpp" "tests/CMakeFiles/sintra_tests.dir/test_secure_atomic_channel.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_secure_atomic_channel.cpp.o.d"
+  "/root/repo/tests/test_serde.cpp" "tests/CMakeFiles/sintra_tests.dir/test_serde.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_serde.cpp.o.d"
+  "/root/repo/tests/test_shamir.cpp" "tests/CMakeFiles/sintra_tests.dir/test_shamir.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_shamir.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/sintra_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_sliding_window.cpp" "tests/CMakeFiles/sintra_tests.dir/test_sliding_window.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_sliding_window.cpp.o.d"
+  "/root/repo/tests/test_tdh2.cpp" "tests/CMakeFiles/sintra_tests.dir/test_tdh2.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_tdh2.cpp.o.d"
+  "/root/repo/tests/test_threshold_sig.cpp" "tests/CMakeFiles/sintra_tests.dir/test_threshold_sig.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_threshold_sig.cpp.o.d"
+  "/root/repo/tests/test_work_counter.cpp" "tests/CMakeFiles/sintra_tests.dir/test_work_counter.cpp.o" "gcc" "tests/CMakeFiles/sintra_tests.dir/test_work_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/sintra_facade.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_core_base.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_bignum.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/sintra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
