@@ -1,0 +1,297 @@
+// One SINTRA party as a standalone OS process over real UDP sockets —
+// the deployment shape of the paper's prototype (§3: n servers,
+// hostname:port endpoints from the configuration file, per-server
+// "initialization data" from the trusted dealer).
+//
+//   $ ./sintra_node group.conf keys/party-2.keys --channel atomic
+//         --send 5 --close --out /tmp/out.2 --stats
+//
+// The node loads its key file, binds its configured endpoint, runs the
+// chosen channel (atomic / secure-atomic / optimistic), contributes
+// `--send` payloads, and writes one "DELIVER <payload>" line per
+// delivered message in delivery order — so total order across nodes can
+// be checked by comparing output files (scripts/run_local_cluster.sh).
+//
+// Termination: with --close the node closes the channel after its last
+// send and completes when the close protocol terminates; with --expect N
+// it completes after N deliveries (the optimistic channel has no close
+// protocol).  On completion it writes <out>.done (when --out is given),
+// lingers so its links and protocol instances keep serving slower peers,
+// then exits 0.  --linger -1 means serve until signaled — used by the
+// cluster runner, which SIGTERMs the group only once every node's .done
+// marker exists, so no peer ever disappears while another still needs
+// its responses.  SIGINT/SIGTERM shut down cleanly: flush output, print
+// stats, exit 0 if completed and 3 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <csignal>
+
+#include "core/channel/atomic_channel.hpp"
+#include "core/channel/optimistic_channel.hpp"
+#include "core/channel/secure_atomic_channel.hpp"
+#include "core/config.hpp"
+#include "crypto/keyfile.hpp"
+#include "net/net_environment.hpp"
+
+using namespace sintra;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Args {
+  std::string config_path;
+  std::string keyfile_path;
+  std::string channel = "atomic";
+  int send_count = 4;
+  std::uint64_t expect = 0;  // 0 = not used
+  bool close_after_send = false;
+  double linger_ms = 1500.0;
+  std::string out_path;  // empty = stdout
+  bool print_stats = false;
+  std::string via_host;  // chaos proxy: host part of --via
+  int via_base_port = 0;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc < 3) throw std::runtime_error("missing config/keyfile arguments");
+  a.config_path = argv[1];
+  a.keyfile_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--channel") {
+      a.channel = value();
+    } else if (arg == "--send") {
+      a.send_count = std::stoi(value());
+    } else if (arg == "--expect") {
+      a.expect = std::stoull(value());
+    } else if (arg == "--close") {
+      a.close_after_send = true;
+    } else if (arg == "--linger") {
+      a.linger_ms = std::stod(value());
+    } else if (arg == "--out") {
+      a.out_path = value();
+    } else if (arg == "--stats") {
+      a.print_stats = true;
+    } else if (arg == "--via") {
+      const std::string v = value();
+      const auto colon = v.rfind(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("--via wants host:base_port");
+      }
+      a.via_host = v.substr(0, colon);
+      a.via_base_port = std::stoi(v.substr(colon + 1));
+    } else {
+      throw std::runtime_error("unknown option " + arg);
+    }
+  }
+  return a;
+}
+
+/// The running node: one environment, one channel, one workload.
+class NodeApp {
+ public:
+  NodeApp(const Args& args, net::EventLoop& loop)
+      : args_(args), loop_(loop) {
+    const core::GroupConfig cfg =
+        core::GroupConfig::parse(read_file(args.config_path));
+    const std::string blob = read_file(args.keyfile_path);
+    const crypto::RawPartyKeys raw = crypto::read_party_keys(
+        BytesView(reinterpret_cast<const std::uint8_t*>(blob.data()),
+                  blob.size()));
+    crypto::PartyKeys keys = crypto::materialize(raw);
+
+    net::NetOptions opts;
+    if (!args.via_host.empty()) {
+      for (int j = 0; j < keys.n; ++j) {
+        opts.send_to.push_back({args.via_host, args.via_base_port + j});
+      }
+    }
+    env_ = std::make_unique<net::NetEnvironment>(loop_, cfg.parties,
+                                                 std::move(keys), opts);
+
+    if (!args.out_path.empty()) {
+      out_ = std::fopen(args.out_path.c_str(), "w");
+      if (out_ == nullptr) {
+        throw std::runtime_error("cannot open " + args.out_path);
+      }
+    } else {
+      out_ = stdout;
+    }
+
+    start_channel();
+  }
+
+  ~NodeApp() {
+    if (out_ != nullptr && out_ != stdout) std::fclose(out_);
+  }
+
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] int party() const { return env_->self(); }
+
+  void flush() { std::fflush(out_); }
+
+  void print_stats(const char* reason) {
+    std::fprintf(stderr, "# node %d: %s, delivered=%llu\n", env_->self(),
+                 reason, static_cast<unsigned long long>(delivered_));
+    const auto& es = env_->stats();
+    std::fprintf(stderr,
+                 "STATS env received=%llu drop_no_sender=%llu "
+                 "drop_bad_sender=%llu drop_oversized=%llu\n",
+                 static_cast<unsigned long long>(es.datagrams_received),
+                 static_cast<unsigned long long>(es.drop_no_sender),
+                 static_cast<unsigned long long>(es.drop_bad_sender),
+                 static_cast<unsigned long long>(es.drop_oversized));
+    for (int j = 0; j < env_->n(); ++j) {
+      if (j == env_->self()) continue;
+      const auto& ls = env_->link_stats(j);
+      std::fprintf(stderr,
+                   "STATS link peer=%d retrans=%llu backoffs=%llu "
+                   "rtt_samples=%llu srtt_ms=%.3f rto_ms=%.3f "
+                   "drop_auth=%llu drop_malformed=%llu drop_overflow=%llu "
+                   "drop_duplicate=%llu\n",
+                   j, static_cast<unsigned long long>(ls.retransmissions),
+                   static_cast<unsigned long long>(ls.backoffs),
+                   static_cast<unsigned long long>(ls.rtt_samples),
+                   ls.srtt_ms, ls.rto_ms,
+                   static_cast<unsigned long long>(ls.drop_auth),
+                   static_cast<unsigned long long>(ls.drop_malformed),
+                   static_cast<unsigned long long>(ls.drop_overflow),
+                   static_cast<unsigned long long>(ls.drop_duplicate));
+    }
+  }
+
+ private:
+  void start_channel() {
+    auto& disp = env_->dispatcher();
+    const std::string pid = "cluster." + args_.channel;
+    if (args_.channel == "atomic") {
+      atomic_ = std::make_unique<core::AtomicChannel>(*env_, disp, pid);
+      atomic_->set_deliver_callback(
+          [this](const Bytes& payload, core::PartyId) { deliver(payload); });
+      atomic_->set_closed_callback([this] { on_closed(); });
+      for (int k = 0; k < args_.send_count; ++k) atomic_->send(payload_of(k));
+      if (args_.close_after_send) atomic_->close();
+    } else if (args_.channel == "secure-atomic") {
+      secure_ = std::make_unique<core::SecureAtomicChannel>(*env_, disp, pid);
+      secure_->set_deliver_callback(
+          [this](const Bytes& payload) { deliver(payload); });
+      secure_->set_closed_callback([this] { on_closed(); });
+      for (int k = 0; k < args_.send_count; ++k) secure_->send(payload_of(k));
+      if (args_.close_after_send) secure_->close();
+    } else if (args_.channel == "optimistic") {
+      if (args_.expect == 0) {
+        throw std::runtime_error(
+            "--channel optimistic needs --expect (it has no close protocol)");
+      }
+      optimistic_ =
+          std::make_unique<core::OptimisticChannel>(*env_, disp, pid);
+      optimistic_->set_deliver_callback(
+          [this](const Bytes& payload, core::PartyId) { deliver(payload); });
+      for (int k = 0; k < args_.send_count; ++k) {
+        optimistic_->send(payload_of(k));
+      }
+    } else {
+      throw std::runtime_error("unknown channel type " + args_.channel);
+    }
+  }
+
+  [[nodiscard]] Bytes payload_of(int k) const {
+    return to_bytes("p" + std::to_string(env_->self()) + ":" +
+                    std::to_string(k));
+  }
+
+  void deliver(const Bytes& payload) {
+    ++delivered_;
+    std::fprintf(out_, "DELIVER %s\n", to_string(payload).c_str());
+    if (args_.expect != 0 && delivered_ >= args_.expect) finish();
+  }
+
+  void on_closed() { finish(); }
+
+  void finish() {
+    if (completed_) return;
+    completed_ = true;
+    flush();
+    if (!args_.out_path.empty()) {
+      // Completion marker for external orchestration (the cluster
+      // runner waits for every node's marker before signaling).
+      std::FILE* done = std::fopen((args_.out_path + ".done").c_str(), "w");
+      if (done != nullptr) std::fclose(done);
+    }
+    if (args_.linger_ms < 0.0) return;  // serve until signaled
+    finish_ms_ = loop_.now_ms();
+    wait_for_quiescence();
+  }
+
+  // Linger before exiting: our links keep retransmitting unacked frames
+  // and our (closed but live) channel keeps answering protocol messages,
+  // so slower peers can finish their own close/delivery.  Leave only once
+  // every peer has acked everything we sent (backlog drained), with a
+  // hard cap so a crashed peer cannot hold us hostage.
+  void wait_for_quiescence() {
+    const double elapsed = loop_.now_ms() - finish_ms_;
+    const bool drained = env_->send_backlog() == 0;
+    if ((elapsed >= args_.linger_ms && drained) ||
+        elapsed >= 10.0 * args_.linger_ms) {
+      loop_.stop();
+      return;
+    }
+    loop_.call_later(100.0, [this] { wait_for_quiescence(); });
+  }
+
+  Args args_;
+  net::EventLoop& loop_;
+  std::unique_ptr<net::NetEnvironment> env_;
+  std::unique_ptr<core::AtomicChannel> atomic_;
+  std::unique_ptr<core::SecureAtomicChannel> secure_;
+  std::unique_ptr<core::OptimisticChannel> optimistic_;
+  std::FILE* out_ = nullptr;
+  std::uint64_t delivered_ = 0;
+  bool completed_ = false;
+  double finish_ms_ = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    net::EventLoop loop;
+    NodeApp app(args, loop);
+    loop.stop_on_signals({SIGINT, SIGTERM}, [&](int signo) {
+      std::fprintf(stderr, "# node %d: signal %d, shutting down\n",
+                   app.party(), signo);
+    });
+    loop.run();
+    app.flush();
+    if (args.print_stats) {
+      app.print_stats(app.completed() ? "completed" : "interrupted");
+    }
+    return app.completed() ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "error: %s\nusage: sintra_node <group.conf> <party.keys> "
+                 "[--channel atomic|secure-atomic|optimistic] [--send N] "
+                 "[--close] [--expect N] [--linger MS] [--out FILE] "
+                 "[--stats] [--via host:base_port]\n",
+                 e.what());
+    return 2;
+  }
+}

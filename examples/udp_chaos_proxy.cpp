@@ -1,0 +1,150 @@
+// Packet-mangling UDP proxy: sits between sintra_node processes and
+// injects loss, duplication and reordering — the WAN conditions the
+// paper's sliding-window link (§3) exists to survive, reproduced on
+// localhost so the cluster tests exercise real retransmission and
+// backoff instead of a clean kernel loopback.
+//
+//   $ ./udp_chaos_proxy group.conf 127.0.0.1:19000
+//         --loss 0.1 --dup 0.05 --reorder-ms 25 --seed 7
+//
+// The proxy binds base_port+j for every party j and forwards datagrams
+// arriving there to party j's real endpoint from the config.  Nodes are
+// pointed at it with sintra_node --via 127.0.0.1:19000.  Replies flow
+// through the proxy the same way, so both directions are mangled.
+// Receivers identify peers by the authenticated sender id inside each
+// datagram, never by source address, which is what makes interposition
+// possible without rewriting anything.
+//
+// SIGINT/SIGTERM: print forwarding stats and exit.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <csignal>
+
+#include "core/config.hpp"
+#include "net/event_loop.hpp"
+#include "net/udp.hpp"
+#include "util/rng.hpp"
+
+using namespace sintra;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Stats {
+  std::uint64_t received = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: udp_chaos_proxy <group.conf> <host:base_port> "
+                   "[--loss P] [--dup P] [--reorder-ms MS] [--seed N]\n");
+      return 2;
+    }
+    const core::GroupConfig cfg = core::GroupConfig::parse(read_file(argv[1]));
+    const std::string listen = argv[2];
+    const auto colon = listen.rfind(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("listen address wants host:base_port");
+    }
+    const std::string host = listen.substr(0, colon);
+    const int base_port = std::stoi(listen.substr(colon + 1));
+
+    double loss = 0.1, dup = 0.05, reorder_ms = 25.0;
+    std::uint64_t seed = 1;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::runtime_error(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--loss") {
+        loss = std::stod(value());
+      } else if (arg == "--dup") {
+        dup = std::stod(value());
+      } else if (arg == "--reorder-ms") {
+        reorder_ms = std::stod(value());
+      } else if (arg == "--seed") {
+        seed = std::stoull(value());
+      } else {
+        throw std::runtime_error("unknown option " + arg);
+      }
+    }
+
+    net::EventLoop loop;
+    Rng rng(seed);
+    Stats stats;
+
+    const int n = cfg.dealer.n;
+    std::vector<std::unique_ptr<net::UdpSocket>> sockets;
+    std::vector<net::SocketAddress> targets;
+    for (int j = 0; j < n; ++j) {
+      targets.push_back(net::SocketAddress::resolve(
+          cfg.parties[static_cast<std::size_t>(j)].host,
+          cfg.parties[static_cast<std::size_t>(j)].port));
+      sockets.push_back(std::make_unique<net::UdpSocket>(
+          net::SocketAddress::resolve(host, base_port + j)));
+    }
+    for (int j = 0; j < n; ++j) {
+      net::UdpSocket& sock = *sockets[static_cast<std::size_t>(j)];
+      const net::SocketAddress target = targets[static_cast<std::size_t>(j)];
+      loop.add_fd(sock.fd(), [&loop, &rng, &stats, &sock, target, loss, dup,
+                              reorder_ms] {
+        while (auto received = sock.receive()) {
+          ++stats.received;
+          Bytes datagram = std::move(received->first);
+          if (rng.uniform01() < loss) {
+            ++stats.dropped;
+            continue;
+          }
+          int copies = 1;
+          if (rng.uniform01() < dup) {
+            copies = 2;
+            ++stats.duplicated;
+          }
+          for (int c = 0; c < copies; ++c) {
+            const double delay =
+                reorder_ms > 0.0 ? rng.uniform01() * reorder_ms : 0.0;
+            loop.call_later(delay, [&stats, &sock, target, datagram] {
+              if (sock.send_to(target, datagram)) ++stats.forwarded;
+            });
+          }
+        }
+      });
+    }
+
+    loop.stop_on_signals({SIGINT, SIGTERM});
+    std::fprintf(stderr, "# chaos proxy up: %d ports from %s:%d, loss=%.2f "
+                         "dup=%.2f reorder<=%.0fms\n",
+                 n, host.c_str(), base_port, loss, dup, reorder_ms);
+    loop.run();
+    std::fprintf(stderr,
+                 "STATS proxy received=%llu forwarded=%llu dropped=%llu "
+                 "duplicated=%llu\n",
+                 static_cast<unsigned long long>(stats.received),
+                 static_cast<unsigned long long>(stats.forwarded),
+                 static_cast<unsigned long long>(stats.dropped),
+                 static_cast<unsigned long long>(stats.duplicated));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

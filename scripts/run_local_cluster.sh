@@ -1,0 +1,204 @@
+#!/usr/bin/env bash
+# End-to-end loopback cluster: dealer keygen, n=4/t=1 sintra_node
+# processes over real UDP sockets, total-order assertion on the delivered
+# sequences.  Exits nonzero on divergence, node failure, or timeout.
+#
+# Usage:
+#   scripts/run_local_cluster.sh [--scenario clean|crash|chaos]
+#                                [--build-dir DIR] [--channel atomic|...]
+#                                [--send N]
+#
+# Scenarios:
+#   clean  all four nodes up, close protocol terminates the channel
+#   crash  node 3 is SIGKILLed mid-run; the other three must still agree
+#   chaos  all traffic through udp_chaos_proxy (loss/dup/reorder); the
+#          link layer must heal it, and retransmissions + adaptive-RTO
+#          backoff must be visible in the link stats
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+scenario=clean
+build_dir="$repo_root/build"
+channel=atomic
+send_count=5
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --scenario)  scenario="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --channel)   channel="$2"; shift 2 ;;
+    --send)      send_count="$2"; shift 2 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+dealer="$build_dir/examples/dealer_tool"
+node_bin="$build_dir/examples/sintra_node"
+proxy_bin="$build_dir/examples/udp_chaos_proxy"
+for bin in "$dealer" "$node_bin" "$proxy_bin"; do
+  [[ -x "$bin" ]] || { echo "missing binary: $bin (build first)" >&2; exit 2; }
+done
+
+workdir="$(mktemp -d)"
+pids=()
+proxy_pid=""
+cleanup() {
+  local p
+  for p in "${pids[@]:-}" "$proxy_pid"; do
+    [[ -n "$p" ]] && kill "$p" 2>/dev/null || true
+  done
+  sleep 0.2
+  for p in "${pids[@]:-}" "$proxy_pid"; do
+    [[ -n "$p" ]] && kill -9 "$p" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+n=4
+port_base="${SINTRA_CLUSTER_PORT_BASE:-$(( 20000 + ($$ % 20000) ))}"
+proxy_base=$(( port_base + 50 ))
+
+# Small crypto parameters: this validates transport and agreement, not
+# key-size performance (bench/ covers that).
+conf="$workdir/group.conf"
+{
+  echo "n = $n"
+  echo "t = 1"
+  echo "rsa_bits = 512"
+  echo "dl_p_bits = 256"
+  echo "dl_q_bits = 96"
+  echo "hash = sha256"
+  echo "signatures = multi"
+  echo "seed = 1"
+  for i in $(seq 0 $((n - 1))); do
+    echo "party.$i = 127.0.0.1:$(( port_base + i ))"
+  done
+} > "$conf"
+
+echo "== dealing keys (workdir $workdir, ports from $port_base)"
+"$dealer" "$conf" "$workdir/keys" > /dev/null
+
+node_args=(--channel "$channel" --send "$send_count" --stats)
+if [[ "$channel" == optimistic ]]; then
+  node_args+=(--expect $(( n * send_count )))
+else
+  node_args+=(--close)
+fi
+
+if [[ "$scenario" == chaos ]]; then
+  "$proxy_bin" "$conf" "127.0.0.1:$proxy_base" \
+    --loss 0.10 --dup 0.05 --reorder-ms 25 --seed 7 \
+    2> "$workdir/proxy.stats" &
+  proxy_pid=$!
+  node_args+=(--via "127.0.0.1:$proxy_base")
+fi
+# --linger -1: a completed node keeps serving (link retransmissions AND
+# protocol responses from its closed-but-live channel) until we signal
+# it.  We signal only once every expected node has written its .done
+# marker, so no node ever exits while a slower peer still needs it —
+# the liveness gap a fixed linger cannot close under heavy loss.
+node_args+=(--linger -1)
+
+echo "== starting $n nodes (scenario: $scenario, channel: $channel)"
+for i in $(seq 0 $((n - 1))); do
+  "$node_bin" "$conf" "$workdir/keys/party-$i.keys" "${node_args[@]}" \
+    --out "$workdir/out.$i" 2> "$workdir/stats.$i" &
+  pids[$i]=$!
+done
+
+expected=(0 1 2 3)
+if [[ "$scenario" == crash ]]; then
+  sleep 1
+  echo "== crashing node 3 (SIGKILL)"
+  kill -9 "${pids[3]}" 2>/dev/null || true
+  expected=(0 1 2)
+fi
+
+# Everything is localhost; generous deadline for sanitizer builds.
+deadline=$(( $(date +%s) + ${SINTRA_CLUSTER_TIMEOUT:-420} ))
+for i in "${expected[@]}"; do
+  while [[ ! -e "$workdir/out.$i.done" ]]; do
+    if ! kill -0 "${pids[$i]}" 2>/dev/null; then
+      echo "FAIL: node $i died before completing" >&2
+      cat "$workdir/stats.$i" >&2 || true
+      exit 1
+    fi
+    if (( $(date +%s) > deadline )); then
+      echo "FAIL: timeout waiting for node $i" >&2
+      # Autopsy: signal the nodes so they print their stats, then dump
+      # per-node delivery counts and link counters.
+      for j in "${expected[@]}"; do kill "${pids[$j]}" 2>/dev/null || true; done
+      sleep 1
+      for j in "${expected[@]}"; do
+        echo "--- node $j: $(wc -l < "$workdir/out.$j" 2>/dev/null) deliveries" >&2
+        cat "$workdir/stats.$j" >&2 || true
+      done
+      exit 1
+    fi
+    sleep 0.2
+  done
+done
+
+# Everyone is done: release the group.  A completed node exits 0 on
+# SIGTERM.
+status=0
+for i in "${expected[@]}"; do
+  kill "${pids[$i]}" 2>/dev/null || true
+done
+for i in "${expected[@]}"; do
+  wait "${pids[$i]}" || {
+    echo "FAIL: node $i exited nonzero" >&2
+    cat "$workdir/stats.$i" >&2 || true
+    status=1
+  }
+done
+[[ $status -eq 0 ]] || exit 1
+
+# Total order: every pair of surviving nodes must have delivered the
+# exact same sequence (the close round is agreed, so the sequences are
+# identical, not merely prefix-related).
+first="${expected[0]}"
+lines=$(wc -l < "$workdir/out.$first")
+floor=$send_count
+[[ "$scenario" == crash ]] || floor=$(( 2 * send_count ))
+if (( lines < floor )); then
+  echo "FAIL: only $lines deliveries at node $first (floor $floor)" >&2
+  exit 1
+fi
+for i in "${expected[@]}"; do
+  if ! cmp -s "$workdir/out.$first" "$workdir/out.$i"; then
+    echo "FAIL: delivery sequences diverge between node $first and node $i" >&2
+    diff "$workdir/out.$first" "$workdir/out.$i" | head -20 >&2 || true
+    exit 1
+  fi
+done
+
+sum_stat() {
+  local key="$1" total=0 v
+  for i in "${expected[@]}"; do
+    while read -r v; do total=$(( total + v )); done \
+      < <(grep -o "${key}=[0-9]*" "$workdir/stats.$i" | cut -d= -f2)
+  done
+  echo "$total"
+}
+
+retrans=$(sum_stat retrans)
+backoffs=$(sum_stat backoffs)
+samples=$(sum_stat rtt_samples)
+echo "== link stats: retransmissions=$retrans backoffs=$backoffs rtt_samples=$samples"
+
+if [[ "$scenario" == chaos ]]; then
+  if (( retrans == 0 || backoffs == 0 )); then
+    echo "FAIL: chaos run showed no retransmissions/backoff (retrans=$retrans, backoffs=$backoffs)" >&2
+    exit 1
+  fi
+  if [[ -n "$proxy_pid" ]]; then
+    kill "$proxy_pid" 2>/dev/null || true
+    wait "$proxy_pid" 2>/dev/null || true
+    grep STATS "$workdir/proxy.stats" || true
+    proxy_pid=""
+  fi
+fi
+
+echo "PASS: $scenario/$channel — ${#expected[@]} nodes, $lines totally-ordered deliveries each"

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the test suite with -DSINTRA_SANITIZE=address,undefined in a
-# separate build tree and runs the bignum/crypto test cases under
-# ASan+UBSan.  The fast-exponentiation layer (multi-exp windows, comb
-# tables, scratch-buffer reuse) does manual limb-buffer arithmetic, so it
-# gets a sanitizer pass on every change.
+# separate build tree and runs the bignum/crypto test cases plus the
+# net-subsystem suites under ASan+UBSan.  The fast-exponentiation layer
+# (multi-exp windows, comb tables, scratch-buffer reuse) does manual
+# limb-buffer arithmetic, and the net layer (epoll loop, raw UDP buffers,
+# frame parsing of attacker-controlled datagrams) handles untrusted
+# input, so both get a sanitizer pass on every change.
 #
 # Usage: scripts/sanitize_crypto.sh [build_dir]   (default: ./build-asan)
 set -euo pipefail
@@ -15,13 +17,19 @@ cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DSINTRA_SANITIZE=address,undefined
 cmake --build "$build_dir" --target sintra_tests -j"$(nproc)"
+# The loopback-cluster tests exercise the node and proxy binaries under
+# the sanitizers too.
+cmake --build "$build_dir" \
+  --target dealer_tool sintra_node udp_chaos_proxy -j"$(nproc)"
 
 # Test names are gtest suite names, not source-file names: this regex
 # covers the bignum suites (BigInt/Montgomery/MultiExp/FixedBase/Karatsuba/
-# Prime) and the crypto-layer suites built on them.
+# Prime), the crypto-layer suites built on them, and the net subsystem
+# (event loop, UDP transport, sliding-window link, 4-process clusters).
 filter='BigInt|Montgomery|MultiExp|FixedBase|GroupCache|Karatsuba|Prime'
 filter+='|Rsa|Shamir|Lagrange|DlogGroup|Dleq|Group|ThresholdSig|Coin|Tdh2'
 filter+='|Dealer|Hash|Sha|Aes'
+filter+='|EventLoop|UdpSocket|NetEnvironment|SlidingWindow|LocalCluster'
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"

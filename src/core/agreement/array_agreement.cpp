@@ -33,12 +33,14 @@ ArrayAgreement::ArrayAgreement(Environment& env, Dispatcher& dispatcher,
   // One verifiable consistent broadcast per potential proposer.
   proposals_.reserve(static_cast<std::size_t>(env.n()));
   for (int j = 0; j < env.n(); ++j) {
-    auto cb = std::make_unique<VerifiableConsistentBroadcast>(
-        env, dispatcher, pid + ".cb", j);
-    cb->set_deliver_callback([this, j](const Bytes&) {
+    proposals_.push_back(std::make_unique<VerifiableConsistentBroadcast>(
+        env, dispatcher, pid + ".cb", j));
+    // Store before wiring: a buffered final replayed during construction
+    // makes the setter fire on_proposal_delivered(j) immediately, which
+    // indexes proposals_[j].
+    proposals_.back()->set_deliver_callback([this, j](const Bytes&) {
       on_proposal_delivered(j);
     });
-    proposals_.push_back(std::move(cb));
   }
   activate();
 }
@@ -182,6 +184,13 @@ void ArrayAgreement::maybe_start_vba(int iteration) {
   vba_->set_decide_callback([this, iteration](bool selected) {
     on_vba_decided(iteration, selected);
   });
+  if (!vba_ || iteration != iteration_) {
+    // The agreement decided while we wired the callback: the dispatcher
+    // had a buffered DECIDE from a faster peer and replayed it inside the
+    // constructor.  on_vba_decided already ran (moving vba_ away and
+    // possibly starting the next iteration) — nothing left to propose.
+    return;
+  }
   const bool have = valid_proposals_.contains(cand);
   if (have) {
     vba_->propose(true, *cb.get_closing());

@@ -61,6 +61,9 @@ class ArrayAgreement final : public Protocol {
 
   void set_decide_callback(std::function<void(const Bytes&)> cb) {
     decide_cb_ = std::move(cb);
+    // Replay during construction can decide before the owner wires the
+    // callback (see BinaryAgreementEngine::set_decide_callback).
+    if (decided_.has_value() && decide_cb_) decide_cb_(*decided_);
   }
 
   void abort() override;

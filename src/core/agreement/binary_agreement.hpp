@@ -71,6 +71,11 @@ class BinaryAgreementEngine : public Protocol {
 
   void set_decide_callback(std::function<void(bool)> cb) {
     decide_cb_ = std::move(cb);
+    // The dispatcher replays buffered messages synchronously while the
+    // constructor registers the pid — a replayed DECIDE can settle the
+    // agreement before the owner wires this callback.  Fire immediately
+    // so a decision that raced the wiring is never lost.
+    if (decided_.has_value() && decide_cb_) decide_cb_(*decided_);
   }
 
  protected:

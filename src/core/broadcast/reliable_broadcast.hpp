@@ -41,6 +41,9 @@ class ReliableBroadcast : public Protocol, public BroadcastBase {
   /// Invoked exactly once on delivery.
   void set_deliver_callback(std::function<void(const Bytes&)> cb) {
     deliver_cb_ = std::move(cb);
+    // Replay during construction can deliver before the owner wires the
+    // callback (see BinaryAgreementEngine::set_decide_callback).
+    if (delivered_.has_value() && deliver_cb_) deliver_cb_(*delivered_);
   }
 
   // --- BroadcastBase (the paper's Figure 2 Broadcast interface) ---

@@ -87,6 +87,9 @@ class BroadcastChannel : public ChannelBase {
   void set_deliver_callback(std::function<void(const Bytes&, PartyId)> cb) {
     deliver_cb_ = std::move(cb);
   }
+  void set_closed_callback(std::function<void()> cb) {
+    closed_cb_ = std::move(cb);
+  }
 
   // --- ChannelBase (the paper's Figure 2 Channel interface) ---
   void send_payload(BytesView payload) override { send(payload); }
@@ -157,6 +160,7 @@ class BroadcastChannel : public ChannelBase {
     for (auto& inst : instances_) {
       if (inst) inst->abort();
     }
+    if (closed_cb_) closed_cb_();
   }
 
   Environment& env_;
@@ -175,6 +179,7 @@ class BroadcastChannel : public ChannelBase {
   std::deque<Bytes> inbox_;
   std::vector<Delivery> deliveries_;
   std::function<void(const Bytes&, PartyId)> deliver_cb_;
+  std::function<void()> closed_cb_;
 };
 
 /// The paper's ReliableChannel: agreement per message, no ordering.

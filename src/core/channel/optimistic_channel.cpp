@@ -198,10 +198,14 @@ void OptimisticChannel::open_slot(std::uint64_t index) {
   slot.vcb = std::make_unique<VerifiableConsistentBroadcast>(
       env_, dispatcher_, slot_pid_base(epoch_) + std::to_string(index),
       sequencer());
-  slot.vcb->set_deliver_callback([this, index](const Bytes& order) {
+  auto* vcb = slot.vcb.get();
+  slots_.emplace(index, std::move(slot));
+  // Store before wiring: a buffered final replayed during construction
+  // makes the setter fire on_slot_delivered immediately, which looks the
+  // slot up in slots_.
+  vcb->set_deliver_callback([this, index](const Bytes& order) {
     on_slot_delivered(index, order);
   });
-  slots_.emplace(index, std::move(slot));
 }
 
 void OptimisticChannel::on_slot_delivered(std::uint64_t index,

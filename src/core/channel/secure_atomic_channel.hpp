@@ -71,6 +71,10 @@ class SecureAtomicChannel : public Protocol, public ChannelBase {
   void set_deliver_callback(std::function<void(const Bytes&)> cb) {
     deliver_cb_ = std::move(cb);
   }
+  /// Fires when the underlying atomic channel terminates.
+  void set_closed_callback(std::function<void()> cb) {
+    atomic_->set_closed_callback(std::move(cb));
+  }
 
   void abort() override;
 

@@ -1,5 +1,7 @@
 #include "core/link/sliding_window.hpp"
 
+#include <algorithm>
+
 #include "crypto/hmac.hpp"
 #include "util/serde.hpp"
 
@@ -12,7 +14,12 @@ SlidingWindowLink::SlidingWindowLink(DatagramChannel& channel, int self,
       self_(self),
       peer_(peer),
       link_key_(std::move(link_key)),
-      options_(options) {}
+      options_(options),
+      jitter_state_(0x9e3779b97f4a7c15ULL ^
+                    (static_cast<std::uint64_t>(self) << 32) ^
+                    static_cast<std::uint64_t>(peer)) {
+  stats_.rto_ms = options_.retransmit_ms;
+}
 
 Bytes SlidingWindowLink::mac(FrameType type, std::uint64_t seq,
                              BytesView body) const {
@@ -51,8 +58,11 @@ void SlidingWindowLink::send(Bytes message) {
 void SlidingWindowLink::pump() {
   while (!queue_.empty() && in_flight_.size() < options_.window) {
     const std::uint64_t seq = next_seq_++;
-    in_flight_.emplace(seq, std::move(queue_.front()));
+    InFlight entry;
+    entry.message = std::move(queue_.front());
+    entry.sent_ms = channel_.now_ms();
     queue_.pop_front();
+    in_flight_.emplace(seq, std::move(entry));
     transmit(seq);
   }
   arm_timer();
@@ -61,17 +71,30 @@ void SlidingWindowLink::pump() {
 void SlidingWindowLink::transmit(std::uint64_t seq) {
   const auto it = in_flight_.find(seq);
   if (it == in_flight_.end()) return;
-  channel_.send_datagram(frame(FrameType::kData, seq, it->second));
+  channel_.send_datagram(frame(FrameType::kData, seq, it->second.message));
 }
 
 void SlidingWindowLink::send_ack() {
   channel_.send_datagram(frame(FrameType::kAck, expected_, {}));
 }
 
+double SlidingWindowLink::jittered_rto() {
+  if (options_.jitter <= 0.0) return stats_.rto_ms;
+  // xorshift64*: cheap deterministic per-link jitter; randomness quality
+  // is irrelevant, only desynchronization matters.
+  jitter_state_ ^= jitter_state_ >> 12;
+  jitter_state_ ^= jitter_state_ << 25;
+  jitter_state_ ^= jitter_state_ >> 27;
+  const double u =
+      static_cast<double>(jitter_state_ * 0x2545f4914f6cdd1dULL >> 11) /
+      static_cast<double>(1ULL << 53);
+  return stats_.rto_ms * (1.0 + options_.jitter * (2.0 * u - 1.0));
+}
+
 void SlidingWindowLink::arm_timer() {
   if (timer_armed_ || in_flight_.empty()) return;
   timer_armed_ = true;
-  channel_.call_later(options_.retransmit_ms, [this] { on_timeout(); });
+  channel_.call_later(jittered_rto(), [this] { on_timeout(); });
 }
 
 void SlidingWindowLink::on_timeout() {
@@ -79,11 +102,38 @@ void SlidingWindowLink::on_timeout() {
   if (in_flight_.empty()) return;
   // Go-back-from-base: retransmit every unacked frame (simple and robust;
   // cumulative ACKs make over-retransmission harmless).
-  for (const auto& [seq, message] : in_flight_) {
-    ++retransmissions_;
+  for (auto& [seq, entry] : in_flight_) {
+    ++stats_.retransmissions;
+    entry.retransmitted = true;
     transmit(seq);
   }
+  // Exponential backoff until the next clean RTT sample: persistent loss
+  // (or a dead peer) must not produce a fixed-rate retransmit storm.
+  const double backed = stats_.rto_ms * options_.backoff;
+  if (backed <= options_.max_rto_ms) {
+    stats_.rto_ms = backed;
+    ++stats_.backoffs;
+  } else if (stats_.rto_ms < options_.max_rto_ms) {
+    stats_.rto_ms = options_.max_rto_ms;
+    ++stats_.backoffs;
+  }
   arm_timer();
+}
+
+void SlidingWindowLink::sample_rtt(double rtt_ms) {
+  ++stats_.rtt_samples;
+  if (stats_.srtt_ms < 0.0) {
+    // First sample (RFC 6298 §2.2).
+    stats_.srtt_ms = rtt_ms;
+    stats_.rttvar_ms = rtt_ms / 2.0;
+  } else {
+    stats_.rttvar_ms =
+        0.75 * stats_.rttvar_ms + 0.25 * std::abs(stats_.srtt_ms - rtt_ms);
+    stats_.srtt_ms = 0.875 * stats_.srtt_ms + 0.125 * rtt_ms;
+  }
+  stats_.rto_ms =
+      std::clamp(stats_.srtt_ms + 4.0 * stats_.rttvar_ms,
+                 options_.min_rto_ms, options_.max_rto_ms);
 }
 
 void SlidingWindowLink::on_datagram(BytesView datagram) {
@@ -105,16 +155,24 @@ void SlidingWindowLink::on_datagram(BytesView datagram) {
       w.bytes(body);
       if (!crypto::hmac_verify(crypto::HashKind::kSha1, link_key_, w.data(),
                                tag)) {
-        return;  // forged or corrupted
+        ++stats_.drop_auth;  // forged or corrupted
+        return;
       }
-      if (seq >= expected_ &&
-          seq < expected_ + options_.max_receive_buffer) {
-        out_of_order_.try_emplace(seq, body);
+      ++stats_.data_received;
+      if (seq < expected_) {
+        ++stats_.drop_duplicate;  // already delivered; re-ack below heals
+      } else if (seq >= expected_ + options_.max_receive_buffer) {
+        ++stats_.drop_overflow;  // beyond the buffer window: flood guard
+      } else {
+        if (!out_of_order_.try_emplace(seq, body).second) {
+          ++stats_.drop_duplicate;  // buffered copy already held
+        }
         while (!out_of_order_.empty() &&
                out_of_order_.begin()->first == expected_) {
           Bytes message = std::move(out_of_order_.begin()->second);
           out_of_order_.erase(out_of_order_.begin());
           ++expected_;
+          ++stats_.delivered;
           if (deliver_cb_) deliver_cb_(std::move(message));
         }
       }
@@ -134,18 +192,32 @@ void SlidingWindowLink::on_datagram(BytesView datagram) {
       w.bytes(Bytes{});
       if (!crypto::hmac_verify(crypto::HashKind::kSha1, link_key_, w.data(),
                                tag)) {
-        return;  // forged acknowledgment — the attack §3 worries about
+        ++stats_.drop_auth;  // forged acknowledgment — the §3 attack
+        return;
       }
+      ++stats_.acks_received;
       // Cumulative: everything below `seq` is delivered at the peer.
+      const double now = channel_.now_ms();
       while (base_ < seq) {
-        in_flight_.erase(base_);
+        const auto it = in_flight_.find(base_);
+        if (it != in_flight_.end()) {
+          // Karn's rule: only frames acknowledged on their first
+          // transmission produce an RTT sample.
+          if (!it->second.retransmitted && now >= 0.0 &&
+              it->second.sent_ms >= 0.0) {
+            sample_rtt(now - it->second.sent_ms);
+          }
+          in_flight_.erase(it);
+        }
         ++base_;
       }
       pump();
       return;
     }
+
+    ++stats_.drop_malformed;  // unknown frame type
   } catch (const SerdeError&) {
-    // Malformed datagram: drop.
+    ++stats_.drop_malformed;  // truncated or unparsable datagram
   }
 }
 

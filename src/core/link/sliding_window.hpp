@@ -17,6 +17,14 @@
 //     delivers in order exactly once, and returns cumulative ACKs
 //     (next-expected sequence) on every data frame;
 //   - duplicated, reordered and forged datagrams are all tolerated.
+//
+// Retransmission timing (used over real sockets, see src/net/): when the
+// channel provides a monotonic clock, the retransmit timeout adapts to
+// the measured round-trip time (Jacobson/Karels smoothing, Karn's rule:
+// retransmitted frames are never sampled), backs off exponentially on
+// every expiry, and is jittered to avoid synchronized retransmit storms.
+// Timing never enters protocol logic above the link — it only decides
+// *when to resend*, never *what to deliver*.
 #pragma once
 
 #include <deque>
@@ -34,15 +42,49 @@ class DatagramChannel {
   virtual ~DatagramChannel() = default;
   virtual void send_datagram(Bytes datagram) = 0;
   virtual void call_later(double delay_ms, std::function<void()> fn) = 0;
+
+  /// Monotonic clock in milliseconds, used only for RTT measurement.
+  /// A channel without a usable clock returns a negative value; the link
+  /// then keeps its configured fixed timeout (still with backoff).
+  [[nodiscard]] virtual double now_ms() const { return -1.0; }
 };
 
 class SlidingWindowLink {
  public:
   struct Options {
     std::size_t window = 32;
+    /// Initial retransmission timeout (also the fixed timeout when the
+    /// channel has no clock).
     double retransmit_ms = 50.0;
+    /// Adaptive-timeout clamp: rto = clamp(srtt + 4·rttvar, min, max).
+    double min_rto_ms = 10.0;
+    double max_rto_ms = 4000.0;
+    /// Multiplier applied to the timeout on every expiry (exponential
+    /// backoff; reset by the next successful RTT sample).
+    double backoff = 2.0;
+    /// Fraction of the timeout randomized away on each arm (±jitter).
+    double jitter = 0.1;
     /// Hard cap on buffered out-of-order frames (flooding guard).
     std::size_t max_receive_buffer = 1024;
+  };
+
+  /// Counters and timing state exposed for tests, stats dumps and the
+  /// cluster runner.  Every dropped datagram is accounted to exactly one
+  /// drop_* bucket.
+  struct Stats {
+    std::uint64_t data_received = 0;   // authenticated data frames
+    std::uint64_t acks_received = 0;   // authenticated ACK frames
+    std::uint64_t delivered = 0;       // messages handed to the callback
+    std::uint64_t retransmissions = 0;
+    std::uint64_t backoffs = 0;        // timeout expiries that backed off
+    std::uint64_t rtt_samples = 0;
+    double srtt_ms = -1.0;             // smoothed RTT (-1 until sampled)
+    double rttvar_ms = 0.0;
+    double rto_ms = 0.0;               // current retransmission timeout
+    std::uint64_t drop_auth = 0;       // HMAC verification failed
+    std::uint64_t drop_malformed = 0;  // truncated / unparsable / bad type
+    std::uint64_t drop_overflow = 0;   // beyond the receive-buffer window
+    std::uint64_t drop_duplicate = 0;  // already delivered or buffered
   };
 
   /// `link_key` is the dealer's pairwise HMAC key; `self`/`peer` index
@@ -71,11 +113,22 @@ class SlidingWindowLink {
   [[nodiscard]] std::uint64_t acked_seq() const { return base_; }
   [[nodiscard]] std::uint64_t delivered_seq() const { return expected_; }
   [[nodiscard]] std::uint64_t retransmissions() const {
-    return retransmissions_;
+    return stats_.retransmissions;
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Queued + in-flight messages not yet acknowledged by the peer.
+  [[nodiscard]] std::size_t backlog() const {
+    return queue_.size() + in_flight_.size();
   }
 
  private:
   enum class FrameType : std::uint8_t { kData = 1, kAck = 2 };
+
+  struct InFlight {
+    Bytes message;
+    double sent_ms = -1.0;      // first transmission time (clock units)
+    bool retransmitted = false;  // Karn's rule: never RTT-sample these
+  };
 
   [[nodiscard]] Bytes mac(FrameType type, std::uint64_t seq,
                           BytesView body) const;
@@ -86,6 +139,8 @@ class SlidingWindowLink {
   void send_ack();
   void arm_timer();
   void on_timeout();
+  void sample_rtt(double rtt_ms);
+  [[nodiscard]] double jittered_rto();
 
   DatagramChannel& channel_;
   int self_;
@@ -94,17 +149,20 @@ class SlidingWindowLink {
   Options options_;
 
   // Sender state.
-  std::deque<Bytes> queue_;                  // not yet assigned a seq
-  std::map<std::uint64_t, Bytes> in_flight_;  // seq -> message
+  std::deque<Bytes> queue_;                      // not yet assigned a seq
+  std::map<std::uint64_t, InFlight> in_flight_;  // seq -> frame state
   std::uint64_t next_seq_ = 0;
   std::uint64_t base_ = 0;  // lowest unacked
   bool timer_armed_ = false;
-  std::uint64_t retransmissions_ = 0;
+
+  // Adaptive retransmission timeout.
+  std::uint64_t jitter_state_;  // per-link deterministic LCG
 
   // Receiver state.
   std::uint64_t expected_ = 0;
   std::map<std::uint64_t, Bytes> out_of_order_;
 
+  Stats stats_;
   std::function<void(Bytes)> deliver_cb_;
 };
 

@@ -11,7 +11,6 @@
 #include <deque>
 #include <mutex>
 #include <optional>
-#include <thread>
 
 #include "core/channel/atomic_channel.hpp"
 #include "core/channel/broadcast_channel.hpp"
@@ -96,6 +95,13 @@ class BlockingChannel {
         }
         cv_.notify_all();
       });
+      channel_->set_closed_callback([this] {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          closed_flag_ = true;
+        }
+        cv_.notify_all();
+      });
     });
   }
 
@@ -149,9 +155,11 @@ class BlockingChannel {
   }
 
   /// Blocks until the channel has terminated (the Java API's closeWait
-  /// when preceded by close()).
-  void wait_done(std::chrono::milliseconds poll = std::chrono::milliseconds(5)) {
-    while (!is_closed()) std::this_thread::sleep_for(poll);
+  /// when preceded by close()).  Woken by the channel's closed callback —
+  /// no polling.
+  void wait_done() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_flag_; });
   }
 
   void close_wait() {
@@ -174,6 +182,7 @@ class BlockingChannel {
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Bytes> inbox_;
+  bool closed_flag_ = false;
 };
 
 using BlockingAtomicChannel = BlockingChannel<core::AtomicChannel>;

@@ -1,0 +1,211 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <unistd.h>
+
+namespace sintra::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+// Signal delivery has no user argument, so the wakeup route is a static:
+// the handler writes to the registered loop's eventfd (write(2) is
+// async-signal-safe) and records which signal fired.
+std::atomic<int> g_signal_wakeup_fd{-1};
+volatile std::sig_atomic_t g_pending_signal = 0;
+
+void signal_trampoline(int signo) {
+  g_pending_signal = signo;
+  const int fd = g_signal_wakeup_fd.load();
+  if (fd >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+  }
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) throw_errno("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(wakeup)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  for (const int signo : handled_signals_) std::signal(signo, SIG_DFL);
+  if (!handled_signals_.empty()) g_signal_wakeup_fd.store(-1);
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
+  if (!fd_callbacks_.emplace(fd, std::move(on_readable)).second) {
+    throw std::logic_error("EventLoop::add_fd: fd already registered");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    fd_callbacks_.erase(fd);
+    throw_errno("epoll_ctl(add)");
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  if (fd_callbacks_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+EventLoop::TimerId EventLoop::call_later(double delay_ms,
+                                         std::function<void()> fn) {
+  const TimerId id = next_timer_id_++;
+  const double deadline = now_ms() + std::max(delay_ms, 0.0);
+  timers_.push(Timer{deadline, id});
+  timer_fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) { timer_fns_.erase(id); }
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop_on_signals(std::initializer_list<int> signals,
+                                std::function<void(int)> on_signal) {
+  signal_fn_ = std::move(on_signal);
+  g_signal_wakeup_fd.store(wakeup_fd_);
+  for (const int signo : signals) {
+    if (std::signal(signo, signal_trampoline) == SIG_ERR) {
+      throw_errno("signal");
+    }
+    handled_signals_.push_back(signo);
+  }
+}
+
+double EventLoop::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void EventLoop::drain_wakeup() {
+  std::uint64_t count = 0;
+  while (::read(wakeup_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+std::uint64_t EventLoop::step(double max_wait_ms) {
+  // Sleep until the next timer deadline (or the caller's bound).
+  double wait = max_wait_ms;
+  while (!timers_.empty() &&
+         timer_fns_.find(timers_.top().id) == timer_fns_.end()) {
+    timers_.pop();  // lazily discard cancelled timers
+  }
+  if (!timers_.empty()) {
+    wait = std::min(wait, timers_.top().deadline_ms - now_ms());
+  }
+  const int timeout =
+      wait <= 0.0 ? 0 : static_cast<int>(std::min(wait, 60000.0)) + 1;
+
+  epoll_event events[64];
+  const int ready =
+      ::epoll_wait(epoll_fd_, events, 64, timeout);
+  if (ready < 0 && errno != EINTR) throw_errno("epoll_wait");
+
+  std::uint64_t dispatched = 0;
+
+  for (int i = 0; i < std::max(ready, 0); ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wakeup_fd_) {
+      drain_wakeup();
+      continue;
+    }
+    const auto it = fd_callbacks_.find(fd);
+    if (it != fd_callbacks_.end()) {
+      it->second();
+      ++dispatched;
+    }
+  }
+
+  // Expired timers (fire in deadline order; callbacks may add new ones).
+  const double now = now_ms();
+  while (!timers_.empty() && timers_.top().deadline_ms <= now) {
+    const Timer t = timers_.top();
+    timers_.pop();
+    auto it = timer_fns_.find(t.id);
+    if (it == timer_fns_.end()) continue;  // cancelled
+    auto fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+    ++dispatched;
+  }
+
+  // Posted tasks.
+  std::vector<std::function<void()>> tasks;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) {
+    task();
+    ++dispatched;
+  }
+
+  if (g_pending_signal != 0 && !handled_signals_.empty()) {
+    const int signo = g_pending_signal;
+    g_pending_signal = 0;
+    if (signal_fn_) signal_fn_(signo);
+    stop_requested_.store(true);
+  }
+
+  return dispatched;
+}
+
+std::uint64_t EventLoop::run() {
+  std::uint64_t total = 0;
+  while (!stop_requested_.load()) total += step(60000.0);
+  return total;
+}
+
+bool EventLoop::run_until(const std::function<bool()>& pred,
+                          double timeout_ms) {
+  const double deadline = now_ms() + timeout_ms;
+  while (!stop_requested_.load()) {
+    if (pred()) return true;
+    const double left = deadline - now_ms();
+    if (left <= 0.0) return pred();
+    step(left);
+  }
+  return pred();
+}
+
+}  // namespace sintra::net

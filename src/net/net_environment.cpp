@@ -1,0 +1,136 @@
+#include "net/net_environment.hpp"
+
+#include <stdexcept>
+
+#include "util/serde.hpp"
+
+namespace sintra::net {
+
+void UdpDatagramChannel::send_datagram(Bytes datagram) {
+  Writer w;
+  w.u32(self_id_);
+  w.raw(datagram);
+  if (socket_.send_to(peer_address_, w.data())) {
+    ++sent_;
+  } else {
+    ++send_errors_;  // dropped by the kernel: the link retransmits
+  }
+}
+
+NetEnvironment::NetEnvironment(EventLoop& loop,
+                               std::vector<core::Endpoint> endpoints,
+                               crypto::PartyKeys keys, NetOptions options)
+    // socket_ is declared before keys_, so `keys` (the parameter) is
+    // still intact when the bind address is resolved here.
+    : loop_(loop),
+      socket_(SocketAddress::resolve(
+          endpoints.at(static_cast<std::size_t>(keys.index)).host,
+          endpoints.at(static_cast<std::size_t>(keys.index)).port)),
+      keys_(std::move(keys)),
+      options_(std::move(options)),
+      rng_(options_.rng_seed != 0
+               ? options_.rng_seed
+               : 0x51e7a0de ^ (static_cast<std::uint64_t>(keys_.index) << 20)) {
+  wire_links(endpoints);
+}
+
+NetEnvironment::NetEnvironment(EventLoop& loop, UdpSocket socket,
+                               std::vector<core::Endpoint> endpoints,
+                               crypto::PartyKeys keys, NetOptions options)
+    : loop_(loop),
+      socket_(std::move(socket)),
+      keys_(std::move(keys)),
+      options_(std::move(options)),
+      rng_(options_.rng_seed != 0
+               ? options_.rng_seed
+               : 0x51e7a0de ^ (static_cast<std::uint64_t>(keys_.index) << 20)) {
+  wire_links(endpoints);
+}
+
+void NetEnvironment::wire_links(const std::vector<core::Endpoint>& endpoints) {
+  if (static_cast<int>(endpoints.size()) != keys_.n) {
+    throw std::invalid_argument(
+        "NetEnvironment: endpoint count does not match n");
+  }
+  const std::vector<core::Endpoint>& targets =
+      options_.send_to.empty() ? endpoints : options_.send_to;
+  if (static_cast<int>(targets.size()) != keys_.n) {
+    throw std::invalid_argument(
+        "NetEnvironment: send_to count does not match n");
+  }
+  for (int peer = 0; peer < keys_.n; ++peer) {
+    if (peer == keys_.index) continue;
+    const auto& ep = targets[static_cast<std::size_t>(peer)];
+    auto channel = std::make_unique<UdpDatagramChannel>(
+        loop_, socket_, SocketAddress::resolve(ep.host, ep.port),
+        static_cast<std::uint32_t>(keys_.index));
+    auto link = std::make_unique<core::SlidingWindowLink>(
+        *channel, keys_.index, peer,
+        keys_.link_keys[static_cast<std::size_t>(peer)], options_.link);
+    link->set_deliver_callback([this, peer](Bytes wire) {
+      dispatcher_.on_message(peer, std::move(wire));
+    });
+    channels_.emplace(peer, std::move(channel));
+    links_.emplace(peer, std::move(link));
+  }
+  loop_.add_fd(socket_.fd(), [this] { on_socket_readable(); });
+}
+
+NetEnvironment::~NetEnvironment() { loop_.remove_fd(socket_.fd()); }
+
+void NetEnvironment::send(core::PartyId to, Bytes wire) {
+  if (to < 0 || to >= keys_.n) {
+    throw std::out_of_range("NetEnvironment::send");
+  }
+  if (to == keys_.index) {
+    // Self-delivery stays asynchronous (no reentrancy into protocol
+    // handlers), via a zero-delay loop timer.
+    loop_.call_later(0.0, [this, wire = std::move(wire)]() mutable {
+      dispatcher_.on_message(keys_.index, std::move(wire));
+    });
+    return;
+  }
+  links_.at(to)->send(std::move(wire));
+}
+
+void NetEnvironment::send_all(Bytes wire) {
+  for (int j = 0; j < keys_.n; ++j) send(j, wire);
+}
+
+std::size_t NetEnvironment::send_backlog() const {
+  std::size_t total = 0;
+  for (const auto& [peer, link] : links_) total += link->backlog();
+  return total;
+}
+
+void NetEnvironment::on_socket_readable() {
+  // Bounded drain: at most max_receive_batch datagrams per wake so timers
+  // and other parties on the loop stay responsive under flood; the
+  // level-triggered epoll registration re-fires if more are queued.
+  for (std::size_t i = 0; i < options_.max_receive_batch; ++i) {
+    auto received = socket_.receive(options_.max_datagram + 1);
+    if (!received) return;
+    auto& [datagram, from_addr] = *received;
+    ++stats_.datagrams_received;
+    if (datagram.size() > options_.max_datagram) {
+      ++stats_.drop_oversized;
+      continue;
+    }
+    if (datagram.size() < 4) {
+      ++stats_.drop_no_sender;
+      continue;
+    }
+    Reader r(datagram);
+    const auto sender = static_cast<int>(r.u32());
+    if (sender < 0 || sender >= keys_.n || sender == keys_.index) {
+      ++stats_.drop_bad_sender;
+      continue;
+    }
+    // The id prefix is only a routing hint; the link's HMAC decides
+    // whether the frame really came from `sender`.
+    links_.at(sender)->on_datagram(
+        BytesView(datagram).subspan(4));
+  }
+}
+
+}  // namespace sintra::net

@@ -1,0 +1,143 @@
+// core::Environment over real UDP sockets: the deployment transport.
+//
+// One NetEnvironment is one party of the group running inside one
+// process (the sintra_node binary) or — for tests — several parties
+// sharing one EventLoop in one process.  Layering per party:
+//
+//     Dispatcher  <-  SlidingWindowLink (per peer, HMAC link keys)
+//                 <-  UdpDatagramChannel (per peer)
+//                 <-  one bound UdpSocket + EventLoop timers
+//
+// Every outgoing datagram is prefixed with the sender's party id so the
+// receiver can route it to the right link; the prefix is advisory only —
+// the link's HMAC (which binds both endpoint ids) is what authenticates
+// the claim, so a forged prefix is dropped by MAC verification exactly
+// like any other forged frame.  The receiver never trusts source
+// addresses, which also lets a mangling proxy sit between the parties.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dispatcher.hpp"
+#include "core/env.hpp"
+#include "core/link/sliding_window.hpp"
+#include "net/event_loop.hpp"
+#include "net/udp.hpp"
+
+namespace sintra::net {
+
+/// core::DatagramChannel for one peer: prefixes the sender id, sends to
+/// the peer's (possibly proxied) address, and exposes the loop's timers
+/// and clock to the sliding-window link.
+class UdpDatagramChannel final : public core::DatagramChannel {
+ public:
+  UdpDatagramChannel(EventLoop& loop, UdpSocket& socket,
+                     SocketAddress peer_address, std::uint32_t self_id)
+      : loop_(loop),
+        socket_(socket),
+        peer_address_(peer_address),
+        self_id_(self_id) {}
+
+  void send_datagram(Bytes datagram) override;
+  void call_later(double delay_ms, std::function<void()> fn) override {
+    loop_.call_later(delay_ms, std::move(fn));
+  }
+  [[nodiscard]] double now_ms() const override { return loop_.now_ms(); }
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t send_errors() const { return send_errors_; }
+
+ private:
+  EventLoop& loop_;
+  UdpSocket& socket_;
+  SocketAddress peer_address_;
+  std::uint32_t self_id_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t send_errors_ = 0;
+};
+
+struct NetOptions {
+  core::SlidingWindowLink::Options link;
+  /// Largest accepted incoming datagram; larger ones are dropped and
+  /// counted (a sliding-window frame never legitimately exceeds this).
+  std::size_t max_datagram = 65536;
+  /// Datagrams drained from the socket per readiness callback before the
+  /// loop gets to run timers again (bounded receive work per wake).
+  std::size_t max_receive_batch = 256;
+  /// Seed for the party's Rng; 0 derives one from the party id.
+  std::uint64_t rng_seed = 0;
+  /// If non-empty, outgoing datagrams for peer j go to send_to[j]
+  /// instead of the configured endpoint (used to interpose the chaos
+  /// proxy); parties still bind their own configured endpoints.
+  std::vector<core::Endpoint> send_to;
+};
+
+class NetEnvironment final : public core::Environment {
+ public:
+  /// Transport-level counters (the link layer keeps its own per-peer
+  /// stats; see link_stats()).
+  struct Stats {
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t drop_no_sender = 0;   // too short for the id prefix
+    std::uint64_t drop_bad_sender = 0;  // id out of range / self
+    std::uint64_t drop_oversized = 0;
+  };
+
+  /// Binds endpoints[keys.index] and connects one link per peer.
+  /// `endpoints` must have size keys.n.
+  NetEnvironment(EventLoop& loop, std::vector<core::Endpoint> endpoints,
+                 crypto::PartyKeys keys, NetOptions options = {});
+
+  /// Same, with a pre-bound socket (tests bind port 0 first and exchange
+  /// the real addresses).
+  NetEnvironment(EventLoop& loop, UdpSocket socket,
+                 std::vector<core::Endpoint> endpoints,
+                 crypto::PartyKeys keys, NetOptions options = {});
+
+  // --- core::Environment ---
+  [[nodiscard]] core::PartyId self() const override { return keys_.index; }
+  [[nodiscard]] int n() const override { return keys_.n; }
+  [[nodiscard]] int t() const override { return keys_.t; }
+  void send(core::PartyId to, Bytes wire) override;
+  void send_all(Bytes wire) override;
+  [[nodiscard]] double now_ms() const override { return loop_.now_ms(); }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+  [[nodiscard]] const crypto::PartyKeys& keys() const override {
+    return keys_;
+  }
+
+  [[nodiscard]] core::Dispatcher& dispatcher() { return dispatcher_; }
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const core::SlidingWindowLink::Stats& link_stats(
+      int peer) const {
+    return links_.at(peer)->stats();
+  }
+  /// Messages accepted by send() but not yet acknowledged by peers.
+  [[nodiscard]] std::size_t send_backlog() const;
+  [[nodiscard]] SocketAddress local_address() const {
+    return socket_.local_address();
+  }
+
+  ~NetEnvironment() override;
+
+ private:
+  void wire_links(const std::vector<core::Endpoint>& endpoints);
+  void on_socket_readable();
+
+  EventLoop& loop_;
+  UdpSocket socket_;
+  crypto::PartyKeys keys_;
+  NetOptions options_;
+  Rng rng_;
+  core::Dispatcher dispatcher_;
+  Stats stats_;
+
+  std::map<int, std::unique_ptr<UdpDatagramChannel>> channels_;
+  std::map<int, std::unique_ptr<core::SlidingWindowLink>> links_;
+};
+
+}  // namespace sintra::net

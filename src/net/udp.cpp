@@ -1,0 +1,115 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace sintra::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+SocketAddress SocketAddress::resolve(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_DGRAM;
+  hints.ai_protocol = IPPROTO_UDP;
+  hints.ai_flags = AI_NUMERICSERV | AI_ADDRCONFIG;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &result);
+  if (rc != 0) {
+    throw std::runtime_error("cannot resolve " + host + ":" +
+                             std::to_string(port) + ": " + gai_strerror(rc));
+  }
+  // Prefer IPv4 (the config format's host:port reads naturally as v4 and
+  // mixed-family groups would partition the cluster).
+  const addrinfo* chosen = result;
+  for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    if (ai->ai_family == AF_INET) {
+      chosen = ai;
+      break;
+    }
+  }
+  SocketAddress out;
+  std::memcpy(&out.storage, chosen->ai_addr, chosen->ai_addrlen);
+  out.length = static_cast<socklen_t>(chosen->ai_addrlen);
+  ::freeaddrinfo(result);
+  return out;
+}
+
+std::string SocketAddress::to_string() const {
+  char host[NI_MAXHOST] = "?";
+  char serv[NI_MAXSERV] = "?";
+  ::getnameinfo(sockaddr_ptr(), length, host, sizeof(host), serv,
+                sizeof(serv), NI_NUMERICHOST | NI_NUMERICSERV);
+  return std::string(host) + ":" + serv;
+}
+
+UdpSocket::UdpSocket(const SocketAddress& bind_address) {
+  fd_ = ::socket(bind_address.storage.ss_family,
+                 SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, IPPROTO_UDP);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, bind_address.sockaddr_ptr(), bind_address.length) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind");
+  }
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+SocketAddress UdpSocket::local_address() const {
+  SocketAddress out;
+  out.length = sizeof(out.storage);
+  if (::getsockname(fd_, out.sockaddr_ptr(), &out.length) < 0) {
+    throw_errno("getsockname");
+  }
+  return out;
+}
+
+bool UdpSocket::send_to(const SocketAddress& to, BytesView datagram) {
+  const ssize_t n =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0, to.sockaddr_ptr(),
+               to.length);
+  return n == static_cast<ssize_t>(datagram.size());
+}
+
+std::optional<std::pair<Bytes, SocketAddress>> UdpSocket::receive(
+    std::size_t max_size) {
+  Bytes buffer(max_size);
+  SocketAddress from;
+  from.length = sizeof(from.storage);
+  const ssize_t n = ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
+                               from.sockaddr_ptr(), &from.length);
+  if (n < 0) return std::nullopt;  // EAGAIN or a transient error: drained
+  buffer.resize(static_cast<std::size_t>(n));
+  return std::make_pair(std::move(buffer), from);
+}
+
+}  // namespace sintra::net

@@ -1,0 +1,74 @@
+// POSIX UDP datagram sockets for the deployment transport.
+//
+// The paper ran its prototype as n server processes communicating over
+// the Internet (§3, hostname:port endpoints in the configuration file).
+// UDP is the natural substrate here because the link layer above
+// (core/link/sliding_window.hpp) already provides reliability, ordering
+// and authentication — running it over TCP would duplicate all three and
+// reintroduce §3's forged-acknowledgment surface.
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace sintra::net {
+
+/// A resolved socket address (IPv4 or IPv6).
+struct SocketAddress {
+  sockaddr_storage storage{};
+  socklen_t length = 0;
+
+  /// Resolves `host` (name or numeric) and `port` to a UDP address;
+  /// prefers IPv4.  Throws std::runtime_error on resolution failure.
+  static SocketAddress resolve(const std::string& host, int port);
+
+  [[nodiscard]] const sockaddr* sockaddr_ptr() const {
+    return reinterpret_cast<const sockaddr*>(&storage);
+  }
+  [[nodiscard]] sockaddr* sockaddr_ptr() {
+    return reinterpret_cast<sockaddr*>(&storage);
+  }
+
+  /// "ip:port" rendering for logs and errors.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A bound non-blocking UDP socket (RAII, movable).
+class UdpSocket {
+ public:
+  /// Creates and binds; throws std::system_error on failure.  Port 0
+  /// binds an ephemeral port (see local_address()).
+  explicit UdpSocket(const SocketAddress& bind_address);
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)) {}
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// The actual bound address (resolves port 0).
+  [[nodiscard]] SocketAddress local_address() const;
+
+  /// Fire-and-forget send.  Returns false if the kernel refused the
+  /// datagram (buffer full, unreachable, oversized) — UDP semantics: the
+  /// link layer's retransmission owns recovery.
+  bool send_to(const SocketAddress& to, BytesView datagram);
+
+  /// Non-blocking receive; nullopt once the socket is drained.
+  std::optional<std::pair<Bytes, SocketAddress>> receive(
+      std::size_t max_size = 65536);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace sintra::net

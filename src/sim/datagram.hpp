@@ -36,6 +36,9 @@ class DatagramService {
   /// One-shot timer on this node's virtual clock.
   void call_later(double delay_ms, std::function<void()> fn);
 
+  /// The simulator's virtual clock (for the link layer's RTT estimator).
+  [[nodiscard]] double now_ms() const;
+
  private:
   friend class Simulator;
 

@@ -173,6 +173,8 @@ void DatagramService::call_later(double delay_ms, std::function<void()> fn) {
   });
 }
 
+double DatagramService::now_ms() const { return sim_.now_ms(); }
+
 DatagramService& Simulator::datagrams(int i) {
   if (i < 0 || i >= n()) throw std::out_of_range("Simulator::datagrams");
   if (datagram_services_.empty()) {

@@ -1,0 +1,147 @@
+// Event-loop tests: timer ordering and cancellation, cross-thread
+// post(), fd readiness dispatch and bounded run_until — the real-time
+// scheduler under the deployment transport (src/net/).
+#include "net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+namespace sintra::net {
+namespace {
+
+/// RAII pipe pair for fd-readiness tests.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  [[nodiscard]] int read_end() const { return fds[0]; }
+  void write_byte(char c = 'x') const {
+    ASSERT_EQ(::write(fds[1], &c, 1), 1);
+  }
+  [[nodiscard]] char read_byte() const {
+    char c = 0;
+    EXPECT_EQ(::read(fds[0], &c, 1), 1);
+    return c;
+  }
+};
+
+TEST(EventLoop, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.call_later(30.0, [&] { order.push_back(3); });
+  loop.call_later(5.0, [&] { order.push_back(1); });
+  loop.call_later(15.0, [&] { order.push_back(2); });
+  const double start = loop.now_ms();
+  ASSERT_TRUE(loop.run_until([&] { return order.size() == 3; }, 5000.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_GE(loop.now_ms() - start, 30.0);
+}
+
+TEST(EventLoop, SameDeadlineTimersKeepCreationOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.call_later(0.0, [&order, i] { order.push_back(i); });
+  }
+  ASSERT_TRUE(loop.run_until([&] { return order.size() == 5; }, 5000.0));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelledTimerNeverFires) {
+  EventLoop loop;
+  bool cancelled_fired = false;
+  bool other_fired = false;
+  const EventLoop::TimerId id =
+      loop.call_later(1.0, [&] { cancelled_fired = true; });
+  loop.call_later(20.0, [&] { other_fired = true; });
+  loop.cancel(id);
+  ASSERT_TRUE(loop.run_until([&] { return other_fired; }, 5000.0));
+  EXPECT_FALSE(cancelled_fired);
+}
+
+TEST(EventLoop, TimersCanRescheduleFromWithinCallbacks) {
+  EventLoop loop;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 5) loop.call_later(1.0, tick);
+  };
+  loop.call_later(1.0, tick);
+  ASSERT_TRUE(loop.run_until([&] { return ticks == 5; }, 5000.0));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(EventLoop, PostFromAnotherThreadWakesTheLoop) {
+  EventLoop loop;
+  bool ran = false;
+  std::thread poster([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.post([&] { ran = true; });
+  });
+  // No timers pending: the loop parks in epoll_wait until the post wakes
+  // it via the eventfd.
+  EXPECT_TRUE(loop.run_until([&] { return ran; }, 5000.0));
+  poster.join();
+}
+
+TEST(EventLoop, StopFromAnotherThreadEndsRun) {
+  EventLoop loop;
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.stop();
+  });
+  loop.run();  // must return rather than hang
+  stopper.join();
+  EXPECT_TRUE(loop.stopped());
+}
+
+TEST(EventLoop, FdReadinessDispatchesCallback) {
+  EventLoop loop;
+  Pipe p;
+  std::vector<char> got;
+  loop.add_fd(p.read_end(), [&] { got.push_back(p.read_byte()); });
+  loop.call_later(5.0, [&] { p.write_byte('a'); });
+  loop.call_later(10.0, [&] { p.write_byte('b'); });
+  ASSERT_TRUE(loop.run_until([&] { return got.size() == 2; }, 5000.0));
+  EXPECT_EQ(got, (std::vector<char>{'a', 'b'}));
+}
+
+TEST(EventLoop, RemovedFdStopsDispatching) {
+  EventLoop loop;
+  Pipe p;
+  int wakes = 0;
+  loop.add_fd(p.read_end(), [&] {
+    ++wakes;
+    (void)p.read_byte();
+  });
+  p.write_byte();
+  ASSERT_TRUE(loop.run_until([&] { return wakes == 1; }, 5000.0));
+  loop.remove_fd(p.read_end());
+  p.write_byte();  // now unwatched: must not be dispatched
+  bool timer_fired = false;
+  loop.call_later(30.0, [&] { timer_fired = true; });
+  ASSERT_TRUE(loop.run_until([&] { return timer_fired; }, 5000.0));
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(EventLoop, RunUntilTimesOutWhenPredicateStaysFalse) {
+  EventLoop loop;
+  const double start = loop.now_ms();
+  EXPECT_FALSE(loop.run_until([] { return false; }, 50.0));
+  EXPECT_GE(loop.now_ms() - start, 50.0);
+}
+
+TEST(EventLoop, RunCountsDispatchedCallbacks) {
+  EventLoop loop;
+  for (int i = 0; i < 3; ++i) loop.call_later(1.0, [] {});
+  loop.call_later(2.0, [&] { loop.stop(); });
+  EXPECT_GE(loop.run(), 4u);
+}
+
+}  // namespace
+}  // namespace sintra::net

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/broadcast/reliable_broadcast.hpp"
+#include "core/channel/atomic_channel.hpp"
 #include "sim_fixture.hpp"
 
 namespace sintra::core {
@@ -189,6 +190,263 @@ TEST(SlidingWindow, ReflectedFrameRejected) {
   EXPECT_TRUE(lp.delivered_at_a.empty());
 }
 
+// --- Drop accounting: every rejected datagram lands in exactly one
+// stats bucket (the counters the cluster runner and node stats report) ---
+
+TEST(SlidingWindowStats, TruncatedFramesCountedMalformed) {
+  LinkPair lp;
+  lp.b.on_datagram(Bytes{});         // empty
+  lp.b.on_datagram(Bytes(3, 0x7));   // too short for any frame
+  lp.a.send(to_bytes("basis"));
+  ASSERT_FALSE(lp.ca.sent.empty());
+  Bytes cut = lp.ca.sent[0];
+  cut.resize(cut.size() / 2);        // genuine frame, chopped mid-body
+  lp.b.on_datagram(cut);
+  EXPECT_EQ(lp.b.stats().drop_malformed, 3u);
+  EXPECT_EQ(lp.b.stats().drop_auth, 0u);
+  EXPECT_EQ(lp.b.stats().delivered, 0u);
+  EXPECT_TRUE(lp.delivered_at_b.empty());
+}
+
+TEST(SlidingWindowStats, BitFlippedFrameCountedAuthFailure) {
+  LinkPair lp;
+  lp.a.send(to_bytes("integrity"));
+  ASSERT_FALSE(lp.ca.sent.empty());
+  const Bytes genuine = lp.ca.sent[0];
+  // Flip one bit in the body (offset 13 = past type/seq/length header)
+  // and one in the MAC: both must fail verification, not parsing.
+  for (const std::size_t at : {std::size_t{13}, genuine.size() - 1}) {
+    Bytes flipped = genuine;
+    flipped[at] ^= 0x01;
+    lp.b.on_datagram(flipped);
+  }
+  EXPECT_EQ(lp.b.stats().drop_auth, 2u);
+  EXPECT_EQ(lp.b.stats().data_received, 0u);
+  EXPECT_TRUE(lp.delivered_at_b.empty());
+  // The untouched frame still goes through afterwards.
+  lp.b.on_datagram(genuine);
+  EXPECT_EQ(lp.delivered_at_b, std::vector<std::string>{"integrity"});
+}
+
+TEST(SlidingWindowStats, ForgedMacCountedAuthFailureBothFrameTypes) {
+  LinkPair lp;
+  Writer data;
+  data.u8(1);  // kData
+  data.u64(0);
+  data.bytes(to_bytes("evil"));
+  data.bytes(Bytes(20, 0x13));
+  lp.b.on_datagram(data.data());
+  Writer ack;
+  ack.u8(2);  // kAck
+  ack.u64(7);
+  ack.bytes(Bytes{});
+  ack.bytes(Bytes(20, 0x42));
+  lp.a.send(to_bytes("held"));
+  lp.a.on_datagram(ack.data());
+  EXPECT_EQ(lp.b.stats().drop_auth, 1u);
+  EXPECT_EQ(lp.a.stats().drop_auth, 1u);
+  EXPECT_EQ(lp.a.acked_seq(), 0u);  // the forged ACK moved nothing
+  Writer unknown;
+  unknown.u8(9);  // not a frame type
+  unknown.u64(0);
+  unknown.bytes(Bytes{});
+  unknown.bytes(Bytes(20, 0x00));
+  lp.b.on_datagram(unknown.data());
+  EXPECT_EQ(lp.b.stats().drop_malformed, 1u);
+}
+
+TEST(SlidingWindowStats, ReplayedFrameCountedDuplicate) {
+  LinkPair lp;
+  lp.a.send(to_bytes("once"));
+  ASSERT_FALSE(lp.ca.sent.empty());
+  const Bytes frame = lp.ca.sent[0];
+  lp.b.on_datagram(frame);
+  for (int i = 0; i < 3; ++i) lp.b.on_datagram(frame);  // replays
+  EXPECT_EQ(lp.delivered_at_b, std::vector<std::string>{"once"});
+  EXPECT_EQ(lp.b.stats().delivered, 1u);
+  EXPECT_EQ(lp.b.stats().drop_duplicate, 3u);
+  EXPECT_EQ(lp.b.stats().data_received, 4u);  // all authenticated fine
+}
+
+TEST(SlidingWindowStats, FramesBeyondReceiveBufferCountedOverflow) {
+  SlidingWindowLink::Options opts;
+  opts.max_receive_buffer = 4;
+  LinkPair lp(opts);
+  for (int i = 0; i < 10; ++i) lp.a.send(to_bytes("f" + std::to_string(i)));
+  ASSERT_EQ(lp.ca.sent.size(), 10u);
+  // Withhold seq 0: seqs 1..3 fit in the buffer window [0, 4), the rest
+  // must be dropped (flood guard), not buffered.
+  for (std::size_t i = 1; i < 10; ++i) lp.b.on_datagram(lp.ca.sent[i]);
+  EXPECT_TRUE(lp.delivered_at_b.empty());
+  EXPECT_EQ(lp.b.stats().drop_overflow, 6u);  // seqs 4..9
+  lp.b.on_datagram(lp.ca.sent[0]);  // the hole arrives
+  EXPECT_EQ(lp.delivered_at_b.size(), 4u);    // 0..3 flush in order
+  EXPECT_EQ(lp.delivered_at_b[0], "f0");
+  EXPECT_EQ(lp.delivered_at_b[3], "f3");
+}
+
+// --- Adaptive retransmission timeout (RTT sampling, backoff, jitter) ---
+
+/// ScriptedChannel plus a controllable monotonic clock, enabling the
+/// link's RTT estimator (a clockless channel reports now_ms() < 0).
+class ClockedChannel final : public DatagramChannel {
+ public:
+  void send_datagram(Bytes datagram) override {
+    sent.push_back(std::move(datagram));
+  }
+  void call_later(double delay_ms, std::function<void()> fn) override {
+    timers.emplace_back(delay_ms, std::move(fn));
+  }
+  [[nodiscard]] double now_ms() const override { return now; }
+  void fire_timers() {
+    auto pending = std::move(timers);
+    timers.clear();
+    for (auto& [delay, fn] : pending) fn();
+  }
+  double now = 0.0;
+  std::vector<Bytes> sent;
+  std::vector<std::pair<double, std::function<void()>>> timers;
+};
+
+struct ClockedLinkPair {
+  ClockedChannel ca, cb;
+  SlidingWindowLink a, b;
+
+  explicit ClockedLinkPair(SlidingWindowLink::Options opts = {})
+      : a(ca, 0, 1, to_bytes("0123456789abcdef"), opts),
+        b(cb, 1, 0, to_bytes("0123456789abcdef"), opts) {}
+
+  /// One message a -> b with the given one-way delay; the ACK returns
+  /// after the same delay, so the measured RTT is 2 * delay.
+  void roundtrip(double one_way_ms) {
+    a.send(to_bytes("m"));
+    auto data = std::move(ca.sent);
+    ca.sent.clear();
+    ca.now += one_way_ms;
+    cb.now = ca.now;
+    for (const auto& d : data) b.on_datagram(d);
+    auto acks = std::move(cb.sent);
+    cb.sent.clear();
+    ca.now += one_way_ms;
+    cb.now = ca.now;
+    for (const auto& d : acks) a.on_datagram(d);
+  }
+};
+
+TEST(SlidingWindowRto, RttSamplesAdaptTheTimeout) {
+  SlidingWindowLink::Options opts;
+  opts.retransmit_ms = 500.0;  // deliberately far from the true RTT
+  opts.min_rto_ms = 10.0;
+  ClockedLinkPair lp(opts);
+  EXPECT_EQ(lp.a.stats().rto_ms, 500.0);
+  lp.roundtrip(2.5);  // RTT 5ms
+  EXPECT_EQ(lp.a.stats().rtt_samples, 1u);
+  EXPECT_DOUBLE_EQ(lp.a.stats().srtt_ms, 5.0);
+  // First sample: rto = srtt + 4 * (srtt / 2) = 15, clamped above min.
+  EXPECT_DOUBLE_EQ(lp.a.stats().rto_ms, 15.0);
+  for (int i = 0; i < 20; ++i) lp.roundtrip(2.5);
+  // Stable RTT: variance decays, rto converges toward srtt (min clamp).
+  EXPECT_EQ(lp.a.stats().rtt_samples, 21u);
+  EXPECT_LT(lp.a.stats().rto_ms, 15.0);
+  EXPECT_GE(lp.a.stats().rto_ms, opts.min_rto_ms);
+}
+
+TEST(SlidingWindowRto, TimeoutsBackOffExponentiallyToTheCap) {
+  SlidingWindowLink::Options opts;
+  opts.retransmit_ms = 50.0;
+  opts.max_rto_ms = 300.0;
+  opts.jitter = 0.0;  // deterministic timer delays for this test
+  ClockedLinkPair lp(opts);
+  lp.a.send(to_bytes("void"));  // the peer never answers
+  lp.ca.sent.clear();
+  double previous = lp.a.stats().rto_ms;
+  EXPECT_DOUBLE_EQ(previous, 50.0);
+  lp.ca.fire_timers();
+  EXPECT_DOUBLE_EQ(lp.a.stats().rto_ms, 100.0);
+  lp.ca.fire_timers();
+  EXPECT_DOUBLE_EQ(lp.a.stats().rto_ms, 200.0);
+  lp.ca.fire_timers();
+  EXPECT_DOUBLE_EQ(lp.a.stats().rto_ms, 300.0);  // clamped to the cap
+  EXPECT_EQ(lp.a.stats().backoffs, 3u);
+  lp.ca.fire_timers();
+  EXPECT_DOUBLE_EQ(lp.a.stats().rto_ms, 300.0);  // stays at the cap
+  EXPECT_EQ(lp.a.stats().backoffs, 3u);  // capped expiries don't count
+  EXPECT_EQ(lp.a.stats().retransmissions, 4u);
+  // The re-armed timer uses the backed-off value.
+  ASSERT_FALSE(lp.ca.timers.empty());
+  EXPECT_DOUBLE_EQ(lp.ca.timers.back().first, 300.0);
+}
+
+TEST(SlidingWindowRto, KarnsRuleSkipsRetransmittedFrames) {
+  SlidingWindowLink::Options opts;
+  opts.jitter = 0.0;
+  ClockedLinkPair lp(opts);
+  lp.a.send(to_bytes("retried"));
+  lp.ca.sent.clear();      // first copy lost
+  lp.ca.now = 60.0;
+  lp.cb.now = 60.0;
+  lp.ca.fire_timers();     // retransmission
+  auto data = std::move(lp.ca.sent);
+  lp.ca.sent.clear();
+  lp.ca.now = 65.0;
+  lp.cb.now = 65.0;
+  for (const auto& d : data) lp.b.on_datagram(d);
+  auto acks = std::move(lp.cb.sent);
+  lp.cb.sent.clear();
+  for (const auto& d : acks) lp.a.on_datagram(d);
+  // Acked — but via a retransmitted frame, so the ambiguous RTT (which
+  // copy was acked?) must produce no sample and leave the estimator cold.
+  EXPECT_EQ(lp.a.acked_seq(), 1u);
+  EXPECT_EQ(lp.a.stats().rtt_samples, 0u);
+  EXPECT_LT(lp.a.stats().srtt_ms, 0.0);
+  // The next clean exchange samples normally again.
+  lp.roundtrip(2.0);
+  EXPECT_EQ(lp.a.stats().rtt_samples, 1u);
+}
+
+TEST(SlidingWindowRto, RetransmitTimerIsJittered) {
+  SlidingWindowLink::Options opts;
+  opts.retransmit_ms = 100.0;
+  opts.jitter = 0.1;
+  // Clockless pair: no RTT samples, so every arm jitters around the same
+  // fixed 100ms timeout and the spread is purely the jitter term.
+  LinkPair lp(opts);
+  std::vector<double> delays;
+  for (int i = 0; i < 16; ++i) {
+    lp.a.send(to_bytes("j" + std::to_string(i)));
+    ASSERT_FALSE(lp.ca.timers.empty());
+    delays.push_back(lp.ca.timers.back().first);
+    // Complete the exchange, then let the (now-moot) timer expire so the
+    // next send arms a fresh one.
+    auto data = std::move(lp.ca.sent);
+    lp.ca.sent.clear();
+    for (const auto& d : data) lp.b.on_datagram(d);
+    auto acks = std::move(lp.cb.sent);
+    lp.cb.sent.clear();
+    for (const auto& d : acks) lp.a.on_datagram(d);
+    lp.ca.fire_timers();  // nothing in flight: no retransmission
+  }
+  double lo = delays[0], hi = delays[0];
+  for (const double d : delays) {
+    EXPECT_GE(d, 100.0 * 0.9);
+    EXPECT_LE(d, 100.0 * 1.1);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GT(hi - lo, 1.0);  // actually spread, not a constant
+}
+
+TEST(SlidingWindowRto, ClocklessChannelKeepsFixedTimeout) {
+  // The simulator-era ScriptedChannel has no clock (now_ms() < 0): the
+  // link must never RTT-sample there, only back off and recover.
+  LinkPair lp;
+  lp.a.send(to_bytes("no-clock"));
+  lp.shuttle();
+  EXPECT_EQ(lp.delivered_at_b, std::vector<std::string>{"no-clock"});
+  EXPECT_EQ(lp.a.stats().rtt_samples, 0u);
+  EXPECT_LT(lp.a.stats().srtt_ms, 0.0);
+}
+
 // --- Integration: a Byzantine protocol over lossy datagram links ---
 
 // Environment that routes all sends through sliding-window links over the
@@ -296,6 +554,63 @@ TEST(SlidingWindowIntegration, ReliableBroadcastOver30PercentLoss) {
       },
       600000));
   for (const auto& r : rbcs) EXPECT_EQ(*r->delivered(), payload);
+}
+
+TEST(SlidingWindowIntegration, AtomicChannelLaggardCatchesUp) {
+  // The multi-process deployment hazard: one party's network is so slow
+  // that the other three finish the whole channel (including the agreed
+  // close) before it completes its first round.  Once its datagrams start
+  // flowing it must catch up from the peers' retransmissions and retained
+  // instances alone — nobody re-runs anything for it.
+  Cluster c(4, 1, 11);
+  c.sim.datagram_faults.extra_delay = [](int from, int to, double depart) {
+    const bool involves_laggard = from == 3 || to == 3;
+    return involves_laggard && depart < 2000.0 ? 5000.0 : 0.0;
+  };
+
+  std::vector<std::unique_ptr<LossyLinkEnv>> envs;
+  std::vector<std::unique_ptr<AtomicChannel>> channels;
+  std::vector<std::vector<std::string>> delivered(4);
+  int closed = 0;
+  for (int i = 0; i < 4; ++i) {
+    envs.push_back(std::make_unique<LossyLinkEnv>(
+        c.sim, i, c.deal.parties[static_cast<std::size_t>(i)]));
+    channels.push_back(std::make_unique<AtomicChannel>(
+        *envs.back(), envs.back()->dispatcher(), "laggard.ac"));
+    channels.back()->set_deliver_callback(
+        [&delivered, i](const Bytes& payload, PartyId) {
+          delivered[static_cast<std::size_t>(i)].push_back(
+              to_string(payload));
+        });
+    channels.back()->set_closed_callback([&closed] { ++closed; });
+  }
+  for (int i = 0; i < 4; ++i) {
+    c.sim.at(0.0, i, [&, i] {
+      for (int k = 0; k < 3; ++k) {
+        channels[static_cast<std::size_t>(i)]->send(
+            to_bytes("p" + std::to_string(i) + ":" + std::to_string(k)));
+      }
+      channels[static_cast<std::size_t>(i)]->close();
+    });
+  }
+  const bool ok = c.sim.run_until([&] { return closed == 4; }, 600000);
+  if (!ok) {
+    for (int i = 0; i < 4; ++i) {
+      std::fprintf(stderr,
+                   "party %d: closed=%d rounds=%d delivered=%zu buffered=%zu\n",
+                   i, channels[static_cast<std::size_t>(i)]->is_closed(),
+                   channels[static_cast<std::size_t>(i)]->rounds_completed(),
+                   delivered[static_cast<std::size_t>(i)].size(),
+                   envs[static_cast<std::size_t>(i)]
+                       ->dispatcher()
+                       .buffered_count());
+    }
+  }
+  ASSERT_TRUE(ok);
+  EXPECT_FALSE(delivered[0].empty());
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(delivered[static_cast<std::size_t>(i)], delivered[0]);
+  }
 }
 
 TEST(SlidingWindowIntegration, ManyMessagesStayFifoUnderLoss) {
