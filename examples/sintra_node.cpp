@@ -22,6 +22,11 @@
 // marker exists, so no peer ever disappears while another still needs
 // its responses.  SIGINT/SIGTERM shut down cleanly: flush output, print
 // stats, exit 0 if completed and 3 otherwise.
+//
+// Observability (docs/OBSERVABILITY.md): --metrics-out FILE writes a JSON
+// metrics snapshot on exit and on SIGUSR1 (overwritten each time);
+// --trace-out FILE streams typed protocol events as JSON lines.
+// scripts/aggregate_metrics.py merges the per-node snapshot files.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,9 +39,13 @@
 #include "core/channel/atomic_channel.hpp"
 #include "core/channel/optimistic_channel.hpp"
 #include "core/channel/secure_atomic_channel.hpp"
+#include "bignum/montgomery.hpp"
 #include "core/config.hpp"
+#include "crypto/cost.hpp"
 #include "crypto/keyfile.hpp"
 #include "net/net_environment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace sintra;
 
@@ -60,6 +69,8 @@ struct Args {
   double linger_ms = 1500.0;
   std::string out_path;  // empty = stdout
   bool print_stats = false;
+  std::string metrics_out;  // JSON snapshot on exit / SIGUSR1
+  std::string trace_out;    // JSON-lines event stream
   std::string via_host;  // chaos proxy: host part of --via
   int via_base_port = 0;
 };
@@ -89,6 +100,10 @@ Args parse_args(int argc, char** argv) {
       a.out_path = value();
     } else if (arg == "--stats") {
       a.print_stats = true;
+    } else if (arg == "--metrics-out") {
+      a.metrics_out = value();
+    } else if (arg == "--trace-out") {
+      a.trace_out = value();
     } else if (arg == "--via") {
       const std::string v = value();
       const auto colon = v.rfind(':');
@@ -135,11 +150,54 @@ class NodeApp {
       out_ = stdout;
     }
 
+    if (!args.trace_out.empty()) {
+      trace_file_ = std::fopen(args.trace_out.c_str(), "w");
+      if (trace_file_ == nullptr) {
+        throw std::runtime_error("cannot open " + args.trace_out);
+      }
+      trace_ = std::make_unique<obs::EventTrace>();
+      trace_->set_stream(trace_file_);
+      trace_->set_retain(false);  // stream only: bounded memory
+      obs::set_trace_sink(trace_.get());
+    }
+
     start_channel();
   }
 
   ~NodeApp() {
+    if (trace_) obs::set_trace_sink(nullptr);
+    if (trace_file_ != nullptr) std::fclose(trace_file_);
     if (out_ != nullptr && out_ != stdout) std::fclose(out_);
+  }
+
+  /// Writes a JSON metrics snapshot to --metrics-out (no-op without the
+  /// flag).  Called on exit and on SIGUSR1; each call overwrites the file
+  /// with the freshest totals.
+  void write_metrics() {
+    if (args_.metrics_out.empty()) return;
+    env_->publish_link_metrics();  // sample the link layer's plain structs
+    auto& reg = obs::registry();
+    const obs::Labels labels = obs::party_labels(env_->self());
+    reg.gauge("node.delivered", labels)
+        .set(static_cast<double>(delivered_));
+    reg.gauge("crypto.work_units", labels)
+        .set(static_cast<double>(bignum::work_counter()));
+    reg.gauge("crypto.work_per_exp1024", labels)
+        .set(static_cast<double>(crypto::work_per_exp1024()));
+    const std::string json = reg.snapshot().to_json();
+    std::FILE* f = std::fopen(args_.metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "# node %d: cannot open %s\n", env_->self(),
+                   args_.metrics_out.c_str());
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  void flush_trace() {
+    if (trace_file_ != nullptr) std::fflush(trace_file_);
   }
 
   [[nodiscard]] bool completed() const { return completed_; }
@@ -263,6 +321,8 @@ class NodeApp {
   std::unique_ptr<core::SecureAtomicChannel> secure_;
   std::unique_ptr<core::OptimisticChannel> optimistic_;
   std::FILE* out_ = nullptr;
+  std::FILE* trace_file_ = nullptr;
+  std::unique_ptr<obs::EventTrace> trace_;
   std::uint64_t delivered_ = 0;
   bool completed_ = false;
   double finish_ms_ = 0.0;
@@ -279,8 +339,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "# node %d: signal %d, shutting down\n",
                    app.party(), signo);
     });
+    if (!args.metrics_out.empty()) {
+      // Live snapshot without stopping: kill -USR1 <pid>.
+      loop.on_signal(SIGUSR1, [&] { app.write_metrics(); });
+    }
     loop.run();
     app.flush();
+    app.flush_trace();
+    app.write_metrics();
     if (args.print_stats) {
       app.print_stats(app.completed() ? "completed" : "interrupted");
     }
@@ -290,7 +356,8 @@ int main(int argc, char** argv) {
                  "error: %s\nusage: sintra_node <group.conf> <party.keys> "
                  "[--channel atomic|secure-atomic|optimistic] [--send N] "
                  "[--close] [--expect N] [--linger MS] [--out FILE] "
-                 "[--stats] [--via host:base_port]\n",
+                 "[--stats] [--metrics-out FILE] [--trace-out FILE] "
+                 "[--via host:base_port]\n",
                  e.what());
     return 2;
   }

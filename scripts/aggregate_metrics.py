@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Merge per-node sintra metrics snapshots into one cluster-level view.
+
+Each sintra_node writes a JSON snapshot (schema "sintra.metrics.v1", see
+docs/OBSERVABILITY.md) via --metrics-out.  This script merges any number
+of those files and prints:
+
+  1. a per-layer breakdown table: messages / bytes dispatched and handler
+     latency quantiles per protocol layer (the "layer" label collapses
+     per-instance pids, e.g. "cluster.atomic.r*.cb.*"), plus channel
+     round durations where present — the cluster-level analogue of the
+     paper's SS4.2 attribution of time to protocol layers;
+  2. greppable "total <name> <value>" lines: every counter summed across
+     nodes and label sets, and every gauge summed likewise (meaningful
+     for monotonic gauges such as link.retransmissions; scripts assert
+     against these lines).
+
+Merging rules: counters with identical (name, labels) add; gauges
+last-write-wins (label sets include the party, so distinct nodes never
+collide); histograms add count, sum and each bucket.
+
+Usage: aggregate_metrics.py node0.metrics.json [node1.metrics.json ...]
+
+Only the Python standard library is used.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+SCHEMA = "sintra.metrics.v1"
+
+
+def labels_key(labels):
+    """Labels serialize as a JSON object: {"layer": "...", "party": "0"}."""
+    return tuple(sorted(labels.items()))
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def merge(paths):
+    counters = defaultdict(int)  # (name, labels) -> value
+    gauges = {}  # (name, labels) -> value
+    hists = {}  # (name, labels) -> {count, sum, buckets: {i: n}}
+    for path in paths:
+        doc = load(path)
+        for c in doc.get("counters", []):
+            counters[(c["name"], labels_key(c["labels"]))] += c["value"]
+        for g in doc.get("gauges", []):
+            gauges[(g["name"], labels_key(g["labels"]))] = g["value"]
+        for h in doc.get("histograms", []):
+            key = (h["name"], labels_key(h["labels"]))
+            agg = hists.setdefault(
+                key, {"count": 0, "sum": 0.0, "buckets": defaultdict(int)}
+            )
+            agg["count"] += h["count"]
+            agg["sum"] += h["sum"]
+            for b in h["buckets"]:
+                agg["buckets"][b["bucket"]] += b["count"]
+    return counters, gauges, hists
+
+
+def bucket_upper(i):
+    """Exclusive upper bound of log-bucket i (mirrors obs::Histogram)."""
+    return (2.0**i) / 1000.0
+
+
+def quantile(hist, q):
+    """Upper bound of the bucket holding the q-quantile observation."""
+    total = hist["count"]
+    if total == 0:
+        return 0.0
+    target = q * total
+    seen = 0
+    for i in sorted(hist["buckets"]):
+        seen += hist["buckets"][i]
+        if seen >= target:
+            return bucket_upper(i)
+    return bucket_upper(max(hist["buckets"], default=0))
+
+
+def by_layer(merged, name):
+    """Sums metric `name` across nodes, grouped by the 'layer' label."""
+    out = defaultdict(int)
+    for (n, labels), value in merged.items():
+        if n != name:
+            continue
+        layer = dict(labels).get("layer")
+        if layer is not None:
+            out[layer] += value
+    return out
+
+
+def hist_by_layer(hists, name):
+    out = {}
+    for (n, labels), h in hists.items():
+        if n != name:
+            continue
+        layer = dict(labels).get("layer")
+        if layer is None:
+            continue
+        agg = out.setdefault(
+            layer, {"count": 0, "sum": 0.0, "buckets": defaultdict(int)}
+        )
+        agg["count"] += h["count"]
+        agg["sum"] += h["sum"]
+        for i, c in h["buckets"].items():
+            agg["buckets"][i] += c
+    return out
+
+
+def fmt_ms(v):
+    return f"{v:.3f}" if v < 100 else f"{v:.1f}"
+
+
+def print_layer_table(counters, hists):
+    messages = by_layer(counters, "dispatcher.messages")
+    byte_totals = by_layer(counters, "dispatcher.bytes")
+    handle = hist_by_layer(hists, "dispatcher.handle_ms")
+    rounds = hist_by_layer(hists, "channel.round_ms")
+
+    layers = sorted(set(messages) | set(byte_totals) | set(handle))
+    if not layers:
+        print("(no per-layer dispatcher metrics in the input files)")
+        return
+    header = (
+        f"{'layer':<34} {'msgs':>8} {'bytes':>12} "
+        f"{'handle p50':>11} {'handle p95':>11} {'round p50':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for layer in layers:
+        h = handle.get(layer, {"count": 0, "sum": 0.0, "buckets": {}})
+        r = rounds.get(layer)
+        round_p50 = fmt_ms(quantile(r, 0.5)) if r and r["count"] else "-"
+        print(
+            f"{layer:<34} {messages.get(layer, 0):>8} "
+            f"{byte_totals.get(layer, 0):>12} "
+            f"{fmt_ms(quantile(h, 0.5)):>11} {fmt_ms(quantile(h, 0.95)):>11} "
+            f"{round_p50:>10}"
+        )
+
+
+def print_totals(counters, gauges):
+    totals = defaultdict(float)
+    for (name, _), value in counters.items():
+        totals[name] += value
+    for (name, _), value in gauges.items():
+        totals[name] += value
+    for name in sorted(totals):
+        value = totals[name]
+        rendered = str(int(value)) if value == int(value) else f"{value:.3f}"
+        print(f"total {name} {rendered}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    counters, gauges, hists = merge(argv[1:])
+    print(f"# merged {len(argv) - 1} snapshot(s)")
+    print()
+    print_layer_table(counters, hists)
+    print()
+    print_totals(counters, gauges)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

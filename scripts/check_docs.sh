@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Documentation consistency checks (registered as the ctest "DocsCheck"):
+#
+#   1. every relative markdown link in the repo's *.md files resolves to
+#      an existing file;
+#   2. every metric name emitted by the source tree — any string literal
+#      passed to registry .counter(" / .gauge(" / .histogram(" — is
+#      documented in docs/OBSERVABILITY.md.
+#
+# Grep-based on purpose: no build products needed, so it runs in any
+# checkout and catches drift at review time.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+failures=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. markdown links -----------------------------------------------------
+# Matches ](path) targets; ignores http(s), mailto, pure #anchors, and
+# anything with a space (those are C++ lambdas inside code blocks, not
+# markdown links).
+while IFS=: read -r file target; do
+  [ -n "$target" ] || continue
+  case "$target" in
+    http://*|https://*|mailto:*|\#*|*" "*) continue ;;
+  esac
+  path="${target%%#*}"          # strip an anchor suffix
+  [ -n "$path" ] || continue
+  base="$(dirname "$file")"
+  if [ ! -e "$base/$path" ] && [ ! -e "$path" ]; then
+    fail "$file links to missing file: $target"
+  fi
+done < <(grep -oHE '\]\([^)]+\)' --include='*.md' -r . \
+           --exclude-dir=build --exclude-dir=.git \
+         | sed -E 's/\]\(([^)]*)\)$/\1/')
+
+# --- 2. metric names documented --------------------------------------------
+OBS_DOC="docs/OBSERVABILITY.md"
+if [ ! -f "$OBS_DOC" ]; then
+  fail "$OBS_DOC does not exist"
+else
+  metric_names="$(grep -rhoE '\.(counter|gauge|histogram)\("[^"]+"' \
+                    src examples 2>/dev/null \
+                  | sed -E 's/.*\("([^"]+)"/\1/' | sort -u)"
+  if [ -z "$metric_names" ]; then
+    fail "found no emitted metric names under src/ — check_docs.sh grep drifted"
+  fi
+  while IFS= read -r name; do
+    if ! grep -qF "$name" "$OBS_DOC"; then
+      fail "metric \"$name\" is emitted in the source but not documented in $OBS_DOC"
+    fi
+  done <<< "$metric_names"
+
+  # Trace event names likewise.
+  for event in send recv round_start transition coin_release decide deliver; do
+    if ! grep -qF "\`$event\`" "$OBS_DOC"; then
+      fail "trace event \"$event\" is not documented in $OBS_DOC"
+    fi
+  done
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_docs.sh: $failures problem(s)" >&2
+  exit 1
+fi
+echo "check_docs.sh: OK"

@@ -80,6 +80,13 @@ echo "== dealing keys (workdir $workdir, ports from $port_base)"
 "$dealer" "$conf" "$workdir/keys" > /dev/null
 
 node_args=(--channel "$channel" --send "$send_count" --stats)
+# Observability: every node writes a metrics snapshot + an event trace;
+# aggregate_metrics.py merges the snapshots into a per-layer breakdown
+# and greppable totals (used below for the chaos assertions).
+metrics_files=()
+for i in $(seq 0 $((n - 1))); do
+  metrics_files+=("$workdir/metrics.$i.json")
+done
 if [[ "$channel" == optimistic ]]; then
   node_args+=(--expect $(( n * send_count )))
 else
@@ -103,7 +110,9 @@ node_args+=(--linger -1)
 echo "== starting $n nodes (scenario: $scenario, channel: $channel)"
 for i in $(seq 0 $((n - 1))); do
   "$node_bin" "$conf" "$workdir/keys/party-$i.keys" "${node_args[@]}" \
-    --out "$workdir/out.$i" 2> "$workdir/stats.$i" &
+    --out "$workdir/out.$i" \
+    --metrics-out "$workdir/metrics.$i.json" \
+    --trace-out "$workdir/trace.$i.jsonl" 2> "$workdir/stats.$i" &
   pids[$i]=$!
 done
 
@@ -188,10 +197,47 @@ backoffs=$(sum_stat backoffs)
 samples=$(sum_stat rtt_samples)
 echo "== link stats: retransmissions=$retrans backoffs=$backoffs rtt_samples=$samples"
 
+# Merge the per-node metrics snapshots (crashed nodes leave no file).
+aggregate=""
+if command -v python3 > /dev/null 2>&1; then
+  present=()
+  for f in "${metrics_files[@]}"; do
+    [[ -s "$f" ]] && present+=("$f")
+  done
+  if (( ${#present[@]} > 0 )); then
+    echo "== per-layer metrics breakdown (${#present[@]} snapshots)"
+    aggregate="$(python3 "$repo_root/scripts/aggregate_metrics.py" "${present[@]}")"
+    echo "$aggregate"
+  else
+    echo "WARN: no metrics snapshots written" >&2
+  fi
+else
+  echo "WARN: python3 not found; skipping metrics aggregation" >&2
+fi
+
+metric_total() {
+  # Integer part of a "total <name> <value>" line from the aggregate.
+  echo "$aggregate" | awk -v name="$1" \
+    '$1 == "total" && $2 == name { split($3, p, "."); print p[1]; found=1 }
+     END { if (!found) print 0 }'
+}
+
 if [[ "$scenario" == chaos ]]; then
   if (( retrans == 0 || backoffs == 0 )); then
     echo "FAIL: chaos run showed no retransmissions/backoff (retrans=$retrans, backoffs=$backoffs)" >&2
     exit 1
+  fi
+  # The same facts must be visible through the public metrics path:
+  # link.retransmissions (sampled gauges) and the link drop buckets
+  # (the proxy's duplicates surface as link.drop_duplicate).
+  if [[ -n "$aggregate" ]]; then
+    m_retrans=$(metric_total link.retransmissions)
+    m_drop_dup=$(metric_total link.drop_duplicate)
+    echo "== metrics path: link.retransmissions=$m_retrans link.drop_duplicate=$m_drop_dup"
+    if (( m_retrans == 0 || m_drop_dup == 0 )); then
+      echo "FAIL: chaos counters not visible via metrics snapshots (retrans=$m_retrans, drop_duplicate=$m_drop_dup)" >&2
+      exit 1
+    fi
   fi
   if [[ -n "$proxy_pid" ]]; then
     kill "$proxy_pid" 2>/dev/null || true

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "obs/trace.hpp"
+
 namespace sintra::core {
 
 namespace {
@@ -18,6 +20,13 @@ BinaryAgreementEngine::BinaryAgreementEngine(Environment& env,
                                              const std::string& pid,
                                              Options options)
     : Protocol(env, dispatcher, pid), options_(std::move(options)) {
+  auto& reg = obs::registry();
+  const obs::Labels labels =
+      obs::party_layer_labels(env.self(), obs::layer_of(pid));
+  m_decisions_ = &reg.counter("ba.decisions", labels);
+  m_coin_shares_released_ = &reg.counter("ba.coin_shares_released", labels);
+  m_coins_assembled_ = &reg.counter("ba.coins_assembled", labels);
+  m_rounds_to_decide_ = &reg.histogram("ba.rounds_to_decide", labels);
   activate();
 }
 
@@ -349,6 +358,9 @@ void BinaryAgreementEngine::try_finish_round(int r) {
     }
     if (!st.coin_share_sent) {
       st.coin_share_sent = true;
+      m_coin_shares_released_->inc();
+      obs::emit(obs::EventType::kCoinRelease, env_.now_ms(), env_.self(), -1,
+                pid(), 0, r);
       const Bytes share = env_.keys().coin->release(coin_name(r));
       Writer w;
       w.u8(static_cast<std::uint8_t>(Tag::kCoinShare));
@@ -381,6 +393,7 @@ void BinaryAgreementEngine::try_advance_with_coin(int r) {
                                             st.coin_shares.end());
   shares.resize(static_cast<std::size_t>(coin.k()));
   const bool value = coin.assemble_bit(coin_name(r), shares);
+  m_coins_assembled_->inc();
   advance(r, value);
 }
 
@@ -440,6 +453,10 @@ void BinaryAgreementEngine::decide(bool b, Bytes proof, const Bytes& sig,
   decided_ = b;
   decision_proof_ = std::move(proof);
   decision_round_ = round;
+  m_decisions_->inc();
+  m_rounds_to_decide_->observe(static_cast<double>(round));
+  obs::emit(obs::EventType::kDecide, env_.now_ms(), env_.self(), -1, pid(), 0,
+            b ? 1.0 : 0.0, "r" + std::to_string(round));
   if (!decide_broadcast_) {
     decide_broadcast_ = true;
     Writer w;

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "obs/metrics.hpp"
 
 namespace sintra::core {
 
@@ -160,6 +161,12 @@ class BinaryAgreementEngine : public Protocol {
   int decision_round_ = 0;
   bool decide_broadcast_ = false;
   std::function<void(bool)> decide_cb_;
+
+  // Instrumentation handles (obs/metrics.hpp); measurement only.
+  obs::Counter* m_decisions_ = nullptr;
+  obs::Counter* m_coin_shares_released_ = nullptr;
+  obs::Counter* m_coins_assembled_ = nullptr;
+  obs::Histogram* m_rounds_to_decide_ = nullptr;
 };
 
 /// Plain binary agreement (paper §3.3 BinaryAgreement): no validator, no

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace sintra::core {
 
 namespace {
@@ -16,6 +18,14 @@ AtomicChannel::AtomicChannel(Environment& env, Dispatcher& dispatcher,
     : Protocol(env, dispatcher, pid), config_(config) {
   if (config_.batch_size < 0 || config_.batch_size > env.n())
     throw std::invalid_argument("AtomicChannel: bad batch size");
+  auto& reg = obs::registry();
+  const obs::Labels labels =
+      obs::party_layer_labels(env.self(), obs::layer_of(pid));
+  m_rounds_ = &reg.counter("channel.rounds", labels);
+  m_deliveries_ = &reg.counter("channel.deliveries", labels);
+  m_round_ms_ = &reg.histogram("channel.round_ms", labels);
+  m_batch_entries_ = &reg.histogram("channel.batch_entries", labels);
+  m_mvba_iterations_ = &reg.histogram("channel.mvba_iterations", labels);
   activate();
 }
 
@@ -93,6 +103,9 @@ void AtomicChannel::maybe_start_round() {
   proposed_this_round_ = false;
 
   const int r = current_round_;
+  round_start_ms_ = env_.now_ms();
+  obs::emit(obs::EventType::kRoundStart, round_start_ms_, env_.self(), -1,
+            pid(), 0, r);
   ArrayValidator validator = [this, r](BytesView batch) {
     return batch_valid(r, batch);
   };
@@ -261,6 +274,11 @@ void AtomicChannel::on_batch_decided(int round, const Bytes& batch) {
   current_round_ = round + 1;
   signed_.erase(round);
 
+  m_rounds_->inc();
+  m_round_ms_->observe(env_.now_ms() - round_start_ms_);
+  m_batch_entries_->observe(static_cast<double>(entries.size()));
+  m_mvba_iterations_->observe(static_cast<double>(iterations));
+
   for (SignedEntry& e : entries) {
     const MessageKey key{e.origin, e.seq};
     if (!delivered_keys_.insert(key).second) continue;  // duplicate in batch
@@ -294,6 +312,9 @@ void AtomicChannel::deliver(SignedEntry entry, int round, int iterations) {
   }
   if (marker != kData) return;  // unknown marker from a Byzantine origin
 
+  m_deliveries_->inc();
+  obs::emit(obs::EventType::kDeliver, env_.now_ms(), entry.origin,
+            env_.self(), pid(), user.size(), round);
   deliveries_.push_back(Delivery{user, entry.origin, entry.seq, round,
                                  env_.now_ms(), iterations});
   inbox_.push_back(user);

@@ -40,6 +40,7 @@
 
 #include "core/agreement/array_agreement.hpp"
 #include "core/channel/channel_base.hpp"
+#include "obs/metrics.hpp"
 
 namespace sintra::core {
 
@@ -167,6 +168,14 @@ class AtomicChannel : public Protocol, public ChannelBase {
   std::vector<Delivery> deliveries_;
   std::function<void(const Bytes&, PartyId)> deliver_cb_;
   std::function<void()> closed_cb_;
+
+  // Instrumentation handles (obs/metrics.hpp); measurement only.
+  double round_start_ms_ = 0.0;
+  obs::Counter* m_rounds_ = nullptr;
+  obs::Counter* m_deliveries_ = nullptr;
+  obs::Histogram* m_round_ms_ = nullptr;
+  obs::Histogram* m_batch_entries_ = nullptr;
+  obs::Histogram* m_mvba_iterations_ = nullptr;
 };
 
 }  // namespace sintra::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
 
 namespace sintra::core {
 
@@ -90,6 +91,12 @@ Bytes closings_digest(
 OptimisticChannel::OptimisticChannel(Environment& env, Dispatcher& dispatcher,
                                      const std::string& pid)
     : Protocol(env, dispatcher, pid) {
+  auto& reg = obs::registry();
+  const obs::Labels labels =
+      obs::party_layer_labels(env.self(), obs::layer_of(pid));
+  m_deliveries_ = &reg.counter("channel.deliveries", labels);
+  m_epoch_switches_ = &reg.counter("optimistic.epoch_switches", labels);
+  m_complaints_ = &reg.counter("optimistic.complaints", labels);
   activate();
   open_slot(0);
 }
@@ -273,6 +280,9 @@ void OptimisticChannel::output_record(const Bytes& order) {
       if (msg.seq == rec.seq) msg.output = true;
     }
   }
+  m_deliveries_->inc();
+  obs::emit(obs::EventType::kDeliver, env_.now_ms(), rec.origin, env_.self(),
+            pid(), rec.payload.size(), epoch_);
   deliveries_.push_back(
       Delivery{rec.payload, rec.origin, epoch_, env_.now_ms()});
   inbox_.push_back(rec.payload);
@@ -283,6 +293,7 @@ void OptimisticChannel::handle_complain(PartyId from, Reader& r) {
   const int epoch = static_cast<int>(r.u32());
   r.expect_end();
   if (epoch != epoch_ || frozen_) return;
+  m_complaints_->inc();
   complaints_.insert(from);
   if (static_cast<int>(complaints_.size()) >= env_.t() + 1) {
     // Echo the complaint so slower parties reach the quorum too, then
@@ -449,6 +460,9 @@ void OptimisticChannel::on_switch_decided(const Bytes& proposal) {
   wedged_ = false;
   ++epoch_;
   frozen_ = false;
+  m_epoch_switches_->inc();
+  obs::emit(obs::EventType::kTransition, env_.now_ms(), env_.self(), -1,
+            pid(), 0, epoch_, "epoch_switch");
   open_slot(0);
   initiate_pending();
 }

@@ -40,6 +40,7 @@
 
 #include "core/agreement/array_agreement.hpp"
 #include "core/broadcast/consistent_broadcast.hpp"
+#include "obs/metrics.hpp"
 
 namespace sintra::core {
 
@@ -146,6 +147,11 @@ class OptimisticChannel : public Protocol {
   std::deque<Bytes> inbox_;
   std::vector<Delivery> deliveries_;
   std::function<void(const Bytes&, PartyId)> deliver_cb_;
+
+  // Instrumentation handles (obs/metrics.hpp); measurement only.
+  obs::Counter* m_deliveries_ = nullptr;
+  obs::Counter* m_epoch_switches_ = nullptr;
+  obs::Counter* m_complaints_ = nullptr;
 };
 
 }  // namespace sintra::core

@@ -1,5 +1,7 @@
 #include "core/channel/secure_atomic_channel.hpp"
 
+#include "obs/trace.hpp"
+
 namespace sintra::core {
 
 namespace {
@@ -16,6 +18,13 @@ SecureAtomicChannel::SecureAtomicChannel(Environment& env,
   atomic_->set_deliver_callback([this](const Bytes& ct, PartyId) {
     on_ciphertext_delivered(ct);
   });
+  auto& reg = obs::registry();
+  const obs::Labels labels =
+      obs::party_layer_labels(env.self(), obs::layer_of(pid));
+  m_deliveries_ = &reg.counter("channel.deliveries", labels);
+  m_decrypt_shares_ = &reg.counter("channel.decrypt_shares", labels);
+  m_invalid_ciphertexts_ = &reg.counter("channel.invalid_ciphertexts", labels);
+  m_decrypt_wait_ms_ = &reg.histogram("channel.decrypt_wait_ms", labels);
   activate();
 }
 
@@ -53,6 +62,7 @@ void SecureAtomicChannel::on_ciphertext_delivered(const Bytes& ciphertext) {
   const std::size_t index = slots_.size();
   Slot slot;
   slot.ciphertext = ciphertext;
+  slot.delivered_ms = env_.now_ms();
   slots_.push_back(std::move(slot));
   ciphertexts_.push_back(ciphertext);
 
@@ -61,6 +71,7 @@ void SecureAtomicChannel::on_ciphertext_delivered(const Bytes& ciphertext) {
   // one — uniformly at every honest party, since the label is plaintext.
   const auto label = crypto::tdh2_ciphertext_label(ciphertext);
   if (!label.has_value() || *label != to_bytes(pid())) {
+    m_invalid_ciphertexts_->inc();
     slots_[index].invalid = true;
     flush_ready();
     return;
@@ -72,6 +83,7 @@ void SecureAtomicChannel::on_ciphertext_delivered(const Bytes& ciphertext) {
     // Invalid ciphertext (a Byzantine sender bypassed encrypt()): the
     // validity check fails identically at every honest party, so all skip
     // this position — order stays consistent.
+    m_invalid_ciphertexts_->inc();
     slots_[index].invalid = true;
     flush_ready();
     return;
@@ -117,6 +129,7 @@ void SecureAtomicChannel::process_share(PartyId from, std::size_t index,
   if (slot.invalid || slot.plaintext.has_value()) return;
   if (slot.shares.contains(from)) return;
   if (!env_.keys().cipher->verify_share(slot.ciphertext, from, share)) return;
+  m_decrypt_shares_->inc();
   slot.shares.emplace(from, share);
   try_decrypt(index);
 }
@@ -139,6 +152,10 @@ void SecureAtomicChannel::flush_ready() {
       continue;
     }
     if (!slot.plaintext.has_value()) break;
+    m_deliveries_->inc();
+    m_decrypt_wait_ms_->observe(env_.now_ms() - slot.delivered_ms);
+    obs::emit(obs::EventType::kDeliver, env_.now_ms(), -1, env_.self(), pid(),
+              slot.plaintext->size());
     deliveries_.push_back(Delivery{*slot.plaintext, env_.now_ms()});
     inbox_.push_back(*slot.plaintext);
     if (deliver_cb_) deliver_cb_(inbox_.back());

@@ -104,6 +104,7 @@ class SecureAtomicChannel : public Protocol, public ChannelBase {
     bool invalid = false;  // failed TDH2 validity: skipped uniformly
     std::map<PartyId, Bytes> shares;
     std::optional<Bytes> plaintext;
+    double delivered_ms = 0.0;  // when the ciphertext's position was fixed
   };
   std::vector<Slot> slots_;
   std::size_t next_delivery_ = 0;     // next slot to release in order
@@ -115,6 +116,12 @@ class SecureAtomicChannel : public Protocol, public ChannelBase {
   std::deque<Bytes> inbox_;
   std::vector<Delivery> deliveries_;
   std::function<void(const Bytes&)> deliver_cb_;
+
+  // Instrumentation handles (obs/metrics.hpp); measurement only.
+  obs::Counter* m_deliveries_ = nullptr;
+  obs::Counter* m_decrypt_shares_ = nullptr;
+  obs::Counter* m_invalid_ciphertexts_ = nullptr;
+  obs::Histogram* m_decrypt_wait_ms_ = nullptr;
 };
 
 }  // namespace sintra::core

@@ -1,6 +1,9 @@
 #include "core/dispatcher.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace sintra::core {
 
@@ -33,23 +36,68 @@ void Dispatcher::unregister_pid(const std::string& pid) {
   retired_[pid] = true;
 }
 
+void Dispatcher::attach_obs(int party, std::function<double()> now_fn) {
+  obs_party_ = party;
+  obs_now_ = std::move(now_fn);
+  auto& reg = obs::registry();
+  obs_malformed_ =
+      &reg.counter("dispatcher.malformed", obs::party_labels(party));
+  obs_early_ =
+      &reg.counter("dispatcher.early_buffered", obs::party_labels(party));
+  obs_attached_ = true;
+}
+
+Dispatcher::LayerMetrics& Dispatcher::layer_metrics(const std::string& layer) {
+  auto it = layer_metrics_.find(layer);
+  if (it != layer_metrics_.end()) return it->second;
+  auto& reg = obs::registry();
+  LayerMetrics m;
+  const obs::Labels labels = obs::party_layer_labels(obs_party_, layer);
+  m.messages = &reg.counter("dispatcher.messages", labels);
+  m.bytes = &reg.counter("dispatcher.bytes", labels);
+  m.handle_ms = &reg.histogram("dispatcher.handle_ms", labels);
+  return layer_metrics_.emplace(layer, m).first->second;
+}
+
 void Dispatcher::on_message(PartyId from, BytesView wire) {
   WireMessage msg;
   try {
     msg = parse_frame(wire);
   } catch (const SerdeError&) {
+    if (obs_attached_) obs_malformed_->inc();
     return;  // malformed frame from a Byzantine sender: drop
+  }
+  LayerMetrics* m = nullptr;
+  if (obs_attached_) {
+    m = &layer_metrics(obs::layer_of(msg.pid));
+    m->messages->inc();
+    m->bytes->inc(wire.size());
+    obs::emit(obs::EventType::kRecv, obs_now_(), from, obs_party_, msg.pid,
+              wire.size());
   }
   auto h = handlers_.find(msg.pid);
   if (h != handlers_.end()) {
     // Copy: the handler may unregister itself (protocol termination)
     // while running, which would otherwise destroy it mid-call.
     Handler handler = h->second;
-    handler(from, msg.payload);
+    if (m != nullptr) {
+      // Real CPU time, not environment time: the simulator's virtual
+      // clock is frozen inside a handler, and the actual crypto cost is
+      // exactly what the paper's §4.2 attribution wants.
+      const auto t0 = std::chrono::steady_clock::now();
+      handler(from, msg.payload);
+      m->handle_ms->observe(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      handler(from, msg.payload);
+    }
     return;
   }
   if (retired_.contains(msg.pid)) return;  // finished protocol: drop
   if (buffered_total_ >= kMaxBuffered) return;  // flooding guard
+  if (obs_attached_) obs_early_->inc();
   buffers_[msg.pid].emplace_back(from, std::move(msg.payload));
   ++buffered_total_;
 }

@@ -5,6 +5,11 @@
 // votes while we are still in round r).  Such early messages are buffered
 // per pid and replayed when the instance registers.  A global cap bounds
 // memory against Byzantine flooding of never-registered pids.
+//
+// The dispatcher is the receive-side choke point of the whole stack, so
+// it is also the primary instrumentation site: once an environment calls
+// attach_obs(), every routed frame counts messages/bytes per protocol
+// layer and the handler's CPU time feeds a latency histogram.
 #pragma once
 
 #include <deque>
@@ -14,6 +19,7 @@
 
 #include "core/env.hpp"
 #include "core/message.hpp"
+#include "obs/metrics.hpp"
 
 namespace sintra::core {
 
@@ -38,11 +44,32 @@ class Dispatcher {
 
   [[nodiscard]] std::size_t buffered_count() const { return buffered_total_; }
 
+  /// Turns on instrumentation: per-layer message/byte counters and
+  /// handler-latency histograms in obs::registry(), plus kRecv trace
+  /// events stamped with `now_fn` (the owning environment's clock —
+  /// virtual time in the simulator, wall-clock in the net stack).
+  /// Idempotent; never influences routing behaviour.
+  void attach_obs(int party, std::function<double()> now_fn);
+
  private:
+  struct LayerMetrics {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Histogram* handle_ms = nullptr;
+  };
+  LayerMetrics& layer_metrics(const std::string& layer);
+
   std::map<std::string, Handler> handlers_;
   std::map<std::string, std::deque<std::pair<PartyId, Bytes>>> buffers_;
   std::map<std::string, bool> retired_;
   std::size_t buffered_total_ = 0;
+
+  bool obs_attached_ = false;
+  int obs_party_ = -1;
+  std::function<double()> obs_now_;
+  obs::Counter* obs_malformed_ = nullptr;
+  obs::Counter* obs_early_ = nullptr;
+  std::map<std::string, LayerMetrics> layer_metrics_;
 };
 
 }  // namespace sintra::core

@@ -3,6 +3,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "crypto/cost.hpp"
 #include "crypto/shamir.hpp"
 #include "util/serde.hpp"
 
@@ -46,6 +47,7 @@ constexpr DleqHints kCoinHints{.g1_long_lived = true,
 
 Bytes ThresholdCoin::release(BytesView name) {
   if (index_ < 0) throw std::logic_error("ThresholdCoin: verify-only handle");
+  const OpScope ops("coin.release");
   const DlogGroup& grp = pub_->group;
   const BigInt base = grp.hash_to_group(name);
   const BigInt gi = grp.exp_reduced(base, share_);
@@ -61,6 +63,7 @@ Bytes ThresholdCoin::release(BytesView name) {
 bool ThresholdCoin::verify_share(BytesView name, int signer,
                                  BytesView share) const {
   if (signer < 0 || signer >= pub_->n) return false;
+  const OpScope ops("coin.verify_share");
   ParsedCoinShare s;
   try {
     s = parse_coin_share(share);
@@ -79,6 +82,7 @@ Bytes ThresholdCoin::assemble(BytesView name,
                               std::size_t out_len) const {
   if (static_cast<int>(shares.size()) < pub_->k)
     throw std::invalid_argument("ThresholdCoin::assemble: need k shares");
+  const OpScope ops("coin.assemble");
   const DlogGroup& grp = pub_->group;
 
   std::vector<int> indices;

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "bignum/montgomery.hpp"
+#include "obs/metrics.hpp"
 
 namespace sintra::crypto {
 
@@ -44,6 +45,17 @@ WorkMeter::WorkMeter() : start_(bignum::work_counter()) {}
 
 std::uint64_t WorkMeter::elapsed() const {
   return bignum::work_counter() - start_;
+}
+
+OpScope::OpScope(const char* op)
+    : op_(op), start_(bignum::work_counter()) {}
+
+OpScope::~OpScope() {
+  const std::uint64_t work = bignum::work_counter() - start_;
+  auto& reg = obs::registry();
+  const obs::Labels labels{{"op", op_}};
+  reg.counter("crypto.ops", labels).inc();
+  reg.counter("crypto.work", labels).inc(work);
 }
 
 }  // namespace sintra::crypto

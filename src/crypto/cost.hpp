@@ -43,4 +43,21 @@ class WorkMeter {
   std::uint64_t start_;
 };
 
+/// RAII instrumentation for one threshold-crypto operation: on
+/// destruction it increments obs::registry()'s "crypto.ops" counter for
+/// `op` and adds the bignum work performed in the scope to "crypto.work".
+/// Reads the work counter only — it never adds work, so simulator timing
+/// and the BENCH_crypto work-unit numbers are unchanged by it.
+class OpScope {
+ public:
+  explicit OpScope(const char* op);
+  ~OpScope();
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  const char* op_;
+  std::uint64_t start_;
+};
+
 }  // namespace sintra::crypto

@@ -3,6 +3,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "crypto/cost.hpp"
 #include "util/serde.hpp"
 
 namespace sintra::crypto {
@@ -15,12 +16,14 @@ MultiSigScheme::MultiSigScheme(std::shared_ptr<const MultiSigPublic> pub,
 Bytes MultiSigScheme::sign_share(BytesView msg) {
   if (own_key_ == nullptr)
     throw std::logic_error("MultiSigScheme: verify-only handle");
+  const OpScope ops("multi_sig.sign_share");
   return rsa_sign(*own_key_, msg, pub_->hash);
 }
 
 bool MultiSigScheme::verify_share(BytesView msg, int signer,
                                   BytesView share) const {
   if (signer < 0 || signer >= pub_->n) return false;
+  const OpScope ops("multi_sig.verify_share");
   return rsa_verify(pub_->keys[static_cast<std::size_t>(signer)], msg, share,
                     pub_->hash);
 }

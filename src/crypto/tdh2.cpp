@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/aes128.hpp"
+#include "crypto/cost.hpp"
 #include "crypto/shamir.hpp"
 #include "util/serde.hpp"
 
@@ -113,6 +114,7 @@ bool ct_valid_impl(const Tdh2Public& pub, const Ciphertext& ct) {
 
 Bytes Tdh2Public::encrypt(BytesView plaintext, BytesView label,
                           Rng& rng) const {
+  const OpScope ops("tdh2.encrypt");
   const BigInt r = group.random_exponent(rng);
   const BigInt s = group.random_exponent(rng);
 
@@ -156,6 +158,7 @@ Tdh2Party::Tdh2Party(std::shared_ptr<const Tdh2Public> pub, int index,
 
 std::optional<Bytes> Tdh2Party::decrypt_share(BytesView ciphertext) {
   if (index_ < 0) throw std::logic_error("Tdh2Party: verify-only handle");
+  const OpScope ops("tdh2.decrypt_share");
   Ciphertext ct;
   try {
     ct = parse_ct(ciphertext);
@@ -178,6 +181,7 @@ std::optional<Bytes> Tdh2Party::decrypt_share(BytesView ciphertext) {
 bool Tdh2Party::verify_share(BytesView ciphertext, int signer,
                              BytesView share) const {
   if (signer < 0 || signer >= pub_->n) return false;
+  const OpScope ops("tdh2.verify_share");
   Ciphertext ct;
   ParsedShare s;
   try {
@@ -196,6 +200,7 @@ bool Tdh2Party::verify_share(BytesView ciphertext, int signer,
 Bytes Tdh2Party::combine(
     BytesView ciphertext,
     const std::vector<std::pair<int, Bytes>>& shares) const {
+  const OpScope ops("tdh2.combine");
   const Ciphertext ct = parse_ct(ciphertext);
   if (!ct_valid_impl(*pub_, ct))
     throw std::invalid_argument("Tdh2Party::combine: invalid ciphertext");

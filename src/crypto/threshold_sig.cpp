@@ -123,6 +123,7 @@ RsaThresholdScheme::~RsaThresholdScheme() = default;
 Bytes RsaThresholdScheme::sign_share(BytesView msg) {
   if (index_ < 0)
     throw std::logic_error("RsaThresholdScheme: verify-only handle");
+  const OpScope ops("threshold_sig.sign_share");
   const std::lock_guard lk(fast_->mu);
   const bignum::Montgomery& mont = fast_->refreshed(*pub_);
   const BigInt x = rsa_fdh(msg, pub_->modulus, pub_->hash);
@@ -156,6 +157,7 @@ Bytes RsaThresholdScheme::sign_share(BytesView msg) {
 bool RsaThresholdScheme::verify_share(BytesView msg, int signer,
                                       BytesView share) const {
   if (signer < 0 || signer >= pub_->n) return false;
+  const OpScope ops("threshold_sig.verify_share");
   ParsedShare s;
   try {
     s = parse_share(share);
@@ -193,6 +195,7 @@ bool RsaThresholdScheme::verify_share(BytesView msg, int signer,
 
 Bytes RsaThresholdScheme::combine(
     BytesView msg, const std::vector<std::pair<int, Bytes>>& shares) const {
+  const OpScope ops("threshold_sig.combine");
   if (static_cast<int>(shares.size()) < pub_->k)
     throw std::invalid_argument("RsaThresholdScheme::combine: need k shares");
   std::vector<int> indices;

@@ -18,7 +18,11 @@ LocalNode::LocalNode(LocalGroup& group, int id, crypto::PartyKeys keys)
     : group_(group),
       id_(id),
       keys_(std::move(keys)),
-      rng_(0xfacade ^ (static_cast<std::uint64_t>(id) << 24)) {}
+      rng_(0xfacade ^ (static_cast<std::uint64_t>(id) << 24)) {
+  // Same instrumentation surface as the simulator and the UDP stack;
+  // timestamps use the group's shared virtual clock.
+  dispatcher_.attach_obs(id, [this] { return now_ms(); });
+}
 
 void LocalNode::send(core::PartyId to, Bytes wire) {
   if (to < 0 || to >= n()) throw std::out_of_range("LocalNode::send");

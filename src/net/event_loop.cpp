@@ -50,7 +50,12 @@ EventLoop::EventLoop() {
 
 EventLoop::~EventLoop() {
   for (const int signo : handled_signals_) std::signal(signo, SIG_DFL);
-  if (!handled_signals_.empty()) g_signal_wakeup_fd.store(-1);
+  for (const auto& [signo, fn] : signal_callbacks_) {
+    std::signal(signo, SIG_DFL);
+  }
+  if (!handled_signals_.empty() || !signal_callbacks_.empty()) {
+    g_signal_wakeup_fd.store(-1);
+  }
   if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
@@ -108,6 +113,15 @@ void EventLoop::stop_on_signals(std::initializer_list<int> signals,
       throw_errno("signal");
     }
     handled_signals_.push_back(signo);
+  }
+}
+
+void EventLoop::on_signal(int signo, std::function<void()> fn) {
+  g_signal_wakeup_fd.store(wakeup_fd_);
+  signal_callbacks_[signo] = std::move(fn);
+  if (std::signal(signo, signal_trampoline) == SIG_ERR) {
+    signal_callbacks_.erase(signo);
+    throw_errno("signal");
   }
 }
 
@@ -180,11 +194,18 @@ std::uint64_t EventLoop::step(double max_wait_ms) {
     ++dispatched;
   }
 
-  if (g_pending_signal != 0 && !handled_signals_.empty()) {
+  if (g_pending_signal != 0 &&
+      (!handled_signals_.empty() || !signal_callbacks_.empty())) {
     const int signo = g_pending_signal;
     g_pending_signal = 0;
-    if (signal_fn_) signal_fn_(signo);
-    stop_requested_.store(true);
+    const auto cb = signal_callbacks_.find(signo);
+    if (cb != signal_callbacks_.end()) {
+      cb->second();  // non-stopping (e.g. SIGUSR1 metrics snapshot)
+      ++dispatched;
+    } else {
+      if (signal_fn_) signal_fn_(signo);
+      stop_requested_.store(true);
+    }
   }
 
   return dispatched;

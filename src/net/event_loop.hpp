@@ -56,6 +56,12 @@ class EventLoop {
   void stop_on_signals(std::initializer_list<int> signals,
                        std::function<void(int)> on_signal = {});
 
+  /// Installs a handler that runs `fn` on the loop thread whenever
+  /// `signo` is delivered, *without* stopping the loop (e.g. SIGUSR1 ->
+  /// dump a metrics snapshot).  Same one-loop-per-process restriction as
+  /// stop_on_signals, with which it composes.
+  void on_signal(int signo, std::function<void()> fn);
+
   /// Runs until stop().  Returns the number of callbacks dispatched.
   std::uint64_t run();
 
@@ -100,6 +106,7 @@ class EventLoop {
   std::atomic<bool> stop_requested_{false};
   std::function<void(int)> signal_fn_;
   std::vector<int> handled_signals_;
+  std::map<int, std::function<void()>> signal_callbacks_;  // non-stopping
 
   std::chrono::steady_clock::time_point origin_ =
       std::chrono::steady_clock::now();

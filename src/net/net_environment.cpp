@@ -2,9 +2,27 @@
 
 #include <stdexcept>
 
+#include "core/message.hpp"
+#include "obs/trace.hpp"
 #include "util/serde.hpp"
 
 namespace sintra::net {
+
+UdpDatagramChannel::UdpDatagramChannel(EventLoop& loop, UdpSocket& socket,
+                                       SocketAddress peer_address,
+                                       std::uint32_t self_id)
+    : loop_(loop),
+      socket_(socket),
+      peer_address_(peer_address),
+      self_id_(self_id) {
+  // Party-wide counters: every channel of the party resolves the same
+  // registry instances.
+  auto& reg = obs::registry();
+  const obs::Labels labels =
+      obs::party_labels(static_cast<int>(self_id));
+  m_sent_ = &reg.counter("net.datagrams_sent", labels);
+  m_send_errors_ = &reg.counter("net.send_errors", labels);
+}
 
 void UdpDatagramChannel::send_datagram(Bytes datagram) {
   Writer w;
@@ -12,8 +30,10 @@ void UdpDatagramChannel::send_datagram(Bytes datagram) {
   w.raw(datagram);
   if (socket_.send_to(peer_address_, w.data())) {
     ++sent_;
+    m_sent_->inc();
   } else {
     ++send_errors_;  // dropped by the kernel: the link retransmits
+    m_send_errors_->inc();
   }
 }
 
@@ -74,6 +94,16 @@ void NetEnvironment::wire_links(const std::vector<core::Endpoint>& endpoints) {
     links_.emplace(peer, std::move(link));
   }
   loop_.add_fd(socket_.fd(), [this] { on_socket_readable(); });
+
+  auto& reg = obs::registry();
+  const obs::Labels labels = obs::party_labels(keys_.index);
+  m_datagrams_received_ = &reg.counter("net.datagrams_received", labels);
+  m_drop_no_sender_ = &reg.counter("net.drop_no_sender", labels);
+  m_drop_bad_sender_ = &reg.counter("net.drop_bad_sender", labels);
+  m_drop_oversized_ = &reg.counter("net.drop_oversized", labels);
+  m_messages_sent_ = &reg.counter("net.messages_sent", labels);
+  m_bytes_sent_ = &reg.counter("net.bytes_sent", labels);
+  dispatcher_.attach_obs(keys_.index, [this] { return loop_.now_ms(); });
 }
 
 NetEnvironment::~NetEnvironment() { loop_.remove_fd(socket_.fd()); }
@@ -81,6 +111,19 @@ NetEnvironment::~NetEnvironment() { loop_.remove_fd(socket_.fd()); }
 void NetEnvironment::send(core::PartyId to, Bytes wire) {
   if (to < 0 || to >= keys_.n) {
     throw std::out_of_range("NetEnvironment::send");
+  }
+  m_messages_sent_->inc();
+  m_bytes_sent_->inc(wire.size());
+  if (obs::trace_sink() != nullptr) {
+    // Parsing the frame for its pid costs a copy; only pay it when a
+    // trace is actually attached.
+    try {
+      obs::emit(obs::EventType::kSend, loop_.now_ms(), keys_.index, to,
+                core::parse_frame(wire).pid, wire.size());
+    } catch (const SerdeError&) {
+      obs::emit(obs::EventType::kSend, loop_.now_ms(), keys_.index, to,
+                "<malformed>", wire.size());
+    }
   }
   if (to == keys_.index) {
     // Self-delivery stays asynchronous (no reentrancy into protocol
@@ -95,6 +138,36 @@ void NetEnvironment::send(core::PartyId to, Bytes wire) {
 
 void NetEnvironment::send_all(Bytes wire) {
   for (int j = 0; j < keys_.n; ++j) send(j, wire);
+}
+
+void NetEnvironment::publish_link_metrics() {
+  auto& reg = obs::registry();
+  for (const auto& [peer, link] : links_) {
+    const core::SlidingWindowLink::Stats& s = link->stats();
+    const obs::Labels labels{{"party", std::to_string(keys_.index)},
+                             {"peer", std::to_string(peer)}};
+    reg.gauge("link.data_received", labels)
+        .set(static_cast<double>(s.data_received));
+    reg.gauge("link.acks_received", labels)
+        .set(static_cast<double>(s.acks_received));
+    reg.gauge("link.delivered", labels).set(static_cast<double>(s.delivered));
+    reg.gauge("link.retransmissions", labels)
+        .set(static_cast<double>(s.retransmissions));
+    reg.gauge("link.backoffs", labels).set(static_cast<double>(s.backoffs));
+    reg.gauge("link.rtt_samples", labels)
+        .set(static_cast<double>(s.rtt_samples));
+    reg.gauge("link.srtt_ms", labels).set(s.srtt_ms);
+    reg.gauge("link.rttvar_ms", labels).set(s.rttvar_ms);
+    reg.gauge("link.rto_ms", labels).set(s.rto_ms);
+    reg.gauge("link.drop_auth", labels).set(static_cast<double>(s.drop_auth));
+    reg.gauge("link.drop_malformed", labels)
+        .set(static_cast<double>(s.drop_malformed));
+    reg.gauge("link.drop_overflow", labels)
+        .set(static_cast<double>(s.drop_overflow));
+    reg.gauge("link.drop_duplicate", labels)
+        .set(static_cast<double>(s.drop_duplicate));
+    reg.gauge("link.backlog", labels).set(static_cast<double>(link->backlog()));
+  }
 }
 
 std::size_t NetEnvironment::send_backlog() const {
@@ -112,18 +185,22 @@ void NetEnvironment::on_socket_readable() {
     if (!received) return;
     auto& [datagram, from_addr] = *received;
     ++stats_.datagrams_received;
+    m_datagrams_received_->inc();
     if (datagram.size() > options_.max_datagram) {
       ++stats_.drop_oversized;
+      m_drop_oversized_->inc();
       continue;
     }
     if (datagram.size() < 4) {
       ++stats_.drop_no_sender;
+      m_drop_no_sender_->inc();
       continue;
     }
     Reader r(datagram);
     const auto sender = static_cast<int>(r.u32());
     if (sender < 0 || sender >= keys_.n || sender == keys_.index) {
       ++stats_.drop_bad_sender;
+      m_drop_bad_sender_->inc();
       continue;
     }
     // The id prefix is only a routing hint; the link's HMAC decides

@@ -26,6 +26,7 @@
 #include "core/link/sliding_window.hpp"
 #include "net/event_loop.hpp"
 #include "net/udp.hpp"
+#include "obs/metrics.hpp"
 
 namespace sintra::net {
 
@@ -35,11 +36,7 @@ namespace sintra::net {
 class UdpDatagramChannel final : public core::DatagramChannel {
  public:
   UdpDatagramChannel(EventLoop& loop, UdpSocket& socket,
-                     SocketAddress peer_address, std::uint32_t self_id)
-      : loop_(loop),
-        socket_(socket),
-        peer_address_(peer_address),
-        self_id_(self_id) {}
+                     SocketAddress peer_address, std::uint32_t self_id);
 
   void send_datagram(Bytes datagram) override;
   void call_later(double delay_ms, std::function<void()> fn) override {
@@ -57,6 +54,8 @@ class UdpDatagramChannel final : public core::DatagramChannel {
   std::uint32_t self_id_;
   std::uint64_t sent_ = 0;
   std::uint64_t send_errors_ = 0;
+  obs::Counter* m_sent_ = nullptr;        // party-wide (shared handle)
+  obs::Counter* m_send_errors_ = nullptr;
 };
 
 struct NetOptions {
@@ -116,6 +115,14 @@ class NetEnvironment final : public core::Environment {
       int peer) const {
     return links_.at(peer)->stats();
   }
+
+  /// Publishes the per-peer SlidingWindowLink stats (RTT estimate,
+  /// retransmissions, drop buckets, backlog) into obs::registry() as
+  /// "link.*" gauges labeled {party, peer}.  Transport drop counters are
+  /// live registry counters already; the link layer keeps plain structs
+  /// on its hot path, so its state is sampled here — call before taking
+  /// a snapshot.
+  void publish_link_metrics();
   /// Messages accepted by send() but not yet acknowledged by peers.
   [[nodiscard]] std::size_t send_backlog() const;
   [[nodiscard]] SocketAddress local_address() const {
@@ -138,6 +145,15 @@ class NetEnvironment final : public core::Environment {
 
   std::map<int, std::unique_ptr<UdpDatagramChannel>> channels_;
   std::map<int, std::unique_ptr<core::SlidingWindowLink>> links_;
+
+  // Instrumentation handles (obs/metrics.hpp); the drop counters mirror
+  // Stats live so they are readable through the public metrics path.
+  obs::Counter* m_datagrams_received_ = nullptr;
+  obs::Counter* m_drop_no_sender_ = nullptr;
+  obs::Counter* m_drop_bad_sender_ = nullptr;
+  obs::Counter* m_drop_oversized_ = nullptr;
+  obs::Counter* m_messages_sent_ = nullptr;
+  obs::Counter* m_bytes_sent_ = nullptr;
 };
 
 }  // namespace sintra::net

@@ -1,0 +1,388 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sintra::obs {
+
+Labels party_labels(int party) {
+  return {{"party", std::to_string(party)}};
+}
+
+Labels party_layer_labels(int party, std::string_view layer) {
+  // Key order ("layer" < "party") matches the sorted registration order.
+  return {{"layer", std::string(layer)}, {"party", std::to_string(party)}};
+}
+
+int Histogram::bucket_of(double v) {
+  const std::uint64_t scaled = to_milli(v);
+  if (scaled == 0) return 0;
+  const int width = std::bit_width(scaled);  // in [1, 64]
+  return std::min(width, kBuckets - 1);
+}
+
+double Histogram::bucket_upper(int i) {
+  return std::ldexp(1.0, i) / 1000.0;  // 2^i thousandths of the unit
+}
+
+MetricsRegistry::Key MetricsRegistry::make_key(std::string_view name,
+                                               Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return Key{std::string(name), std::move(labels)};
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[make_key(name, std::move(labels))];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[make_key(name, std::move(labels))];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[make_key(name, std::move(labels))];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  for (const auto& [key, c] : counters_) {
+    out.counters.push_back({key.name, key.labels, c->value()});
+  }
+  for (const auto& [key, g] : gauges_) {
+    out.gauges.push_back({key.name, key.labels, g->value()});
+  }
+  for (const auto& [key, h] : histograms_) {
+    Snapshot::HistogramValue v;
+    v.name = key.name;
+    v.labels = key.labels;
+    v.count = h->count();
+    v.sum = h->sum();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n != 0) v.buckets.emplace_back(i, n);
+    }
+    out.histograms.push_back(std::move(v));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, c] : counters_) c->value_.store(0);
+  for (auto& [key, g] : gauges_) g->value_.store(0.0);
+  for (auto& [key, h] : histograms_) {
+    h->count_.store(0);
+    h->sum_milli_.store(0);
+    for (auto& b : h->buckets_) b.store(0);
+  }
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+// --- JSON serialization -------------------------------------------------
+//
+// Hand-rolled on purpose: the container ships no JSON dependency, the
+// schema is ours, and the parser only needs to read back what to_json()
+// writes (plus tolerate whitespace).  scripts/aggregate_metrics.py uses
+// Python's json module on the same files.
+
+namespace {
+
+void write_escaped(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_labels(std::ostringstream& out, const Labels& labels) {
+  out << '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out << ',';
+    write_escaped(out, labels[i].first);
+    out << ':';
+    write_escaped(out, labels[i].second);
+  }
+  out << '}';
+}
+
+void write_double(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    // Stats like srtt use -1 for "no sample yet"; NaN/inf never appear,
+    // but degrade to null rather than emitting invalid JSON.
+    out << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out << buf;
+}
+
+/// Minimal recursive-descent parser for the snapshot schema.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw std::runtime_error(std::string("snapshot JSON: expected '") + c +
+                               "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              throw std::runtime_error("snapshot JSON: truncated \\u escape");
+            }
+            const int code =
+                std::stoi(std::string(text_.substr(pos_, 4)), nullptr, 16);
+            pos_ += 4;
+            c = static_cast<char>(code);  // schema only escapes ASCII
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    if (text_.substr(pos_).starts_with("null")) {
+      pos_ += 4;
+      return 0.0;
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw std::runtime_error("snapshot JSON: expected number at offset " +
+                               std::to_string(start));
+    }
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::uint64_t integer() {
+    return static_cast<std::uint64_t>(number() + 0.5);
+  }
+
+  Labels labels() {
+    Labels out;
+    expect('{');
+    if (consume('}')) return out;
+    do {
+      std::string key = string();
+      expect(':');
+      out.emplace_back(std::move(key), string());
+    } while (consume(','));
+    expect('}');
+    return out;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"sintra.metrics.v1\",\n\"counters\":[";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    const auto& c = counters[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"name\":";
+    write_escaped(out, c.name);
+    out << ",\"labels\":";
+    write_labels(out, c.labels);
+    out << ",\"value\":" << c.value << '}';
+  }
+  out << "],\n\"gauges\":[";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    const auto& g = gauges[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"name\":";
+    write_escaped(out, g.name);
+    out << ",\"labels\":";
+    write_labels(out, g.labels);
+    out << ",\"value\":";
+    write_double(out, g.value);
+    out << '}';
+  }
+  out << "],\n\"histograms\":[";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"name\":";
+    write_escaped(out, h.name);
+    out << ",\"labels\":";
+    write_labels(out, h.labels);
+    out << ",\"count\":" << h.count << ",\"sum\":";
+    write_double(out, h.sum);
+    out << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b != 0) out << ',';
+      out << "{\"bucket\":" << h.buckets[b].first << ",\"le\":";
+      write_double(out, Histogram::bucket_upper(h.buckets[b].first));
+      out << ",\"count\":" << h.buckets[b].second << '}';
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+Snapshot Snapshot::from_json(std::string_view json) {
+  Snapshot out;
+  JsonReader r(json);
+  r.expect('{');
+  do {
+    const std::string section = r.string();
+    r.expect(':');
+    if (section == "schema") {
+      const std::string schema = r.string();
+      if (schema != "sintra.metrics.v1") {
+        throw std::runtime_error("snapshot JSON: unknown schema " + schema);
+      }
+      continue;
+    }
+    r.expect('[');
+    if (r.consume(']')) continue;
+    do {
+      r.expect('{');
+      if (section == "counters") {
+        CounterValue v;
+        do {
+          const std::string field = r.string();
+          r.expect(':');
+          if (field == "name") v.name = r.string();
+          else if (field == "labels") v.labels = r.labels();
+          else if (field == "value") v.value = r.integer();
+          else throw std::runtime_error("snapshot JSON: field " + field);
+        } while (r.consume(','));
+        r.expect('}');
+        out.counters.push_back(std::move(v));
+      } else if (section == "gauges") {
+        GaugeValue v;
+        do {
+          const std::string field = r.string();
+          r.expect(':');
+          if (field == "name") v.name = r.string();
+          else if (field == "labels") v.labels = r.labels();
+          else if (field == "value") v.value = r.number();
+          else throw std::runtime_error("snapshot JSON: field " + field);
+        } while (r.consume(','));
+        r.expect('}');
+        out.gauges.push_back(std::move(v));
+      } else if (section == "histograms") {
+        HistogramValue v;
+        do {
+          const std::string field = r.string();
+          r.expect(':');
+          if (field == "name") v.name = r.string();
+          else if (field == "labels") v.labels = r.labels();
+          else if (field == "count") v.count = r.integer();
+          else if (field == "sum") v.sum = r.number();
+          else if (field == "buckets") {
+            r.expect('[');
+            if (!r.consume(']')) {
+              do {
+                r.expect('{');
+                int bucket = 0;
+                std::uint64_t count = 0;
+                do {
+                  const std::string bf = r.string();
+                  r.expect(':');
+                  if (bf == "bucket") bucket = static_cast<int>(r.integer());
+                  else if (bf == "le") (void)r.number();
+                  else if (bf == "count") count = r.integer();
+                  else throw std::runtime_error("snapshot JSON: field " + bf);
+                } while (r.consume(','));
+                r.expect('}');
+                v.buckets.emplace_back(bucket, count);
+              } while (r.consume(','));
+              r.expect(']');
+            }
+          } else {
+            throw std::runtime_error("snapshot JSON: field " + field);
+          }
+        } while (r.consume(','));
+        r.expect('}');
+        out.histograms.push_back(std::move(v));
+      } else {
+        throw std::runtime_error("snapshot JSON: section " + section);
+      }
+    } while (r.consume(','));
+    r.expect(']');
+  } while (r.consume(','));
+  r.expect('}');
+  return out;
+}
+
+}  // namespace sintra::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+
+namespace sintra::obs {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kSend: return "send";
+    case EventType::kRecv: return "recv";
+    case EventType::kRoundStart: return "round_start";
+    case EventType::kTransition: return "transition";
+    case EventType::kCoinRelease: return "coin_release";
+    case EventType::kDecide: return "decide";
+    case EventType::kDeliver: return "deliver";
+  }
+  return "unknown";
+}
+
+namespace detail {
+std::atomic<EventTrace*> g_trace_sink{nullptr};
+}
+
+EventTrace* trace_sink() {
+  return detail::g_trace_sink.load(std::memory_order_relaxed);
+}
+
+void set_trace_sink(EventTrace* sink) {
+  detail::g_trace_sink.store(sink, std::memory_order_relaxed);
+}
+
+namespace {
+
+void stream_escaped(std::FILE* f, std::string_view s) {
+  std::fputc('"', f);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+  std::fputc('"', f);
+}
+
+}  // namespace
+
+void EventTrace::record(Event e) {
+  if (stream_ != nullptr) {
+    std::fprintf(stream_, "{\"t\":%.3f,\"type\":\"%s\",\"from\":%d", e.time_ms,
+                 event_type_name(e.type), e.from);
+    if (e.to >= 0) std::fprintf(stream_, ",\"to\":%d", e.to);
+    std::fputs(",\"pid\":", stream_);
+    stream_escaped(stream_, e.pid);
+    if (e.bytes != 0) {
+      std::fprintf(stream_, ",\"bytes\":%zu", e.bytes);
+    }
+    if (e.value != 0.0) std::fprintf(stream_, ",\"value\":%g", e.value);
+    if (!e.detail.empty()) {
+      std::fputs(",\"detail\":", stream_);
+      stream_escaped(stream_, e.detail);
+    }
+    std::fputs("}\n", stream_);
+  }
+  if (retain_) entries_.push_back(std::move(e));
+}
+
+std::string layer_of(std::string_view pid) {
+  std::string out;
+  out.reserve(pid.size());
+  bool in_digits = false;
+  for (const char c : pid) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      if (!in_digits) out += '*';
+      in_digits = true;
+    } else {
+      out += c;
+      in_digits = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace sintra::obs

@@ -11,7 +11,11 @@ Node::Node(Simulator& sim, int id, crypto::PartyKeys keys)
     : sim_(sim),
       id_(id),
       keys_(std::move(keys)),
-      rng_(0x90de ^ (static_cast<std::uint64_t>(id) << 20)) {}
+      rng_(0x90de ^ (static_cast<std::uint64_t>(id) << 20)) {
+  // Same instrumentation surface as the real-network stack; timestamps
+  // use the node's virtual clock.
+  dispatcher_.attach_obs(id, [this] { return now_ms(); });
+}
 
 int Node::n() const { return keys_.n; }
 

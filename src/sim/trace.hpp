@@ -1,59 +1,14 @@
-// Message tracing: records every transmitted frame with its protocol id,
-// so experiments can break network cost down by protocol layer (the
-// paper's §4.2 attributes time to "protocol overhead and network delays"
-// in aggregate; the trace makes the attribution precise).
+// Message tracing — now an alias of the unified observability trace
+// (obs/trace.hpp), which extends the original send-only record with typed
+// protocol events and a JSON-lines stream mode.  Kept so simulator-era
+// code (`sim::MessageTrace`, `sim::TraceEntry`) keeps compiling.
 #pragma once
 
-#include <map>
-#include <string>
-#include <vector>
-
-#include "util/bytes.hpp"
+#include "obs/trace.hpp"
 
 namespace sintra::sim {
 
-struct TraceEntry {
-  double time_ms = 0;
-  int from = -1;
-  int to = -1;
-  std::string pid;
-  std::size_t bytes = 0;
-};
-
-class MessageTrace {
- public:
-  void record(double time_ms, int from, int to, std::string pid,
-              std::size_t bytes) {
-    entries_.push_back(TraceEntry{time_ms, from, to, std::move(pid), bytes});
-  }
-
-  [[nodiscard]] const std::vector<TraceEntry>& entries() const {
-    return entries_;
-  }
-
-  struct Totals {
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
-  };
-
-  /// Aggregates by a caller-supplied classifier (e.g. strip instance
-  /// suffixes to group by protocol layer).
-  template <typename Classify>
-  [[nodiscard]] std::map<std::string, Totals> by_class(
-      Classify classify) const {
-    std::map<std::string, Totals> out;
-    for (const TraceEntry& e : entries_) {
-      Totals& t = out[classify(e.pid)];
-      ++t.messages;
-      t.bytes += e.bytes;
-    }
-    return out;
-  }
-
-  void clear() { entries_.clear(); }
-
- private:
-  std::vector<TraceEntry> entries_;
-};
+using TraceEntry = obs::Event;
+using MessageTrace = obs::EventTrace;
 
 }  // namespace sintra::sim

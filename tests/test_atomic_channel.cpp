@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim_fixture.hpp"
 
 namespace sintra::core {
@@ -258,6 +260,59 @@ TEST(AtomicChannel, ExplicitBatchSizeRespected) {
       [&] { return all_delivered_count(chans, 3); }, 4e6));
   // Three distinct messages can fit one batch-of-3 round.
   EXPECT_EQ(chans[0]->rounds_completed(), 1);
+}
+
+/// Counter value for (name, party, layer) in a snapshot, 0 if absent.
+std::uint64_t channel_counter(const obs::Snapshot& snap,
+                              const std::string& name, int party,
+                              const std::string& layer) {
+  const obs::Labels labels = obs::party_layer_labels(party, layer);
+  for (const auto& c : snap.counters) {
+    if (c.name == name && c.labels == labels) return c.value;
+  }
+  return 0;
+}
+
+TEST(AtomicChannel, InstrumentationCountsRoundsAndDeliveries) {
+  // The simulated channel feeds the same obs::registry() as the real
+  // deployment; the process registry accumulates across tests, so all
+  // assertions are before/after deltas.
+  const std::string pid = "ac.obs";
+  const std::string layer = obs::layer_of(pid);
+  const obs::Snapshot before = obs::registry().snapshot();
+
+  Cluster c(4, 1, 21);
+  auto chans = make_channels(c, pid);
+  for (int s = 0; s < 3; ++s) {
+    c.sim.at(static_cast<double>(s), s, [&, s] {
+      chans[static_cast<std::size_t>(s)]->send(
+          to_bytes("obs" + std::to_string(s)));
+    });
+  }
+  ASSERT_TRUE(c.sim.run_until(
+      [&] { return all_delivered_count(chans, 3); }, 4e6));
+
+  const obs::Snapshot after = obs::registry().snapshot();
+  for (int i = 0; i < 4; ++i) {
+    const auto& ch = *chans[static_cast<std::size_t>(i)];
+    const std::uint64_t rounds =
+        channel_counter(after, "channel.rounds", i, layer) -
+        channel_counter(before, "channel.rounds", i, layer);
+    EXPECT_EQ(rounds, static_cast<std::uint64_t>(ch.rounds_completed()));
+    const std::uint64_t deliveries =
+        channel_counter(after, "channel.deliveries", i, layer) -
+        channel_counter(before, "channel.deliveries", i, layer);
+    EXPECT_EQ(deliveries, ch.deliveries().size());
+    // The dispatcher saw traffic for this channel's protocol family.
+    std::uint64_t dispatched = 0;
+    for (const auto& cv : after.counters) {
+      if (cv.name != "dispatcher.messages") continue;
+      for (const auto& [k, v] : cv.labels) {
+        if (k == "layer" && v.rfind(layer, 0) == 0) dispatched += cv.value;
+      }
+    }
+    EXPECT_GT(dispatched, 0u);
+  }
 }
 
 }  // namespace

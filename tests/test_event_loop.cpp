@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <csignal>
+
 #include <thread>
 #include <vector>
 
@@ -141,6 +143,26 @@ TEST(EventLoop, RunCountsDispatchedCallbacks) {
   for (int i = 0; i < 3; ++i) loop.call_later(1.0, [] {});
   loop.call_later(2.0, [&] { loop.stop(); });
   EXPECT_GE(loop.run(), 4u);
+}
+
+TEST(EventLoop, OnSignalRunsCallbackWithoutStopping) {
+  // The sintra_node SIGUSR1 path: a non-stopping signal callback that
+  // composes with stop_on_signals.
+  EventLoop loop;
+  int snapshots = 0;
+  loop.on_signal(SIGUSR1, [&] { ++snapshots; });
+  loop.call_later(5.0, [] { raise(SIGUSR1); });
+  ASSERT_TRUE(loop.run_until([&] { return snapshots == 1; }, 5000.0));
+  EXPECT_FALSE(loop.stopped());  // the loop kept running
+
+  // A second delivery still works, and a stop signal still stops.
+  loop.stop_on_signals({SIGTERM});
+  loop.call_later(1.0, [] { raise(SIGUSR1); });
+  ASSERT_TRUE(loop.run_until([&] { return snapshots == 2; }, 5000.0));
+  EXPECT_FALSE(loop.stopped());
+  loop.call_later(1.0, [] { raise(SIGTERM); });
+  loop.run();
+  EXPECT_TRUE(loop.stopped());
 }
 
 }  // namespace

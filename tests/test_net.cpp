@@ -12,11 +12,24 @@
 
 #include "core/broadcast/reliable_broadcast.hpp"
 #include "core/channel/atomic_channel.hpp"
+#include "obs/metrics.hpp"
 #include "sim_fixture.hpp"
 #include "util/serde.hpp"
 
 namespace sintra::net {
 namespace {
+
+/// Value of counter `name`{party=`party`} in a snapshot (0 if absent).
+/// The process registry accumulates across tests, so assertions below
+/// compare before/after deltas, never absolute values.
+std::uint64_t snapshot_counter(const obs::Snapshot& snap,
+                               const std::string& name, int party) {
+  const obs::Labels labels = obs::party_labels(party);
+  for (const auto& c : snap.counters) {
+    if (c.name == name && c.labels == labels) return c.value;
+  }
+  return 0;
+}
 
 core::Endpoint endpoint_of(const UdpSocket& socket) {
   const std::string addr = socket.local_address().to_string();
@@ -130,6 +143,7 @@ TEST(NetEnvironment, JunkDatagramsAccountedAndSurvived) {
   NetEnvironment& victim = *c.envs[0];
   UdpSocket attacker(SocketAddress::resolve("127.0.0.1", 0));
   const SocketAddress target = victim.local_address();
+  const obs::Snapshot before = obs::registry().snapshot();
 
   ASSERT_TRUE(attacker.send_to(target, Bytes(2, 0xab)));  // no id prefix
   Writer out_of_range;
@@ -149,6 +163,24 @@ TEST(NetEnvironment, JunkDatagramsAccountedAndSurvived) {
   EXPECT_EQ(victim.stats().drop_no_sender, 1u);
   EXPECT_EQ(victim.stats().drop_bad_sender, 2u);
   EXPECT_EQ(victim.stats().drop_oversized, 1u);
+
+  // The same accounting must be observable through the public metrics
+  // path (docs/OBSERVABILITY.md): the transport mirrors its drop buckets
+  // into obs::registry() live.
+  const obs::Snapshot after = obs::registry().snapshot();
+  const int party = victim.self();
+  EXPECT_EQ(snapshot_counter(after, "net.drop_no_sender", party) -
+                snapshot_counter(before, "net.drop_no_sender", party),
+            1u);
+  EXPECT_EQ(snapshot_counter(after, "net.drop_bad_sender", party) -
+                snapshot_counter(before, "net.drop_bad_sender", party),
+            2u);
+  EXPECT_EQ(snapshot_counter(after, "net.drop_oversized", party) -
+                snapshot_counter(before, "net.drop_oversized", party),
+            1u);
+  EXPECT_GE(snapshot_counter(after, "net.datagrams_received", party) -
+                snapshot_counter(before, "net.datagrams_received", party),
+            5u);
   EXPECT_EQ(victim.link_stats(2).drop_malformed +
                 victim.link_stats(2).drop_auth,
             1u);
