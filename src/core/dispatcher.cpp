@@ -67,15 +67,23 @@ void Dispatcher::on_message(PartyId from, BytesView wire) {
     if (obs_attached_) obs_malformed_->inc();
     return;  // malformed frame from a Byzantine sender: drop
   }
+  auto h = handlers_.find(msg.pid);
   LayerMetrics* m = nullptr;
   if (obs_attached_) {
-    m = &layer_metrics(obs::layer_of(msg.pid));
+    // The layer label derives from the (attacker-controlled) pid, so
+    // per-layer registry entries are created only for pids with a
+    // registered handler; everything else — early-buffered, retired or
+    // junk pids — shares the one fixed "unrouted" layer.  Otherwise a
+    // Byzantine peer could grow the registry without bound by flooding
+    // distinct non-numeric pids, defeating the kMaxBuffered guard.
+    static const std::string kUnrouted = "unrouted";
+    m = &layer_metrics(h != handlers_.end() ? obs::layer_of(msg.pid)
+                                            : kUnrouted);
     m->messages->inc();
     m->bytes->inc(wire.size());
     obs::emit(obs::EventType::kRecv, obs_now_(), from, obs_party_, msg.pid,
               wire.size());
   }
-  auto h = handlers_.find(msg.pid);
   if (h != handlers_.end()) {
     // Copy: the handler may unregister itself (protocol termination)
     // while running, which would otherwise destroy it mid-call.

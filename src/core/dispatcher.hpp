@@ -48,7 +48,9 @@ class Dispatcher {
   /// handler-latency histograms in obs::registry(), plus kRecv trace
   /// events stamped with `now_fn` (the owning environment's clock —
   /// virtual time in the simulator, wall-clock in the net stack).
-  /// Idempotent; never influences routing behaviour.
+  /// Frames whose pid has no registered handler are counted under the
+  /// single fixed layer "unrouted" so Byzantine pids cannot grow the
+  /// registry.  Idempotent; never influences routing behaviour.
   void attach_obs(int party, std::function<double()> now_fn);
 
  private:

@@ -1,6 +1,7 @@
 #include "crypto/cost.hpp"
 
 #include <atomic>
+#include <map>
 
 #include "bignum/montgomery.hpp"
 #include "obs/metrics.hpp"
@@ -10,6 +11,32 @@ namespace sintra::crypto {
 namespace {
 // Starts at 1 so a default-initialized stamp of 0 always reads as stale.
 std::atomic<std::uint64_t> g_cache_epoch{1};
+
+struct OpCounters {
+  obs::Counter* ops;
+  obs::Counter* work;
+};
+
+// Hot-path discipline (obs/metrics.hpp): resolve registry handles once,
+// then update with relaxed atomics.  Op labels are string literals, so a
+// per-thread pointer-keyed cache resolves each call site through the
+// registry mutex exactly once; after that an OpScope destruction is a
+// small map find plus two atomic adds — no lock, no Labels allocation.
+// Registry handles stay valid for the process lifetime, so the cached
+// pointers never dangle (reset() zeroes values but keeps instances).
+const OpCounters& op_counters(const char* op) {
+  thread_local std::map<const char*, OpCounters> cache;
+  auto it = cache.find(op);
+  if (it == cache.end()) {
+    auto& reg = obs::registry();
+    const obs::Labels labels{{"op", op}};
+    it = cache
+             .emplace(op, OpCounters{&reg.counter("crypto.ops", labels),
+                                     &reg.counter("crypto.work", labels)})
+             .first;
+  }
+  return it->second;
+}
 }  // namespace
 
 std::uint64_t cache_epoch() noexcept {
@@ -52,10 +79,9 @@ OpScope::OpScope(const char* op)
 
 OpScope::~OpScope() {
   const std::uint64_t work = bignum::work_counter() - start_;
-  auto& reg = obs::registry();
-  const obs::Labels labels{{"op", op_}};
-  reg.counter("crypto.ops", labels).inc();
-  reg.counter("crypto.work", labels).inc(work);
+  const OpCounters& c = op_counters(op_);
+  c.ops->inc();
+  c.work->inc(work);
 }
 
 }  // namespace sintra::crypto

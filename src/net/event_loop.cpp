@@ -22,10 +22,18 @@ namespace {
 // the handler writes to the registered loop's eventfd (write(2) is
 // async-signal-safe) and records which signal fired.
 std::atomic<int> g_signal_wakeup_fd{-1};
-volatile std::sig_atomic_t g_pending_signal = 0;
+// One pending flag per signo: a burst of different signals (e.g. a
+// SIGUSR1 snapshot request landing right after SIGTERM, before step()
+// runs) must not overwrite each other, or the stop request is lost.
+constexpr int kMaxSignal = 65;  // Linux signal numbers end at 64
+volatile std::sig_atomic_t g_pending_signals[kMaxSignal] = {};
+volatile std::sig_atomic_t g_any_pending_signal = 0;
 
 void signal_trampoline(int signo) {
-  g_pending_signal = signo;
+  if (signo > 0 && signo < kMaxSignal) {
+    g_pending_signals[signo] = 1;
+    g_any_pending_signal = 1;
+  }
   const int fd = g_signal_wakeup_fd.load();
   if (fd >= 0) {
     const std::uint64_t one = 1;
@@ -194,17 +202,22 @@ std::uint64_t EventLoop::step(double max_wait_ms) {
     ++dispatched;
   }
 
-  if (g_pending_signal != 0 &&
+  if (g_any_pending_signal != 0 &&
       (!handled_signals_.empty() || !signal_callbacks_.empty())) {
-    const int signo = g_pending_signal;
-    g_pending_signal = 0;
-    const auto cb = signal_callbacks_.find(signo);
-    if (cb != signal_callbacks_.end()) {
-      cb->second();  // non-stopping (e.g. SIGUSR1 metrics snapshot)
-      ++dispatched;
-    } else {
-      if (signal_fn_) signal_fn_(signo);
-      stop_requested_.store(true);
+    // Clear the summary flag first so a signal landing mid-scan re-arms
+    // it; then process every pending signo, not just the latest one.
+    g_any_pending_signal = 0;
+    for (int signo = 1; signo < kMaxSignal; ++signo) {
+      if (g_pending_signals[signo] == 0) continue;
+      g_pending_signals[signo] = 0;
+      const auto cb = signal_callbacks_.find(signo);
+      if (cb != signal_callbacks_.end()) {
+        cb->second();  // non-stopping (e.g. SIGUSR1 metrics snapshot)
+        ++dispatched;
+      } else {
+        if (signal_fn_) signal_fn_(signo);
+        stop_requested_.store(true);
+      }
     }
   }
 

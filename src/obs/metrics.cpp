@@ -4,6 +4,8 @@
 #include <bit>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -145,8 +147,13 @@ void write_double(std::ostringstream& out, double v) {
     out << "null";
     return;
   }
+  // Shortest representation that parses back to exactly `v`: gauges
+  // carry values like crypto.work_units that exceed %.6g precision.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   out << buf;
 }
 
@@ -204,27 +211,20 @@ class JsonReader {
   }
 
   double number() {
-    skip_ws();
-    if (text_.substr(pos_).starts_with("null")) {
-      pos_ += 4;
-      return 0.0;
-    }
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      throw std::runtime_error("snapshot JSON: expected number at offset " +
-                               std::to_string(start));
-    }
-    return std::stod(std::string(text_.substr(start, pos_ - start)));
+    const std::string tok = number_token();
+    return tok.empty() ? 0.0 : std::stod(tok);
   }
 
+  /// Exact for the full uint64 range: counters such as crypto.work can
+  /// exceed 2^53 on large runs, where a round-trip through double would
+  /// silently corrupt them.
   std::uint64_t integer() {
-    return static_cast<std::uint64_t>(number() + 0.5);
+    const std::string tok = number_token();
+    if (tok.empty()) return 0;  // null
+    if (tok.find_first_of(".eE-") == std::string::npos) {
+      return std::stoull(tok);
+    }
+    return static_cast<std::uint64_t>(std::stod(tok) + 0.5);
   }
 
   Labels labels() {
@@ -248,6 +248,27 @@ class JsonReader {
   }
 
  private:
+  /// Raw text of the next number, or "" for a null literal.
+  std::string number_token() {
+    skip_ws();
+    if (text_.substr(pos_).starts_with("null")) {
+      pos_ += 4;
+      return {};
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw std::runtime_error("snapshot JSON: expected number at offset " +
+                               std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
   std::string_view text_;
   std::size_t pos_ = 0;
 };

@@ -82,6 +82,38 @@ TEST(Dispatcher, HandlerCanUnregisterDuringReplay) {
   EXPECT_EQ(seen, 1);  // second buffered message must not be delivered
 }
 
+TEST(Dispatcher, ByzantinePidsDoNotGrowLayerMetrics) {
+  // Per-layer registry entries derive from the attacker-controlled pid;
+  // distinct non-numeric pids must all collapse into one "unrouted"
+  // layer instead of registering unbounded metrics.
+  Dispatcher d;
+  d.attach_obs(93, [] { return 0.0; });
+  const auto layer_entries = [] {
+    std::size_t n = 0;
+    for (const auto& c : obs::registry().snapshot().counters) {
+      if (c.name != "dispatcher.messages") continue;
+      for (const auto& [k, v] : c.labels) {
+        if (k == "party" && v == "93") ++n;
+      }
+    }
+    return n;
+  };
+  d.on_message(0, frame_message("junk.seed", to_bytes("x")));
+  const std::size_t base = layer_entries();
+  for (int i = 0; i < 300; ++i) {
+    const std::string pid = std::string("junk.") +
+                            static_cast<char>('a' + i % 26) +
+                            static_cast<char>('a' + i / 26);
+    d.on_message(0, frame_message(pid, to_bytes("x")));
+  }
+  EXPECT_EQ(layer_entries(), base);
+
+  // A registered pid still gets its own layer entry.
+  d.register_pid("real.7", [](PartyId, BytesView) {});
+  d.on_message(0, frame_message("real.7", to_bytes("x")));
+  EXPECT_EQ(layer_entries(), base + 1);
+}
+
 TEST(Dispatcher, FloodingGuardCapsBuffer) {
   Dispatcher d;
   const Bytes frame = frame_message("never-registered", to_bytes("x"));

@@ -165,5 +165,22 @@ TEST(EventLoop, OnSignalRunsCallbackWithoutStopping) {
   EXPECT_TRUE(loop.stopped());
 }
 
+TEST(EventLoop, SignalBurstKeepsBothStopAndCallback) {
+  // A SIGUSR1 landing after SIGTERM but before the loop processes
+  // pending signals must not overwrite the stop request: both the
+  // snapshot callback and the stop must happen.
+  EventLoop loop;
+  int snapshots = 0;
+  loop.on_signal(SIGUSR1, [&] { ++snapshots; });
+  loop.stop_on_signals({SIGTERM});
+  loop.call_later(1.0, [] {
+    raise(SIGTERM);
+    raise(SIGUSR1);  // delivered before the loop's signal scan
+  });
+  loop.run();
+  EXPECT_TRUE(loop.stopped());
+  EXPECT_EQ(snapshots, 1);
+}
+
 }  // namespace
 }  // namespace sintra::net

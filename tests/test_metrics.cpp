@@ -129,6 +129,23 @@ TEST(Snapshot, JsonRoundTrip) {
   EXPECT_EQ(back.to_json(), json);
 }
 
+TEST(Snapshot, JsonRoundTripIsExactAtExtremePrecision) {
+  // Counters must survive above 2^53 (crypto.work on large runs) and
+  // gauges must round-trip bit-exactly, not at %.6g.
+  MetricsRegistry reg;
+  const std::uint64_t big = (std::uint64_t{1} << 63) + 12345;
+  reg.counter("crypto.work", {{"op", "tdh2.combine"}}).inc(big);
+  reg.gauge("crypto.work_units").set(12345678.25);
+  reg.gauge("tiny").set(0.1);
+
+  const Snapshot back = Snapshot::from_json(reg.snapshot().to_json());
+  ASSERT_EQ(back.counters.size(), 1u);
+  EXPECT_EQ(back.counters[0].value, big);
+  ASSERT_EQ(back.gauges.size(), 2u);
+  EXPECT_EQ(back.gauges[0].value, 12345678.25);
+  EXPECT_EQ(back.gauges[1].value, 0.1);
+}
+
 TEST(Snapshot, FromJsonRejectsMalformedInput) {
   EXPECT_THROW(Snapshot::from_json("not json"), std::runtime_error);
   EXPECT_THROW(Snapshot::from_json("{\"schema\":\"other.v9\"}"),
