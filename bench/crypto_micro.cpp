@@ -224,6 +224,7 @@ struct DleqBench {
   BigInt base;            // g2 = H2G(name), fresh per coin
   BigInt gi;              // h2 = base^x, fresh per share
   crypto::DleqProof proof;
+  BigInt c;               // the proof's recomputed Fiat–Shamir challenge
   BigInt cofactor;        // (p-1)/q, the hash-to-group projection exponent
 
   DleqBench()
@@ -235,6 +236,14 @@ struct DleqBench {
     base = grp.hash_to_group(to_bytes("bench dleq base"));
     gi = grp.exp(base, x);
     proof = crypto::dleq_prove(grp, grp.g(), vk, base, gi, x, rng);
+    Writer w;
+    grp.g().write(w);
+    vk.write(w);
+    base.write(w);
+    gi.write(w);
+    proof.a1.write(w);
+    proof.a2.write(w);
+    c = grp.hash_to_exponent(w.data());
     cofactor = (grp.p() - BigInt{1}) / grp.q();
   }
 };
@@ -249,21 +258,19 @@ DleqBench& dleq_bench() {
 bool seed_dleq_verify(const crypto::DlogGroup& grp, const BigInt& g1,
                       const BigInt& h1, const BigInt& g2, const BigInt& h2,
                       const crypto::DleqProof& pf) {
-  if (pf.c.is_negative() || pf.z.is_negative() || pf.c >= grp.q() ||
-      pf.z >= grp.q()) {
-    return false;
-  }
+  if (pf.z.is_negative() || pf.z >= grp.q()) return false;
   if (!grp.is_member(h1) || !grp.is_member(h2)) return false;
-  const BigInt a1 = grp.mul(grp.exp(g1, pf.z), grp.inv(grp.exp(h1, pf.c)));
-  const BigInt a2 = grp.mul(grp.exp(g2, pf.z), grp.inv(grp.exp(h2, pf.c)));
   Writer w;
   g1.write(w);
   h1.write(w);
   g2.write(w);
   h2.write(w);
-  a1.write(w);
-  a2.write(w);
-  return grp.hash_to_exponent(w.data()) == pf.c;
+  pf.a1.write(w);
+  pf.a2.write(w);
+  const BigInt c = grp.hash_to_exponent(w.data());
+  const BigInt v1 = grp.mul(grp.exp(g1, pf.z), grp.inv(grp.exp(h1, c)));
+  const BigInt v2 = grp.mul(grp.exp(g2, pf.z), grp.inv(grp.exp(h2, c)));
+  return v1 == pf.a1 && v2 == pf.a2;
 }
 
 void BM_SingleExp(benchmark::State& state) {
@@ -295,7 +302,7 @@ void BM_DualExpSeed(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         b.grp.mul(b.grp.exp(b.grp.g(), b.proof.z),
-                  b.grp.inv(b.grp.exp(b.vk, b.proof.c))));
+                  b.grp.inv(b.grp.exp(b.vk, b.c))));
   }
 }
 BENCHMARK(BM_DualExpSeed);
@@ -303,11 +310,11 @@ BENCHMARK(BM_DualExpSeed);
 void BM_DualExpFast(benchmark::State& state) {
   DleqBench& b = dleq_bench();
   benchmark::DoNotOptimize(
-      b.grp.dual_exp_neg(b.grp.g(), b.proof.z, true, b.vk, b.proof.c, true));
+      b.grp.dual_exp_neg(b.grp.g(), b.proof.z, true, b.vk, b.c, true));
   WorkTracker wt(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        b.grp.dual_exp_neg(b.grp.g(), b.proof.z, true, b.vk, b.proof.c, true));
+        b.grp.dual_exp_neg(b.grp.g(), b.proof.z, true, b.vk, b.c, true));
   }
 }
 BENCHMARK(BM_DualExpFast);
@@ -353,6 +360,125 @@ void BM_CoinShareVerifySeed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CoinShareVerifySeed);
+
+// --- Optimistic verification: eager per-share checks vs combine-first ----
+
+void BM_ThresholdCombine_Eager(benchmark::State& state) {
+  // Pre-optimistic operation sequence: every share in the chosen set is
+  // verified individually before the combine (what the protocols did when
+  // each arriving echo-share was checked on receipt).
+  Fixture& fx = fixture(static_cast<int>(state.range(0)),
+                        crypto::SigImpl::kThresholdRsa);
+  const auto& sig = *fx.deal.parties[0].sig_broadcast;
+  std::vector<std::pair<int, Bytes>> shares;
+  for (int i = 0; i < sig.k(); ++i) {
+    shares.emplace_back(
+        i, fx.deal.parties[static_cast<std::size_t>(i)].sig_broadcast
+               ->sign_share(fx.msg));
+  }
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    for (const auto& [i, share] : shares) {
+      benchmark::DoNotOptimize(sig.verify_share(fx.msg, i, share));
+    }
+    benchmark::DoNotOptimize(sig.combine(fx.msg, shares));
+  }
+}
+BENCHMARK(BM_ThresholdCombine_Eager)->Arg(512)->Arg(1024);
+
+void BM_ThresholdCombine_Optimistic(benchmark::State& state) {
+  // Combine-first fast path on the fault-free trace: one unverified
+  // combine plus one public-exponent verification of the result — the
+  // k per-share proof checks disappear.
+  Fixture& fx = fixture(static_cast<int>(state.range(0)),
+                        crypto::SigImpl::kThresholdRsa);
+  const auto& sig = *fx.deal.parties[0].sig_broadcast;
+  std::vector<std::pair<int, Bytes>> shares;
+  for (int i = 0; i < sig.k(); ++i) {
+    shares.emplace_back(
+        i, fx.deal.parties[static_cast<std::size_t>(i)].sig_broadcast
+               ->sign_share(fx.msg));
+  }
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sig.combine_checked(fx.msg, shares));
+  }
+}
+BENCHMARK(BM_ThresholdCombine_Optimistic)->Arg(512)->Arg(1024);
+
+void BM_CoinAssemble_Eager(benchmark::State& state) {
+  // Pre-optimistic coin round at a node: all n released shares arrive and
+  // each is verified on receipt (the node cannot know which k will land
+  // first), then the first k assemble the bit.
+  Fixture& fx = fixture(1024, crypto::SigImpl::kMultiSig);
+  const Bytes name = to_bytes("bench coin assemble");
+  const auto& coin = *fx.deal.parties[0].coin;
+  std::vector<std::pair<int, Bytes>> shares;
+  for (int i = 0; i < 4; ++i) {
+    shares.emplace_back(
+        i, fx.deal.parties[static_cast<std::size_t>(i)].coin->release(name));
+  }
+  const std::vector<std::pair<int, Bytes>> first_k(
+      shares.begin(), shares.begin() + coin.k());
+  benchmark::DoNotOptimize(coin.verify_share(name, 0, shares[0].second));
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    for (const auto& [i, share] : shares) {
+      benchmark::DoNotOptimize(coin.verify_share(name, i, share));
+    }
+    benchmark::DoNotOptimize(coin.assemble_bit(name, first_k));
+  }
+}
+BENCHMARK(BM_CoinAssemble_Eager);
+
+void BM_CoinAssemble_Optimistic(benchmark::State& state) {
+  // Batch-first fast path: one RLC DLEQ check over the k chosen shares
+  // plus one batched membership exponentiation, then the assemble; the
+  // n-k surplus shares are never verified at all.
+  Fixture& fx = fixture(1024, crypto::SigImpl::kMultiSig);
+  const Bytes name = to_bytes("bench coin assemble");
+  const auto& coin = *fx.deal.parties[0].coin;
+  std::vector<std::pair<int, Bytes>> shares;
+  for (int i = 0; i < 4; ++i) {
+    shares.emplace_back(
+        i, fx.deal.parties[static_cast<std::size_t>(i)].coin->release(name));
+  }
+  benchmark::DoNotOptimize(coin.assemble_bit_checked(name, shares));
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coin.assemble_bit_checked(name, shares));
+  }
+}
+BENCHMARK(BM_CoinAssemble_Optimistic);
+
+void BM_BatchDleqVerify(benchmark::State& state) {
+  // RLC batch verification of m proofs sharing both bases (the coin /
+  // TDH2 shape), batched membership — the amortized cost per proof is
+  // what falls as m grows.
+  DleqBench& b = dleq_bench();
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(0xba7c);
+  std::vector<crypto::DleqStatement> stmts;
+  stmts.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const BigInt x = b.grp.random_exponent(rng);
+    crypto::DleqStatement s;
+    s.g1 = b.grp.g();
+    s.h1 = b.grp.exp(b.grp.g(), x);
+    s.g2 = b.base;
+    s.h2 = b.grp.exp(b.base, x);
+    s.proof = crypto::dleq_prove(b.grp, s.g1, s.h1, s.g2, s.h2, x, rng);
+    stmts.push_back(std::move(s));
+  }
+  benchmark::DoNotOptimize(crypto::dleq_batch_verify(
+      b.grp, stmts, rng, {}, crypto::BatchMembership::kBatched));
+  WorkTracker wt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::dleq_batch_verify(
+        b.grp, stmts, rng, {}, crypto::BatchMembership::kBatched));
+  }
+}
+BENCHMARK(BM_BatchDleqVerify)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_CoinShareVerifyFast(benchmark::State& state) {
   Fixture& fx = fixture(1024, crypto::SigImpl::kMultiSig);

@@ -33,6 +33,8 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include <csignal>
 
@@ -73,6 +75,8 @@ struct Args {
   std::string trace_out;    // JSON-lines event stream
   std::string via_host;  // chaos proxy: host part of --via
   int via_base_port = 0;
+  int crypto_threads = -1;      // -1 = hardware_concurrency; 0 = inline
+  bool corrupt_shares = false;  // Byzantine chaos: emit garbage sig shares
 };
 
 Args parse_args(int argc, char** argv) {
@@ -104,6 +108,13 @@ Args parse_args(int argc, char** argv) {
       a.metrics_out = value();
     } else if (arg == "--trace-out") {
       a.trace_out = value();
+    } else if (arg == "--crypto-threads") {
+      a.crypto_threads = std::stoi(value());
+      if (a.crypto_threads < 0) {
+        throw std::runtime_error("--crypto-threads wants >= 0");
+      }
+    } else if (arg == "--corrupt-shares") {
+      a.corrupt_shares = true;
     } else if (arg == "--via") {
       const std::string v = value();
       const auto colon = v.rfind(':');
@@ -119,6 +130,43 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
+/// Byzantine chaos helper (--corrupt-shares): a threshold-signature
+/// handle whose *own* shares are garbage while every verify/combine stays
+/// honest.  Receivers' optimistic combine-first paths must fall back,
+/// blacklist this node, and finish with the honest quorum — observable as
+/// crypto.fallbacks > 0 in their metrics snapshots.
+class CorruptingSigScheme final : public crypto::ThresholdSigScheme {
+ public:
+  explicit CorruptingSigScheme(
+      std::shared_ptr<crypto::ThresholdSigScheme> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] int n() const override { return inner_->n(); }
+  [[nodiscard]] int k() const override { return inner_->k(); }
+  [[nodiscard]] int index() const override { return inner_->index(); }
+
+  [[nodiscard]] Bytes sign_share(BytesView msg) override {
+    Bytes share = inner_->sign_share(msg);
+    if (!share.empty()) share[share.size() / 2] ^= 0x5a;
+    return share;
+  }
+  [[nodiscard]] bool verify_share(BytesView msg, int signer,
+                                  BytesView share) const override {
+    return inner_->verify_share(msg, signer, share);
+  }
+  [[nodiscard]] Bytes combine(
+      BytesView msg,
+      const std::vector<std::pair<int, Bytes>>& shares) const override {
+    return inner_->combine(msg, shares);
+  }
+  [[nodiscard]] bool verify(BytesView msg, BytesView sig) const override {
+    return inner_->verify(msg, sig);
+  }
+
+ private:
+  std::shared_ptr<crypto::ThresholdSigScheme> inner_;
+};
+
 /// The running node: one environment, one channel, one workload.
 class NodeApp {
  public:
@@ -131,8 +179,18 @@ class NodeApp {
         BytesView(reinterpret_cast<const std::uint8_t*>(blob.data()),
                   blob.size()));
     crypto::PartyKeys keys = crypto::materialize(raw);
+    if (args.corrupt_shares) {
+      keys.sig_broadcast =
+          std::make_shared<CorruptingSigScheme>(std::move(keys.sig_broadcast));
+      keys.sig_agreement =
+          std::make_shared<CorruptingSigScheme>(std::move(keys.sig_agreement));
+    }
 
     net::NetOptions opts;
+    opts.crypto_threads =
+        args.crypto_threads >= 0
+            ? args.crypto_threads
+            : static_cast<int>(std::thread::hardware_concurrency());
     if (!args.via_host.empty()) {
       for (int j = 0; j < keys.n; ++j) {
         opts.send_to.push_back({args.via_host, args.via_base_port + j});
@@ -357,7 +415,8 @@ int main(int argc, char** argv) {
                  "[--channel atomic|secure-atomic|optimistic] [--send N] "
                  "[--close] [--expect N] [--linger MS] [--out FILE] "
                  "[--stats] [--metrics-out FILE] [--trace-out FILE] "
-                 "[--via host:base_port]\n",
+                 "[--via host:base_port] [--crypto-threads N] "
+                 "[--corrupt-shares]\n",
                  e.what());
     return 2;
   }

@@ -64,6 +64,14 @@ out = {
                                    "BM_CoinShareVerifyFast"),
         "dual_exp": ratio("BM_DualExpSeed", "BM_DualExpFast"),
         "fixed_base_exp": ratio("BM_SingleExp", "BM_SingleExpFixedBase"),
+        # Eager per-share verification vs the combine-first fast paths
+        # (fault-free trace; the acceptance bar for both is >= 2x).
+        "threshold_combine": ratio("BM_ThresholdCombine_Eager/512",
+                                   "BM_ThresholdCombine_Optimistic/512"),
+        "threshold_combine_1024": ratio("BM_ThresholdCombine_Eager/1024",
+                                        "BM_ThresholdCombine_Optimistic/1024"),
+        "coin_assemble": ratio("BM_CoinAssemble_Eager",
+                               "BM_CoinAssemble_Optimistic"),
     },
 }
 
@@ -75,4 +83,10 @@ sp = out["speedups_work_units"]
 print(f"wrote {out_path}")
 print(f"  dleq_verify speedup (work units):       {sp['dleq_verify']}x")
 print(f"  coin_share_verify speedup (work units): {sp['coin_share_verify']}x")
+print(f"  threshold_combine speedup (work units): {sp['threshold_combine']}x")
+print(f"  coin_assemble speedup (work units):     {sp['coin_assemble']}x")
+for key in ("threshold_combine", "coin_assemble"):
+    if sp[key] is None or sp[key] < 2.0:
+        sys.exit(f"FAIL: {key} optimistic speedup {sp[key]}x is below the "
+                 "2x acceptance bar")
 PY

@@ -109,7 +109,16 @@ node_args+=(--linger -1)
 
 echo "== starting $n nodes (scenario: $scenario, channel: $channel)"
 for i in $(seq 0 $((n - 1))); do
+  extra=()
+  # Chaos doubles as the Byzantine-share scenario: node 3 (t = 1) emits
+  # garbage threshold-signature shares, so every honest node's optimistic
+  # combine must fall back, blacklist it, and finish with the honest
+  # quorum (asserted below via crypto.fallbacks).
+  if [[ "$scenario" == chaos && $i -eq 3 ]]; then
+    extra+=(--corrupt-shares)
+  fi
   "$node_bin" "$conf" "$workdir/keys/party-$i.keys" "${node_args[@]}" \
+    ${extra[@]+"${extra[@]}"} \
     --out "$workdir/out.$i" \
     --metrics-out "$workdir/metrics.$i.json" \
     --trace-out "$workdir/trace.$i.jsonl" 2> "$workdir/stats.$i" &
@@ -236,6 +245,16 @@ if [[ "$scenario" == chaos ]]; then
     echo "== metrics path: link.retransmissions=$m_retrans link.drop_duplicate=$m_drop_dup"
     if (( m_retrans == 0 || m_drop_dup == 0 )); then
       echo "FAIL: chaos counters not visible via metrics snapshots (retrans=$m_retrans, drop_duplicate=$m_drop_dup)" >&2
+      exit 1
+    fi
+    # Node 3 corrupted its threshold-signature shares: the optimistic
+    # combine-first paths must have fallen back to per-share verification
+    # somewhere, and that must be visible through the metrics snapshots.
+    m_fallbacks=$(metric_total crypto.fallbacks)
+    m_hits=$(metric_total crypto.optimistic_hits)
+    echo "== metrics path: crypto.optimistic_hits=$m_hits crypto.fallbacks=$m_fallbacks"
+    if (( m_fallbacks == 0 )); then
+      echo "FAIL: Byzantine shares from node 3 triggered no optimistic-combine fallback (crypto.fallbacks=0)" >&2
       exit 1
     fi
   fi

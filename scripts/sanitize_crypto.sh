@@ -1,37 +1,60 @@
 #!/usr/bin/env bash
-# Builds the test suite with -DSINTRA_SANITIZE=address,undefined in a
-# separate build tree and runs the bignum/crypto test cases plus the
-# net-subsystem suites under ASan+UBSan.  The fast-exponentiation layer
-# (multi-exp windows, comb tables, scratch-buffer reuse) does manual
-# limb-buffer arithmetic, and the net layer (epoll loop, raw UDP buffers,
-# frame parsing of attacker-controlled datagrams) handles untrusted
-# input, so both get a sanitizer pass on every change.
+# Builds the test suite in a separate build tree with the sanitizer set
+# chosen by $SINTRA_SANITIZE and runs the suites that benefit most:
 #
-# Usage: scripts/sanitize_crypto.sh [build_dir]   (default: ./build-asan)
+#   SINTRA_SANITIZE=address,undefined (default)
+#     ASan+UBSan over the bignum/crypto suites and the net subsystem.
+#     The fast-exponentiation layer (multi-exp windows, comb tables,
+#     scratch-buffer reuse) does manual limb-buffer arithmetic, and the
+#     net layer (epoll loop, raw UDP buffers, frame parsing of
+#     attacker-controlled datagrams) handles untrusted input.
+#
+#   SINTRA_SANITIZE=thread
+#     TSan over the concurrency surface: the crypto worker pool (jthread
+#     workers, MPSC completion queue, cross-thread notify hook) and the
+#     net subsystem that drives it (event loop wakeups, the node binary's
+#     off-loop verification), including the multi-process LocalCluster
+#     tests whose node binaries are TSan-built too.
+#
+# Usage: scripts/sanitize_crypto.sh [build_dir]
+#        (default: ./build-asan, or ./build-tsan in thread mode)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-$repo_root/build-asan}"
+sanitize="${SINTRA_SANITIZE:-address,undefined}"
+
+if [[ "$sanitize" == "thread" ]]; then
+  build_dir="${1:-$repo_root/build-tsan}"
+  # Suites with real multi-threading: the worker pool itself, the epoll
+  # event loop (cross-thread call_soon), the UDP transport, and the
+  # 4-process loopback clusters that run node binaries with the pool on.
+  filter='WorkPool|EventLoop|UdpSocket|NetEnvironment|SlidingWindow'
+  filter+='|LocalCluster'
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+else
+  build_dir="${1:-$repo_root/build-asan}"
+  # Test names are gtest suite names, not source-file names: this regex
+  # covers the bignum suites (BigInt/Montgomery/MultiExp/FixedBase/
+  # Karatsuba/Prime), the crypto-layer suites built on them (including
+  # batch DLEQ verification, the optimistic combine-first paths, and the
+  # worker pool), and the net subsystem (event loop, UDP transport,
+  # sliding-window link, 4-process clusters).
+  filter='BigInt|Montgomery|MultiExp|FixedBase|GroupCache|Karatsuba|Prime'
+  filter+='|Rsa|Shamir|Lagrange|DlogGroup|Dleq|BatchDleq|Group'
+  filter+='|ThresholdSig|Coin|Tdh2|Optimistic|WorkPool'
+  filter+='|Dealer|Hash|Sha|Aes'
+  filter+='|EventLoop|UdpSocket|NetEnvironment|SlidingWindow|LocalCluster'
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+fi
 
 cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_BUILD_TYPE=Debug \
-  -DSINTRA_SANITIZE=address,undefined
+  -DSINTRA_SANITIZE="$sanitize"
 cmake --build "$build_dir" --target sintra_tests -j"$(nproc)"
 # The loopback-cluster tests exercise the node and proxy binaries under
 # the sanitizers too.
 cmake --build "$build_dir" \
   --target dealer_tool sintra_node udp_chaos_proxy -j"$(nproc)"
-
-# Test names are gtest suite names, not source-file names: this regex
-# covers the bignum suites (BigInt/Montgomery/MultiExp/FixedBase/Karatsuba/
-# Prime), the crypto-layer suites built on them, and the net subsystem
-# (event loop, UDP transport, sliding-window link, 4-process clusters).
-filter='BigInt|Montgomery|MultiExp|FixedBase|GroupCache|Karatsuba|Prime'
-filter+='|Rsa|Shamir|Lagrange|DlogGroup|Dleq|Group|ThresholdSig|Coin|Tdh2'
-filter+='|Dealer|Hash|Sha|Aes'
-filter+='|EventLoop|UdpSocket|NetEnvironment|SlidingWindow|LocalCluster'
-
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 
 ctest --test-dir "$build_dir" -R "$filter" --output-on-failure

@@ -232,11 +232,11 @@ BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
 
 BigInt Montgomery::simul_pow(const std::pair<BigInt, BigInt>* terms,
                              std::size_t count) const {
-  assert(count >= 1 && count <= 8);
+  assert(count >= 1 && count <= kSimulPowMax);
   const std::size_t n = m_.size();
   int bits = 0;
-  int maxd[8];
-  std::size_t offset[8];
+  int maxd[kSimulPowMax];
+  std::size_t offset[kSimulPowMax];
   std::size_t table_limbs = 0;
   for (std::size_t i = 0; i < count; ++i) {
     check_nonneg(terms[i].second);
@@ -292,12 +292,18 @@ BigInt Montgomery::mul_pow(const BigInt& a, const BigInt& ea, const BigInt& b,
 BigInt Montgomery::multi_pow(
     const std::vector<std::pair<BigInt, BigInt>>& terms) const {
   if (terms.empty()) return BigInt{1}.mod(modulus_);
-  // The shared squaring chain serves up to 8 bases per pass; longer
-  // products fold the per-chunk results together.
+  // The shared squaring chain serves up to kSimulPowMax bases per pass;
+  // longer products fold the per-chunk results together.  The cap is a
+  // window-table memory bound, and it is sized so that a whole batched
+  // DLEQ verification (4 terms per statement) fits in ONE pass for the
+  // batch sizes the protocols produce: a second pass costs a second full
+  // squaring chain, which for 160-bit exponents is the single largest
+  // line item in the profile.
   BigInt acc;
   bool have = false;
-  for (std::size_t i = 0; i < terms.size(); i += 8) {
-    const std::size_t count = std::min<std::size_t>(8, terms.size() - i);
+  for (std::size_t i = 0; i < terms.size(); i += kSimulPowMax) {
+    const std::size_t count =
+        std::min<std::size_t>(kSimulPowMax, terms.size() - i);
     BigInt part = simul_pow(terms.data() + i, count);
     acc = have ? mul(acc, part) : std::move(part);
     have = true;

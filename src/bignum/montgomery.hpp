@@ -136,7 +136,11 @@ class Montgomery {
                      const BigInt& e, std::uint32_t* t) const;
   [[nodiscard]] bool accepts(const FixedBaseTable& table,
                              const BigInt& e) const;
-  /// Core shared-squaring simultaneous exponentiation over <= 8 terms.
+  /// Most terms one shared squaring chain serves (a window-table memory
+  /// bound: 32 tables x 16 entries x modulus size, ~64 KiB at 1024 bits).
+  static constexpr std::size_t kSimulPowMax = 32;
+  /// Core shared-squaring simultaneous exponentiation over <=
+  /// kSimulPowMax terms.
   [[nodiscard]] BigInt simul_pow(const std::pair<BigInt, BigInt>* terms,
                                  std::size_t count) const;
 

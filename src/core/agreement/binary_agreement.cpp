@@ -128,13 +128,18 @@ bool BinaryAgreementEngine::verify_pre_vote(int r, PartyId voter,
       const auto& coin = *env_.keys().coin;
       const Bytes name = coin_name(r - 1);
       std::set<int> seen;
-      int valid = 0;
       for (const auto& [idx, share] : pv.just.coin_shares) {
         if (!seen.insert(idx).second) return false;
-        if (!coin.verify_share(name, idx, share)) return false;
-        ++valid;
       }
-      if (valid < coin.k()) return false;
+      if (static_cast<int>(pv.just.coin_shares.size()) < coin.k())
+        return false;
+      // One batched DLEQ check over the whole justification instead of a
+      // per-share verify; any invalid share rejects the pre-vote exactly
+      // as the scalar loop did.
+      for (const bool ok :
+           coin.verify_shares_batch(name, pv.just.coin_shares)) {
+        if (!ok) return false;
+      }
       try {
         return coin.assemble_bit(name, pv.just.coin_shares) == pv.b;
       } catch (const std::invalid_argument&) {
@@ -375,26 +380,40 @@ void BinaryAgreementEngine::try_finish_round(int r) {
 void BinaryAgreementEngine::handle_coin_share(PartyId from, Reader& rd) {
   const int r = static_cast<int>(rd.u32());
   if (r < 1 || r > current_round_ + 1000) return;
-  const Bytes share = rd.bytes();
+  Bytes share = rd.bytes();
   rd.expect_end();
   Round& st = round(r);
-  if (st.coin_shares.contains(from)) return;
-  if (!env_.keys().coin->verify_share(coin_name(r), from, share)) return;
-  st.coin_shares.emplace(from, share);
+  // Optimistic path: buffer the share unverified (deduped per signer —
+  // at most n entries); verification happens wholesale when a quorum is
+  // handed to assemble_bit_checked.
+  if (!st.coin_shares.emplace(from, share).second) return;
+  if (st.coin) st.coin->add(from, std::move(share));
   try_finish_round(r);
 }
 
 void BinaryAgreementEngine::try_advance_with_coin(int r) {
   Round& st = round(r);
   if (st.advanced || !st.snapshot_taken) return;
-  const auto& coin = *env_.keys().coin;
-  if (static_cast<int>(st.coin_shares.size()) < coin.k()) return;
-  std::vector<std::pair<int, Bytes>> shares(st.coin_shares.begin(),
-                                            st.coin_shares.end());
-  shares.resize(static_cast<std::size_t>(coin.k()));
-  const bool value = coin.assemble_bit(coin_name(r), shares);
-  m_coins_assembled_->inc();
-  advance(r, value);
+  if (st.coin) return;  // collector drives the rest (or already delivered)
+  // Built only after the snapshot so no coin work happens for rounds that
+  // decide without the coin — same gating as the eager implementation.
+  const Bytes name = coin_name(r);
+  std::shared_ptr<crypto::ThresholdCoin> coin = env_.keys().coin;
+  st.coin = std::make_unique<ShareCollector<CoinResult>>(
+      env_.crypto_pool(), coin->k(),
+      [coin, name](const ShareCollector<CoinResult>::Shares& shares) {
+        return coin->assemble_bit_checked(name, shares);
+      },
+      [this, r](CoinResult res) {
+        Round& rst = round(r);
+        rst.coin_value = res.first;
+        rst.coin_used = std::move(res.second);
+        m_coins_assembled_->inc();
+        advance(r, rst.coin_value);
+      });
+  for (const auto& [idx, buffered] : st.coin_shares) {
+    st.coin->add(idx, buffered);
+  }
 }
 
 void BinaryAgreementEngine::advance(int r, std::optional<bool> coin) {
@@ -423,11 +442,11 @@ void BinaryAgreementEngine::advance(int r, std::optional<bool> coin) {
   just.sig = env_.keys().sig_agreement->combine(main_statement(r, kAbstain),
                                                 abstain_shares);
   if (!(options_.bias.has_value() && r == 1)) {
-    const auto& coin_scheme = *env_.keys().coin;
-    std::vector<std::pair<int, Bytes>> cs(st.coin_shares.begin(),
-                                          st.coin_shares.end());
-    cs.resize(static_cast<std::size_t>(coin_scheme.k()));
-    just.coin_shares = std::move(cs);
+    // Only the *verified* shares behind the assembled coin may travel in
+    // the justification: peers reject a kind-3 pre-vote whose share set
+    // contains a single invalid share, so forwarding unverified buffered
+    // shares would let one Byzantine signer suppress our pre-vote.
+    just.coin_shares = st.coin_used;
   }
   start_round(r + 1, b, known_proof_[b ? 1 : 0].value_or(Bytes{}),
               std::move(just));

@@ -36,10 +36,13 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/share_collector.hpp"
 #include "obs/metrics.hpp"
 
 namespace sintra::core {
@@ -108,13 +111,27 @@ class BinaryAgreementEngine : public Protocol {
     Bytes share;  // threshold share on SMain(r, v)
   };
 
+  /// Assembled coin value plus the verified shares it was built from
+  /// (crypto::ThresholdCoin::assemble_bit_checked).
+  using CoinResult = std::pair<bool, std::vector<std::pair<int, Bytes>>>;
+
   struct Round {
     std::map<PartyId, PreVote> pre_votes;
     bool main_voted = false;
     std::map<PartyId, MainVote> main_votes;
     bool snapshot_taken = false;
     bool coin_share_sent = false;
+    /// Coin shares buffered *unverified* (deduped by signer); fed to the
+    /// collector once the round snapshot allows coin assembly.
     std::map<int, Bytes> coin_shares;
+    /// Optimistic assembly: built lazily by try_advance_with_coin, hands
+    /// quorums to assemble_bit_checked (possibly on the crypto pool).
+    std::unique_ptr<ShareCollector<CoinResult>> coin;
+    std::optional<bool> coin_value;
+    /// The verified share set backing coin_value — the only shares safe
+    /// to embed in a kind-3 (soft) justification, since peers reject a
+    /// justification containing any invalid share.
+    std::vector<std::pair<int, Bytes>> coin_used;
     bool advanced = false;
   };
 

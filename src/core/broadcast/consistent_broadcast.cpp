@@ -54,22 +54,14 @@ void ConsistentBroadcast::on_message(PartyId from, BytesView payload) {
       }
       case Tag::kEchoShare: {
         if (env_.self() != sender_ || !sent_payload_ || final_sent_) return;
-        if (!share_senders_.insert(from).second) return;
-        const Bytes share = r.bytes();
+        Bytes share = r.bytes();
         r.expect_end();
-        const Bytes statement = signed_statement(pid(), *sent_payload_);
-        const auto& scheme = *env_.keys().sig_broadcast;
-        if (!scheme.verify_share(statement, from, share)) return;
-        shares_.emplace_back(from, share);
-        if (static_cast<int>(shares_.size()) >= scheme.k()) {
-          final_sent_ = true;
-          const Bytes sig = scheme.combine(statement, shares_);
-          Writer w;
-          w.u8(static_cast<std::uint8_t>(Tag::kFinal));
-          w.bytes(*sent_payload_);
-          w.bytes(sig);
-          send_all(w.data());
-        }
+        // Optimistic path: no per-share verification here.  The collector
+        // hands a quorum to combine_checked, which verifies the one
+        // combined signature and only falls back to share-by-share checks
+        // (blacklisting the culprits) if a Byzantine echo slipped in.
+        ensure_collector();
+        echo_shares_->add(from, std::move(share));
         return;
       }
       case Tag::kFinal: {
@@ -85,6 +77,34 @@ void ConsistentBroadcast::on_message(PartyId from, BytesView payload) {
   } catch (const SerdeError&) {
     // Byzantine garbage: drop.
   }
+}
+
+void ConsistentBroadcast::ensure_collector() {
+  if (echo_shares_) return;
+  // The attempt closure runs on a pool worker: it owns the scheme handle
+  // and a copy of the statement, nothing of `this`.  The deliver closure
+  // runs on the owner thread; a destroyed protocol never sees it (the
+  // collector's liveness guard).
+  std::shared_ptr<crypto::ThresholdSigScheme> scheme =
+      env_.keys().sig_broadcast;
+  echo_shares_ = std::make_unique<ShareCollector<Bytes>>(
+      env_.crypto_pool(), scheme->k(),
+      [scheme, statement = signed_statement(pid(), *sent_payload_)](
+          const ShareCollector<Bytes>::Shares& shares)
+          -> std::optional<Bytes> {
+        auto checked = scheme->combine_checked(statement, shares);
+        if (!checked.has_value()) return std::nullopt;
+        return std::move(checked->sig);
+      },
+      [this](Bytes sig) {
+        if (final_sent_) return;
+        final_sent_ = true;
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(Tag::kFinal));
+        w.bytes(*sent_payload_);
+        w.bytes(sig);
+        send_all(w.data());
+      });
 }
 
 void ConsistentBroadcast::deliver_with(Bytes payload, Bytes signature) {

@@ -19,12 +19,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
-#include <set>
-#include <vector>
 
 #include "core/broadcast/broadcast_base.hpp"
 #include "core/protocol.hpp"
+#include "core/share_collector.hpp"
 
 namespace sintra::core {
 
@@ -75,12 +75,16 @@ class ConsistentBroadcast : public Protocol, public BroadcastBase {
 
   void deliver_with(Bytes payload, Bytes signature);
 
+  /// Lazily built by the sender on the first echo share: accumulates
+  /// shares unverified and hands quorums to the optimistic
+  /// combine_checked path (possibly on the crypto worker pool).
+  void ensure_collector();
+
   PartyId sender_;
   bool sent_ = false;
   bool echoed_ = false;
-  std::optional<Bytes> sent_payload_;            // sender side
-  std::vector<std::pair<int, Bytes>> shares_;    // sender side
-  std::set<PartyId> share_senders_;              // sender side
+  std::optional<Bytes> sent_payload_;  // sender side
+  std::unique_ptr<ShareCollector<Bytes>> echo_shares_;  // sender side
   bool final_sent_ = false;
   std::optional<Bytes> delivered_;
   std::optional<Bytes> closing_;

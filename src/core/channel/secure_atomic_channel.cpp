@@ -88,6 +88,23 @@ void SecureAtomicChannel::on_ciphertext_delivered(const Bytes& ciphertext) {
     flush_ready();
     return;
   }
+  // Optimistic decryption: the slot's collector accumulates shares
+  // unverified; at k it hands them to combine_checked (possibly on the
+  // crypto pool), which validates only the one combined result unless a
+  // Byzantine share forces the per-share fallback.
+  std::shared_ptr<crypto::Tdh2Party> cipher = env_.keys().cipher;
+  slots_[index].shares = std::make_unique<ShareCollector<Bytes>>(
+      env_.crypto_pool(), cipher->k(),
+      [cipher, ct = ciphertext](const ShareCollector<Bytes>::Shares& shares) {
+        return cipher->combine_checked(ct, shares);
+      },
+      [this, index](Bytes plaintext) {
+        Slot& slot = slots_[index];
+        if (slot.invalid || slot.plaintext.has_value()) return;
+        slot.plaintext = std::move(plaintext);
+        flush_ready();
+      });
+
   Writer w;
   w.u8(kShareTag);
   w.u64(index);
@@ -126,22 +143,10 @@ void SecureAtomicChannel::on_message(PartyId from, BytesView payload) {
 void SecureAtomicChannel::process_share(PartyId from, std::size_t index,
                                         const Bytes& share) {
   Slot& slot = slots_[index];
-  if (slot.invalid || slot.plaintext.has_value()) return;
-  if (slot.shares.contains(from)) return;
-  if (!env_.keys().cipher->verify_share(slot.ciphertext, from, share)) return;
-  m_decrypt_shares_->inc();
-  slot.shares.emplace(from, share);
-  try_decrypt(index);
-}
-
-void SecureAtomicChannel::try_decrypt(std::size_t index) {
-  Slot& slot = slots_[index];
-  const int k = env_.keys().cipher->k();
-  if (static_cast<int>(slot.shares.size()) < k) return;
-  std::vector<std::pair<int, Bytes>> shares(slot.shares.begin(),
-                                            slot.shares.end());
-  slot.plaintext = env_.keys().cipher->combine(slot.ciphertext, shares);
-  flush_ready();
+  if (slot.invalid || slot.plaintext.has_value() || !slot.shares) return;
+  // Counts shares *collected*, not verified — under the optimistic path
+  // individual shares are only examined when a combine fails.
+  if (slot.shares->add(from, share)) m_decrypt_shares_->inc();
 }
 
 void SecureAtomicChannel::flush_ready() {

@@ -16,9 +16,11 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "core/channel/atomic_channel.hpp"
+#include "core/share_collector.hpp"
 
 namespace sintra::core {
 
@@ -94,7 +96,6 @@ class SecureAtomicChannel : public Protocol, public ChannelBase {
  private:
   void on_ciphertext_delivered(const Bytes& ciphertext);
   void process_share(PartyId from, std::size_t index, const Bytes& share);
-  void try_decrypt(std::size_t index);
   void flush_ready();
 
   std::unique_ptr<AtomicChannel> atomic_;
@@ -102,7 +103,9 @@ class SecureAtomicChannel : public Protocol, public ChannelBase {
   struct Slot {
     Bytes ciphertext;
     bool invalid = false;  // failed TDH2 validity: skipped uniformly
-    std::map<PartyId, Bytes> shares;
+    /// Collects decryption shares unverified; k of them trigger an
+    /// optimistic combine_checked (crypto/tdh2.hpp) on the crypto pool.
+    std::unique_ptr<ShareCollector<Bytes>> shares;
     std::optional<Bytes> plaintext;
     double delivered_ms = 0.0;  // when the ciphertext's position was fixed
   };

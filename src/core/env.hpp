@@ -9,6 +9,7 @@
 #pragma once
 
 #include "crypto/dealer.hpp"
+#include "crypto/work_pool.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +41,17 @@ class Environment {
 
   /// This party's key material from the trusted dealer.
   [[nodiscard]] virtual const crypto::PartyKeys& keys() const = 0;
+
+  /// The worker pool protocols offload combine/verify work to (see
+  /// crypto/work_pool.hpp).  The default is a process-wide *inline* pool:
+  /// submit() runs the work synchronously on the calling thread, which
+  /// keeps the simulator single-threaded and its virtual-time traces
+  /// deterministic.  NetEnvironment overrides this with a real pool when
+  /// configured with crypto_threads > 0.
+  [[nodiscard]] virtual crypto::WorkPool& crypto_pool() {
+    static crypto::WorkPool inline_pool{0};
+    return inline_pool;
+  }
 };
 
 }  // namespace sintra::core

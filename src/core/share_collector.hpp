@@ -1,0 +1,125 @@
+// Optimistic share collection shared by every threshold-crypto consumer.
+//
+// The combine-first fast path (ISSUE: optimistic share verification) has
+// the same shape everywhere it appears — BA coin rounds, the consistent
+// broadcast echo quorum, TDH2 channel decryption: accumulate shares
+// *unverified*, and once a threshold k is reached run one optimistic
+// attempt (a scheme's *_checked combine, which verifies the single
+// combined result and falls back to per-share verification plus local
+// blacklisting on failure).  This helper centralizes that shape and the
+// threading discipline around crypto::WorkPool:
+//
+//   - add() and the deliver callback run on the owner thread only
+//     (protocol state is touched exclusively there);
+//   - the attempt functor runs on a pool worker, so it must capture
+//     shared ownership (scheme shared_ptrs, value copies) and be safe to
+//     run concurrently with further add() calls — it only ever sees the
+//     immutable snapshot it is handed;
+//   - at most one attempt is in flight; shares arriving mid-attempt mark
+//     the collector dirty and a failed attempt relaunches with the
+//     enlarged snapshot.  A successful attempt delivers exactly once.
+//
+// With an inline pool (the simulator, and the default everywhere) the
+// attempt runs synchronously inside add(), so behaviour and event order
+// are identical to calling the scheme directly — simulated-time traces
+// stay byte-identical run to run.
+//
+// Destroying the collector (owner thread) orphans any in-flight attempt:
+// its completion still runs but finds owner_alive false and never calls
+// deliver, so the protocol object behind the callback may die freely.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "crypto/work_pool.hpp"
+#include "util/bytes.hpp"
+
+namespace sintra::core {
+
+template <typename Result>
+class ShareCollector {
+ public:
+  using Shares = std::vector<std::pair<int, Bytes>>;
+  /// One optimistic attempt over a snapshot of the collected shares.
+  /// Pool-thread context: self-contained, shared ownership only.
+  /// Returns nullopt when the snapshot cannot yield a verified result
+  /// (the scheme has blacklisted whatever it could attribute); the
+  /// collector then waits for more shares.
+  using Attempt = std::function<std::optional<Result>(const Shares&)>;
+  /// Receives the first successful result, once, on the owner thread.
+  using Deliver = std::function<void(Result)>;
+
+  ShareCollector(crypto::WorkPool& pool, int threshold, Attempt attempt,
+                 Deliver deliver)
+      : st_(std::make_shared<State>()) {
+    st_->pool = &pool;
+    st_->k = threshold;
+    st_->attempt = std::move(attempt);
+    st_->deliver = std::move(deliver);
+  }
+
+  ~ShareCollector() {
+    if (st_) st_->owner_alive = false;
+  }
+
+  ShareCollector(const ShareCollector&) = delete;
+  ShareCollector& operator=(const ShareCollector&) = delete;
+
+  /// Records one share (owner thread).  Duplicate signers and shares
+  /// arriving after delivery are ignored.  Returns whether the share was
+  /// accepted into the pool of candidates — says nothing about validity,
+  /// which only an attempt determines.
+  bool add(int signer, Bytes share) {
+    if (st_->done || !st_->seen.insert(signer).second) return false;
+    st_->shares.emplace_back(signer, std::move(share));
+    st_->dirty = true;
+    maybe_launch(st_);
+    return true;
+  }
+
+  [[nodiscard]] bool done() const { return st_->done; }
+  [[nodiscard]] std::size_t size() const { return st_->shares.size(); }
+
+ private:
+  struct State {
+    crypto::WorkPool* pool = nullptr;
+    int k = 0;
+    Attempt attempt;   // immutable after construction (pool threads read it)
+    Deliver deliver;
+    Shares shares;     // owner thread only
+    std::set<int> seen;
+    bool dirty = false;      // shares not yet covered by a launched snapshot
+    bool in_flight = false;  // at most one attempt at a time
+    bool done = false;
+    bool owner_alive = true;  // cleared by ~ShareCollector
+  };
+
+  static void maybe_launch(const std::shared_ptr<State>& st) {
+    if (st->done || st->in_flight || !st->dirty) return;
+    if (static_cast<int>(st->shares.size()) < st->k) return;
+    st->dirty = false;
+    st->in_flight = true;
+    auto result = std::make_shared<std::optional<Result>>();
+    st->pool->submit(
+        [st, snapshot = st->shares, result] { *result = st->attempt(snapshot); },
+        [st, result] {
+          st->in_flight = false;
+          if (!st->owner_alive || st->done) return;
+          if (result->has_value()) {
+            st->done = true;
+            st->deliver(std::move(**result));
+          } else {
+            maybe_launch(st);  // retry only if shares arrived mid-attempt
+          }
+        });
+  }
+
+  std::shared_ptr<State> st_;
+};
+
+}  // namespace sintra::core

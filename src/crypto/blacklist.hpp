@@ -1,0 +1,40 @@
+// Per-scheme-handle signer blacklist for optimistic share verification.
+//
+// The combine-first fast paths (ThresholdSigScheme::combine_checked,
+// ThresholdCoin::assemble_checked, Tdh2Party::combine_checked) accept
+// shares *unverified*; when an assembled result fails its single check,
+// the fallback identifies the offending shares individually and records
+// their signers here.  The blacklist is local to one scheme handle — it
+// is an optimization (skip shares that can only force another fallback),
+// never a protocol-visible accusation, so a false positive is impossible
+// by construction: only the scalar share verifier puts a signer on it.
+#pragma once
+
+#include <mutex>
+#include <set>
+
+namespace sintra::crypto {
+
+class SignerBlacklist {
+ public:
+  [[nodiscard]] bool contains(int signer) const {
+    const std::lock_guard lk(mu_);
+    return bad_.count(signer) != 0;
+  }
+
+  void add(int signer) {
+    const std::lock_guard lk(mu_);
+    bad_.insert(signer);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lk(mu_);
+    return bad_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::set<int> bad_;
+};
+
+}  // namespace sintra::crypto

@@ -32,7 +32,8 @@ ThresholdCoin::ThresholdCoin(std::shared_ptr<const CoinPublic> pub, int index,
     : pub_(std::move(pub)),
       index_(index),
       share_(std::move(share)),
-      prover_rng_(prover_seed) {}
+      prover_rng_(prover_seed),
+      verify_rng_(prover_seed ^ 0xb47c4f5eedc011ULL) {}
 
 // The generator and the per-party verification keys live for the whole
 // deal, so they go through the group's precomputation cache; the coin
@@ -125,6 +126,130 @@ Bytes ThresholdCoin::assemble(BytesView name,
 bool ThresholdCoin::assemble_bit(
     BytesView name, const std::vector<std::pair<int, Bytes>>& shares) const {
   return (assemble(name, shares, 1)[0] & 1) != 0;
+}
+
+std::optional<ThresholdCoin::AssembledCoin> ThresholdCoin::assemble_checked(
+    BytesView name, const std::vector<std::pair<int, Bytes>>& shares,
+    std::size_t out_len) const {
+  const DlogGroup& grp = pub_->group;
+  const BigInt base = grp.hash_to_group(name);
+
+  // Working pool: first-come order, one share per signer, blacklisted
+  // signers skipped, unparseable shares blacklisted outright (shares
+  // arrive over authenticated links, so garbage is the signer's doing).
+  struct Candidate {
+    const std::pair<int, Bytes>* share;
+    ParsedCoinShare parsed;
+  };
+  std::vector<Candidate> pool;
+  std::set<int> seen;
+  pool.reserve(shares.size());
+  for (const auto& share : shares) {
+    const int idx = share.first;
+    if (idx < 0 || idx >= pub_->n || blacklist_.contains(idx)) continue;
+    if (seen.count(idx) != 0) continue;
+    Candidate cand{&share, {}};
+    try {
+      cand.parsed = parse_coin_share(share.second);
+    } catch (const SerdeError&) {
+      blacklist_.add(idx);
+      continue;
+    }
+    seen.insert(idx);
+    pool.push_back(std::move(cand));
+  }
+
+  bool first_attempt = true;
+  while (static_cast<int>(pool.size()) >= pub_->k) {
+    const auto kk = static_cast<std::size_t>(pub_->k);
+    std::vector<DleqStatement> stmts;
+    stmts.reserve(kk);
+    for (std::size_t j = 0; j < kk; ++j) {
+      const auto signer = static_cast<std::size_t>(pool[j].share->first);
+      stmts.push_back({grp.g(), pub_->verification[signer], base,
+                       pool[j].parsed.gi, pool[j].parsed.proof});
+    }
+    bool ok;
+    {
+      const std::lock_guard lk(verify_mu_);
+      ok = dleq_batch_verify(grp, stmts, verify_rng_, kCoinHints,
+                             BatchMembership::kBatched);
+    }
+    if (ok) {
+      if (first_attempt) count_optimistic_hit("coin");
+      AssembledCoin out;
+      out.used.reserve(kk);
+      for (std::size_t j = 0; j < kk; ++j) out.used.push_back(*pool[j].share);
+      out.value = assemble(name, out.used, out_len);
+      return out;
+    }
+
+    first_attempt = false;
+    count_fallback("coin");
+    std::vector<std::size_t> bad;
+    {
+      const std::lock_guard lk(verify_mu_);
+      bad = dleq_find_invalid(grp, stmts, verify_rng_, kCoinHints);
+    }
+    if (bad.empty()) {
+      // Cannot happen for an honestly-dealt coin (the batch never rejects
+      // a set the scalar verifier accepts wholesale); bail out rather
+      // than retry the same set forever.
+      return std::nullopt;
+    }
+    for (const std::size_t bi : bad) blacklist_.add(pool[bi].share->first);
+    for (auto it = bad.rbegin(); it != bad.rend(); ++it) {
+      pool.erase(pool.begin() + static_cast<long>(*it));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<bool, std::vector<std::pair<int, Bytes>>>>
+ThresholdCoin::assemble_bit_checked(
+    BytesView name, const std::vector<std::pair<int, Bytes>>& shares) const {
+  std::optional<AssembledCoin> coin = assemble_checked(name, shares, 1);
+  if (!coin) return std::nullopt;
+  return std::make_pair((coin->value[0] & 1) != 0, std::move(coin->used));
+}
+
+std::vector<bool> ThresholdCoin::verify_shares_batch(
+    BytesView name, const std::vector<std::pair<int, Bytes>>& shares) const {
+  std::vector<bool> ok(shares.size(), false);
+  const DlogGroup& grp = pub_->group;
+  const BigInt base = grp.hash_to_group(name);
+
+  std::vector<DleqStatement> stmts;
+  std::vector<std::size_t> positions;  // statement -> input index
+  stmts.reserve(shares.size());
+  positions.reserve(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const auto& [idx, raw] = shares[i];
+    if (idx < 0 || idx >= pub_->n) continue;
+    try {
+      ParsedCoinShare p = parse_coin_share(raw);
+      stmts.push_back({grp.g(),
+                       pub_->verification[static_cast<std::size_t>(idx)], base,
+                       std::move(p.gi), std::move(p.proof)});
+      positions.push_back(i);
+    } catch (const SerdeError&) {
+      // stays flagged invalid
+    }
+  }
+
+  const std::lock_guard lk(verify_mu_);
+  if (dleq_batch_verify(grp, stmts, verify_rng_, kCoinHints,
+                        BatchMembership::kIndividual)) {
+    for (const std::size_t pos : positions) ok[pos] = true;
+  } else {
+    const std::vector<std::size_t> bad =
+        dleq_find_invalid(grp, stmts, verify_rng_, kCoinHints);
+    const std::set<std::size_t> bad_set(bad.begin(), bad.end());
+    for (std::size_t j = 0; j < stmts.size(); ++j) {
+      ok[positions[j]] = bad_set.count(j) == 0;
+    }
+  }
+  return ok;
 }
 
 std::unique_ptr<ThresholdCoin> CoinDeal::make_party(int i) const {

@@ -10,8 +10,11 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
+#include "crypto/blacklist.hpp"
 #include "crypto/group.hpp"
 #include "crypto/shamir.hpp"
 #include "util/bytes.hpp"
@@ -43,8 +46,11 @@ class ThresholdCoin {
   [[nodiscard]] bool verify_share(BytesView name, int signer,
                                   BytesView share) const;
 
-  /// Assembles k verified shares into `out_len` pseudo-random bytes.
-  /// Throws std::invalid_argument on < k shares / duplicate signers.
+  /// Assembles k shares into `out_len` pseudo-random bytes.  Throws
+  /// std::invalid_argument on < k shares / duplicate signers.  Shares are
+  /// interpolated as given: callers either verify them eagerly
+  /// (verify_share) or use assemble_checked(), which verifies the chosen
+  /// set with one batched DLEQ check.
   [[nodiscard]] Bytes assemble(BytesView name,
                                const std::vector<std::pair<int, Bytes>>& shares,
                                std::size_t out_len) const;
@@ -53,6 +59,53 @@ class ThresholdCoin {
   [[nodiscard]] bool assemble_bit(
       BytesView name, const std::vector<std::pair<int, Bytes>>& shares) const;
 
+  /// A checked assembly: the coin output plus the k shares it came from.
+  /// Every share of `used` passed DLEQ verification (batched), so the set
+  /// is what callers must forward when justifying the coin value to other
+  /// parties (binary agreement's pre-vote justifications).
+  struct AssembledCoin {
+    Bytes value;
+    std::vector<std::pair<int, Bytes>> used;
+  };
+
+  /// Batch-first fast path: picks the first k plausible shares (skipping
+  /// duplicates and locally blacklisted signers), verifies them with ONE
+  /// random-linear-combination DLEQ check plus one batched membership
+  /// check (dleq_batch_verify, BatchMembership::kBatched) and assembles.
+  /// On batch failure the fallback isolates the bad shares by bisection,
+  /// blacklists their signers on this handle, and retries with
+  /// replacements.  Returns nullopt while fewer than k shares from
+  /// distinct non-blacklisted signers are available.  A batched-membership
+  /// false accept (probability <= 1/3 per attempt, see
+  /// DlogGroup::is_member_batch) can only poison the coin *value* — a
+  /// liveness event (one disagreeing coin costs an extra agreement round),
+  /// never a safety one.  Thread-safe.
+  [[nodiscard]] std::optional<AssembledCoin> assemble_checked(
+      BytesView name, const std::vector<std::pair<int, Bytes>>& shares,
+      std::size_t out_len) const;
+
+  /// assemble_checked for the single-bit case.
+  [[nodiscard]] std::optional<std::pair<bool, std::vector<std::pair<int, Bytes>>>>
+  assemble_bit_checked(BytesView name,
+                       const std::vector<std::pair<int, Bytes>>& shares) const;
+
+  /// Verifies many shares of one coin together: one random-linear-
+  /// combination DLEQ check for the whole set (individual membership
+  /// checks — this path judges *forwarded* justification sets, where a
+  /// spurious accept must stay negligible).  Returns one flag per input
+  /// share; on a batch mismatch the offenders are isolated by bisection,
+  /// so flags agree with verify_share on every share.  Does not touch the
+  /// blacklist: a bad forwarded share indicts the forwarder, not the
+  /// signer whose index it claims.
+  [[nodiscard]] std::vector<bool> verify_shares_batch(
+      BytesView name, const std::vector<std::pair<int, Bytes>>& shares) const;
+
+  /// True if `signer` was caught (by an assemble_checked fallback on this
+  /// handle) submitting a bad share.
+  [[nodiscard]] bool is_blacklisted(int signer) const {
+    return blacklist_.contains(signer);
+  }
+
  private:
   std::shared_ptr<const CoinPublic> pub_;
   int index_;
@@ -60,6 +113,12 @@ class ThresholdCoin {
   Rng prover_rng_;
   // Coin names repeat the same few index sets at assemble time.
   mutable LagrangeCache lagrange_;
+  // Batch-verification randomness: deterministic per handle (seeded like
+  // prover_rng_) so simulator runs stay reproducible, mutex-guarded so
+  // checked assemblies may run on a crypto worker pool.
+  mutable std::mutex verify_mu_;
+  mutable Rng verify_rng_;
+  mutable SignerBlacklist blacklist_;
 };
 
 struct CoinDeal {

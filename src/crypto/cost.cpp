@@ -74,6 +74,14 @@ std::uint64_t WorkMeter::elapsed() const {
   return bignum::work_counter() - start_;
 }
 
+void count_optimistic_hit(const char* op) {
+  obs::registry().counter("crypto.optimistic_hits", {{"op", op}}).inc();
+}
+
+void count_fallback(const char* op) {
+  obs::registry().counter("crypto.fallbacks", {{"op", op}}).inc();
+}
+
 OpScope::OpScope(const char* op)
     : op_(op), start_(bignum::work_counter()) {}
 

@@ -43,6 +43,16 @@ class WorkMeter {
   std::uint64_t start_;
 };
 
+/// Optimistic-verification accounting: one call increments
+/// obs::registry()'s "crypto.optimistic_hits" / "crypto.fallbacks"
+/// counter labeled {op}.  A *hit* is a combine-first attempt whose single
+/// result check succeeded with no per-share verification at all; a
+/// *fallback* is an attempt whose check failed and dropped into
+/// individual share verification (so fallbacks > 0 is the observable
+/// signature of a Byzantine share submitter).
+void count_optimistic_hit(const char* op);
+void count_fallback(const char* op);
+
 /// RAII instrumentation for one threshold-crypto operation: on
 /// destruction it increments obs::registry()'s "crypto.ops" counter for
 /// `op` and adds the bignum work performed in the scope to "crypto.work".

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "crypto/cost.hpp"
+#include "obs/metrics.hpp"
 
 namespace sintra::crypto {
 
@@ -188,6 +189,29 @@ bool DlogGroup::is_member(const BigInt& y) const {
   return mont_.pow(y, q_).is_one();
 }
 
+bool DlogGroup::is_member_batch(const std::vector<const BigInt*>& ys,
+                                Rng& rng) const {
+  if (ys.empty()) return true;
+  if (ys.size() == 1) return is_member(*ys[0]);
+  std::vector<std::pair<BigInt, BigInt>> terms;
+  terms.reserve(ys.size());
+  for (const BigInt* y : ys) {
+    if (*y <= BigInt{1} || *y >= p_) return false;
+    // Odd exponents: the order-2 cofactor component — the one a random
+    // *even* exponent would erase with probability 1/2 — always survives
+    // into the product, since (-1)^odd = -1.  31 bits suffice: the
+    // false-accept bound is dominated by *small* odd cofactor primes
+    // (<= 1/d for a component of order d), so coefficients wider than the
+    // smallest plausible d only lengthen the shared squaring chain.
+    const auto t = static_cast<std::int64_t>((rng.next_u64() >> 33) | 1);
+    terms.emplace_back(*y, BigInt{t});
+  }
+  // The exponent q must not be reduced (q mod q == 0 would accept
+  // anything), so this goes straight to the Montgomery context rather
+  // than through exp()/multi_exp().
+  return mont_.pow(mont_.multi_pow(terms), q_).is_one();
+}
+
 bool DlogGroup::is_member_cached(const BigInt& y) const {
   if (y <= BigInt{1} || y >= p_) return false;
   const std::lock_guard lk(cache_->mu);
@@ -267,13 +291,15 @@ DlogGroup DlogGroup::read(Reader& r) {
 }
 
 void DleqProof::write(Writer& w) const {
-  c.write(w);
+  a1.write(w);
+  a2.write(w);
   z.write(w);
 }
 
 DleqProof DleqProof::read(Reader& r) {
   DleqProof out;
-  out.c = BigInt::read(r);
+  out.a1 = BigInt::read(r);
+  out.a2 = BigInt::read(r);
   out.z = BigInt::read(r);
   return out;
 }
@@ -303,27 +329,172 @@ DleqProof dleq_prove(const DlogGroup& grp, const BigInt& g1, const BigInt& h1,
       hints.g2_long_lived ? grp.exp_cached(g2, r) : grp.exp_reduced(g2, r);
   const BigInt c = challenge(grp, g1, h1, g2, h2, a1, a2);
   const BigInt z = (r + c * x).mod(grp.q());
-  return {c, z};
+  return {a1, a2, z};
 }
 
 bool dleq_verify(const DlogGroup& grp, const BigInt& g1, const BigInt& h1,
                  const BigInt& g2, const BigInt& h2, const DleqProof& proof,
                  const DleqHints& hints) {
-  if (proof.c.is_negative() || proof.z.is_negative() || proof.c >= grp.q() ||
-      proof.z >= grp.q()) {
-    return false;
-  }
+  if (proof.z.is_negative() || proof.z >= grp.q()) return false;
+  if (proof.a1 <= BigInt{0} || proof.a1 >= grp.p()) return false;
+  if (proof.a2 <= BigInt{0} || proof.a2 >= grp.p()) return false;
   if (!(hints.h1_long_lived ? grp.is_member_cached(h1) : grp.is_member(h1)))
     return false;
   if (!(hints.h2_long_lived ? grp.is_member_cached(h2) : grp.is_member(h2)))
     return false;
-  // a_i = g_i^z * h_i^{-c}, one simultaneous exponentiation each: the
-  // negation is folded into the group order, so no modular inverse.
-  const BigInt a1 = grp.dual_exp_neg(g1, proof.z, hints.g1_long_lived, h1,
-                                     proof.c, hints.h1_long_lived);
-  const BigInt a2 = grp.dual_exp_neg(g2, proof.z, hints.g2_long_lived, h2,
-                                     proof.c, hints.h2_long_lived);
-  return challenge(grp, g1, h1, g2, h2, a1, a2) == proof.c;
+  // g_i^z * h_i^{-c} == a_i, one simultaneous exponentiation each: the
+  // negation is folded into the group order, so no modular inverse.  The
+  // transmitted commitments need no subgroup check: they only feed the
+  // challenge hash, and a cofactor component in a_i can make these
+  // equations fail, never pass for a false statement about h1/h2.
+  const BigInt c = challenge(grp, g1, h1, g2, h2, proof.a1, proof.a2);
+  if (grp.dual_exp_neg(g1, proof.z, hints.g1_long_lived, h1, c,
+                       hints.h1_long_lived) != proof.a1) {
+    return false;
+  }
+  return grp.dual_exp_neg(g2, proof.z, hints.g2_long_lived, h2, c,
+                          hints.h2_long_lived) == proof.a2;
+}
+
+namespace {
+
+/// Random odd 63-bit batching coefficient (odd ⇒ nonzero, and the
+/// order-2 argument of is_member_batch applies to the RLC check too).
+BigInt batch_coeff(Rng& rng) {
+  return BigInt{static_cast<std::int64_t>((rng.next_u64() >> 1) | 1)};
+}
+
+}  // namespace
+
+bool dleq_batch_verify(const DlogGroup& grp,
+                       const std::vector<DleqStatement>& stmts, Rng& rng,
+                       const DleqHints& hints, BatchMembership membership) {
+  if (stmts.empty()) return true;
+  if (stmts.size() == 1) {
+    // Bit-for-bit the scalar verifier (required by callers that treat a
+    // singleton "batch" as authoritative, e.g. dleq_find_invalid).
+    const DleqStatement& s = stmts.front();
+    return dleq_verify(grp, s.g1, s.h1, s.g2, s.h2, s.proof, hints);
+  }
+  const OpScope ops("dleq.batch_verify");
+  {
+    static obs::Histogram& sizes =
+        obs::registry().histogram("crypto.batch_verify_size");
+    sizes.observe(static_cast<double>(stmts.size()));
+  }
+
+  // Range checks, identical to the scalar verifier's.
+  for (const DleqStatement& s : stmts) {
+    if (s.proof.z.is_negative() || s.proof.z >= grp.q()) return false;
+    if (s.proof.a1 <= BigInt{0} || s.proof.a1 >= grp.p()) return false;
+    if (s.proof.a2 <= BigInt{0} || s.proof.a2 >= grp.p()) return false;
+  }
+  // h1 are verification keys — long-lived, so membership is memoized and
+  // always checked individually (a cache hit costs nothing).
+  for (const DleqStatement& s : stmts) {
+    if (!(hints.h1_long_lived ? grp.is_member_cached(s.h1)
+                              : grp.is_member(s.h1))) {
+      return false;
+    }
+  }
+  // h2 are the fresh share elements; the caller picks the cost/assurance
+  // trade-off (see BatchMembership).
+  if (membership == BatchMembership::kBatched) {
+    std::vector<const BigInt*> ys;
+    ys.reserve(stmts.size());
+    for (const DleqStatement& s : stmts) ys.push_back(&s.h2);
+    if (!grp.is_member_batch(ys, rng)) return false;
+  } else {
+    for (const DleqStatement& s : stmts) {
+      if (!(hints.h2_long_lived ? grp.is_member_cached(s.h2)
+                                : grp.is_member(s.h2))) {
+        return false;
+      }
+    }
+  }
+
+  // Fold the 2m verification equations into one multi-exponentiation.
+  // Every equation gets its own independent random coefficient — r_j for
+  // statement j's first equation, s_j for its second — so a2's exponent
+  // stays 63 bits instead of the ~126 a shared-δ scaling would produce.
+  // When the g1 (generator) and g2 (per-name base) columns are shared
+  // across the batch — the common case: one coin, one ciphertext — they
+  // collapse to a single term each with exponents Σ r_j z_j and Σ s_j z_j.
+  bool shared_g1 = true;
+  bool shared_g2 = true;
+  for (std::size_t j = 1; j < stmts.size(); ++j) {
+    shared_g1 = shared_g1 && stmts[j].g1 == stmts.front().g1;
+    shared_g2 = shared_g2 && stmts[j].g2 == stmts.front().g2;
+  }
+  BigInt sum_rz{0};
+  BigInt sum_sz{0};
+  std::vector<std::pair<BigInt, BigInt>> terms;
+  terms.reserve(4 * stmts.size() + 2 + (shared_g1 ? 0 : stmts.size()) +
+                (shared_g2 ? 0 : stmts.size()));
+  for (const DleqStatement& s : stmts) {
+    const BigInt c =
+        challenge(grp, s.g1, s.h1, s.g2, s.h2, s.proof.a1, s.proof.a2);
+    const BigInt rj = batch_coeff(rng);
+    const BigInt sj = batch_coeff(rng);
+    if (shared_g1) {
+      sum_rz = sum_rz + rj * s.proof.z;
+    } else {
+      terms.emplace_back(s.g1, rj * s.proof.z);
+    }
+    if (shared_g2) {
+      sum_sz = sum_sz + sj * s.proof.z;
+    } else {
+      terms.emplace_back(s.g2, sj * s.proof.z);
+    }
+    terms.emplace_back(s.h1, -(rj * c));
+    terms.emplace_back(s.proof.a1, -rj);
+    terms.emplace_back(s.h2, -(sj * c));
+    terms.emplace_back(s.proof.a2, -sj);
+  }
+  if (shared_g1) terms.emplace_back(stmts.front().g1, sum_rz);
+  if (shared_g2) terms.emplace_back(stmts.front().g2, sum_sz);
+  return grp.multi_exp(terms).is_one();
+}
+
+namespace {
+
+void find_invalid_range(const DlogGroup& grp,
+                        const std::vector<DleqStatement>& stmts,
+                        std::size_t lo, std::size_t hi, bool check, Rng& rng,
+                        const DleqHints& hints,
+                        std::vector<std::size_t>& out) {
+  if (hi - lo == 1) {
+    const DleqStatement& s = stmts[lo];
+    // Singletons always get the scalar verdict: batch randomness can
+    // spuriously *reject* cofactor-laden-but-true statements, and a
+    // misidentified honest signer would be blacklisted forever.
+    if (!dleq_verify(grp, s.g1, s.h1, s.g2, s.h2, s.proof, hints))
+      out.push_back(lo);
+    return;
+  }
+  if (check) {
+    const std::vector<DleqStatement> seg(stmts.begin() + static_cast<long>(lo),
+                                         stmts.begin() + static_cast<long>(hi));
+    if (dleq_batch_verify(grp, seg, rng, hints, BatchMembership::kIndividual))
+      return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  find_invalid_range(grp, stmts, lo, mid, true, rng, hints, out);
+  find_invalid_range(grp, stmts, mid, hi, true, rng, hints, out);
+}
+
+}  // namespace
+
+std::vector<std::size_t> dleq_find_invalid(
+    const DlogGroup& grp, const std::vector<DleqStatement>& stmts, Rng& rng,
+    const DleqHints& hints) {
+  std::vector<std::size_t> out;
+  if (stmts.empty()) return out;
+  // The caller reaches here after a failed batch, so skip re-checking the
+  // full range and split immediately.
+  find_invalid_range(grp, stmts, 0, stmts.size(), /*check=*/false, rng, hints,
+                     out);
+  return out;
 }
 
 }  // namespace sintra::crypto

@@ -154,7 +154,8 @@ Tdh2Party::Tdh2Party(std::shared_ptr<const Tdh2Public> pub, int index,
     : pub_(std::move(pub)),
       index_(index),
       share_(std::move(share)),
-      prover_rng_(prover_seed) {}
+      prover_rng_(prover_seed),
+      verify_rng_(prover_seed ^ 0x7dec2b47c4f5eeULL) {}
 
 std::optional<Bytes> Tdh2Party::decrypt_share(BytesView ciphertext) {
   if (index_ < 0) throw std::logic_error("Tdh2Party: verify-only handle");
@@ -231,6 +232,91 @@ Bytes Tdh2Party::combine(
   const BigInt hr = grp.multi_exp(terms);
   const auto [key, nonce] = derive_keys(grp, hr);
   return Aes128(key).ctr_crypt(nonce, ct.c);
+}
+
+std::optional<Bytes> Tdh2Party::combine_checked(
+    BytesView ciphertext,
+    const std::vector<std::pair<int, Bytes>>& shares) const {
+  Ciphertext ct;
+  try {
+    ct = parse_ct(ciphertext);
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+  if (!ct_valid_impl(*pub_, ct)) return std::nullopt;
+  const DlogGroup& grp = pub_->group;
+
+  // Working pool: first-come order, one share per signer, blacklisted
+  // signers skipped, unparseable shares blacklisted outright.
+  struct Candidate {
+    int signer;
+    ParsedShare parsed;
+  };
+  std::vector<Candidate> pool;
+  std::set<int> seen;
+  pool.reserve(shares.size());
+  for (const auto& [idx, raw] : shares) {
+    if (idx < 0 || idx >= pub_->n || blacklist_.contains(idx)) continue;
+    if (seen.count(idx) != 0) continue;
+    Candidate cand{idx, {}};
+    try {
+      cand.parsed = parse_share(raw);
+    } catch (const SerdeError&) {
+      blacklist_.add(idx);
+      continue;
+    }
+    seen.insert(idx);
+    pool.push_back(std::move(cand));
+  }
+
+  bool first_attempt = true;
+  while (static_cast<int>(pool.size()) >= pub_->k) {
+    const auto kk = static_cast<std::size_t>(pub_->k);
+    std::vector<DleqStatement> stmts;
+    stmts.reserve(kk);
+    for (std::size_t j = 0; j < kk; ++j) {
+      const auto signer = static_cast<std::size_t>(pool[j].signer);
+      stmts.push_back({grp.g(), pub_->verification[signer], ct.u,
+                       pool[j].parsed.ui, pool[j].parsed.proof});
+    }
+    bool ok;
+    {
+      const std::lock_guard lk(verify_mu_);
+      ok = dleq_batch_verify(grp, stmts, verify_rng_, kShareHints,
+                             BatchMembership::kIndividual);
+    }
+    if (ok) {
+      if (first_attempt) count_optimistic_hit("tdh2");
+      const OpScope ops("tdh2.combine");
+      std::vector<int> indices;
+      indices.reserve(kk);
+      for (std::size_t j = 0; j < kk; ++j) indices.push_back(pool[j].signer);
+      const std::vector<BigInt> lambdas =
+          lagrange_.coeffs_zero(indices, grp.q());
+      std::vector<std::pair<BigInt, BigInt>> terms;
+      terms.reserve(kk);
+      for (std::size_t j = 0; j < kk; ++j) {
+        terms.emplace_back(pool[j].parsed.ui, lambdas[j]);
+      }
+      const BigInt hr = grp.multi_exp(terms);
+      const auto [key, nonce] = derive_keys(grp, hr);
+      return Aes128(key).ctr_crypt(nonce, ct.c);
+    }
+
+    first_attempt = false;
+    count_fallback("tdh2");
+    std::vector<std::size_t> bad;
+    {
+      const std::lock_guard lk(verify_mu_);
+      bad = dleq_find_invalid(grp, stmts, verify_rng_, kShareHints);
+    }
+    if (bad.empty()) return std::nullopt;  // see ThresholdCoin::assemble_checked
+    for (const std::size_t bi : bad) blacklist_.add(pool[bi].signer);
+    for (auto it = bad.rbegin(); it != bad.rend(); ++it) {
+      pool.erase(pool.begin() + static_cast<long>(*it));
+    }
+  }
+  return std::nullopt;
 }
 
 std::unique_ptr<Tdh2Party> Tdh2Deal::make_party(int i) const {

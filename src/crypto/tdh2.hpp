@@ -14,9 +14,11 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "crypto/blacklist.hpp"
 #include "crypto/group.hpp"
 #include "crypto/shamir.hpp"
 #include "util/bytes.hpp"
@@ -66,11 +68,35 @@ class Tdh2Party {
   [[nodiscard]] bool verify_share(BytesView ciphertext, int signer,
                                   BytesView share) const;
 
-  /// Combines k verified shares into the plaintext.  Throws
-  /// std::invalid_argument on bad share sets or an invalid ciphertext.
+  /// Combines k shares into the plaintext.  Throws std::invalid_argument
+  /// on bad share sets or an invalid ciphertext.  Shares are interpolated
+  /// as given: callers either verify them eagerly (verify_share) or use
+  /// combine_checked(), which verifies the chosen set in one batch.
   [[nodiscard]] Bytes combine(
       BytesView ciphertext,
       const std::vector<std::pair<int, Bytes>>& shares) const;
+
+  /// Batch-first fast path: picks the first k plausible shares (skipping
+  /// duplicates and locally blacklisted signers), verifies their DLEQ
+  /// proofs with ONE random-linear-combination check — paying the
+  /// ciphertext-validity check once instead of once per share — then
+  /// interpolates the plaintext.  On batch failure the fallback isolates
+  /// the bad shares by bisection, blacklists their signers on this
+  /// handle, and retries with replacements.  Returns nullopt on an
+  /// invalid ciphertext or while fewer than k shares from distinct
+  /// non-blacklisted signers are available.  Membership checks stay
+  /// *individual* (BatchMembership::kIndividual): a decryption accepting
+  /// a poisoned share would deliver a wrong plaintext — a safety
+  /// violation, unlike a disagreeing coin.  Thread-safe.
+  [[nodiscard]] std::optional<Bytes> combine_checked(
+      BytesView ciphertext,
+      const std::vector<std::pair<int, Bytes>>& shares) const;
+
+  /// True if `signer` was caught (by a combine_checked fallback on this
+  /// handle) submitting a bad decryption share.
+  [[nodiscard]] bool is_blacklisted(int signer) const {
+    return blacklist_.contains(signer);
+  }
 
  private:
   std::shared_ptr<const Tdh2Public> pub_;
@@ -79,6 +105,11 @@ class Tdh2Party {
   Rng prover_rng_;
   // Combiners see the same few signer sets across ciphertexts.
   mutable LagrangeCache lagrange_;
+  // Batch-verification randomness: deterministic per handle, mutex-guarded
+  // so checked combines may run on a crypto worker pool.
+  mutable std::mutex verify_mu_;
+  mutable Rng verify_rng_;
+  mutable SignerBlacklist blacklist_;
 };
 
 struct Tdh2Deal {

@@ -109,6 +109,68 @@ ParsedShare parse_share(BytesView share) {
 
 }  // namespace
 
+std::optional<ThresholdSigScheme::CheckedSignature>
+ThresholdSigScheme::combine_checked(
+    BytesView msg, const std::vector<std::pair<int, Bytes>>& shares) const {
+  // Working pool: first-come order, one share per signer, blacklisted
+  // signers skipped up front.
+  std::vector<const std::pair<int, Bytes>*> pool;
+  std::set<int> seen;
+  pool.reserve(shares.size());
+  for (const auto& share : shares) {
+    const int idx = share.first;
+    if (idx < 0 || idx >= n() || is_blacklisted(idx)) continue;
+    if (!seen.insert(idx).second) continue;
+    pool.push_back(&share);
+  }
+
+  bool first_attempt = true;
+  while (static_cast<int>(pool.size()) >= k()) {
+    std::vector<std::pair<int, Bytes>> chosen;
+    chosen.reserve(static_cast<std::size_t>(k()));
+    for (int j = 0; j < k(); ++j) chosen.push_back(*pool[static_cast<std::size_t>(j)]);
+
+    Bytes sig;
+    bool ok = false;
+    try {
+      sig = combine(msg, chosen);
+      ok = verify(msg, sig);
+    } catch (const std::exception&) {
+      ok = false;  // malformed share bytes surface as parse errors here
+    }
+    if (ok) {
+      if (first_attempt) count_optimistic_hit("threshold_sig");
+      CheckedSignature out;
+      out.sig = std::move(sig);
+      out.used.reserve(chosen.size());
+      for (const auto& [idx, raw] : chosen) out.used.push_back(idx);
+      return out;
+    }
+
+    // Fallback: find the offenders among the chosen shares, remember them,
+    // and retry with replacements.
+    first_attempt = false;
+    count_fallback("threshold_sig");
+    std::set<int> dropped;
+    for (const auto& [idx, raw] : chosen) {
+      if (!verify_share(msg, idx, raw)) {
+        blacklist_.add(idx);
+        dropped.insert(idx);
+      }
+    }
+    if (dropped.empty()) {
+      // Every chosen share verifies individually yet the combination fails
+      // its check — not attributable to a signer (e.g. inconsistent dealer
+      // data).  Give up instead of retrying the same set forever.
+      return std::nullopt;
+    }
+    std::erase_if(pool, [&dropped](const std::pair<int, Bytes>* s) {
+      return dropped.count(s->first) != 0;
+    });
+  }
+  return std::nullopt;
+}
+
 RsaThresholdScheme::RsaThresholdScheme(
     std::shared_ptr<const RsaThresholdPublic> pub, int index, BigInt share,
     std::uint64_t prover_seed)

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "crypto/blacklist.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/shamir.hpp"
 #include "util/bytes.hpp"
@@ -46,15 +48,51 @@ class ThresholdSigScheme {
   [[nodiscard]] virtual bool verify_share(BytesView msg, int signer,
                                           BytesView share) const = 0;
 
-  /// Combines k verified shares into a full signature.  Throws
+  /// Combines k shares into a full signature.  Throws
   /// std::invalid_argument on fewer than k shares or duplicate signers;
-  /// behaviour on *unverified* bad shares is a combine that fails verify().
+  /// behaviour on *unverified* bad shares is a combine that fails verify()
+  /// — the robustness property combine_checked() exploits.  Shares need
+  /// NOT be individually verified first: callers either verify them
+  /// eagerly and call combine(), or hand unverified shares to
+  /// combine_checked() and let it check the one assembled signature.
   [[nodiscard]] virtual Bytes combine(
       BytesView msg, const std::vector<std::pair<int, Bytes>>& shares)
       const = 0;
 
   /// Verifies an assembled threshold signature.
   [[nodiscard]] virtual bool verify(BytesView msg, BytesView sig) const = 0;
+
+  /// A checked combine's output: the signature plus the signer set it was
+  /// assembled from — every share of `used` verified either implicitly
+  /// (the assembled signature passed verify()) or explicitly (fallback),
+  /// so the set is safe to forward as a justification.
+  struct CheckedSignature {
+    Bytes sig;
+    std::vector<int> used;
+  };
+
+  /// Combine-first fast path: picks the first k plausible shares (in the
+  /// order given, skipping duplicates and locally blacklisted signers),
+  /// combines them *without* per-share verification, and verifies the one
+  /// assembled signature — k share verifications collapse into one cheap
+  /// public-exponent check when every submitter is honest.  If the check
+  /// fails, the fallback verifies the chosen shares individually,
+  /// blacklists the offenders on this handle (their later shares are
+  /// ignored), and retries with replacement shares.  Returns nullopt when
+  /// fewer than k shares from distinct non-blacklisted signers are
+  /// available — with n - t >= k honest parties, callers just wait for
+  /// more shares.  Thread-safe: may run on a crypto worker pool.
+  [[nodiscard]] std::optional<CheckedSignature> combine_checked(
+      BytesView msg, const std::vector<std::pair<int, Bytes>>& shares) const;
+
+  /// True if `signer` was caught submitting a bad share to this handle
+  /// (local knowledge only — see crypto/blacklist.hpp).
+  [[nodiscard]] bool is_blacklisted(int signer) const {
+    return blacklist_.contains(signer);
+  }
+
+ private:
+  mutable SignerBlacklist blacklist_;
 };
 
 /// Public (dealer-published) data of the Shoup scheme.

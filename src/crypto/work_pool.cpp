@@ -1,0 +1,88 @@
+#include "crypto/work_pool.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace sintra::crypto {
+
+WorkPool::WorkPool(std::size_t threads)
+    : m_jobs_(&obs::registry().counter("crypto.pool.jobs")),
+      m_depth_(&obs::registry().gauge("crypto.pool.depth")),
+      m_wait_ms_(&obs::registry().histogram("crypto.pool.wait_ms")) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this](const std::stop_token& st) { worker(st); });
+  }
+}
+
+WorkPool::~WorkPool() {
+  for (std::jthread& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // jthread joins on destruction; workers drain the queue first (the wait
+  // predicate keeps returning true while jobs remain).
+}
+
+double WorkPool::now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WorkPool::submit(std::function<void()> work,
+                      std::function<void()> complete) {
+  m_jobs_->inc();
+  if (workers_.empty()) {
+    work();
+    complete();
+    return;
+  }
+  {
+    const std::lock_guard lk(mu_);
+    queue_.push_back({std::move(work), std::move(complete), now_ms()});
+    m_depth_->set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+}
+
+void WorkPool::worker(const std::stop_token& st) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lk(mu_);
+      if (!cv_.wait(lk, st, [this] { return !queue_.empty(); })) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      m_depth_->set(static_cast<double>(queue_.size()));
+    }
+    m_wait_ms_->observe(now_ms() - job.enqueue_ms);
+    job.work();
+    finish(std::move(job.complete));
+  }
+}
+
+void WorkPool::finish(std::function<void()> complete) {
+  std::function<void()> notify;
+  {
+    const std::lock_guard lk(done_mu_);
+    done_.push_back(std::move(complete));
+    notify = notify_;
+  }
+  if (notify) notify();
+}
+
+std::size_t WorkPool::drain_completions() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard lk(done_mu_);
+    batch.swap(done_);
+  }
+  for (const std::function<void()>& fn : batch) fn();
+  return batch.size();
+}
+
+void WorkPool::set_completion_notify(std::function<void()> notify) {
+  const std::lock_guard lk(done_mu_);
+  notify_ = std::move(notify);
+}
+
+}  // namespace sintra::crypto

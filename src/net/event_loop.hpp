@@ -45,6 +45,11 @@ class EventLoop {
   /// loop if it is blocked in epoll_wait.
   void post(std::function<void()> fn);
 
+  /// Alias for post() under the conventional event-loop name — the
+  /// crypto worker pool's completion hook uses it to hop results back
+  /// onto the loop thread.
+  void call_soon(std::function<void()> fn) { post(std::move(fn)); }
+
   /// Requests the loop to return from run().  Thread- and signal-safe
   /// via the wakeup eventfd.
   void stop();

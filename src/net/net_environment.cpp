@@ -51,6 +51,7 @@ NetEnvironment::NetEnvironment(EventLoop& loop,
       rng_(options_.rng_seed != 0
                ? options_.rng_seed
                : 0x51e7a0de ^ (static_cast<std::uint64_t>(keys_.index) << 20)) {
+  init_crypto_pool();
   wire_links(endpoints);
 }
 
@@ -64,7 +65,26 @@ NetEnvironment::NetEnvironment(EventLoop& loop, UdpSocket socket,
       rng_(options_.rng_seed != 0
                ? options_.rng_seed
                : 0x51e7a0de ^ (static_cast<std::uint64_t>(keys_.index) << 20)) {
+  init_crypto_pool();
   wire_links(endpoints);
+}
+
+void NetEnvironment::init_crypto_pool() {
+  pool_ = std::make_shared<crypto::WorkPool>(
+      options_.crypto_threads > 0
+          ? static_cast<std::size_t>(options_.crypto_threads)
+          : 0);
+  // Hop completions onto the loop thread.  The hook runs on a worker, so
+  // it only posts; the weak_ptr keeps a stale call_soon task (queued
+  // after this environment was destroyed) from touching a dead pool.
+  pool_->set_completion_notify(
+      [&loop = loop_, wp = std::weak_ptr<crypto::WorkPool>(pool_)] {
+        loop.call_soon([wp] {
+          if (const std::shared_ptr<crypto::WorkPool> p = wp.lock()) {
+            p->drain_completions();
+          }
+        });
+      });
 }
 
 void NetEnvironment::wire_links(const std::vector<core::Endpoint>& endpoints) {

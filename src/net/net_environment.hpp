@@ -72,6 +72,11 @@ struct NetOptions {
   /// instead of the configured endpoint (used to interpose the chaos
   /// proxy); parties still bind their own configured endpoints.
   std::vector<core::Endpoint> send_to;
+  /// Worker threads for the crypto pool (see crypto/work_pool.hpp).
+  /// 0 = inline: combines and verifications run on the loop thread,
+  /// exactly like the simulator.  The sintra_node CLI defaults this to
+  /// hardware_concurrency via --crypto-threads.
+  int crypto_threads = 0;
 };
 
 class NetEnvironment final : public core::Environment {
@@ -107,6 +112,11 @@ class NetEnvironment final : public core::Environment {
   [[nodiscard]] const crypto::PartyKeys& keys() const override {
     return keys_;
   }
+  /// The pool configured by NetOptions::crypto_threads.  Completions are
+  /// drained on the loop thread: the constructor wires the pool's notify
+  /// hook to loop.call_soon, so protocol callbacks observe results with
+  /// the same single-threaded discipline as every other loop event.
+  [[nodiscard]] crypto::WorkPool& crypto_pool() override { return *pool_; }
 
   [[nodiscard]] core::Dispatcher& dispatcher() { return dispatcher_; }
   [[nodiscard]] EventLoop& loop() { return loop_; }
@@ -132,6 +142,7 @@ class NetEnvironment final : public core::Environment {
   ~NetEnvironment() override;
 
  private:
+  void init_crypto_pool();
   void wire_links(const std::vector<core::Endpoint>& endpoints);
   void on_socket_readable();
 
@@ -154,6 +165,12 @@ class NetEnvironment final : public core::Environment {
   obs::Counter* m_drop_oversized_ = nullptr;
   obs::Counter* m_messages_sent_ = nullptr;
   obs::Counter* m_bytes_sent_ = nullptr;
+
+  // Declared last: destroyed first, so in-flight work() closures finish
+  // (and are joined) while the members they might reference still exist.
+  // shared_ptr so the notify hook can hold a weak_ptr — a call_soon task
+  // left in the loop after this environment dies locks null and no-ops.
+  std::shared_ptr<crypto::WorkPool> pool_;
 };
 
 }  // namespace sintra::net

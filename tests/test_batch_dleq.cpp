@@ -1,0 +1,150 @@
+// Batch DLEQ verification (crypto/group.hpp): the random-linear-
+// combination batch accepts exactly what the scalar verifier accepts,
+// bisection isolates the offenders, a size-1 batch is the scalar
+// verifier, and the odd-exponent batched membership check cannot be
+// fooled by order-2 cofactor components.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/group.hpp"
+
+namespace sintra::crypto {
+namespace {
+
+const DlogGroup& test_group() {
+  static const DlogGroup grp = [] {
+    Rng rng(0xba7c4);
+    return DlogGroup::generate(rng, 256, 96);
+  }();
+  return grp;
+}
+
+/// `count` valid statements sharing g1 = g and g2 = hash("base") — the
+/// shape coin/TDH2 batches have, which exercises the shared-base folding.
+std::vector<DleqStatement> make_statements(std::size_t count,
+                                           std::uint64_t seed,
+                                           bool shared_g2 = true) {
+  const DlogGroup& grp = test_group();
+  Rng rng(seed);
+  std::vector<DleqStatement> stmts;
+  stmts.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const BigInt g2 =
+        shared_g2 ? grp.hash_to_group(to_bytes("base"))
+                  : grp.hash_to_group(to_bytes("base." + std::to_string(j)));
+    const BigInt x = grp.random_exponent(rng);
+    DleqStatement s;
+    s.g1 = grp.g();
+    s.h1 = grp.exp(grp.g(), x);
+    s.g2 = g2;
+    s.h2 = grp.exp(g2, x);
+    s.proof = dleq_prove(grp, s.g1, s.h1, s.g2, s.h2, x, rng);
+    stmts.push_back(std::move(s));
+  }
+  return stmts;
+}
+
+TEST(BatchDleq, ValidBatchAccepts) {
+  const DlogGroup& grp = test_group();
+  Rng rng(1);
+  for (const std::size_t m : {std::size_t{2}, std::size_t{4}, std::size_t{16}}) {
+    auto stmts = make_statements(m, 0x5eed + m);
+    EXPECT_TRUE(dleq_batch_verify(grp, stmts, rng)) << "m=" << m;
+    EXPECT_TRUE(dleq_batch_verify(grp, stmts, rng, {},
+                                  BatchMembership::kBatched))
+        << "m=" << m;
+  }
+  // Distinct g2 per statement: no shared-base folding possible.
+  auto varied = make_statements(5, 0xabcd, /*shared_g2=*/false);
+  EXPECT_TRUE(dleq_batch_verify(grp, varied, rng));
+  // Empty batch is vacuously valid.
+  EXPECT_TRUE(dleq_batch_verify(grp, {}, rng));
+}
+
+TEST(BatchDleq, AnyCorruptedStatementRejectsTheBatch) {
+  const DlogGroup& grp = test_group();
+  Rng rng(2);
+  auto stmts = make_statements(8, 0xc0de);
+  stmts[5].proof.z = (stmts[5].proof.z + BigInt{1}).mod(grp.q());
+  EXPECT_FALSE(dleq_batch_verify(grp, stmts, rng));
+  // Rejection is not randomness luck: repeat with fresh batch coefficients.
+  EXPECT_FALSE(dleq_batch_verify(grp, stmts, rng));
+}
+
+TEST(BatchDleq, BisectionIsolatesCorruptedProofs) {
+  const DlogGroup& grp = test_group();
+  Rng rng(3);
+  auto stmts = make_statements(16, 0xf00d);
+  stmts[3].proof.a1 = grp.mul(stmts[3].proof.a1, grp.g());
+  stmts[11].proof.z = (stmts[11].proof.z + BigInt{7}).mod(grp.q());
+  const std::vector<std::size_t> bad = dleq_find_invalid(grp, stmts, rng);
+  EXPECT_EQ(bad, (std::vector<std::size_t>{3, 11}));
+}
+
+TEST(BatchDleq, BisectionOnAllValidFindsNothing) {
+  const DlogGroup& grp = test_group();
+  Rng rng(4);
+  auto stmts = make_statements(6, 0x600d);
+  EXPECT_TRUE(dleq_find_invalid(grp, stmts, rng).empty());
+}
+
+TEST(BatchDleq, SizeOneMatchesScalarVerifier) {
+  // A batch of one delegates to dleq_verify, so the results must agree
+  // bit-for-bit on both valid and corrupted proofs.
+  const DlogGroup& grp = test_group();
+  Rng rng(5);
+  auto stmts = make_statements(1, 0x1);
+  auto check = [&](const DleqStatement& s) {
+    const bool scalar =
+        dleq_verify(grp, s.g1, s.h1, s.g2, s.h2, s.proof);
+    const bool batch = dleq_batch_verify(grp, {s}, rng);
+    EXPECT_EQ(scalar, batch);
+    return scalar;
+  };
+  EXPECT_TRUE(check(stmts[0]));
+  DleqStatement tampered = stmts[0];
+  tampered.proof.z = (tampered.proof.z + BigInt{1}).mod(grp.q());
+  EXPECT_FALSE(check(tampered));
+  DleqStatement wild = stmts[0];
+  wild.proof.a2 = grp.p() + BigInt{2};  // out of range
+  EXPECT_FALSE(check(wild));
+}
+
+TEST(BatchDleq, BatchedMembershipCatchesOrderTwoComponent) {
+  // p = 2q+1, so the only cofactor junk possible is an order-2 component:
+  // y' = y * (p-1).  The odd batch exponents guarantee (-1)^t = -1, so
+  // is_member_batch can never be fooled — deterministically, not w.h.p.
+  const DlogGroup& grp = test_group();
+  Rng rng(6);
+  std::vector<BigInt> members;
+  for (int i = 0; i < 4; ++i) {
+    members.push_back(grp.exp(grp.g(), grp.random_exponent(rng)));
+  }
+  std::vector<const BigInt*> ptrs;
+  for (const BigInt& m : members) ptrs.push_back(&m);
+  EXPECT_TRUE(grp.is_member_batch(ptrs, rng));
+
+  const BigInt twisted = grp.mul(members[2], grp.p() - BigInt{1});
+  EXPECT_FALSE(grp.is_member(twisted));
+  std::vector<BigInt> poisoned = members;
+  poisoned[2] = twisted;
+  ptrs.clear();
+  for (const BigInt& m : poisoned) ptrs.push_back(&m);
+  for (int trial = 0; trial < 8; ++trial) {
+    EXPECT_FALSE(grp.is_member_batch(ptrs, rng)) << trial;
+  }
+}
+
+TEST(BatchDleq, RejectsOutOfRangeElementsInBatch) {
+  const DlogGroup& grp = test_group();
+  Rng rng(7);
+  auto stmts = make_statements(3, 0xbad);
+  stmts[1].h2 = grp.p() + BigInt{3};
+  EXPECT_FALSE(dleq_batch_verify(grp, stmts, rng));
+  const std::vector<std::size_t> bad = dleq_find_invalid(grp, stmts, rng);
+  EXPECT_EQ(bad, std::vector<std::size_t>{1});
+}
+
+}  // namespace
+}  // namespace sintra::crypto

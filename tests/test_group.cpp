@@ -118,9 +118,9 @@ TEST(Dleq, RejectsTamperedProof) {
   const BigInt h1 = grp.exp(grp.g(), x);
   const BigInt h2 = grp.exp(g2, x);
   DleqProof proof = dleq_prove(grp, grp.g(), h1, g2, h2, x, rng);
-  DleqProof bad_c = proof;
-  bad_c.c = (bad_c.c + BigInt{1}).mod(grp.q());
-  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, bad_c));
+  DleqProof bad_a = proof;
+  bad_a.a1 = grp.mul(bad_a.a1, grp.g());
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, bad_a));
   DleqProof bad_z = proof;
   bad_z.z = (bad_z.z + BigInt{1}).mod(grp.q());
   EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, bad_z));

@@ -302,8 +302,11 @@ TEST(GroupFastPath, DleqWithHintsRoundTripsAndRejectsTampering) {
   EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2_bad, proof, hints));
   // Out-of-range proof components are rejected before any arithmetic.
   DleqProof huge = proof;
-  huge.c = grp.q() + BigInt{5};
+  huge.z = grp.q() + BigInt{5};
   EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, huge, hints));
+  DleqProof wild = proof;
+  wild.a1 = grp.p() + BigInt{2};
+  EXPECT_FALSE(dleq_verify(grp, grp.g(), h1, g2, h2, wild, hints));
 }
 
 TEST(LagrangeCacheTest, MatchesPerCoefficientFunctions) {
