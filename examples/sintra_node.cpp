@@ -27,6 +27,21 @@
 // metrics snapshot on exit and on SIGUSR1 (overwritten each time);
 // --trace-out FILE streams typed protocol events as JSON lines.
 // scripts/aggregate_metrics.py merges the per-node snapshot files.
+//
+// Crash recovery (DESIGN.md §10): --state-dir DIR makes every delivery
+// durable (fsync'd replica log) and exchanges threshold-signed
+// checkpoints every --checkpoint-interval deliveries.  A node restarted
+// with the same --state-dir detects the restart via its boot counter,
+// replays its log, catches up from its peers, and completes when it
+// reaches the close-time `final` checkpoint certificate — it does not
+// rejoin the in-progress rounds; the recovery layer delivers the stream:
+//
+//   $ kill -9 <pid of node 3>
+//   $ ./sintra_node group.conf keys/party-3.keys --channel atomic
+//         --state-dir /tmp/state.3 --out /tmp/out.3 --linger -1
+//
+// and /tmp/out.3 converges to the same delivery sequence as its peers
+// (scripts/run_local_cluster.sh --scenario recover automates this).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,6 +63,9 @@
 #include "net/net_environment.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "recovery/state_store.hpp"
+#include "util/atomic_file.hpp"
 
 using namespace sintra;
 
@@ -77,6 +95,8 @@ struct Args {
   int via_base_port = 0;
   int crypto_threads = -1;      // -1 = hardware_concurrency; 0 = inline
   bool corrupt_shares = false;  // Byzantine chaos: emit garbage sig shares
+  std::string state_dir;        // durable log + checkpoints (recovery)
+  std::uint64_t checkpoint_interval = 8;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -115,6 +135,13 @@ Args parse_args(int argc, char** argv) {
       }
     } else if (arg == "--corrupt-shares") {
       a.corrupt_shares = true;
+    } else if (arg == "--state-dir") {
+      a.state_dir = value();
+    } else if (arg == "--checkpoint-interval") {
+      a.checkpoint_interval = std::stoull(value());
+      if (a.checkpoint_interval == 0) {
+        throw std::runtime_error("--checkpoint-interval wants >= 1");
+      }
     } else if (arg == "--via") {
       const std::string v = value();
       const auto colon = v.rfind(':');
@@ -219,7 +246,24 @@ class NodeApp {
       obs::set_trace_sink(trace_.get());
     }
 
-    start_channel();
+    if (!args.state_dir.empty()) {
+      store_ = std::make_unique<recovery::StateStore>(args.state_dir);
+      // The boot counter is bumped before anything else: boot > 1 means
+      // this directory already hosted a run, so this process is a
+      // restart and must recover instead of joining the rounds.
+      recovering_ = store_->bump_boot() > 1;
+      recovery::RecoveryManager::Options ropts;
+      ropts.checkpoint_interval = args.checkpoint_interval;
+      rec_ = std::make_unique<recovery::RecoveryManager>(
+          *env_, env_->dispatcher(), "cluster." + args.channel, store_.get(),
+          ropts);
+    }
+
+    if (recovering_) {
+      start_recovery();
+    } else {
+      start_channel();
+    }
   }
 
   ~NodeApp() {
@@ -242,16 +286,15 @@ class NodeApp {
         .set(static_cast<double>(bignum::work_counter()));
     reg.gauge("crypto.work_per_exp1024", labels)
         .set(static_cast<double>(crypto::work_per_exp1024()));
-    const std::string json = reg.snapshot().to_json();
-    std::FILE* f = std::fopen(args_.metrics_out.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "# node %d: cannot open %s\n", env_->self(),
-                   args_.metrics_out.c_str());
-      return;
+    // Atomic replacement: a reader (aggregate_metrics.py, the cluster
+    // runner) racing a SIGUSR1 snapshot never sees a torn file.
+    std::string json = reg.snapshot().to_json();
+    json.push_back('\n');
+    std::string error;
+    if (!util::atomic_write_file(args_.metrics_out, json, &error)) {
+      std::fprintf(stderr, "# node %d: metrics snapshot failed: %s\n",
+                   env_->self(), error.c_str());
     }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
   }
 
   void flush_trace() {
@@ -300,14 +343,19 @@ class NodeApp {
     if (args_.channel == "atomic") {
       atomic_ = std::make_unique<core::AtomicChannel>(*env_, disp, pid);
       atomic_->set_deliver_callback(
-          [this](const Bytes& payload, core::PartyId) { deliver(payload); });
+          [this](const Bytes& payload, core::PartyId origin) {
+            record(payload, origin);
+            deliver(payload);
+          });
       atomic_->set_closed_callback([this] { on_closed(); });
       for (int k = 0; k < args_.send_count; ++k) atomic_->send(payload_of(k));
       if (args_.close_after_send) atomic_->close();
     } else if (args_.channel == "secure-atomic") {
       secure_ = std::make_unique<core::SecureAtomicChannel>(*env_, disp, pid);
-      secure_->set_deliver_callback(
-          [this](const Bytes& payload) { deliver(payload); });
+      secure_->set_deliver_callback([this](const Bytes& payload) {
+        record(payload, -1);
+        deliver(payload);
+      });
       secure_->set_closed_callback([this] { on_closed(); });
       for (int k = 0; k < args_.send_count; ++k) secure_->send(payload_of(k));
       if (args_.close_after_send) secure_->close();
@@ -319,7 +367,10 @@ class NodeApp {
       optimistic_ =
           std::make_unique<core::OptimisticChannel>(*env_, disp, pid);
       optimistic_->set_deliver_callback(
-          [this](const Bytes& payload, core::PartyId) { deliver(payload); });
+          [this](const Bytes& payload, core::PartyId origin) {
+            record(payload, origin);
+            deliver(payload);
+          });
       for (int k = 0; k < args_.send_count; ++k) {
         optimistic_->send(payload_of(k));
       }
@@ -328,28 +379,64 @@ class NodeApp {
     }
   }
 
+  /// Restart path: no channel — replay the durable log, then fetch the
+  /// remainder (plus the authenticating certificates) from the peers.
+  /// Completion is reaching the close-time `final` certificate, not
+  /// --expect: a restarted node cannot know the final count in advance.
+  void start_recovery() {
+    rec_->set_apply_callback(
+        [this](const recovery::RecoveryManager::Record& r) {
+          deliver(r.payload);
+        });
+    rec_->set_caught_up_callback([this] {
+      std::fprintf(stderr,
+                   "# node %d: caught up at seq %llu (final certificate)\n",
+                   env_->self(),
+                   static_cast<unsigned long long>(rec_->delivered_seq()));
+      finish();
+    });
+    const std::size_t replayed = rec_->replay_local();
+    std::fprintf(stderr, "# node %d: recovery: replayed %zu from log\n",
+                 env_->self(), replayed);
+    rec_->start_catchup();
+  }
+
   [[nodiscard]] Bytes payload_of(int k) const {
     return to_bytes("p" + std::to_string(env_->self()) + ":" +
                     std::to_string(k));
   }
 
+  /// Normal path only: feeds a live channel delivery to the recovery
+  /// layer (durable log + digest chain) before it is printed.
+  void record(const Bytes& payload, core::PartyId origin) {
+    if (rec_) rec_->on_delivered(payload, origin);
+  }
+
   void deliver(const Bytes& payload) {
     ++delivered_;
     std::fprintf(out_, "DELIVER %s\n", to_string(payload).c_str());
-    if (args_.expect != 0 && delivered_ >= args_.expect) finish();
+    if (!recovering_ && args_.expect != 0 && delivered_ >= args_.expect) {
+      finish();
+    }
   }
 
-  void on_closed() { finish(); }
+  void on_closed() {
+    // The close-time checkpoint covers the whole sequence; its `final`
+    // certificate is what tells restarted/lagging replicas they have
+    // everything.
+    if (rec_) rec_->force_checkpoint(/*final=*/true);
+    finish();
+  }
 
   void finish() {
     if (completed_) return;
     completed_ = true;
     flush();
     if (!args_.out_path.empty()) {
-      // Completion marker for external orchestration (the cluster
-      // runner waits for every node's marker before signaling).
-      std::FILE* done = std::fopen((args_.out_path + ".done").c_str(), "w");
-      if (done != nullptr) std::fclose(done);
+      // Completion marker for external orchestration (the cluster runner
+      // waits for every node's marker before signaling).  Atomic: the
+      // runner never observes a half-created marker.
+      util::atomic_write_file(args_.out_path + ".done", std::string_view{});
     }
     if (args_.linger_ms < 0.0) return;  // serve until signaled
     finish_ms_ = loop_.now_ms();
@@ -375,6 +462,9 @@ class NodeApp {
   Args args_;
   net::EventLoop& loop_;
   std::unique_ptr<net::NetEnvironment> env_;
+  std::unique_ptr<recovery::StateStore> store_;
+  std::unique_ptr<recovery::RecoveryManager> rec_;
+  bool recovering_ = false;
   std::unique_ptr<core::AtomicChannel> atomic_;
   std::unique_ptr<core::SecureAtomicChannel> secure_;
   std::unique_ptr<core::OptimisticChannel> optimistic_;
@@ -416,7 +506,8 @@ int main(int argc, char** argv) {
                  "[--close] [--expect N] [--linger MS] [--out FILE] "
                  "[--stats] [--metrics-out FILE] [--trace-out FILE] "
                  "[--via host:base_port] [--crypto-threads N] "
-                 "[--corrupt-shares]\n",
+                 "[--corrupt-shares] [--state-dir DIR] "
+                 "[--checkpoint-interval K]\n",
                  e.what());
     return 2;
   }

@@ -15,6 +15,15 @@
 // datagram, never by source address, which is what makes interposition
 // possible without rewriting anything.
 //
+// Network partitions: --partition "0,1|2,3" drops every datagram between
+// parties in different groups (here {0,1} vs {2,3}); --heal-after-ms N
+// lifts the partition after N ms, so recovery and catch-up under a
+// healed partition can be exercised end to end.  The sender is taken
+// from the advisory id prefix of each datagram — good enough for fault
+// injection (a node forging its own prefix only mangles its own
+// traffic; authenticity is still the links' HMAC problem).  Parties not
+// named in any group are unrestricted.
+//
 // SIGINT/SIGTERM: print forwarding stats and exit.
 #include <cstdio>
 #include <fstream>
@@ -46,7 +55,40 @@ struct Stats {
   std::uint64_t forwarded = 0;
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
+  std::uint64_t partitioned = 0;  // cut by an active --partition
 };
+
+/// Parses "0,1|2,3" into a per-party group id (-1 = unrestricted).
+std::vector<int> parse_partition(const std::string& spec, int n) {
+  std::vector<int> group(static_cast<std::size_t>(n), -1);
+  int g = 0;
+  std::stringstream groups(spec);
+  std::string one;
+  while (std::getline(groups, one, '|')) {
+    std::stringstream members(one);
+    std::string id;
+    while (std::getline(members, id, ',')) {
+      const int j = std::stoi(id);
+      if (j < 0 || j >= n) {
+        throw std::runtime_error("--partition names party " + id +
+                                 " outside 0.." + std::to_string(n - 1));
+      }
+      group[static_cast<std::size_t>(j)] = g;
+    }
+    ++g;
+  }
+  return group;
+}
+
+/// The advisory sender id every sintra datagram is prefixed with
+/// (net/net_environment.hpp); -1 when too short to carry one.
+int sender_of(const Bytes& datagram) {
+  if (datagram.size() < 4) return -1;
+  return static_cast<int>((static_cast<std::uint32_t>(datagram[0]) << 24) |
+                          (static_cast<std::uint32_t>(datagram[1]) << 16) |
+                          (static_cast<std::uint32_t>(datagram[2]) << 8) |
+                          static_cast<std::uint32_t>(datagram[3]));
+}
 
 }  // namespace
 
@@ -55,7 +97,8 @@ int main(int argc, char** argv) {
     if (argc < 3) {
       std::fprintf(stderr,
                    "usage: udp_chaos_proxy <group.conf> <host:base_port> "
-                   "[--loss P] [--dup P] [--reorder-ms MS] [--seed N]\n");
+                   "[--loss P] [--dup P] [--reorder-ms MS] [--seed N]\n"
+                   "       [--partition \"0,1|2,3\"] [--heal-after-ms N]\n");
       return 2;
     }
     const core::GroupConfig cfg = core::GroupConfig::parse(read_file(argv[1]));
@@ -69,6 +112,8 @@ int main(int argc, char** argv) {
 
     double loss = 0.1, dup = 0.05, reorder_ms = 25.0;
     std::uint64_t seed = 1;
+    std::string partition_spec;
+    double heal_after_ms = -1.0;  // < 0: the partition never heals
     for (int i = 3; i < argc; ++i) {
       const std::string arg = argv[i];
       auto value = [&]() -> std::string {
@@ -83,6 +128,10 @@ int main(int argc, char** argv) {
         reorder_ms = std::stod(value());
       } else if (arg == "--seed") {
         seed = std::stoull(value());
+      } else if (arg == "--partition") {
+        partition_spec = value();
+      } else if (arg == "--heal-after-ms") {
+        heal_after_ms = std::stod(value());
       } else {
         throw std::runtime_error("unknown option " + arg);
       }
@@ -93,6 +142,11 @@ int main(int argc, char** argv) {
     Stats stats;
 
     const int n = cfg.dealer.n;
+    const std::vector<int> group =
+        partition_spec.empty() ? std::vector<int>(static_cast<std::size_t>(n),
+                                                  -1)
+                               : parse_partition(partition_spec, n);
+    bool partitioned = !partition_spec.empty();
     std::vector<std::unique_ptr<net::UdpSocket>> sockets;
     std::vector<net::SocketAddress> targets;
     for (int j = 0; j < n; ++j) {
@@ -106,10 +160,25 @@ int main(int argc, char** argv) {
       net::UdpSocket& sock = *sockets[static_cast<std::size_t>(j)];
       const net::SocketAddress target = targets[static_cast<std::size_t>(j)];
       loop.add_fd(sock.fd(), [&loop, &rng, &stats, &sock, target, loss, dup,
-                              reorder_ms] {
+                              reorder_ms, j, &group, &partitioned] {
         while (auto received = sock.receive()) {
           ++stats.received;
           Bytes datagram = std::move(received->first);
+          if (partitioned) {
+            // Cut traffic that crosses partition groups.  Datagrams from
+            // parties outside every group (or too short to carry a sender
+            // id) pass; same-group and self traffic passes.
+            const int from = sender_of(datagram);
+            const int from_group =
+                (from >= 0 && from < static_cast<int>(group.size()))
+                    ? group[static_cast<std::size_t>(from)]
+                    : -1;
+            const int to_group = group[static_cast<std::size_t>(j)];
+            if (from_group >= 0 && to_group >= 0 && from_group != to_group) {
+              ++stats.partitioned;
+              continue;
+            }
+          }
           if (rng.uniform01() < loss) {
             ++stats.dropped;
             continue;
@@ -130,18 +199,31 @@ int main(int argc, char** argv) {
       });
     }
 
+    if (partitioned && heal_after_ms >= 0.0) {
+      loop.call_later(heal_after_ms, [&partitioned] {
+        partitioned = false;
+        std::fprintf(stderr, "# chaos proxy: partition healed\n");
+      });
+    }
+
     loop.stop_on_signals({SIGINT, SIGTERM});
     std::fprintf(stderr, "# chaos proxy up: %d ports from %s:%d, loss=%.2f "
                          "dup=%.2f reorder<=%.0fms\n",
                  n, host.c_str(), base_port, loss, dup, reorder_ms);
+    if (partitioned) {
+      std::fprintf(stderr, "# chaos proxy: partition \"%s\" active%s\n",
+                   partition_spec.c_str(),
+                   heal_after_ms >= 0.0 ? " (will heal)" : "");
+    }
     loop.run();
     std::fprintf(stderr,
                  "STATS proxy received=%llu forwarded=%llu dropped=%llu "
-                 "duplicated=%llu\n",
+                 "duplicated=%llu partitioned=%llu\n",
                  static_cast<unsigned long long>(stats.received),
                  static_cast<unsigned long long>(stats.forwarded),
                  static_cast<unsigned long long>(stats.dropped),
-                 static_cast<unsigned long long>(stats.duplicated));
+                 static_cast<unsigned long long>(stats.duplicated),
+                 static_cast<unsigned long long>(stats.partitioned));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

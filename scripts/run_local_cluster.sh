@@ -4,16 +4,22 @@
 # sequences.  Exits nonzero on divergence, node failure, or timeout.
 #
 # Usage:
-#   scripts/run_local_cluster.sh [--scenario clean|crash|chaos]
+#   scripts/run_local_cluster.sh [--scenario clean|crash|chaos|recover]
 #                                [--build-dir DIR] [--channel atomic|...]
 #                                [--send N]
 #
 # Scenarios:
-#   clean  all four nodes up, close protocol terminates the channel
-#   crash  node 3 is SIGKILLed mid-run; the other three must still agree
-#   chaos  all traffic through udp_chaos_proxy (loss/dup/reorder); the
-#          link layer must heal it, and retransmissions + adaptive-RTO
-#          backoff must be visible in the link stats
+#   clean    all four nodes up, close protocol terminates the channel
+#   crash    node 3 is SIGKILLed mid-run; the other three must still agree
+#   chaos    all traffic through udp_chaos_proxy (loss/dup/reorder); the
+#            link layer must heal it, and retransmissions + adaptive-RTO
+#            backoff must be visible in the link stats
+#   recover  every node runs with a durable --state-dir; node 3 is
+#            SIGKILLed mid-run and restarted with the same state dir —
+#            it must replay its fsync'd log, catch up via a
+#            threshold-signed checkpoint certificate, and finish with
+#            the identical delivery sequence as the nodes that never
+#            crashed (asserted below via the recovery.* metrics)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -21,16 +27,23 @@ scenario=clean
 build_dir="$repo_root/build"
 channel=atomic
 send_count=5
+send_count_set=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --scenario)  scenario="$2"; shift 2 ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --channel)   channel="$2"; shift 2 ;;
-    --send)      send_count="$2"; shift 2 ;;
+    --send)      send_count="$2"; send_count_set=1; shift 2 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
+
+# A recover run must SIGKILL node 3 strictly *mid-run* (after its first
+# durable delivery, before completion); more payloads widen that window.
+if [[ "$scenario" == recover && $send_count_set -eq 0 ]]; then
+  send_count=12
+fi
 
 dealer="$build_dir/examples/dealer_tool"
 node_bin="$build_dir/examples/sintra_node"
@@ -107,9 +120,12 @@ fi
 # the liveness gap a fixed linger cannot close under heavy loss.
 node_args+=(--linger -1)
 
-echo "== starting $n nodes (scenario: $scenario, channel: $channel)"
-for i in $(seq 0 $((n - 1))); do
-  extra=()
+# Launching is a function so the recover scenario can restart node 3
+# with the exact same argument list (same --state-dir, same outputs;
+# stderr appends so both incarnations' stats survive).
+launch_node() {
+  local i="$1"
+  local extra=()
   # Chaos doubles as the Byzantine-share scenario: node 3 (t = 1) emits
   # garbage threshold-signature shares, so every honest node's optimistic
   # combine must fall back, blacklist it, and finish with the honest
@@ -117,12 +133,21 @@ for i in $(seq 0 $((n - 1))); do
   if [[ "$scenario" == chaos && $i -eq 3 ]]; then
     extra+=(--corrupt-shares)
   fi
+  if [[ "$scenario" == recover ]]; then
+    extra+=(--state-dir "$workdir/state.$i" --checkpoint-interval 4)
+  fi
   "$node_bin" "$conf" "$workdir/keys/party-$i.keys" "${node_args[@]}" \
     ${extra[@]+"${extra[@]}"} \
     --out "$workdir/out.$i" \
     --metrics-out "$workdir/metrics.$i.json" \
-    --trace-out "$workdir/trace.$i.jsonl" 2> "$workdir/stats.$i" &
+    --trace-out "$workdir/trace.$i.jsonl" 2>> "$workdir/stats.$i" &
   pids[$i]=$!
+}
+
+echo "== starting $n nodes (scenario: $scenario, channel: $channel)"
+for i in $(seq 0 $((n - 1))); do
+  : > "$workdir/stats.$i"
+  launch_node "$i"
 done
 
 expected=(0 1 2 3)
@@ -131,6 +156,31 @@ if [[ "$scenario" == crash ]]; then
   echo "== crashing node 3 (SIGKILL)"
   kill -9 "${pids[3]}" 2>/dev/null || true
   expected=(0 1 2)
+fi
+
+if [[ "$scenario" == recover ]]; then
+  # Wait for node 3's first *durable* delivery — its replica log is
+  # fsync'd per record, so a nonempty log file is the earliest point
+  # where a SIGKILL leaves state worth recovering.  Killing at the first
+  # record (of 4 * send_count total) guarantees the restart replays a
+  # partial log and must use catch-up, not a persisted final cert.
+  while ! compgen -G "$workdir/state.3/*.log" > /dev/null \
+        || [[ ! -s $(compgen -G "$workdir/state.3/*.log" | head -1) ]]; do
+    if ! kill -0 "${pids[3]}" 2>/dev/null; then
+      echo "FAIL: node 3 died before its first durable delivery" >&2
+      cat "$workdir/stats.3" >&2 || true
+      exit 1
+    fi
+    sleep 0.05
+  done
+  if [[ -e "$workdir/out.3.done" ]]; then
+    echo "FAIL: node 3 completed before the crash point (raise --send)" >&2
+    exit 1
+  fi
+  echo "== crashing node 3 (SIGKILL) and restarting from $workdir/state.3"
+  kill -9 "${pids[3]}" 2>/dev/null || true
+  wait "${pids[3]}" 2>/dev/null || true
+  launch_node 3
 fi
 
 # Everything is localhost; generous deadline for sanitizer builds.
@@ -179,7 +229,12 @@ done
 first="${expected[0]}"
 lines=$(wc -l < "$workdir/out.$first")
 floor=$send_count
-[[ "$scenario" == crash ]] || floor=$(( 2 * send_count ))
+if [[ "$scenario" != crash ]]; then
+  # Conservative: the agreed close can clip the slowest senders' tail
+  # payloads (and in recover, node 3's own sends die with it), so the
+  # floor is well below the n * send_count ideal.
+  floor=$(( 2 * send_count ))
+fi
 if (( lines < floor )); then
   echo "FAIL: only $lines deliveries at node $first (floor $floor)" >&2
   exit 1
@@ -224,12 +279,13 @@ else
   echo "WARN: python3 not found; skipping metrics aggregation" >&2
 fi
 
-metric_total() {
-  # Integer part of a "total <name> <value>" line from the aggregate.
-  echo "$aggregate" | awk -v name="$1" \
+metric_total_in() {
+  # Integer part of a "total <name> <value>" line from aggregate text $2.
+  echo "$2" | awk -v name="$1" \
     '$1 == "total" && $2 == name { split($3, p, "."); print p[1]; found=1 }
      END { if (!found) print 0 }'
 }
+metric_total() { metric_total_in "$1" "$aggregate"; }
 
 if [[ "$scenario" == chaos ]]; then
   if (( retrans == 0 || backoffs == 0 )); then
@@ -263,6 +319,43 @@ if [[ "$scenario" == chaos ]]; then
     wait "$proxy_pid" 2>/dev/null || true
     grep STATS "$workdir/proxy.stats" || true
     proxy_pid=""
+  fi
+fi
+
+if [[ "$scenario" == recover && -n "$aggregate" ]]; then
+  # Group-wide: the survivors must have assembled threshold-signed
+  # checkpoint certificates, and somebody must have noticed node 3's
+  # link-session epoch change (the three survivors adopt its new epoch;
+  # node 3 itself counts stale-echo frames from the dead session).
+  m_certs=$(metric_total recovery.checkpoint_certs)
+  m_resets=$(metric_total recovery.epoch_resets)
+  # Node-3-specific: its own snapshot (written by the restarted
+  # incarnation on exit; the SIGKILLed one leaves no file) must show a
+  # log replay and at least one catch-up request.
+  if [[ ! -s "$workdir/metrics.3.json" ]]; then
+    echo "FAIL: restarted node 3 wrote no metrics snapshot" >&2
+    exit 1
+  fi
+  node3_aggregate="$(python3 "$repo_root/scripts/aggregate_metrics.py" \
+                     "$workdir/metrics.3.json")"
+  m_requests=$(metric_total_in recovery.catchup_requests "$node3_aggregate")
+  m_replayed=$(metric_total_in recovery.replayed_records "$node3_aggregate")
+  echo "== metrics path: recovery.checkpoint_certs=$m_certs recovery.epoch_resets=$m_resets node3:{catchup_requests=$m_requests replayed_records=$m_replayed}"
+  if (( m_certs == 0 )); then
+    echo "FAIL: recover run assembled no checkpoint certificates" >&2
+    exit 1
+  fi
+  if (( m_resets == 0 )); then
+    echo "FAIL: node 3's restart triggered no link epoch resets" >&2
+    exit 1
+  fi
+  if (( m_requests == 0 )); then
+    echo "FAIL: restarted node 3 sent no catch-up requests" >&2
+    exit 1
+  fi
+  if (( m_replayed == 0 )); then
+    echo "FAIL: restarted node 3 replayed nothing from its durable log" >&2
+    exit 1
   fi
 fi
 

@@ -7,6 +7,22 @@
 
 namespace sintra::core {
 
+namespace {
+
+/// Deterministic nonzero fallback epoch for links constructed without an
+/// explicit one (tests, single-boot simulator runs).
+std::uint64_t derived_epoch(int self, int peer) {
+  std::uint64_t x = 0xd1b54a32d192ed03ULL ^
+                    (static_cast<std::uint64_t>(self) << 32) ^
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x == 0 ? 1 : x;
+}
+
+}  // namespace
+
 SlidingWindowLink::SlidingWindowLink(DatagramChannel& channel, int self,
                                      int peer, Bytes link_key,
                                      Options options)
@@ -15,17 +31,21 @@ SlidingWindowLink::SlidingWindowLink(DatagramChannel& channel, int self,
       peer_(peer),
       link_key_(std::move(link_key)),
       options_(options),
+      epoch_(options.epoch != 0 ? options.epoch : derived_epoch(self, peer)),
       jitter_state_(0x9e3779b97f4a7c15ULL ^
                     (static_cast<std::uint64_t>(self) << 32) ^
                     static_cast<std::uint64_t>(peer)) {
   stats_.rto_ms = options_.retransmit_ms;
 }
 
-Bytes SlidingWindowLink::mac(FrameType type, std::uint64_t seq,
+Bytes SlidingWindowLink::mac(FrameType type, std::uint64_t sender_epoch,
+                             std::uint64_t echo, std::uint64_t seq,
                              BytesView body) const {
   // The MAC binds direction: data flows self->peer under (self, peer),
   // our ACKs answer peer->self traffic and are bound to (peer, self)'s
   // receive side with a distinct type byte — no frame can be reflected.
+  // Both session epochs are covered, so neither the sender's epoch nor
+  // the echo can be forged or spliced between sessions.
   Writer w;
   w.u8(static_cast<std::uint8_t>(type));
   if (type == FrameType::kData) {
@@ -35,6 +55,8 @@ Bytes SlidingWindowLink::mac(FrameType type, std::uint64_t seq,
     w.u32(static_cast<std::uint32_t>(peer_));
     w.u32(static_cast<std::uint32_t>(self_));
   }
+  w.u64(sender_epoch);
+  w.u64(echo);
   w.u64(seq);
   w.bytes(body);
   return crypto::hmac(crypto::HashKind::kSha1, link_key_, w.data());
@@ -42,11 +64,16 @@ Bytes SlidingWindowLink::mac(FrameType type, std::uint64_t seq,
 
 Bytes SlidingWindowLink::frame(FrameType type, std::uint64_t seq,
                                BytesView body) const {
+  // Frames are built at transmission time, so a retransmission after the
+  // peer's epoch became known (or changed) automatically carries the
+  // fresh echo.
   Writer w;
   w.u8(static_cast<std::uint8_t>(type));
+  w.u64(epoch_);
+  w.u64(peer_epoch_);
   w.u64(seq);
   w.bytes(body);
-  w.bytes(mac(type, seq, body));
+  w.bytes(mac(type, epoch_, peer_epoch_, seq, body));
   return std::move(w).take();
 }
 
@@ -102,11 +129,7 @@ void SlidingWindowLink::on_timeout() {
   if (in_flight_.empty()) return;
   // Go-back-from-base: retransmit every unacked frame (simple and robust;
   // cumulative ACKs make over-retransmission harmless).
-  for (auto& [seq, entry] : in_flight_) {
-    ++stats_.retransmissions;
-    entry.retransmitted = true;
-    transmit(seq);
-  }
+  retransmit_in_flight();
   // Exponential backoff until the next clean RTT sample: persistent loss
   // (or a dead peer) must not produce a fixed-rate retransmit storm.
   const double backed = stats_.rto_ms * options_.backoff;
@@ -118,6 +141,14 @@ void SlidingWindowLink::on_timeout() {
     ++stats_.backoffs;
   }
   arm_timer();
+}
+
+void SlidingWindowLink::retransmit_in_flight() {
+  for (auto& [seq, entry] : in_flight_) {
+    ++stats_.retransmissions;
+    entry.retransmitted = true;  // Karn's rule: never RTT-sample these
+    transmit(seq);
+  }
 }
 
 void SlidingWindowLink::sample_rtt(double rtt_ms) {
@@ -136,28 +167,107 @@ void SlidingWindowLink::sample_rtt(double rtt_ms) {
                  options_.min_rto_ms, options_.max_rto_ms);
 }
 
+void SlidingWindowLink::reset_session() {
+  // The peer rebooted: its receiver starts at zero and its sender starts
+  // at zero.  Discard the receive position, and renumber everything we
+  // still owe it from zero — in-flight frames (oldest first) rejoin the
+  // head of the queue ahead of never-sent messages, preserving FIFO.
+  expected_ = 0;
+  out_of_order_.clear();
+  for (auto it = in_flight_.rbegin(); it != in_flight_.rend(); ++it) {
+    queue_.push_front(std::move(it->second.message));
+  }
+  in_flight_.clear();
+  next_seq_ = 0;
+  base_ = 0;
+  pump();
+}
+
+bool SlidingWindowLink::accept_epochs(std::uint64_t sender_epoch,
+                                      std::uint64_t echo) {
+  // Runs only on authenticated frames: every value here was covered by a
+  // MAC under the pairwise key, so a forger cannot reach this logic and
+  // a replayer can only present epochs that genuinely existed.
+  if (std::find(retired_.begin(), retired_.end(), sender_epoch) !=
+      retired_.end()) {
+    ++stats_.drop_epoch;  // replayed frame from a dead session
+    return false;
+  }
+  if (peer_epoch_ == 0) {
+    // First authenticated contact this boot: adopt, nothing to discard.
+    peer_epoch_ = sender_epoch;
+    retransmit_in_flight();  // anything sent blind now carries the echo
+  } else if (sender_epoch != peer_epoch_) {
+    // The peer restarted.  Retire the dead epoch so its frames can never
+    // be replayed into the new session, and reset the window state.
+    retired_.push_back(peer_epoch_);
+    if (retired_.size() > options_.max_retired_epochs) {
+      retired_.erase(retired_.begin());
+    }
+    peer_epoch_ = sender_epoch;
+    ++stats_.epoch_resets;
+    peer_stale_ = false;
+    reset_session();
+  }
+  if (echo != epoch_) {
+    // The peer has not yet seen our current epoch.  echo == 0 is benign
+    // bootstrap (it never heard us at all); a nonzero stale echo means a
+    // previous incarnation of us held a session with this peer — count
+    // that as a detected reset, once per episode.  Either way the frame
+    // is numbered against state we do not have, so it must not be
+    // applied; the ACK we answer with teaches the peer our epoch.
+    if (echo != 0 && !peer_stale_) {
+      peer_stale_ = true;
+      ++stats_.epoch_resets;
+    }
+    ++stats_.drop_epoch;
+    send_ack();
+    return false;
+  }
+  peer_stale_ = false;
+  return true;
+}
+
 void SlidingWindowLink::on_datagram(BytesView datagram) {
   try {
     Reader r(datagram);
     const auto type = static_cast<FrameType>(r.u8());
+    const std::uint64_t sender_epoch = r.u64();
+    const std::uint64_t echo = r.u64();
     const std::uint64_t seq = r.u64();
     const Bytes body = r.bytes();
     const Bytes tag = r.bytes();
     r.expect_end();
 
+    if (type != FrameType::kData && type != FrameType::kAck) {
+      ++stats_.drop_malformed;  // unknown frame type
+      return;
+    }
+
+    // Peer's data is authenticated under (peer -> self); its ACKs answer
+    // our data and are bound to (self -> peer)'s receive side.
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(type));
     if (type == FrameType::kData) {
-      // Peer's data is authenticated under (peer -> self).
-      Writer w;
-      w.u8(static_cast<std::uint8_t>(FrameType::kData));
       w.u32(static_cast<std::uint32_t>(peer_));
       w.u32(static_cast<std::uint32_t>(self_));
-      w.u64(seq);
-      w.bytes(body);
-      if (!crypto::hmac_verify(crypto::HashKind::kSha1, link_key_, w.data(),
-                               tag)) {
-        ++stats_.drop_auth;  // forged or corrupted
-        return;
-      }
+    } else {
+      w.u32(static_cast<std::uint32_t>(self_));
+      w.u32(static_cast<std::uint32_t>(peer_));
+    }
+    w.u64(sender_epoch);
+    w.u64(echo);
+    w.u64(seq);
+    w.bytes(body);
+    if (!crypto::hmac_verify(crypto::HashKind::kSha1, link_key_, w.data(),
+                             tag)) {
+      ++stats_.drop_auth;  // forged or corrupted (incl. the §3 attack)
+      return;
+    }
+
+    if (!accept_epochs(sender_epoch, echo)) return;
+
+    if (type == FrameType::kData) {
       ++stats_.data_received;
       if (seq < expected_) {
         ++stats_.drop_duplicate;  // already delivered; re-ack below heals
@@ -181,41 +291,23 @@ void SlidingWindowLink::on_datagram(BytesView datagram) {
       return;
     }
 
-    if (type == FrameType::kAck) {
-      // Peer's ACK acknowledges our data, authenticated under
-      // (self -> peer) receive side.
-      Writer w;
-      w.u8(static_cast<std::uint8_t>(FrameType::kAck));
-      w.u32(static_cast<std::uint32_t>(self_));
-      w.u32(static_cast<std::uint32_t>(peer_));
-      w.u64(seq);
-      w.bytes(Bytes{});
-      if (!crypto::hmac_verify(crypto::HashKind::kSha1, link_key_, w.data(),
-                               tag)) {
-        ++stats_.drop_auth;  // forged acknowledgment — the §3 attack
-        return;
-      }
-      ++stats_.acks_received;
-      // Cumulative: everything below `seq` is delivered at the peer.
-      const double now = channel_.now_ms();
-      while (base_ < seq) {
-        const auto it = in_flight_.find(base_);
-        if (it != in_flight_.end()) {
-          // Karn's rule: only frames acknowledged on their first
-          // transmission produce an RTT sample.
-          if (!it->second.retransmitted && now >= 0.0 &&
-              it->second.sent_ms >= 0.0) {
-            sample_rtt(now - it->second.sent_ms);
-          }
-          in_flight_.erase(it);
+    ++stats_.acks_received;
+    // Cumulative: everything below `seq` is delivered at the peer.
+    const double now = channel_.now_ms();
+    while (base_ < seq) {
+      const auto it = in_flight_.find(base_);
+      if (it != in_flight_.end()) {
+        // Karn's rule: only frames acknowledged on their first
+        // transmission produce an RTT sample.
+        if (!it->second.retransmitted && now >= 0.0 &&
+            it->second.sent_ms >= 0.0) {
+          sample_rtt(now - it->second.sent_ms);
         }
-        ++base_;
+        in_flight_.erase(it);
       }
-      pump();
-      return;
+      ++base_;
     }
-
-    ++stats_.drop_malformed;  // unknown frame type
+    pump();
   } catch (const SerdeError&) {
     ++stats_.drop_malformed;  // truncated or unparsable datagram
   }

@@ -25,6 +25,21 @@
 // every expiry, and is jittered to avoid synchronized retransmit storms.
 // Timing never enters protocol logic above the link — it only decides
 // *when to resend*, never *what to deliver*.
+//
+// Session epochs (crash recovery, DESIGN.md §10): each endpoint draws a
+// random per-boot epoch; every frame carries the sender's epoch plus an
+// echo of the last peer epoch it authenticated, both under the MAC.
+// A changed peer epoch on an authenticated frame means the peer
+// restarted: the local window state is discarded (receive position and
+// outgoing numbering restart at zero) instead of treating the fresh
+// process as a replay attacker.  Retired epochs are remembered so
+// replayed frames from a dead session are dropped, and data/ACK frames
+// are only *applied* when their echo matches our current epoch — a
+// sender still numbering against a previous incarnation of us cannot
+// corrupt the fresh window.  Exactly-once FIFO delivery therefore holds
+// per (epoch pair) session; deduplication across restarts belongs to the
+// protocol layers above (delivery keys / the recovery log), as does
+// re-sending payloads the dead process had accepted but not yet flushed.
 #pragma once
 
 #include <deque>
@@ -66,6 +81,14 @@ class SlidingWindowLink {
     double jitter = 0.1;
     /// Hard cap on buffered out-of-order frames (flooding guard).
     std::size_t max_receive_buffer = 1024;
+    /// Per-boot session epoch carried (authenticated) in every frame.
+    /// 0 derives a deterministic nonzero value from (self, peer) — fine
+    /// for tests and single-boot runs; a deployment that wants restart
+    /// detection must pass a fresh random epoch each boot
+    /// (NetEnvironment draws one from std::random_device).
+    std::uint64_t epoch = 0;
+    /// Retired peer epochs remembered for replay rejection.
+    std::size_t max_retired_epochs = 16;
   };
 
   /// Counters and timing state exposed for tests, stats dumps and the
@@ -85,6 +108,15 @@ class SlidingWindowLink {
     std::uint64_t drop_malformed = 0;  // truncated / unparsable / bad type
     std::uint64_t drop_overflow = 0;   // beyond the receive-buffer window
     std::uint64_t drop_duplicate = 0;  // already delivered or buffered
+    /// Authenticated frames not applied for epoch reasons: retired peer
+    /// epoch (dead-session replay) or an echo that is not our current
+    /// epoch (the peer is still numbering against a previous session).
+    std::uint64_t drop_epoch = 0;
+    /// Session resets detected: the peer's epoch changed (it restarted,
+    /// our window state was discarded), or an authenticated frame echoed
+    /// a stale epoch of ours (a previous incarnation of us died) —
+    /// counted once per stale-echo episode, not per frame.
+    std::uint64_t epoch_resets = 0;
   };
 
   /// `link_key` is the dealer's pairwise HMAC key; `self`/`peer` index
@@ -103,6 +135,12 @@ class SlidingWindowLink {
   /// Feeds an incoming datagram (possibly corrupt/forged/duplicated).
   void on_datagram(BytesView datagram);
 
+  /// Sends one (authenticated) ACK frame carrying our current epoch —
+  /// an epoch announcement.  Called at link bring-up so peers learn a
+  /// fresh epoch (and detect a restart) without waiting for data
+  /// traffic; also sent automatically in response to stale-echo frames.
+  void announce() { send_ack(); }
+
   /// In-order exactly-once delivery upcall.
   void set_deliver_callback(std::function<void(Bytes)> cb) {
     deliver_cb_ = std::move(cb);
@@ -120,6 +158,9 @@ class SlidingWindowLink {
   [[nodiscard]] std::size_t backlog() const {
     return queue_.size() + in_flight_.size();
   }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Last authenticated peer epoch (0 until the first frame arrives).
+  [[nodiscard]] std::uint64_t peer_epoch() const { return peer_epoch_; }
 
  private:
   enum class FrameType : std::uint8_t { kData = 1, kAck = 2 };
@@ -130,7 +171,8 @@ class SlidingWindowLink {
     bool retransmitted = false;  // Karn's rule: never RTT-sample these
   };
 
-  [[nodiscard]] Bytes mac(FrameType type, std::uint64_t seq,
+  [[nodiscard]] Bytes mac(FrameType type, std::uint64_t sender_epoch,
+                          std::uint64_t echo, std::uint64_t seq,
                           BytesView body) const;
   [[nodiscard]] Bytes frame(FrameType type, std::uint64_t seq,
                             BytesView body) const;
@@ -141,12 +183,23 @@ class SlidingWindowLink {
   void on_timeout();
   void sample_rtt(double rtt_ms);
   [[nodiscard]] double jittered_rto();
+  /// Epoch bookkeeping for one authenticated frame; returns false when
+  /// the frame must not be applied (retired epoch / stale echo).
+  bool accept_epochs(std::uint64_t sender_epoch, std::uint64_t echo);
+  void reset_session();
+  void retransmit_in_flight();
 
   DatagramChannel& channel_;
   int self_;
   int peer_;
   Bytes link_key_;
   Options options_;
+
+  // Session epochs.
+  std::uint64_t epoch_;
+  std::uint64_t peer_epoch_ = 0;        // 0 = not yet learned
+  std::vector<std::uint64_t> retired_;  // dead peer epochs (replay guard)
+  bool peer_stale_ = false;  // inside a stale-echo episode (counted once)
 
   // Sender state.
   std::deque<Bytes> queue_;                      // not yet assigned a seq

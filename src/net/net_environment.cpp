@@ -1,5 +1,6 @@
 #include "net/net_environment.hpp"
 
+#include <random>
 #include <stdexcept>
 
 #include "core/message.hpp"
@@ -98,6 +99,17 @@ void NetEnvironment::wire_links(const std::vector<core::Endpoint>& endpoints) {
     throw std::invalid_argument(
         "NetEnvironment: send_to count does not match n");
   }
+  core::SlidingWindowLink::Options link_options = options_.link;
+  if (link_options.epoch == 0) {
+    // Fresh random per-boot epoch, shared by all of this party's links
+    // (the MAC binds the peer pair, so sharing is safe).  Deliberately
+    // NOT the party rng: its seed derives from the party id, so a
+    // restarted process would reuse the dead session's epoch and defeat
+    // restart detection.
+    std::random_device rd;
+    link_options.epoch = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    if (link_options.epoch == 0) link_options.epoch = 1;
+  }
   for (int peer = 0; peer < keys_.n; ++peer) {
     if (peer == keys_.index) continue;
     const auto& ep = targets[static_cast<std::size_t>(peer)];
@@ -106,7 +118,7 @@ void NetEnvironment::wire_links(const std::vector<core::Endpoint>& endpoints) {
         static_cast<std::uint32_t>(keys_.index));
     auto link = std::make_unique<core::SlidingWindowLink>(
         *channel, keys_.index, peer,
-        keys_.link_keys[static_cast<std::size_t>(peer)], options_.link);
+        keys_.link_keys[static_cast<std::size_t>(peer)], link_options);
     link->set_deliver_callback([this, peer](Bytes wire) {
       dispatcher_.on_message(peer, std::move(wire));
     });
@@ -124,6 +136,11 @@ void NetEnvironment::wire_links(const std::vector<core::Endpoint>& endpoints) {
   m_messages_sent_ = &reg.counter("net.messages_sent", labels);
   m_bytes_sent_ = &reg.counter("net.bytes_sent", labels);
   dispatcher_.attach_obs(keys_.index, [this] { return loop_.now_ms(); });
+
+  // Announce our epoch so peers detect a restart (and reset their window
+  // state toward us) before any data traffic; UDP may drop these, in
+  // which case the first data frame teaches the epoch instead.
+  for (const auto& [peer, link] : links_) link->announce();
 }
 
 NetEnvironment::~NetEnvironment() { loop_.remove_fd(socket_.fd()); }
@@ -162,7 +179,9 @@ void NetEnvironment::send_all(Bytes wire) {
 
 void NetEnvironment::publish_link_metrics() {
   auto& reg = obs::registry();
+  std::uint64_t epoch_resets_total = 0;
   for (const auto& [peer, link] : links_) {
+    epoch_resets_total += link->stats().epoch_resets;
     const core::SlidingWindowLink::Stats& s = link->stats();
     const obs::Labels labels{{"party", std::to_string(keys_.index)},
                              {"peer", std::to_string(peer)}};
@@ -186,8 +205,16 @@ void NetEnvironment::publish_link_metrics() {
         .set(static_cast<double>(s.drop_overflow));
     reg.gauge("link.drop_duplicate", labels)
         .set(static_cast<double>(s.drop_duplicate));
+    reg.gauge("link.drop_epoch", labels)
+        .set(static_cast<double>(s.drop_epoch));
+    reg.gauge("link.epoch_resets", labels)
+        .set(static_cast<double>(s.epoch_resets));
     reg.gauge("link.backlog", labels).set(static_cast<double>(link->backlog()));
   }
+  // Party-level restart-detection total, under the recovery.* family the
+  // cluster runner asserts on.
+  reg.gauge("recovery.epoch_resets", obs::party_labels(keys_.index))
+      .set(static_cast<double>(epoch_resets_total));
 }
 
 std::size_t NetEnvironment::send_backlog() const {

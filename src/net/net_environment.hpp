@@ -59,6 +59,11 @@ class UdpDatagramChannel final : public core::DatagramChannel {
 };
 
 struct NetOptions {
+  /// Per-peer link options.  When link.epoch is 0 (the default), the
+  /// environment draws one random nonzero per-boot epoch from
+  /// std::random_device and uses it on every link — this is what lets
+  /// peers detect a process restart (DESIGN.md §10); pass an explicit
+  /// epoch only in tests that need reproducible epochs.
   core::SlidingWindowLink::Options link;
   /// Largest accepted incoming datagram; larger ones are dropped and
   /// counted (a sliding-window frame never legitimately exceeds this).

@@ -1,0 +1,63 @@
+#include "recovery/checkpoint.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::recovery {
+
+Bytes chain_init(std::string_view channel_pid) {
+  Writer w;
+  w.str("sintra.recovery.v1");
+  w.str(channel_pid);
+  return crypto::Sha256::hash(w.data());
+}
+
+Bytes chain_next(BytesView prev, std::uint64_t seq, std::uint32_t origin,
+                 BytesView payload) {
+  Writer w;
+  w.bytes(prev);
+  w.u64(seq);
+  w.u32(origin);
+  w.bytes(payload);
+  return crypto::Sha256::hash(w.data());
+}
+
+Bytes checkpoint_statement(std::string_view channel_pid, std::uint64_t seq,
+                           bool final, BytesView digest) {
+  Writer w;
+  w.str("sintra.checkpoint.v1");
+  w.str(channel_pid);
+  w.u64(seq);
+  w.u8(final ? 1 : 0);
+  w.bytes(digest);
+  return std::move(w).take();
+}
+
+Bytes encode_cert(const CheckpointCert& cert) {
+  Writer w;
+  w.u64(cert.seq);
+  w.u8(cert.final ? 1 : 0);
+  w.bytes(cert.digest);
+  w.bytes(cert.sig);
+  return std::move(w).take();
+}
+
+CheckpointCert decode_cert(BytesView raw) {
+  Reader r(raw);
+  CheckpointCert cert;
+  cert.seq = r.u64();
+  cert.final = r.u8() != 0;
+  cert.digest = r.bytes();
+  cert.sig = r.bytes();
+  r.expect_end();
+  return cert;
+}
+
+bool verify_cert(const crypto::ThresholdSigScheme& scheme,
+                 std::string_view channel_pid, const CheckpointCert& cert) {
+  return scheme.verify(
+      checkpoint_statement(channel_pid, cert.seq, cert.final, cert.digest),
+      cert.sig);
+}
+
+}  // namespace sintra::recovery

@@ -1,0 +1,65 @@
+// Threshold-signed checkpoints over the delivery stream (DESIGN.md §10).
+//
+// Each replica chains a running digest over its delivered records:
+//
+//   D_0 = H("sintra.recovery.v1" | channel_pid)
+//   D_s = H(D_{s-1} | s | origin_s | payload_s)
+//
+// Honest replicas of the same atomic channel deliver identical streams,
+// so they compute identical D_s.  Every `checkpoint_interval` deliveries
+// (and once more at channel close, with the `final` flag set) each
+// replica signs the statement (channel, seq, final, D_seq) with its
+// share of the *agreement* threshold scheme (k = n − t: the honest
+// survivors alone always reach it) and broadcasts the share.  Any party
+// holding k shares combines them into a single threshold signature — a
+// self-certifying checkpoint certificate.  A restarted or lagging
+// replica accepts a certificate with ONE threshold verification, instead
+// of collecting and counting t + 1 matching votes; this is exactly the
+// paper's §2.1 use of threshold signatures to compress quorum evidence.
+//
+// The digest chain also authenticates the catch-up payload: a responder
+// ships raw records, and the requester re-chains them from its own
+// position — if the chain lands on the certificate's digest, every
+// record in between is as trustworthy as the certificate itself.
+#pragma once
+
+#include <string_view>
+
+#include "crypto/threshold_sig.hpp"
+#include "util/bytes.hpp"
+
+namespace sintra::recovery {
+
+/// A self-certifying checkpoint: `sig` is a k = n − t threshold signature
+/// on checkpoint_statement(channel_pid, seq, final, digest).
+struct CheckpointCert {
+  std::uint64_t seq = 0;  // deliveries covered: records 1..seq
+  bool final = false;     // set by the close-time checkpoint
+  Bytes digest;           // D_seq of the chain below
+  Bytes sig;
+};
+
+/// D_0: the chain anchor for a channel.
+[[nodiscard]] Bytes chain_init(std::string_view channel_pid);
+
+/// D_s from D_{s-1} and delivered record s.  `origin` is the delivering
+/// channel's origin party (0xFFFFFFFF when the channel hides origins).
+[[nodiscard]] Bytes chain_next(BytesView prev, std::uint64_t seq,
+                               std::uint32_t origin, BytesView payload);
+
+/// The byte string the threshold shares sign.
+[[nodiscard]] Bytes checkpoint_statement(std::string_view channel_pid,
+                                         std::uint64_t seq, bool final,
+                                         BytesView digest);
+
+/// Serialization (checkpoint files and kResponse wire messages).
+[[nodiscard]] Bytes encode_cert(const CheckpointCert& cert);
+/// Throws SerdeError on malformed input.
+[[nodiscard]] CheckpointCert decode_cert(BytesView raw);
+
+/// One threshold verification of the certificate for `channel_pid`.
+[[nodiscard]] bool verify_cert(const crypto::ThresholdSigScheme& scheme,
+                               std::string_view channel_pid,
+                               const CheckpointCert& cert);
+
+}  // namespace sintra::recovery

@@ -1,0 +1,440 @@
+#include "recovery/recovery_manager.hpp"
+
+#include <utility>
+
+#include "util/serde.hpp"
+
+namespace sintra::recovery {
+
+namespace {
+
+Bytes encode_record(const RecoveryManager::Record& rec) {
+  Writer w;
+  w.u64(rec.seq);
+  w.u32(rec.origin);
+  w.bytes(rec.payload);
+  return std::move(w).take();
+}
+
+RecoveryManager::Record decode_record(Reader& r) {
+  RecoveryManager::Record rec;
+  rec.seq = r.u64();
+  rec.origin = r.u32();
+  rec.payload = r.bytes();
+  return rec;
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(core::Environment& env,
+                                 core::Dispatcher& dispatcher,
+                                 std::string channel_pid, StateStore* store,
+                                 Options options)
+    : Protocol(env, dispatcher, "recovery." + channel_pid),
+      options_(options),
+      channel_pid_(std::move(channel_pid)),
+      store_(store),
+      digest_(chain_init(channel_pid_)) {
+  if (store_ != nullptr) {
+    log_ = std::make_unique<ReplicaLog>(store_->log_path(channel_pid_));
+  }
+  auto& reg = obs::registry();
+  const auto labels = obs::party_labels(env.self());
+  m_log_records_ = &reg.counter("recovery.log_records", labels);
+  m_replayed_ = &reg.counter("recovery.replayed_records", labels);
+  m_log_truncated_ = &reg.counter("recovery.log_truncated", labels);
+  m_requests_ = &reg.counter("recovery.catchup_requests", labels);
+  m_served_ = &reg.counter("recovery.catchup_served", labels);
+  m_fetched_ = &reg.counter("recovery.catchup_records", labels);
+  m_shares_ = &reg.counter("recovery.checkpoint_shares", labels);
+  m_certs_ = &reg.counter("recovery.checkpoint_certs", labels);
+  m_rejected_ = &reg.counter("recovery.rejected", labels);
+  activate();
+}
+
+RecoveryManager::~RecoveryManager() = default;
+
+Bytes RecoveryManager::statement(std::uint64_t seq, bool final,
+                                 BytesView digest) const {
+  return checkpoint_statement(channel_pid_, seq, final, digest);
+}
+
+void RecoveryManager::on_delivered(BytesView payload, int origin) {
+  Record rec;
+  rec.seq = seq_ + 1;
+  rec.origin = origin < 0 ? 0xFFFFFFFFu : static_cast<std::uint32_t>(origin);
+  rec.payload.assign(payload.begin(), payload.end());
+  advance(std::move(rec), Source::kLive);
+  if (options_.checkpoint_interval > 0 &&
+      seq_ % options_.checkpoint_interval == 0) {
+    initiate_checkpoint(seq_, /*final=*/false);
+  }
+}
+
+void RecoveryManager::force_checkpoint(bool final) {
+  initiate_checkpoint(seq_, final);
+}
+
+void RecoveryManager::advance(Record record, Source source) {
+  digest_ = chain_next(digest_, record.seq, record.origin, record.payload);
+  seq_ = record.seq;
+  digests_.push_back(digest_);
+  records_.push_back(std::move(record));
+  const Record& rec = records_.back();
+
+  if (source != Source::kReplay && log_ != nullptr && log_->ok()) {
+    // Durable before acknowledged: the fsync inside append() is what
+    // makes "the replica delivered seq s" survive a SIGKILL.
+    if (log_->append(encode_record(rec))) m_log_records_->inc();
+  }
+  if (source == Source::kReplay) {
+    m_replayed_->inc();
+  } else if (source == Source::kCatchup) {
+    m_fetched_->inc();
+  }
+  if (source != Source::kLive && apply_cb_) apply_cb_(rec);
+
+  // A certificate assembled from shares while we were behind may now be
+  // checkable against our chain.
+  if (const auto it = pending_certs_.find(seq_); it != pending_certs_.end()) {
+    CheckpointCert cert = std::move(it->second);
+    pending_certs_.erase(it);
+    handle_cert(std::move(cert), /*verified=*/true);
+  }
+}
+
+void RecoveryManager::initiate_checkpoint(std::uint64_t seq, bool final) {
+  if (!initiated_.emplace(seq, final).second) return;
+  const Bytes& digest = seq == 0 ? digest_ : digests_[seq - 1];
+  const Bytes stmt = statement(seq, final, digest);
+  Bytes share = env_.keys().sig_agreement->sign_share(stmt);
+  m_shares_->inc();
+
+  Writer w;
+  w.u8(kShare);
+  w.u64(seq);
+  w.u8(final ? 1 : 0);
+  w.bytes(digest);
+  w.bytes(share);
+  send_all(w.data());
+
+  // Our own share counts toward k directly (on_message ignores self, so
+  // transports that loop send_all back do not double-add).
+  const ShareKey key{seq, final, digest};
+  add_share(key, env_.self(), std::move(share));
+  try_combine(key);
+}
+
+void RecoveryManager::on_message(core::PartyId from, BytesView payload) {
+  if (from == env_.self()) return;
+  try {
+    Reader r(payload);
+    switch (r.u8()) {
+      case kShare:
+        handle_share(from, r);
+        break;
+      case kRequest:
+        handle_request(from, r);
+        break;
+      case kResponse:
+        handle_response(from, r);
+        break;
+      default:
+        m_rejected_->inc();
+    }
+  } catch (const SerdeError&) {
+    m_rejected_->inc();
+  }
+}
+
+void RecoveryManager::handle_share(core::PartyId from, Reader& r) {
+  ShareKey key;
+  key.seq = r.u64();
+  key.final = r.u8() != 0;
+  key.digest = r.bytes();
+  Bytes share = r.bytes();
+  r.expect_end();
+  add_share(key, from, std::move(share));
+  try_combine(key);
+}
+
+void RecoveryManager::add_share(const ShareKey& key, int signer,
+                                Bytes share) {
+  auto it = shares_.find(key);
+  if (it == shares_.end()) {
+    if (shares_.size() >= options_.max_share_keys) {
+      m_rejected_->inc();  // flood guard: divergent statements bounded
+      return;
+    }
+    it = shares_.emplace(key, std::map<int, Bytes>{}).first;
+  }
+  it->second[signer] = std::move(share);
+}
+
+void RecoveryManager::try_combine(const ShareKey& key) {
+  if (const auto it = cert_history_.find(key.seq);
+      it != cert_history_.end() && (it->second.final || !key.final)) {
+    return;  // already hold a certificate at least this strong
+  }
+  const auto it = shares_.find(key);
+  if (it == shares_.end()) return;
+  auto& scheme = *env_.keys().sig_agreement;
+  if (static_cast<int>(it->second.size()) < scheme.k()) return;
+  const std::vector<std::pair<int, Bytes>> shares(it->second.begin(),
+                                                  it->second.end());
+  // Combine-first fast path: one verification of the assembled signature
+  // replaces k share verifications; bad shares trigger the blacklist
+  // fallback inside combine_checked (see crypto/threshold_sig.hpp).
+  auto checked =
+      scheme.combine_checked(statement(key.seq, key.final, key.digest), shares);
+  if (!checked) return;  // offenders blacklisted; wait for honest shares
+  CheckpointCert cert;
+  cert.seq = key.seq;
+  cert.final = key.final;
+  cert.digest = key.digest;
+  cert.sig = std::move(checked->sig);
+  handle_cert(std::move(cert), /*verified=*/true);
+}
+
+void RecoveryManager::handle_cert(CheckpointCert cert, bool verified) {
+  if (!verified &&
+      !verify_cert(*env_.keys().sig_agreement, channel_pid_, cert)) {
+    m_rejected_->inc();
+    return;
+  }
+  if (cert.seq > seq_) {
+    // Can't check its digest against a chain position we haven't reached;
+    // hold it, and let catch-up fetch the records in between.
+    auto& slot = pending_certs_[cert.seq];
+    if (slot.sig.empty() || (cert.final && !slot.final)) slot = cert;
+    if (catchup_active_ && !caught_up_) send_request();
+    return;
+  }
+  const Bytes& ours =
+      cert.seq == 0 ? chain_init(channel_pid_) : digests_[cert.seq - 1];
+  if (ours != cert.digest) {
+    // A valid threshold signature over a digest that is not ours: our
+    // local history diverged from the replicated one (disk corruption in
+    // the already-CRC-valid prefix).  Counted, not adopted.
+    m_rejected_->inc();
+    return;
+  }
+  adopt_cert(cert);
+}
+
+void RecoveryManager::adopt_cert(const CheckpointCert& cert) {
+  const auto it = cert_history_.find(cert.seq);
+  if (it != cert_history_.end() && (it->second.final || !cert.final)) {
+    return;  // duplicate (e.g. combined locally and received via catch-up)
+  }
+  cert_history_[cert.seq] = cert;
+  m_certs_->inc();
+
+  const bool better = !latest_cert_ || cert.seq > latest_cert_->seq ||
+                      (cert.seq == latest_cert_->seq && cert.final &&
+                       !latest_cert_->final);
+  if (better) {
+    latest_cert_ = cert;
+    persist_cert();
+  }
+
+  // Shares for statements this certificate supersedes are dead weight.
+  for (auto sit = shares_.begin(); sit != shares_.end();) {
+    const ShareKey& key = sit->first;
+    const bool covered = key.seq < cert.seq ||
+                         (key.seq == cert.seq && (cert.final || !key.final));
+    sit = covered ? shares_.erase(sit) : ++sit;
+  }
+
+  if (cert.final && cert.seq == seq_ && !caught_up_) {
+    caught_up_ = true;
+    catchup_active_ = false;
+    if (caught_up_cb_) caught_up_cb_();
+  }
+
+  // Event-driven lagger liveness: every new certificate pushes a fresh
+  // chunk to known laggers, so a requester that asked before we had
+  // anything to serve still completes (the final certificate is the
+  // terminal push).
+  const auto laggers = laggers_;
+  for (const auto& [peer, at] : laggers) {
+    (void)at;
+    serve(peer);
+  }
+}
+
+void RecoveryManager::persist_cert() const {
+  if (store_ == nullptr || !latest_cert_) return;
+  store_->save_blob(channel_pid_, encode_cert(*latest_cert_));
+}
+
+void RecoveryManager::handle_request(core::PartyId from, Reader& r) {
+  const std::uint64_t at = r.u64();
+  r.expect_end();
+  laggers_[from] = at;
+  serve(from);
+}
+
+void RecoveryManager::serve(core::PartyId to) {
+  const auto lit = laggers_.find(to);
+  if (lit == laggers_.end() || !latest_cert_) return;
+  const std::uint64_t at = lit->second;
+
+  // Chunks must end exactly on a certificate boundary — that is the only
+  // place the requester can verify the chain it rebuilt.  Extend the
+  // chunk certificate by certificate while it fits the datagram budget;
+  // the first certificate past `at` is always included so progress never
+  // stalls (a single oversized interval would exceed the UDP datagram
+  // cap anyway — keep interval * payload below it).
+  const CheckpointCert* target = nullptr;
+  std::size_t bytes = 0;
+  for (const auto& [seq, cert] : cert_history_) {
+    if (seq <= at) continue;
+    std::size_t extra = 0;
+    for (std::uint64_t s = (target == nullptr ? at : target->seq) + 1;
+         s <= seq; ++s) {
+      extra += 16 + records_[s - 1].payload.size();
+    }
+    if (target != nullptr && bytes + extra > options_.max_response_bytes) {
+      break;
+    }
+    target = &cert;
+    bytes += extra;
+  }
+  if (target == nullptr) {
+    // Nothing newer than `at`; still confirm finality so a fully
+    // caught-up requester learns it can stop.
+    if (latest_cert_->final && latest_cert_->seq == at) {
+      target = &*latest_cert_;
+    } else {
+      return;
+    }
+  }
+
+  Writer w;
+  w.u8(kResponse);
+  w.u8(1);
+  w.bytes(encode_cert(*target));
+  const std::uint64_t first = at + 1;
+  const std::uint32_t count =
+      target->seq >= first
+          ? static_cast<std::uint32_t>(target->seq - first + 1)
+          : 0;
+  w.u32(count);
+  for (std::uint64_t s = first; s <= target->seq; ++s) {
+    w.raw(encode_record(records_[s - 1]));
+  }
+  send_to(to, w.data());
+  m_served_->inc();
+  if (target->final) {
+    laggers_.erase(to);  // terminal push delivered; requester is done
+  } else {
+    lit->second = target->seq;  // push only newer chunks from here on
+  }
+}
+
+void RecoveryManager::handle_response(core::PartyId /*from*/, Reader& r) {
+  if (r.u8() == 0) {
+    r.expect_end();
+    return;
+  }
+  const Bytes cert_raw = r.bytes();
+  CheckpointCert cert = decode_cert(cert_raw);
+  const std::uint32_t count = r.u32();
+  std::vector<Record> incoming;
+  incoming.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    incoming.push_back(decode_record(r));
+  }
+  r.expect_end();
+
+  if (!verify_cert(*env_.keys().sig_agreement, channel_pid_, cert)) {
+    m_rejected_->inc();
+    return;
+  }
+  if (cert.seq <= seq_) {
+    handle_cert(std::move(cert), /*verified=*/true);
+    return;
+  }
+
+  // Rebuild the chain from our position through the shipped records; only
+  // if it lands exactly on the certificate's digest is any of it applied.
+  // A Byzantine responder therefore cannot plant a single fabricated
+  // record, even alongside a genuine certificate.
+  Bytes d = digest_;
+  std::uint64_t s = seq_;
+  std::vector<const Record*> to_apply;
+  for (const Record& rec : incoming) {
+    if (rec.seq <= s) continue;  // overlap with what we already hold
+    if (rec.seq != s + 1) {
+      m_rejected_->inc();
+      return;
+    }
+    d = chain_next(d, rec.seq, rec.origin, rec.payload);
+    s = rec.seq;
+    to_apply.push_back(&rec);
+    if (s == cert.seq) break;
+  }
+  if (s != cert.seq || d != cert.digest) {
+    m_rejected_->inc();
+    return;
+  }
+  for (const Record* rec : to_apply) {
+    advance(*rec, Source::kCatchup);
+  }
+  handle_cert(std::move(cert), /*verified=*/true);
+  if (catchup_active_ && !caught_up_) {
+    send_request();  // progress made; there may be more beyond this chunk
+  }
+}
+
+std::size_t RecoveryManager::replay_local() {
+  if (store_ == nullptr) return 0;
+  const std::string path = store_->log_path(channel_pid_);
+  auto loaded = ReplicaLog::load(path);
+  if (loaded.truncated) {
+    m_log_truncated_->inc();
+    // Cut the torn tail off before any new appends land after it.
+    ReplicaLog::truncate_to(path, loaded.valid_bytes);
+  }
+  std::size_t replayed = 0;
+  for (const Bytes& raw : loaded.records) {
+    try {
+      Reader r(raw);
+      Record rec = decode_record(r);
+      r.expect_end();
+      if (rec.seq != seq_ + 1) break;  // our own log must be gapless
+      advance(std::move(rec), Source::kReplay);
+      ++replayed;
+    } catch (const SerdeError&) {
+      break;  // CRC-valid but unparsable: stop at the damage
+    }
+  }
+  // A previously persisted certificate seeds latest_cert_ (and, when it
+  // was final and the log is complete, completes recovery without the
+  // network).
+  if (const auto blob = store_->load_blob(channel_pid_)) {
+    try {
+      handle_cert(decode_cert(*blob), /*verified=*/false);
+    } catch (const SerdeError&) {
+      m_rejected_->inc();
+    }
+  }
+  return replayed;
+}
+
+void RecoveryManager::start_catchup() {
+  if (caught_up_) return;
+  catchup_active_ = true;
+  send_request();
+}
+
+void RecoveryManager::send_request() {
+  Writer w;
+  w.u8(kRequest);
+  w.u64(seq_);
+  send_all(w.data());
+  m_requests_->inc();
+}
+
+}  // namespace sintra::recovery

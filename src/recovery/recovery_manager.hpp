@@ -1,0 +1,190 @@
+// Crash-recovery manager for one channel (DESIGN.md §10).
+//
+// SINTRA's protocols assume crash-*stop*: a correct replica never loses
+// state.  This layer restores that abstraction for processes that do
+// crash and come back.  Per channel it maintains:
+//
+//   - the durable replica log (replica_log.hpp): every delivery is
+//     appended (seq, origin, payload) and fsync'd before the manager
+//     acknowledges it;
+//   - the digest chain and threshold-signed checkpoint certificates
+//     (checkpoint.hpp): every `checkpoint_interval` deliveries — and
+//     once more, flagged `final`, when the channel closes — shares are
+//     exchanged and combined into a self-certifying certificate;
+//   - the catch-up protocol: a restarted or lagging replica replays its
+//     local log, then broadcasts a request carrying its position; peers
+//     respond with (certificate, record range) chunks.  The requester
+//     verifies the certificate with ONE threshold verification (no t+1
+//     vote counting), re-chains the shipped records from its own digest,
+//     and applies them only if the chain lands exactly on the
+//     certificate's digest.  It is caught up when it applies a `final`
+//     certificate.
+//
+// Liveness without timers: protocols here are message-driven, so the
+// requester re-requests only after making progress, and responders
+// remember laggers and push a fresh chunk whenever a new certificate is
+// assembled — the close-time final certificate guarantees every lagger
+// eventually receives a terminal push.
+//
+// Wiring: the owner hooks the channel's deliver callback to
+// on_delivered() and its closed callback to force_checkpoint(true);
+// apply/caught-up callbacks feed replayed and fetched records back into
+// the application (see examples/sintra_node.cpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/replica_log.hpp"
+#include "recovery/state_store.hpp"
+
+namespace sintra::recovery {
+
+class RecoveryManager : public core::Protocol {
+ public:
+  struct Options {
+    /// Checkpoint every this many deliveries (plus the final one).
+    std::uint64_t checkpoint_interval = 8;
+    /// Soft cap on the record bytes in one catch-up response — links do
+    /// not fragment, so a response must fit one datagram (at least one
+    /// record is always sent, so progress never stalls).
+    std::size_t max_response_bytes = 32 * 1024;
+    /// Flood guard on buffered checkpoint-share statements.
+    std::size_t max_share_keys = 1024;
+  };
+
+  /// One delivered record of the channel's totally-ordered stream.
+  /// `seq` is 1-based position in the stream (not the channel's
+  /// per-origin sequence); `origin` is 0xFFFFFFFF when unknown.
+  struct Record {
+    std::uint64_t seq = 0;
+    std::uint32_t origin = 0xFFFFFFFFu;
+    Bytes payload;
+  };
+
+  /// `store` may be null (in-memory only: no log, no snapshots — the
+  /// digest chain, checkpoints and catch-up still work).
+  RecoveryManager(core::Environment& env, core::Dispatcher& dispatcher,
+                  std::string channel_pid, StateStore* store,
+                  Options options);
+  ~RecoveryManager() override;
+
+  /// Applied to every record that did not come from the live channel:
+  /// local-log replays and records fetched by catch-up.
+  void set_apply_callback(std::function<void(const Record&)> cb) {
+    apply_cb_ = std::move(cb);
+  }
+  /// Fired once, when a `final` certificate covering our whole chain is
+  /// adopted (the catch-up terminal condition).
+  void set_caught_up_callback(std::function<void()> cb) {
+    caught_up_cb_ = std::move(cb);
+  }
+
+  /// Normal path: the channel delivered `payload`.  Appends to the log
+  /// (fsync'd), advances the chain, and initiates a checkpoint at every
+  /// interval boundary.
+  void on_delivered(BytesView payload, int origin);
+
+  /// Signs and broadcasts a checkpoint share at the current position.
+  /// The channel-closed callback calls this with final = true.
+  void force_checkpoint(bool final);
+
+  /// Recovery path, step 1: replay the local log through the apply
+  /// callback (validating and advancing the digest chain).  Returns the
+  /// number of records replayed.  Must run before any catch-up records
+  /// arrive; call start_catchup() immediately after.
+  std::size_t replay_local();
+
+  /// Recovery path, step 2: broadcast a catch-up request from the
+  /// current position, and keep requesting (on progress) until a final
+  /// certificate is reached.
+  void start_catchup();
+
+  [[nodiscard]] std::uint64_t delivered_seq() const { return seq_; }
+  [[nodiscard]] bool caught_up() const { return caught_up_; }
+  [[nodiscard]] const std::optional<CheckpointCert>& latest_cert() const {
+    return latest_cert_;
+  }
+
+ protected:
+  void on_message(core::PartyId from, BytesView payload) override;
+
+ private:
+  enum MsgType : std::uint8_t { kShare = 1, kRequest = 2, kResponse = 3 };
+
+  /// Share statements are buffered per (seq, final, digest): Byzantine
+  /// parties may sign divergent digests, which must not mix.
+  struct ShareKey {
+    std::uint64_t seq;
+    bool final;
+    Bytes digest;
+    bool operator<(const ShareKey& o) const {
+      if (seq != o.seq) return seq < o.seq;
+      if (final != o.final) return final < o.final;
+      return digest < o.digest;
+    }
+  };
+
+  /// Where a record came from decides its side effects: live channel
+  /// deliveries are logged (the app already saw them); local-log replays
+  /// are applied upward (already on disk); catch-up fetches are both.
+  enum class Source { kLive, kReplay, kCatchup };
+
+  void advance(Record record, Source source);
+  void initiate_checkpoint(std::uint64_t seq, bool final);
+  void handle_share(core::PartyId from, Reader& r);
+  void add_share(const ShareKey& key, int signer, Bytes share);
+  void try_combine(const ShareKey& key);
+  /// `verified` = the signature has already been checked (local combine).
+  void handle_cert(CheckpointCert cert, bool verified);
+  void adopt_cert(const CheckpointCert& cert);
+  void handle_request(core::PartyId from, Reader& r);
+  void serve(core::PartyId to);
+  void handle_response(core::PartyId from, Reader& r);
+  void send_request();
+  void persist_cert() const;
+  [[nodiscard]] Bytes statement(std::uint64_t seq, bool final,
+                                BytesView digest) const;
+
+  Options options_;
+  std::string channel_pid_;
+  StateStore* store_;                  // may be null
+  std::unique_ptr<ReplicaLog> log_;    // open for append (when store_)
+
+  // The totally-ordered stream as applied locally.
+  std::uint64_t seq_ = 0;
+  Bytes digest_;                        // D_seq_
+  std::vector<Record> records_;         // records_[s-1] has seq s
+  std::vector<Bytes> digests_;          // digests_[s-1] = D_s
+  bool caught_up_ = false;
+  bool catchup_active_ = false;
+
+  std::optional<CheckpointCert> latest_cert_;
+  std::map<std::uint64_t, CheckpointCert> cert_history_;   // adopted, by seq
+  std::map<std::uint64_t, CheckpointCert> pending_certs_;  // beyond seq_
+  std::map<ShareKey, std::map<int, Bytes>> shares_;
+  std::set<std::pair<std::uint64_t, bool>> initiated_;  // (seq, final)
+  std::map<core::PartyId, std::uint64_t> laggers_;      // peer -> its seq
+
+  std::function<void(const Record&)> apply_cb_;
+  std::function<void()> caught_up_cb_;
+
+  // Instrumentation (docs/OBSERVABILITY.md `recovery.*`).
+  obs::Counter* m_log_records_ = nullptr;
+  obs::Counter* m_replayed_ = nullptr;
+  obs::Counter* m_log_truncated_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_served_ = nullptr;
+  obs::Counter* m_fetched_ = nullptr;
+  obs::Counter* m_shares_ = nullptr;
+  obs::Counter* m_certs_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+};
+
+}  // namespace sintra::recovery

@@ -1,0 +1,66 @@
+// Durable replica log: an append-only, CRC-framed, fsync'd stream of
+// opaque records (DESIGN.md §10).
+//
+// Every frame is `u32 length | u32 crc32(payload) | payload` (big-endian,
+// matching the wire serde).  Appends are flushed with fsync before they
+// are reported durable, so a record the caller saw acknowledged survives
+// SIGKILL and power loss.  A crash *during* an append can leave a torn
+// final frame; load() therefore returns the longest valid prefix and a
+// `truncated` flag instead of failing — the recovery layer replays the
+// prefix and fetches the rest from its peers (the catch-up protocol),
+// after truncating the file back to the valid prefix so later appends
+// extend a well-formed log.
+//
+// The CRC is crash-consistency framing only, not authentication: the log
+// is this replica's private state.  Records fetched from *other* replicas
+// are authenticated by the threshold-signed checkpoint digest chain
+// before they are ever appended here (recovery_manager.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sintra::recovery {
+
+class ReplicaLog {
+ public:
+  /// Largest accepted record; a corrupt length field must not trigger a
+  /// giant allocation.
+  static constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+  struct LoadResult {
+    std::vector<Bytes> records;  // longest valid prefix, in append order
+    std::size_t valid_bytes = 0;  // file offset the prefix ends at
+    bool truncated = false;       // a torn/corrupt tail was discarded
+  };
+
+  /// Parses the log at `path`.  A missing file is an empty, non-truncated
+  /// log (first boot).
+  static LoadResult load(const std::string& path);
+
+  /// Shrinks the file to `len` bytes (discarding a corrupt tail found by
+  /// load()).  Returns false on I/O failure.
+  static bool truncate_to(const std::string& path, std::size_t len);
+
+  /// Opens `path` for appending (creating it if needed).  Check ok().
+  explicit ReplicaLog(std::string path);
+  ~ReplicaLog();
+
+  ReplicaLog(const ReplicaLog&) = delete;
+  ReplicaLog& operator=(const ReplicaLog&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  /// Appends one framed record and fsyncs.  Returns false (filling
+  /// `error` when given) on any failure; the log is then unusable for
+  /// further appends but its on-disk prefix remains valid.
+  bool append(BytesView record, std::string* error = nullptr);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace sintra::recovery

@@ -1,0 +1,59 @@
+#include "recovery/state_store.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/atomic_file.hpp"
+
+namespace sintra::recovery {
+
+StateStore::StateStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best effort; opens fail loudly later
+  while (dir_.size() > 1 && dir_.back() == '/') dir_.pop_back();
+}
+
+std::uint64_t StateStore::bump_boot() {
+  const std::string path = dir_ + "/boot";
+  std::uint64_t boot = 0;
+  if (std::ifstream in(path); in) {
+    in >> boot;
+    if (!in) boot = 0;  // unreadable counter: treat as fresh
+  }
+  ++boot;
+  util::atomic_write_file(path, std::to_string(boot) + "\n");
+  return boot;
+}
+
+std::string StateStore::path_for(std::string_view name,
+                                 std::string_view suffix) const {
+  std::string file;
+  file.reserve(name.size());
+  for (const char c : name) {
+    file.push_back(
+        std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '.'
+            ? c
+            : '_');
+  }
+  return dir_ + "/" + file + std::string(suffix);
+}
+
+std::string StateStore::log_path(std::string_view name) const {
+  return path_for(name, ".log");
+}
+
+bool StateStore::save_blob(std::string_view name, BytesView blob,
+                           std::string* error) const {
+  return util::atomic_write_file(path_for(name, ".snap"), blob, error);
+}
+
+std::optional<Bytes> StateStore::load_blob(std::string_view name) const {
+  std::ifstream in(path_for(name, ".snap"), std::ios::binary);
+  if (!in) return std::nullopt;
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+}  // namespace sintra::recovery

@@ -1,0 +1,46 @@
+// Per-replica durable state directory (DESIGN.md §10).
+//
+// Owns the layout of `--state-dir`: the replica log, checkpoint
+// certificate snapshots, and a boot counter.  Snapshots go through
+// util::atomic_write_file, so a reader (or the next boot) only ever sees
+// a complete file.  The boot counter is bumped *before* anything else on
+// startup — a second boot from the same directory is how a process knows
+// it is a restart and must enter recovery, robust even when the first
+// boot crashed before writing its first log record.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace sintra::recovery {
+
+class StateStore {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  explicit StateStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Increments and durably persists the boot counter; returns the new
+  /// value (1 on the first boot from a fresh directory).
+  std::uint64_t bump_boot();
+
+  /// Path of the replica log for `name` (a channel pid; sanitized).
+  [[nodiscard]] std::string log_path(std::string_view name) const;
+
+  /// Atomic snapshot of a named blob (checkpoint certificates).
+  bool save_blob(std::string_view name, BytesView blob,
+                 std::string* error = nullptr) const;
+  [[nodiscard]] std::optional<Bytes> load_blob(std::string_view name) const;
+
+ private:
+  [[nodiscard]] std::string path_for(std::string_view name,
+                                     std::string_view suffix) const;
+
+  std::string dir_;
+};
+
+}  // namespace sintra::recovery

@@ -7,11 +7,13 @@
 
 namespace sintra::sim {
 
-Node::Node(Simulator& sim, int id, crypto::PartyKeys keys)
+Node::Node(Simulator& sim, int id, crypto::PartyKeys keys,
+           std::uint64_t boot)
     : sim_(sim),
       id_(id),
       keys_(std::move(keys)),
-      rng_(0x90de ^ (static_cast<std::uint64_t>(id) << 20)) {
+      rng_(0x90de ^ (static_cast<std::uint64_t>(id) << 20) ^
+           ((boot - 1) << 44)) {
   // Same instrumentation surface as the real-network stack; timestamps
   // use the node's virtual clock.
   dispatcher_.attach_obs(id, [this] { return now_ms(); });
@@ -55,10 +57,21 @@ Simulator::Simulator(Topology topology, const crypto::Deal& deal,
   // identical virtual timings.
   crypto::bump_cache_epoch();
   nodes_.reserve(deal.parties.size());
+  boots_.assign(deal.parties.size(), 1);
   for (int i = 0; i < topology_.n(); ++i) {
     nodes_.push_back(std::make_unique<Node>(
         *this, i, deal.parties[static_cast<std::size_t>(i)]));
   }
+}
+
+Node& Simulator::restart_node(int i) {
+  if (i < 0 || i >= n())
+    throw std::out_of_range("Simulator::restart_node: bad party");
+  auto& slot = nodes_[static_cast<std::size_t>(i)];
+  crypto::PartyKeys keys = slot->keys_;  // dealer keys survive the crash
+  const std::uint64_t boot = ++boots_[static_cast<std::size_t>(i)];
+  slot = std::make_unique<Node>(*this, i, std::move(keys), boot);
+  return *slot;
 }
 
 void Simulator::schedule(double time_ms, std::function<void()> fn) {

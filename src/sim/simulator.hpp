@@ -32,7 +32,11 @@ class Simulator;
 /// simulator and owns the party's dispatcher and key material.
 class Node final : public core::Environment {
  public:
-  Node(Simulator& sim, int id, crypto::PartyKeys keys);
+  /// `boot` salts the party's deterministic rng so a restarted incarnation
+  /// (Simulator::restart_node) draws a fresh-but-reproducible stream;
+  /// boot 1 reproduces the historical seeds exactly.
+  Node(Simulator& sim, int id, crypto::PartyKeys keys,
+       std::uint64_t boot = 1);
 
   [[nodiscard]] core::PartyId self() const override { return id_; }
   [[nodiscard]] int n() const override;
@@ -91,6 +95,21 @@ class Simulator {
   /// Runs until pred() is true.  Returns false if the queue drained or the
   /// deadline passed first.
   bool run_until(const std::function<bool()>& pred, double deadline_ms);
+
+  /// Crash recovery (DESIGN.md §10): replaces party `i` with a fresh
+  /// incarnation holding the same dealer keys but reset protocol state
+  /// and a boot-salted rng — the deterministic analogue of SIGKILL plus
+  /// process restart.  The caller must have dropped every protocol bound
+  /// to the old incarnation first (they hold references into it); events
+  /// already queued for party `i` run against the new node, exactly like
+  /// datagrams arriving at a rebooted host.  Works whether or not the old
+  /// node was crash()ed.
+  Node& restart_node(int i);
+
+  /// How many incarnations party `i` has had (1 = never restarted).
+  [[nodiscard]] std::uint64_t boots(int i) const {
+    return boots_.at(static_cast<std::size_t>(i));
+  }
 
   /// Adversarial injection: raw wire bytes appear to come from `from`
   /// (the adversary holds corrupted parties' link keys; see
@@ -154,6 +173,7 @@ class Simulator {
 
   Topology topology_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::uint64_t> boots_;
   std::vector<std::unique_ptr<DatagramService>> datagram_services_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   double now_ms_ = 0.0;

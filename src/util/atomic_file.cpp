@@ -1,0 +1,82 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace sintra::util {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, BytesView content,
+                       std::string* error) {
+  // Per-pid temp name: concurrent writers of the same target cannot
+  // clobber each other's partial data, and the final rename still
+  // serializes to one complete winner.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "open " + tmp);
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "write " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The data must be durable *before* the rename publishes it, or a
+  // power cut could leave a fully-renamed file with missing bytes.
+  if (::fsync(fd) != 0) {
+    set_error(error, "fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "close " + tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Persist the directory entry as well (the rename itself).
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best effort; some filesystems refuse directory fsync
+    ::close(dfd);
+  }
+  return true;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view content,
+                       std::string* error) {
+  return atomic_write_file(
+      path,
+      BytesView(reinterpret_cast<const std::uint8_t*>(content.data()),
+                content.size()),
+      error);
+}
+
+}  // namespace sintra::util

@@ -1,0 +1,29 @@
+// Atomic whole-file replacement: write to a temporary sibling, fsync it,
+// rename() over the target, fsync the directory.
+//
+// rename() within one filesystem is atomic, so a reader (or a process
+// restarted after SIGKILL) only ever observes either the old complete
+// file or the new complete file — never a torn prefix.  Every snapshot
+// the stack persists (metrics snapshots, .done completion markers, the
+// recovery layer's checkpoint certificates) goes through this helper so
+// that a crash mid-write cannot leave output that *looks* finished but
+// is not.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace sintra::util {
+
+/// Atomically replaces `path` with `content`.  Returns false (and fills
+/// `error` when given) on any I/O failure; the target is then untouched
+/// except possibly for a leftover `<path>.tmp.<pid>` sibling.
+bool atomic_write_file(const std::string& path, BytesView content,
+                       std::string* error = nullptr);
+
+/// Convenience overload for text content.
+bool atomic_write_file(const std::string& path, std::string_view content,
+                       std::string* error = nullptr);
+
+}  // namespace sintra::util

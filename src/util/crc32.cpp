@@ -1,0 +1,43 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace sintra::util {
+
+namespace {
+
+// Table for the reflected IEEE polynomial 0xEDB88320, built once.
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = [] {
+    std::array<std::uint32_t, 256> out{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      out[i] = c;
+    }
+    return out;
+  }();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, BytesView data) {
+  const auto& t = table();
+  for (const std::uint8_t byte : data) {
+    state = t[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(BytesView data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace sintra::util

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for storage framing.
+//
+// The durable replica log (recovery/replica_log.hpp) frames every record
+// with a CRC so a crash mid-append — or a flipped bit on disk — is
+// detected at load time instead of being replayed as protocol state.
+// This is crash-consistency framing, not cryptography: integrity against
+// an *adversary* with disk access is out of scope (the state directory is
+// trusted exactly like the dealer key file next to it).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sintra::util {
+
+/// One-shot CRC-32 of `data` (initial value 0xFFFFFFFF, final xor-out).
+std::uint32_t crc32(BytesView data);
+
+/// Streaming form: feed `crc32_update` with the running value, starting
+/// from crc32_init(), and finish with crc32_final().
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, BytesView data);
+std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace sintra::util

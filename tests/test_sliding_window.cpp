@@ -46,6 +46,14 @@ struct LinkPair {
         [this](Bytes m) { delivered_at_a.push_back(to_string(m)); });
     b.set_deliver_callback(
         [this](Bytes m) { delivered_at_b.push_back(to_string(m)); });
+    // Epoch bootstrap, as NetEnvironment does on startup: exchange
+    // announcements so both ends know the peer's session epoch and
+    // manually-fed frames below are numbered against a known session.
+    a.announce();
+    b.announce();
+    shuttle();
+    ca.sent.clear();
+    cb.sent.clear();
   }
 
   // Moves all queued datagrams in both directions until quiescent.
@@ -153,7 +161,9 @@ TEST(SlidingWindow, ForgedAcknowledgmentsRejected) {
   lp.ca.sent.clear();  // data lost
   // Attacker forges an ACK frame for seq 1 without the key.
   Writer w;
-  w.u8(2);  // kAck
+  w.u8(2);           // kAck
+  w.u64(lp.b.epoch());  // even genuine-looking epochs don't help
+  w.u64(lp.a.epoch());
   w.u64(1);
   w.bytes(Bytes{});
   w.bytes(Bytes(20, 0x42));  // bogus MAC
@@ -169,6 +179,8 @@ TEST(SlidingWindow, ForgedDataRejected) {
   LinkPair lp;
   Writer w;
   w.u8(1);  // kData
+  w.u64(lp.a.epoch());
+  w.u64(lp.b.epoch());
   w.u64(0);
   w.bytes(to_bytes("evil"));
   w.bytes(Bytes(20, 0x13));
@@ -213,8 +225,9 @@ TEST(SlidingWindowStats, BitFlippedFrameCountedAuthFailure) {
   lp.a.send(to_bytes("integrity"));
   ASSERT_FALSE(lp.ca.sent.empty());
   const Bytes genuine = lp.ca.sent[0];
-  // Flip one bit in the body (offset 13 = past type/seq/length header)
-  // and one in the MAC: both must fail verification, not parsing.
+  // Flip one bit in the epoch-echo field (offset 13 = inside the echo,
+  // past the type and sender-epoch header) and one in the MAC: both must
+  // fail verification, not parsing — the epochs are MAC-covered.
   for (const std::size_t at : {std::size_t{13}, genuine.size() - 1}) {
     Bytes flipped = genuine;
     flipped[at] ^= 0x01;
@@ -232,12 +245,16 @@ TEST(SlidingWindowStats, ForgedMacCountedAuthFailureBothFrameTypes) {
   LinkPair lp;
   Writer data;
   data.u8(1);  // kData
+  data.u64(lp.a.epoch());
+  data.u64(lp.b.epoch());
   data.u64(0);
   data.bytes(to_bytes("evil"));
   data.bytes(Bytes(20, 0x13));
   lp.b.on_datagram(data.data());
   Writer ack;
   ack.u8(2);  // kAck
+  ack.u64(lp.b.epoch());
+  ack.u64(lp.a.epoch());
   ack.u64(7);
   ack.bytes(Bytes{});
   ack.bytes(Bytes(20, 0x42));
@@ -248,6 +265,8 @@ TEST(SlidingWindowStats, ForgedMacCountedAuthFailureBothFrameTypes) {
   EXPECT_EQ(lp.a.acked_seq(), 0u);  // the forged ACK moved nothing
   Writer unknown;
   unknown.u8(9);  // not a frame type
+  unknown.u64(0);
+  unknown.u64(0);
   unknown.u64(0);
   unknown.bytes(Bytes{});
   unknown.bytes(Bytes(20, 0x00));
@@ -285,6 +304,131 @@ TEST(SlidingWindowStats, FramesBeyondReceiveBufferCountedOverflow) {
   EXPECT_EQ(lp.delivered_at_b[3], "f3");
 }
 
+// --- Link-session epochs: restart detection, session reset, and
+// rejection of frames replayed from a dead session (DESIGN.md §10) ---
+
+TEST(SlidingWindowEpoch, EpochsAreNonzeroAndLearnedOnBootstrap) {
+  SlidingWindowLink::Options opts;
+  opts.epoch = 42;
+  ScriptedChannel ch;
+  SlidingWindowLink explicit_epoch(ch, 0, 1, to_bytes("0123456789abcdef"),
+                                   opts);
+  EXPECT_EQ(explicit_epoch.epoch(), 42u);
+
+  LinkPair lp;  // derived epochs, announce-synced in the constructor
+  EXPECT_NE(lp.a.epoch(), 0u);
+  EXPECT_NE(lp.b.epoch(), 0u);
+  EXPECT_NE(lp.a.epoch(), lp.b.epoch());  // distinct per direction pair
+  EXPECT_EQ(lp.a.peer_epoch(), lp.b.epoch());
+  EXPECT_EQ(lp.b.peer_epoch(), lp.a.epoch());
+  EXPECT_EQ(lp.a.stats().epoch_resets, 0u);  // clean bootstrap, no reset
+  EXPECT_EQ(lp.b.stats().epoch_resets, 0u);
+}
+
+TEST(SlidingWindowEpoch, PeerRestartResetsSessionAndTrafficResumes) {
+  const Bytes key = to_bytes("0123456789abcdef");
+  ScriptedChannel ca, cb;
+  SlidingWindowLink::Options oa, ob1, ob2;
+  oa.epoch = 111;
+  ob1.epoch = 500;
+  ob2.epoch = 501;  // the reborn process draws a fresh epoch
+
+  SlidingWindowLink a(ca, 0, 1, key, oa);
+  auto b = std::make_unique<SlidingWindowLink>(cb, 1, 0, key, ob1);
+  std::vector<std::string> at_b;
+  b->set_deliver_callback([&](Bytes m) { at_b.push_back(to_string(m)); });
+  auto shuttle = [&] {
+    for (int round = 0; round < 100; ++round) {
+      auto from_a = std::move(ca.sent);
+      ca.sent.clear();
+      auto from_b = std::move(cb.sent);
+      cb.sent.clear();
+      if (from_a.empty() && from_b.empty()) return;
+      for (const auto& d : from_a) b->on_datagram(d);
+      for (const auto& d : from_b) a.on_datagram(d);
+    }
+  };
+
+  a.send(to_bytes("one"));
+  shuttle();
+  EXPECT_EQ(at_b, std::vector<std::string>{"one"});
+  EXPECT_EQ(a.acked_seq(), 1u);
+  EXPECT_EQ(a.peer_epoch(), 500u);
+
+  // B's process is SIGKILLed and restarted: a fresh link with a fresh
+  // epoch and zero window state, same key.  A still believes in the old
+  // session and numbers its next message against it.
+  b = std::make_unique<SlidingWindowLink>(cb, 1, 0, key, ob2);
+  at_b.clear();
+  b->set_deliver_callback([&](Bytes m) { at_b.push_back(to_string(m)); });
+  b->announce();
+  a.send(to_bytes("two"));
+  shuttle();
+
+  // A detected the restart, reset the session, renumbered the in-flight
+  // message from zero, and delivery resumed — exactly once.
+  EXPECT_EQ(at_b, std::vector<std::string>{"two"});
+  EXPECT_EQ(a.peer_epoch(), 501u);
+  EXPECT_EQ(a.stats().epoch_resets, 1u);
+  EXPECT_EQ(a.acked_seq(), 1u);  // renumbered: "two" is seq 0 of the new
+                                 // session, cumulatively acked to 1
+}
+
+TEST(SlidingWindowEpoch, FramesFromDeadSessionRejected) {
+  const Bytes key = to_bytes("0123456789abcdef");
+  ScriptedChannel ca, cb;
+  SlidingWindowLink::Options oa1, oa2, ob;
+  oa1.epoch = 111;
+  oa2.epoch = 222;
+  ob.epoch = 500;
+
+  auto a = std::make_unique<SlidingWindowLink>(ca, 0, 1, key, oa1);
+  SlidingWindowLink b(cb, 1, 0, key, ob);
+  std::vector<std::string> at_b;
+  b.set_deliver_callback([&](Bytes m) { at_b.push_back(to_string(m)); });
+  auto shuttle = [&] {
+    for (int round = 0; round < 100; ++round) {
+      auto from_a = std::move(ca.sent);
+      ca.sent.clear();
+      auto from_b = std::move(cb.sent);
+      cb.sent.clear();
+      if (from_a.empty() && from_b.empty()) return;
+      for (const auto& d : from_a) b.on_datagram(d);
+      for (const auto& d : from_b) a->on_datagram(d);
+    }
+  };
+
+  // Session 1: deliver a frame and keep a verbatim copy (an attacker
+  // recording the wire).
+  a->send(to_bytes("recorded"));
+  ASSERT_FALSE(ca.sent.empty());
+  shuttle();
+  ASSERT_EQ(at_b, std::vector<std::string>{"recorded"});
+
+  a->send(to_bytes("captured-in-flight"));
+  ASSERT_FALSE(ca.sent.empty());
+  const Bytes old_frame = ca.sent[0];
+  ca.sent.clear();  // never arrives; only the attacker holds it
+
+  // A restarts with a new epoch; B adopts it and retires epoch 111.
+  a = std::make_unique<SlidingWindowLink>(ca, 0, 1, key, oa2);
+  a->announce();
+  shuttle();
+  EXPECT_GE(b.stats().epoch_resets, 1u);
+  EXPECT_EQ(b.peer_epoch(), 222u);
+
+  // Replaying the genuine-but-dead frame must not deliver: B's receive
+  // state was reset, so without the epoch check this authenticated frame
+  // (seq 1 of the old numbering) would be accepted as new-session data.
+  at_b.clear();
+  const std::uint64_t drops_before = b.stats().drop_epoch;
+  b.on_datagram(old_frame);
+  EXPECT_TRUE(at_b.empty());
+  EXPECT_EQ(b.stats().drop_epoch, drops_before + 1);
+  EXPECT_EQ(b.stats().drop_auth, 0u);  // it authenticated fine — the
+                                       // epoch, not the MAC, killed it
+}
+
 // --- Adaptive retransmission timeout (RTT sampling, backoff, jitter) ---
 
 /// ScriptedChannel plus a controllable monotonic clock, enabling the
@@ -314,7 +458,21 @@ struct ClockedLinkPair {
 
   explicit ClockedLinkPair(SlidingWindowLink::Options opts = {})
       : a(ca, 0, 1, to_bytes("0123456789abcdef"), opts),
-        b(cb, 1, 0, to_bytes("0123456789abcdef"), opts) {}
+        b(cb, 1, 0, to_bytes("0123456789abcdef"), opts) {
+    // Epoch bootstrap (see LinkPair); announcement ACKs carry seq 0 and
+    // produce no RTT samples, so the estimator stays cold.
+    a.announce();
+    b.announce();
+    for (int round = 0; round < 10; ++round) {
+      auto from_a = std::move(ca.sent);
+      ca.sent.clear();
+      auto from_b = std::move(cb.sent);
+      cb.sent.clear();
+      if (from_a.empty() && from_b.empty()) break;
+      for (const auto& d : from_a) b.on_datagram(d);
+      for (const auto& d : from_b) a.on_datagram(d);
+    }
+  }
 
   /// One message a -> b with the given one-way delay; the ACK returns
   /// after the same delay, so the measured RTT is 2 * delay.
