@@ -97,6 +97,11 @@ struct Args {
   bool corrupt_shares = false;  // Byzantine chaos: emit garbage sig shares
   std::string state_dir;        // durable log + checkpoints (recovery)
   std::uint64_t checkpoint_interval = 8;
+  // Throughput mode (DESIGN.md §11): 0 = keep the channel defaults.
+  int batch_count = 0;        // payloads per signed bundle
+  std::size_t batch_bytes = 0;  // byte cap per bundle
+  int pipeline_depth = 0;     // concurrent rounds in flight
+  int bench_payload_bytes = 0;  // --bench-load: pad payloads to this size
 };
 
 Args parse_args(int argc, char** argv) {
@@ -141,6 +146,29 @@ Args parse_args(int argc, char** argv) {
       a.checkpoint_interval = std::stoull(value());
       if (a.checkpoint_interval == 0) {
         throw std::runtime_error("--checkpoint-interval wants >= 1");
+      }
+    } else if (arg == "--batch-count") {
+      a.batch_count = std::stoi(value());
+      if (a.batch_count < 1) throw std::runtime_error("--batch-count wants >= 1");
+    } else if (arg == "--batch-bytes") {
+      a.batch_bytes = std::stoull(value());
+    } else if (arg == "--pipeline-depth") {
+      a.pipeline_depth = std::stoi(value());
+      if (a.pipeline_depth < 1) {
+        throw std::runtime_error("--pipeline-depth wants >= 1");
+      }
+    } else if (arg == "--bench-load") {
+      // <msgs>x<bytes>: sustained load without a client layer, e.g.
+      // --bench-load 2000x256 sends 2000 padded 256-byte payloads.
+      const std::string v = value();
+      const auto x = v.find('x');
+      if (x == std::string::npos) {
+        throw std::runtime_error("--bench-load wants <msgs>x<bytes>");
+      }
+      a.send_count = std::stoi(v.substr(0, x));
+      a.bench_payload_bytes = std::stoi(v.substr(x + 1));
+      if (a.send_count < 0 || a.bench_payload_bytes < 0) {
+        throw std::runtime_error("--bench-load wants non-negative values");
       }
     } else if (arg == "--via") {
       const std::string v = value();
@@ -337,24 +365,47 @@ class NodeApp {
   }
 
  private:
+  /// Throughput-mode channel configuration from the CLI flags (0 keeps
+  /// the seed defaults: one payload per bundle, one round in flight).
+  [[nodiscard]] core::AtomicChannel::Config channel_config() const {
+    core::AtomicChannel::Config cfg;
+    if (args_.batch_count > 0) cfg.max_batch_count = args_.batch_count;
+    if (args_.batch_bytes > 0) cfg.max_batch_bytes = args_.batch_bytes;
+    if (args_.pipeline_depth > 0) cfg.pipeline_depth = args_.pipeline_depth;
+    return cfg;
+  }
+
   void start_channel() {
     auto& disp = env_->dispatcher();
     const std::string pid = "cluster." + args_.channel;
+    // A node is a long-running process: cap the in-memory delivery log
+    // (the durable record, when wanted, lives in the recovery log).
+    constexpr std::size_t kDeliveryLogCap = 4096;
     if (args_.channel == "atomic") {
-      atomic_ = std::make_unique<core::AtomicChannel>(*env_, disp, pid);
+      atomic_ = std::make_unique<core::AtomicChannel>(*env_, disp, pid,
+                                                      channel_config());
+      atomic_->set_delivery_log_limit(kDeliveryLogCap);
       atomic_->set_deliver_callback(
           [this](const Bytes& payload, core::PartyId origin) {
             record(payload, origin);
             deliver(payload);
+            // The node consumes deliveries via this callback; drain the
+            // pull-style inbox so it cannot grow without bound.
+            while (atomic_->receive()) {
+            }
           });
       atomic_->set_closed_callback([this] { on_closed(); });
       for (int k = 0; k < args_.send_count; ++k) atomic_->send(payload_of(k));
       if (args_.close_after_send) atomic_->close();
     } else if (args_.channel == "secure-atomic") {
-      secure_ = std::make_unique<core::SecureAtomicChannel>(*env_, disp, pid);
+      secure_ = std::make_unique<core::SecureAtomicChannel>(
+          *env_, disp, pid, channel_config());
+      secure_->set_delivery_log_limit(kDeliveryLogCap);
       secure_->set_deliver_callback([this](const Bytes& payload) {
         record(payload, -1);
         deliver(payload);
+        while (secure_->receive()) {
+        }
       });
       secure_->set_closed_callback([this] { on_closed(); });
       for (int k = 0; k < args_.send_count; ++k) secure_->send(payload_of(k));
@@ -402,8 +453,14 @@ class NodeApp {
   }
 
   [[nodiscard]] Bytes payload_of(int k) const {
-    return to_bytes("p" + std::to_string(env_->self()) + ":" +
-                    std::to_string(k));
+    std::string s =
+        "p" + std::to_string(env_->self()) + ":" + std::to_string(k);
+    // --bench-load pads every payload to a fixed size; the unique header
+    // stays, so total-order comparison across nodes still works.
+    if (static_cast<int>(s.size()) < args_.bench_payload_bytes) {
+      s.resize(static_cast<std::size_t>(args_.bench_payload_bytes), '.');
+    }
+    return to_bytes(s);
   }
 
   /// Normal path only: feeds a live channel delivery to the recovery
@@ -507,7 +564,9 @@ int main(int argc, char** argv) {
                  "[--stats] [--metrics-out FILE] [--trace-out FILE] "
                  "[--via host:base_port] [--crypto-threads N] "
                  "[--corrupt-shares] [--state-dir DIR] "
-                 "[--checkpoint-interval K]\n",
+                 "[--checkpoint-interval K] [--batch-count N] "
+                 "[--batch-bytes N] [--pipeline-depth W] "
+                 "[--bench-load MxB]\n",
                  e.what());
     return 2;
   }

@@ -58,11 +58,30 @@ else
   done <<< "$metric_names"
 
   # Trace event names likewise.
-  for event in send recv round_start transition coin_release decide deliver; do
+  for event in send recv round_start transition coin_release decide deliver \
+               park; do
     if ! grep -qF "\`$event\`" "$OBS_DOC"; then
       fail "trace event \"$event\" is not documented in $OBS_DOC"
     fi
   done
+fi
+
+# --- 3. sintra_node flags documented ---------------------------------------
+# Every command-line flag sintra_node parses (the `arg == "--..."`
+# literals) must appear somewhere in README.md, so the deployment
+# walkthrough can't silently drift from the binary.
+NODE_SRC="examples/sintra_node.cpp"
+if [ -f "$NODE_SRC" ]; then
+  node_flags="$(grep -oE '== "--[a-z-]+"' "$NODE_SRC" \
+                | sed -E 's/== "(--[a-z-]+)"/\1/' | sort -u)"
+  if [ -z "$node_flags" ]; then
+    fail "found no flags in $NODE_SRC — check_docs.sh grep drifted"
+  fi
+  while IFS= read -r flag; do
+    if ! grep -qF -- "$flag" README.md; then
+      fail "sintra_node flag \"$flag\" is not documented in README.md"
+    fi
+  done <<< "$node_flags"
 fi
 
 if [ "$failures" -ne 0 ]; then

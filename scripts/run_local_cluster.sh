@@ -6,7 +6,13 @@
 # Usage:
 #   scripts/run_local_cluster.sh [--scenario clean|crash|chaos|recover]
 #                                [--build-dir DIR] [--channel atomic|...]
-#                                [--send N]
+#                                [--send N] [--batch-count N]
+#                                [--pipeline-depth W] [--bench-load MxB]
+#
+# --batch-count / --pipeline-depth enable throughput mode (DESIGN.md
+# §11) on every node; --bench-load MxB replaces --send with a sustained
+# M-message load of B-byte payloads (scripts/bench_e2e.sh --full uses
+# this for a wall-clock cluster datapoint).
 #
 # Scenarios:
 #   clean    all four nodes up, close protocol terminates the channel
@@ -28,16 +34,29 @@ build_dir="$repo_root/build"
 channel=atomic
 send_count=5
 send_count_set=0
+batch_count=""
+pipeline_depth=""
+bench_load=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --scenario)  scenario="$2"; shift 2 ;;
-    --build-dir) build_dir="$2"; shift 2 ;;
-    --channel)   channel="$2"; shift 2 ;;
-    --send)      send_count="$2"; send_count_set=1; shift 2 ;;
+    --scenario)       scenario="$2"; shift 2 ;;
+    --build-dir)      build_dir="$2"; shift 2 ;;
+    --channel)        channel="$2"; shift 2 ;;
+    --send)           send_count="$2"; send_count_set=1; shift 2 ;;
+    --batch-count)    batch_count="$2"; shift 2 ;;
+    --pipeline-depth) pipeline_depth="$2"; shift 2 ;;
+    --bench-load)     bench_load="$2"; shift 2 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
+
+# --bench-load MxB drives the same per-node send loop as --send M, so
+# the ordering floor below keys off M.
+if [[ -n "$bench_load" ]]; then
+  send_count="${bench_load%%x*}"
+  send_count_set=1
+fi
 
 # A recover run must SIGKILL node 3 strictly *mid-run* (after its first
 # durable delivery, before completion); more payloads widen that window.
@@ -92,7 +111,18 @@ conf="$workdir/group.conf"
 echo "== dealing keys (workdir $workdir, ports from $port_base)"
 "$dealer" "$conf" "$workdir/keys" > /dev/null
 
-node_args=(--channel "$channel" --send "$send_count" --stats)
+node_args=(--channel "$channel" --stats)
+if [[ -n "$bench_load" ]]; then
+  node_args+=(--bench-load "$bench_load")
+else
+  node_args+=(--send "$send_count")
+fi
+if [[ -n "$batch_count" ]]; then
+  node_args+=(--batch-count "$batch_count")
+fi
+if [[ -n "$pipeline_depth" ]]; then
+  node_args+=(--pipeline-depth "$pipeline_depth")
+fi
 # Observability: every node writes a metrics snapshot + an event trace;
 # aggregate_metrics.py merges the snapshots into a per-layer breakdown
 # and greppable totals (used below for the chaos assertions).

@@ -162,6 +162,12 @@ void SecureAtomicChannel::flush_ready() {
     obs::emit(obs::EventType::kDeliver, env_.now_ms(), -1, env_.self(), pid(),
               slot.plaintext->size());
     deliveries_.push_back(Delivery{*slot.plaintext, env_.now_ms()});
+    if (delivery_log_limit_ != 0 &&
+        deliveries_.size() >= 2 * delivery_log_limit_) {
+      deliveries_.erase(deliveries_.begin(),
+                        deliveries_.end() -
+                            static_cast<std::ptrdiff_t>(delivery_log_limit_));
+    }
     inbox_.push_back(*slot.plaintext);
     if (deliver_cb_) deliver_cb_(inbox_.back());
     ++next_delivery_;

@@ -70,6 +70,13 @@ class SecureAtomicChannel : public Protocol, public ChannelBase {
     return deliveries_;
   }
 
+  /// Caps the in-memory delivery logs (this channel's and the wrapped
+  /// atomic channel's); 0 = unlimited (the default).
+  void set_delivery_log_limit(std::size_t limit) {
+    delivery_log_limit_ = limit;
+    atomic_->set_delivery_log_limit(limit);
+  }
+
   void set_deliver_callback(std::function<void(const Bytes&)> cb) {
     deliver_cb_ = std::move(cb);
   }
@@ -118,6 +125,7 @@ class SecureAtomicChannel : public Protocol, public ChannelBase {
 
   std::deque<Bytes> inbox_;
   std::vector<Delivery> deliveries_;
+  std::size_t delivery_log_limit_ = 0;  // 0 = unlimited
   std::function<void(const Bytes&)> deliver_cb_;
 
   // Instrumentation handles (obs/metrics.hpp); measurement only.

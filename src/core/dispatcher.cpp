@@ -44,6 +44,8 @@ void Dispatcher::attach_obs(int party, std::function<double()> now_fn) {
       &reg.counter("dispatcher.malformed", obs::party_labels(party));
   obs_early_ =
       &reg.counter("dispatcher.early_buffered", obs::party_labels(party));
+  obs_bytes_moved_ =
+      &reg.counter("dispatcher.bytes_moved", obs::party_labels(party));
   obs_attached_ = true;
 }
 
@@ -60,9 +62,11 @@ Dispatcher::LayerMetrics& Dispatcher::layer_metrics(const std::string& layer) {
 }
 
 void Dispatcher::on_message(PartyId from, BytesView wire) {
-  WireMessage msg;
+  // The payload stays a view into `wire` on the routed fast path; only
+  // early-buffered messages are materialized into owned bytes.
+  WireMessageView msg;
   try {
-    msg = parse_frame(wire);
+    msg = parse_frame_view(wire);
   } catch (const SerdeError&) {
     if (obs_attached_) obs_malformed_->inc();
     return;  // malformed frame from a Byzantine sender: drop
@@ -88,6 +92,7 @@ void Dispatcher::on_message(PartyId from, BytesView wire) {
     // Copy: the handler may unregister itself (protocol termination)
     // while running, which would otherwise destroy it mid-call.
     Handler handler = h->second;
+    if (obs_attached_) obs_bytes_moved_->inc(msg.payload.size());
     if (m != nullptr) {
       // Real CPU time, not environment time: the simulator's virtual
       // clock is frozen inside a handler, and the actual crypto cost is
@@ -106,7 +111,8 @@ void Dispatcher::on_message(PartyId from, BytesView wire) {
   if (retired_.contains(msg.pid)) return;  // finished protocol: drop
   if (buffered_total_ >= kMaxBuffered) return;  // flooding guard
   if (obs_attached_) obs_early_->inc();
-  buffers_[msg.pid].emplace_back(from, std::move(msg.payload));
+  buffers_[msg.pid].emplace_back(from,
+                                 Bytes(msg.payload.begin(), msg.payload.end()));
   ++buffered_total_;
 }
 

@@ -71,6 +71,7 @@ class Dispatcher {
   std::function<double()> obs_now_;
   obs::Counter* obs_malformed_ = nullptr;
   obs::Counter* obs_early_ = nullptr;
+  obs::Counter* obs_bytes_moved_ = nullptr;
   std::map<std::string, LayerMetrics> layer_metrics_;
 };
 

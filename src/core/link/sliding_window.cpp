@@ -78,6 +78,10 @@ Bytes SlidingWindowLink::frame(FrameType type, std::uint64_t seq,
 }
 
 void SlidingWindowLink::send(Bytes message) {
+  send(std::make_shared<const Bytes>(std::move(message)));
+}
+
+void SlidingWindowLink::send(std::shared_ptr<const Bytes> message) {
   queue_.push_back(std::move(message));
   pump();
 }
@@ -98,7 +102,7 @@ void SlidingWindowLink::pump() {
 void SlidingWindowLink::transmit(std::uint64_t seq) {
   const auto it = in_flight_.find(seq);
   if (it == in_flight_.end()) return;
-  channel_.send_datagram(frame(FrameType::kData, seq, it->second.message));
+  channel_.send_datagram(frame(FrameType::kData, seq, *it->second.message));
 }
 
 void SlidingWindowLink::send_ack() {

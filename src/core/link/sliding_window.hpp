@@ -45,6 +45,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "util/bytes.hpp"
 
@@ -132,6 +133,11 @@ class SlidingWindowLink {
   /// Queues a message for reliable in-order delivery to the peer.
   void send(Bytes message);
 
+  /// Shared-buffer variant for broadcast fan-out: the caller frames a
+  /// message once and every per-peer link holds the same immutable buffer
+  /// instead of its own copy (NetEnvironment::send_all).
+  void send(std::shared_ptr<const Bytes> message);
+
   /// Feeds an incoming datagram (possibly corrupt/forged/duplicated).
   void on_datagram(BytesView datagram);
 
@@ -166,7 +172,7 @@ class SlidingWindowLink {
   enum class FrameType : std::uint8_t { kData = 1, kAck = 2 };
 
   struct InFlight {
-    Bytes message;
+    std::shared_ptr<const Bytes> message;
     double sent_ms = -1.0;      // first transmission time (clock units)
     bool retransmitted = false;  // Karn's rule: never RTT-sample these
   };
@@ -202,7 +208,7 @@ class SlidingWindowLink {
   bool peer_stale_ = false;  // inside a stale-echo episode (counted once)
 
   // Sender state.
-  std::deque<Bytes> queue_;                      // not yet assigned a seq
+  std::deque<std::shared_ptr<const Bytes>> queue_;  // not yet assigned a seq
   std::map<std::uint64_t, InFlight> in_flight_;  // seq -> frame state
   std::uint64_t next_seq_ = 0;
   std::uint64_t base_ = 0;  // lowest unacked

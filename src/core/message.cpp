@@ -17,4 +17,12 @@ WireMessage parse_frame(BytesView wire) {
   return out;
 }
 
+WireMessageView parse_frame_view(BytesView wire) {
+  Reader r(wire);
+  WireMessageView out;
+  out.pid = r.str();
+  out.payload = r.raw_view(r.remaining());
+  return out;
+}
+
 }  // namespace sintra::core

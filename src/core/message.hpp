@@ -17,10 +17,21 @@ struct WireMessage {
   Bytes payload;
 };
 
+/// Non-owning parse result: `payload` aliases the wire buffer, so it is
+/// only valid while that buffer lives.  The dispatcher hot path routes
+/// this view straight into the handler instead of copying every payload.
+struct WireMessageView {
+  std::string pid;
+  BytesView payload;
+};
+
 /// Frames payload under a protocol id.
 Bytes frame_message(std::string_view pid, BytesView payload);
 
 /// Parses a frame; throws SerdeError on malformed input.
 WireMessage parse_frame(BytesView wire);
+
+/// Parses a frame without copying the payload out of the wire buffer.
+WireMessageView parse_frame_view(BytesView wire);
 
 }  // namespace sintra::core

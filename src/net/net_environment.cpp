@@ -151,17 +151,7 @@ void NetEnvironment::send(core::PartyId to, Bytes wire) {
   }
   m_messages_sent_->inc();
   m_bytes_sent_->inc(wire.size());
-  if (obs::trace_sink() != nullptr) {
-    // Parsing the frame for its pid costs a copy; only pay it when a
-    // trace is actually attached.
-    try {
-      obs::emit(obs::EventType::kSend, loop_.now_ms(), keys_.index, to,
-                core::parse_frame(wire).pid, wire.size());
-    } catch (const SerdeError&) {
-      obs::emit(obs::EventType::kSend, loop_.now_ms(), keys_.index, to,
-                "<malformed>", wire.size());
-    }
-  }
+  trace_send(to, wire);
   if (to == keys_.index) {
     // Self-delivery stays asynchronous (no reentrancy into protocol
     // handlers), via a zero-delay loop timer.
@@ -173,8 +163,34 @@ void NetEnvironment::send(core::PartyId to, Bytes wire) {
   links_.at(to)->send(std::move(wire));
 }
 
+void NetEnvironment::trace_send(core::PartyId to, BytesView wire) {
+  if (obs::trace_sink() == nullptr) return;
+  try {
+    obs::emit(obs::EventType::kSend, loop_.now_ms(), keys_.index, to,
+              core::parse_frame_view(wire).pid, wire.size());
+  } catch (const SerdeError&) {
+    obs::emit(obs::EventType::kSend, loop_.now_ms(), keys_.index, to,
+              "<malformed>", wire.size());
+  }
+}
+
 void NetEnvironment::send_all(Bytes wire) {
-  for (int j = 0; j < keys_.n; ++j) send(j, wire);
+  // Broadcast fan-out shares one immutable buffer across every per-peer
+  // link (and the self-delivery closure) instead of copying the frame
+  // n times.
+  auto shared = std::make_shared<const Bytes>(std::move(wire));
+  for (int j = 0; j < keys_.n; ++j) {
+    m_messages_sent_->inc();
+    m_bytes_sent_->inc(shared->size());
+    trace_send(j, *shared);
+    if (j == keys_.index) {
+      loop_.call_later(0.0, [this, shared] {
+        dispatcher_.on_message(keys_.index, *shared);
+      });
+      continue;
+    }
+    links_.at(j)->send(shared);
+  }
 }
 
 void NetEnvironment::publish_link_metrics() {

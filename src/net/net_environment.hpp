@@ -150,6 +150,7 @@ class NetEnvironment final : public core::Environment {
   void init_crypto_pool();
   void wire_links(const std::vector<core::Endpoint>& endpoints);
   void on_socket_readable();
+  void trace_send(core::PartyId to, BytesView wire);
 
   EventLoop& loop_;
   UdpSocket socket_;

@@ -13,6 +13,7 @@ const char* event_type_name(EventType type) {
     case EventType::kCoinRelease: return "coin_release";
     case EventType::kDecide: return "decide";
     case EventType::kDeliver: return "deliver";
+    case EventType::kPark: return "park";
   }
   return "unknown";
 }

@@ -32,6 +32,7 @@ enum class EventType : std::uint8_t {
   kCoinRelease, // threshold-coin share released (value = round)
   kDecide,      // agreement decided (value = bit, detail = "r<round>")
   kDeliver,     // atomic broadcast delivered a payload
+  kPark,        // a decided batch parked awaiting earlier rounds (pipelining)
 };
 
 /// Stable lower-case name used in the JSON-lines output.

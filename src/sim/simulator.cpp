@@ -37,9 +37,13 @@ void Node::send(core::PartyId to, Bytes wire) {
 }
 
 void Node::send_all(Bytes wire) {
-  for (int j = 0; j < n(); ++j) {
-    send(j, wire);  // copy per destination
+  // The last destination takes the buffer by move; the simulator still
+  // materializes per-link copies at transmit time (link authentication
+  // rewrites the wire per peer), so this only trims the top-level copy.
+  for (int j = 0; j < n() - 1; ++j) {
+    send(j, wire);
   }
+  if (n() > 0) send(n() - 1, std::move(wire));
 }
 
 Simulator::Simulator(Topology topology, const crypto::Deal& deal,
@@ -115,7 +119,7 @@ void Simulator::transmit(int from, int to, Bytes frame, double depart_ms) {
   bytes_sent_ += frame.size();
   if (trace != nullptr) {
     try {
-      trace->record(depart_ms, from, to, core::parse_frame(frame).pid,
+      trace->record(depart_ms, from, to, core::parse_frame_view(frame).pid,
                     frame.size());
     } catch (const SerdeError&) {
       trace->record(depart_ms, from, to, "<malformed>", frame.size());

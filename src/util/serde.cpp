@@ -71,6 +71,13 @@ Bytes Reader::raw(std::size_t n) {
   return out;
 }
 
+BytesView Reader::raw_view(std::size_t n) {
+  need(n);
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 void Reader::expect_end() const {
   if (!empty()) throw SerdeError("Reader: trailing bytes");
 }

@@ -57,6 +57,10 @@ class Reader {
   std::string str();
   /// Exactly n raw bytes.
   Bytes raw(std::size_t n);
+  /// Exactly n raw bytes as a non-owning view into the input (valid only
+  /// while the underlying buffer lives; hot paths use this to avoid a
+  /// copy per routed frame).
+  BytesView raw_view(std::size_t n);
 
   [[nodiscard]] bool empty() const { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

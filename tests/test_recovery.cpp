@@ -295,14 +295,15 @@ class CrashRecoveryTest : public ::testing::Test {
 
   void run_first_act(Cluster& c, StateStore& store3,
                      const RecoveryManager::Options& opts,
-                     std::size_t crash_after, std::vector<Party>& parties) {
+                     std::size_t crash_after, std::vector<Party>& parties,
+                     const core::AtomicChannel::Config& chan_cfg = {}) {
     for (int i = 0; i < 4; ++i) {
       Party p;
       p.rec = std::make_unique<RecoveryManager>(
           c.sim.node(i), c.sim.node(i).dispatcher(), kPid,
           i == 3 ? &store3 : nullptr, opts);
       p.chan = std::make_unique<core::AtomicChannel>(
-          c.sim.node(i), c.sim.node(i).dispatcher(), kPid);
+          c.sim.node(i), c.sim.node(i).dispatcher(), kPid, chan_cfg);
       parties.push_back(std::move(p));
     }
     for (int i = 0; i < 4; ++i) {
@@ -434,6 +435,36 @@ TEST_F(CrashRecoveryTest, RestartedPartyConvergesDeterministically) {
       recover_party3(c2, store3b, opts, parties2, nullptr);
   EXPECT_EQ(recovered2, recovered);
   EXPECT_EQ(parties2[0].delivered, parties[0].delivered);
+}
+
+TEST_F(CrashRecoveryTest, PipelinedChannelRecoversMidPipeline) {
+  // Throughput mode (DESIGN.md §11): party 3 is SIGKILLed while several
+  // rounds are in flight and bundles carry multiple payloads.  The
+  // durable log + catch-up must still reconstruct the survivors' stream
+  // exactly — recovery keys off the delivered sequence, which stays
+  // strictly round-ordered under pipelining.
+  RecoveryManager::Options opts;
+  opts.checkpoint_interval = 2;
+  core::AtomicChannel::Config chan_cfg;
+  chan_cfg.max_batch_count = 4;
+  chan_cfg.pipeline_depth = 3;
+  Cluster c(4, 1, 23);
+  TempDir dir("crash_pipelined");
+  StateStore store3(dir.str());
+  std::vector<Party> parties;
+  run_first_act(c, store3, opts, /*crash_after=*/2, parties, chan_cfg);
+
+  std::size_t replayed = 0;
+  const std::vector<std::string> recovered =
+      recover_party3(c, store3, opts, parties, &replayed);
+
+  EXPECT_GE(replayed, 2u);
+  EXPECT_EQ(recovered, parties[0].delivered);
+  EXPECT_EQ(parties[1].delivered, parties[0].delivered);
+  EXPECT_EQ(parties[2].delivered, parties[0].delivered);
+  EXPECT_EQ(parties[3].rec->delivered_seq(), kTotal);
+  ASSERT_TRUE(parties[3].rec->latest_cert().has_value());
+  EXPECT_TRUE(parties[3].rec->latest_cert()->final);
 }
 
 TEST_F(CrashRecoveryTest, CorruptedLogFallsBackToCatchup) {
