@@ -1,0 +1,400 @@
+// client_swarm — many-client load driver for the client service layer
+// (DESIGN.md §12): simulates thousands of concurrent service clients
+// against a sintra_node cluster's client lanes, from one process and
+// one UDP socket.
+//
+//   $ ./client_swarm --keys clients.keys --clients 2000 --requests 1
+//         --targets 127.0.0.1:9200,127.0.0.1:9201,127.0.0.1:9202,127.0.0.1:9203
+//
+// Every simulated client is a full ReplicatedServiceClient: it
+// multicasts signed requests to all n replicas, collects t+1 matching
+// reply quorums, retransmits on loss and backs off on kOverloaded.
+// All clients share one socket — replies are routed back by the client
+// id in the reply header — so the swarm scales to tens of thousands of
+// clients without exhausting file descriptors.
+//
+// Modes: closed (each client issues its next request when the previous
+// completes) and open (requests are injected on a fixed per-client
+// schedule regardless of completions).  --ramp-ms spreads client start
+// times so the first instant isn't an artificial thundering herd.
+//
+// Adversarial traffic for CI assertions: --replay N re-sends N already
+// executed request frames byte-for-byte (gateways must answer from the
+// reply cache and count client.dedup_hits), --forge N sends N frames
+// MAC'd with the wrong key (gateways must drop and count
+// client.rejected_auth, and must NOT reply).
+//
+// Exit code 0 iff every request completed with a kOk quorum.  --json-out
+// writes the load summary consumed by scripts/bench_e2e.sh.
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/keys.hpp"
+#include "client/service_client.hpp"
+#include "client/wire.hpp"
+#include "net/event_loop.hpp"
+#include "net/udp.hpp"
+#include "obs/metrics.hpp"
+#include "util/atomic_file.hpp"
+
+using namespace sintra;
+
+namespace {
+
+struct Options {
+  std::string keys_path;
+  std::vector<std::string> targets;  // host:port per replica client lane
+  bool keygen = false;               // write the key file and exit
+  std::uint64_t key_seed = 1;
+  int clients = 100;
+  int requests = 1;        // per client
+  std::string mode = "closed";
+  double rate = 10.0;      // open mode: requests/sec per client
+  double ramp_ms = 500.0;  // client start times spread over this window
+  int payload_bytes = 32;
+  std::uint32_t id_base = 0;
+  int t = 1;
+  double rto_ms = 250.0;
+  int max_attempts = 10;
+  int replay = 0;          // replayed (duplicate) frames to inject
+  int forge = 0;           // wrong-key frames to inject
+  double timeout_s = 120.0;  // whole-run wall-clock cap
+  std::string label = "client_swarm";
+  std::string json_out;
+  std::string metrics_out;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--keys") {
+      o.keys_path = value();
+    } else if (arg == "--keygen") {
+      o.keygen = true;
+    } else if (arg == "--key-seed") {
+      o.key_seed = std::stoull(value());
+    } else if (arg == "--targets") {
+      std::istringstream ss(value());
+      std::string part;
+      while (std::getline(ss, part, ',')) o.targets.push_back(part);
+    } else if (arg == "--clients") {
+      o.clients = std::stoi(value());
+    } else if (arg == "--requests") {
+      o.requests = std::stoi(value());
+    } else if (arg == "--mode") {
+      o.mode = value();
+      if (o.mode != "closed" && o.mode != "open") {
+        throw std::runtime_error("--mode wants closed|open");
+      }
+    } else if (arg == "--rate") {
+      o.rate = std::stod(value());
+    } else if (arg == "--ramp-ms") {
+      o.ramp_ms = std::stod(value());
+    } else if (arg == "--payload-bytes") {
+      o.payload_bytes = std::stoi(value());
+    } else if (arg == "--id-base") {
+      o.id_base = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--t") {
+      o.t = std::stoi(value());
+    } else if (arg == "--rto-ms") {
+      o.rto_ms = std::stod(value());
+    } else if (arg == "--max-attempts") {
+      o.max_attempts = std::stoi(value());
+    } else if (arg == "--replay") {
+      o.replay = std::stoi(value());
+    } else if (arg == "--forge") {
+      o.forge = std::stoi(value());
+    } else if (arg == "--timeout-s") {
+      o.timeout_s = std::stod(value());
+    } else if (arg == "--label") {
+      o.label = value();
+    } else if (arg == "--json-out") {
+      o.json_out = value();
+    } else if (arg == "--metrics-out") {
+      o.metrics_out = value();
+    } else {
+      throw std::runtime_error("unknown option " + arg);
+    }
+  }
+  if (o.keys_path.empty()) throw std::runtime_error("--keys is required");
+  if (o.targets.empty() && !o.keygen) {
+    throw std::runtime_error("--targets is required");
+  }
+  if (o.clients < 1 || o.requests < 1) {
+    throw std::runtime_error("--clients/--requests want >= 1");
+  }
+  return o;
+}
+
+Bytes payload_of(std::uint32_t client_id, int k, int pad) {
+  std::string s = "c" + std::to_string(client_id) + ":" + std::to_string(k);
+  if (static_cast<int>(s.size()) < pad) {
+    s.resize(static_cast<std::size_t>(pad), '.');
+  }
+  return to_bytes(s);
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (static_cast<double>(v.size()) - 1.0) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+class Swarm {
+ public:
+  Swarm(const Options& opts, net::EventLoop& loop)
+      : opts_(opts),
+        loop_(loop),
+        socket_(net::SocketAddress::resolve("0.0.0.0", 0)),
+        table_(client::read_key_file(opts.keys_path)) {
+    for (const std::string& target : opts_.targets) {
+      const auto colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("--targets wants host:port, got " + target);
+      }
+      targets_.push_back(net::SocketAddress::resolve(
+          target.substr(0, colon), std::stoi(target.substr(colon + 1))));
+    }
+    total_ = static_cast<std::uint64_t>(opts_.clients) *
+             static_cast<std::uint64_t>(opts_.requests);
+
+    const int n = static_cast<int>(targets_.size());
+    for (int c = 0; c < opts_.clients; ++c) {
+      const std::uint32_t id = opts_.id_base + static_cast<std::uint32_t>(c);
+      if (!table_.known(id)) {
+        throw std::runtime_error("client id " + std::to_string(id) +
+                                 " not covered by the key file");
+      }
+      client::ReplicatedServiceClient::Options copts;
+      copts.client_id = id;
+      copts.key = table_.key(id);
+      copts.n = n;
+      copts.t = opts_.t;
+      copts.rto_ms = opts_.rto_ms;
+      copts.max_attempts = opts_.max_attempts;
+      client::ReplicatedServiceClient::Hooks hooks;
+      hooks.now_ms = [this] { return loop_.now_ms(); };
+      hooks.send = [this](int replica, const Bytes& dgram) {
+        socket_.send_to(targets_[static_cast<std::size_t>(replica)], dgram);
+      };
+      hooks.call_later = [this](double delay_ms, std::function<void()> fn) {
+        loop_.call_later(delay_ms, std::move(fn));
+      };
+      clients_.push_back(std::make_unique<client::ReplicatedServiceClient>(
+          std::move(copts), std::move(hooks)));
+    }
+
+    loop_.add_fd(socket_.fd(), [this] { on_readable(); });
+  }
+
+  ~Swarm() { loop_.remove_fd(socket_.fd()); }
+
+  void start() {
+    started_ms_ = loop_.now_ms();
+    inject_forged();
+    const double step =
+        opts_.clients > 1 ? opts_.ramp_ms / (opts_.clients - 1) : 0.0;
+    for (int c = 0; c < opts_.clients; ++c) {
+      loop_.call_later(step * c, [this, c] { start_client(c); });
+    }
+    loop_.call_later(opts_.timeout_s * 1000.0, [this] {
+      std::fprintf(stderr, "# swarm: wall-clock timeout\n");
+      loop_.stop();
+    });
+  }
+
+  [[nodiscard]] bool all_ok() const {
+    return completed_ == total_ && rejected_ == 0 && timeouts_ == 0;
+  }
+
+  void report() {
+    const double wall_s = (last_done_ms_ - started_ms_) / 1000.0;
+    std::uint64_t retransmits = 0;
+    for (const auto& c : clients_) retransmits += c->retransmits();
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(3);
+    json << "{\"label\":\"" << opts_.label << "\""
+         << ",\"clients\":" << opts_.clients
+         << ",\"requests\":" << total_
+         << ",\"completed\":" << completed_
+         << ",\"rejected\":" << rejected_
+         << ",\"timeouts\":" << timeouts_
+         << ",\"retransmits\":" << retransmits
+         << ",\"wall_s\":" << wall_s
+         << ",\"requests_per_sec\":"
+         << (wall_s > 0.0 ? static_cast<double>(completed_) / wall_s : 0.0)
+         << ",\"p50_reply_ms\":" << percentile(latencies_, 0.50)
+         << ",\"p99_reply_ms\":" << percentile(latencies_, 0.99) << "}\n";
+    std::fputs(json.str().c_str(), stdout);
+    if (!opts_.json_out.empty()) {
+      util::atomic_write_file(opts_.json_out, json.str());
+    }
+    if (!opts_.metrics_out.empty()) {
+      std::string snap = obs::registry().snapshot().to_json();
+      snap.push_back('\n');
+      util::atomic_write_file(opts_.metrics_out, snap);
+    }
+  }
+
+ private:
+  void start_client(int c) {
+    auto& cl = *clients_[static_cast<std::size_t>(c)];
+    if (opts_.mode == "closed") {
+      submit_next(c, 0);
+    } else {
+      // Open loop: the submission schedule ignores completions; the
+      // client library queues what it cannot yet issue.
+      const double interval = 1000.0 / std::max(0.001, opts_.rate);
+      for (int k = 0; k < opts_.requests; ++k) {
+        loop_.call_later(interval * k, [this, c, k] {
+          auto& cl2 = *clients_[static_cast<std::size_t>(c)];
+          cl2.submit(payload_of(cl2.client_id(), k, opts_.payload_bytes),
+                     [this, c, k](client::ReplicatedServiceClient::Outcome o) {
+                       on_done(c, k, std::move(o));
+                     });
+        });
+      }
+    }
+    (void)cl;
+  }
+
+  void submit_next(int c, int k) {
+    auto& cl = *clients_[static_cast<std::size_t>(c)];
+    cl.submit(payload_of(cl.client_id(), k, opts_.payload_bytes),
+              [this, c, k](client::ReplicatedServiceClient::Outcome o) {
+                on_done(c, k, std::move(o));
+              });
+  }
+
+  void on_done(int c, int k, client::ReplicatedServiceClient::Outcome o) {
+    ++done_;
+    last_done_ms_ = loop_.now_ms();
+    if (o.ok) {
+      ++completed_;
+      latencies_.push_back(o.latency_ms);
+    } else if (o.timed_out) {
+      ++timeouts_;
+    } else {
+      ++rejected_;
+    }
+    if (o.ok && c < opts_.replay && k == 0) inject_replay(c);
+    if (opts_.mode == "closed" && k + 1 < opts_.requests) {
+      submit_next(c, k + 1);
+    }
+    if (done_ >= total_) loop_.stop();
+  }
+
+  /// Byte-for-byte duplicate of client c's first (already executed)
+  /// request: encode_request is deterministic, so re-encoding with the
+  /// same key/seq/payload reproduces the original datagram exactly.
+  void inject_replay(int c) {
+    const std::uint32_t id = opts_.id_base + static_cast<std::uint32_t>(c);
+    client::RequestFrame f;
+    f.client_id = id;
+    f.seq = 1;  // the first request a client issues
+    f.payload = payload_of(id, 0, opts_.payload_bytes);
+    const Bytes dgram = client::encode_request(f, table_.key(id));
+    for (const auto& target : targets_) socket_.send_to(target, dgram);
+  }
+
+  /// Frames MAC'd with a key derived from the wrong secret: structurally
+  /// valid, authentication must fail at every gateway.
+  void inject_forged() {
+    Bytes wrong_secret = table_.secret;
+    wrong_secret.push_back(0xFF);
+    for (int j = 0; j < opts_.forge; ++j) {
+      const std::uint32_t id =
+          opts_.id_base + static_cast<std::uint32_t>(j % opts_.clients);
+      client::RequestFrame f;
+      f.client_id = id;
+      f.seq = 1;
+      f.payload = payload_of(id, 0, opts_.payload_bytes);
+      const Bytes dgram = client::encode_request(
+          f, client::derive_client_key(wrong_secret, id));
+      for (const auto& target : targets_) socket_.send_to(target, dgram);
+    }
+  }
+
+  void on_readable() {
+    // Bounded drain so timer dispatch (RTOs) interleaves under floods.
+    for (int i = 0; i < 1024; ++i) {
+      auto received = socket_.receive();
+      if (!received) return;
+      const auto id = client::peek_client_id(received->first);
+      if (!id || *id < opts_.id_base) continue;
+      const std::uint64_t index = *id - opts_.id_base;
+      if (index >= clients_.size()) continue;
+      clients_[static_cast<std::size_t>(index)]->on_datagram(received->first);
+    }
+  }
+
+  Options opts_;
+  net::EventLoop& loop_;
+  net::UdpSocket socket_;
+  client::KeyTable table_;
+  std::vector<net::SocketAddress> targets_;
+  std::vector<std::unique_ptr<client::ReplicatedServiceClient>> clients_;
+  std::uint64_t total_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::vector<double> latencies_;
+  double started_ms_ = 0.0;
+  double last_done_ms_ = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opts = parse_args(argc, argv);
+    if (opts.keygen) {
+      // Dealer-of-client-keys mode: every replica and the swarm read the
+      // same file, so one invocation provisions the whole deployment.
+      client::write_key_file(
+          opts.keys_path,
+          client::make_key_table(static_cast<std::uint32_t>(opts.clients),
+                                 opts.key_seed));
+      std::fprintf(stderr, "# wrote %d client keys to %s\n", opts.clients,
+                   opts.keys_path.c_str());
+      return 0;
+    }
+    net::EventLoop loop;
+    Swarm swarm(opts, loop);
+    loop.stop_on_signals({SIGINT, SIGTERM});
+    swarm.start();
+    loop.run();
+    swarm.report();
+    if (!swarm.all_ok()) {
+      std::fprintf(stderr, "# swarm: incomplete run\n");
+      return 3;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "error: %s\nusage: client_swarm --keys FILE --targets "
+                 "host:port,host:port,... [--keygen] [--key-seed S] "
+                 "[--clients N] [--requests R] "
+                 "[--mode closed|open] [--rate R] [--ramp-ms MS] "
+                 "[--payload-bytes B] [--id-base I] [--t T] [--rto-ms MS] "
+                 "[--max-attempts N] [--replay N] [--forge N] "
+                 "[--timeout-s S] [--label L] [--json-out FILE] "
+                 "[--metrics-out FILE]\n",
+                 e.what());
+    return 2;
+  }
+}

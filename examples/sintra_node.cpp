@@ -42,6 +42,7 @@
 //
 // and /tmp/out.3 converges to the same delivery sequence as its peers
 // (scripts/run_local_cluster.sh --scenario recover automates this).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,6 +54,9 @@
 
 #include <csignal>
 
+#include "client/gateway.hpp"
+#include "client/keys.hpp"
+#include "client/udp_front.hpp"
 #include "core/channel/atomic_channel.hpp"
 #include "core/channel/optimistic_channel.hpp"
 #include "core/channel/secure_atomic_channel.hpp"
@@ -102,6 +106,13 @@ struct Args {
   std::size_t batch_bytes = 0;  // byte cap per bundle
   int pipeline_depth = 0;     // concurrent rounds in flight
   int bench_payload_bytes = 0;  // --bench-load: pad payloads to this size
+  // Client service layer (DESIGN.md §12): 0 = no client lane.
+  int client_port = 0;          // UDP port for signed client requests
+  std::string client_keys;      // client key table (client/keys.hpp format)
+  std::size_t max_clients = 0;  // distinct clients tracked; 0 = unlimited
+  double client_rate = 100.0;   // per-client admission rate (req/s)
+  double client_global_rate = 0.0;  // global shed threshold; 0 = off
+  std::size_t client_pending = 1024;  // proposed-not-yet-executed window
 };
 
 Args parse_args(int argc, char** argv) {
@@ -169,6 +180,23 @@ Args parse_args(int argc, char** argv) {
       a.bench_payload_bytes = std::stoi(v.substr(x + 1));
       if (a.send_count < 0 || a.bench_payload_bytes < 0) {
         throw std::runtime_error("--bench-load wants non-negative values");
+      }
+    } else if (arg == "--client-port") {
+      a.client_port = std::stoi(value());
+      if (a.client_port <= 0) throw std::runtime_error("--client-port wants > 0");
+    } else if (arg == "--client-keys") {
+      a.client_keys = value();
+    } else if (arg == "--max-clients") {
+      a.max_clients = std::stoull(value());
+    } else if (arg == "--client-rate") {
+      a.client_rate = std::stod(value());
+      if (a.client_rate <= 0.0) throw std::runtime_error("--client-rate wants > 0");
+    } else if (arg == "--client-global-rate") {
+      a.client_global_rate = std::stod(value());
+    } else if (arg == "--client-pending") {
+      a.client_pending = std::stoull(value());
+      if (a.client_pending == 0) {
+        throw std::runtime_error("--client-pending wants >= 1");
       }
     } else if (arg == "--via") {
       const std::string v = value();
@@ -375,6 +403,69 @@ class NodeApp {
     return cfg;
   }
 
+  /// Builds the client gateway (DESIGN.md §12).  Created for every
+  /// gateway-backed channel even without --client-port: replica --send
+  /// payloads route through the same submit_local / wrap / delivery-time
+  /// dedup machinery as client requests, so there is exactly one
+  /// at-most-once policy in the node.
+  void setup_gateway() {
+    client::ClientGateway::Options gopts;
+    gopts.replica = static_cast<std::uint32_t>(env_->self());
+    gopts.n = env_->n();
+    gopts.t = env_->t();
+    gopts.rate_per_sec = args_.client_rate;
+    gopts.burst = std::max(2.0, args_.client_rate / 5.0);
+    gopts.global_rate_per_sec = args_.client_global_rate;
+    gopts.global_burst = std::max(2.0, args_.client_global_rate / 4.0);
+    gopts.max_clients = args_.max_clients;
+    gopts.max_pending = args_.client_pending;
+    gateway_ = std::make_unique<client::ClientGateway>(
+        gopts, [this] { return loop_.now_ms(); });
+    if (!args_.client_keys.empty()) {
+      gateway_->set_key_table(client::read_key_file(args_.client_keys));
+    }
+    gateway_->set_submit([this](Bytes wrapped) {
+      if (atomic_ != nullptr && atomic_->can_send()) {
+        atomic_->send(wrapped);
+        return true;
+      }
+      if (secure_ != nullptr && secure_->can_send()) {
+        secure_->send(wrapped);
+        return true;
+      }
+      return false;
+    });
+    if (args_.client_port > 0) {
+      if (args_.client_keys.empty()) {
+        throw std::runtime_error("--client-port needs --client-keys");
+      }
+      front_ = std::make_unique<client::UdpClientFront>(
+          loop_, net::SocketAddress::resolve("0.0.0.0", args_.client_port),
+          *gateway_);
+      std::fprintf(stderr, "# node %d: client lane on %s\n", env_->self(),
+                   front_->local_address().to_string().c_str());
+    }
+  }
+
+  /// Every channel delivery funnels here: durable-log it raw, then let
+  /// the gateway unwrap, dedup, reply, and decide whether it executes.
+  void execute(const Bytes& payload, core::PartyId origin) {
+    record(payload, origin);
+    if (auto ex = gateway_->on_delivered(payload)) deliver(ex->payload);
+    maybe_close();
+  }
+
+  /// --close waits for queued local submissions to reach the proposer;
+  /// closing under a full pipeline window would strand them.
+  void maybe_close() {
+    if (!close_wanted_ || close_issued_ || !gateway_->local_queue_empty()) {
+      return;
+    }
+    close_issued_ = true;
+    if (atomic_ != nullptr) atomic_->close();
+    if (secure_ != nullptr) secure_->close();
+  }
+
   void start_channel() {
     auto& disp = env_->dispatcher();
     const std::string pid = "cluster." + args_.channel;
@@ -387,33 +478,32 @@ class NodeApp {
       atomic_->set_delivery_log_limit(kDeliveryLogCap);
       atomic_->set_deliver_callback(
           [this](const Bytes& payload, core::PartyId origin) {
-            record(payload, origin);
-            deliver(payload);
+            execute(payload, origin);
             // The node consumes deliveries via this callback; drain the
             // pull-style inbox so it cannot grow without bound.
             while (atomic_->receive()) {
             }
           });
       atomic_->set_closed_callback([this] { on_closed(); });
-      for (int k = 0; k < args_.send_count; ++k) atomic_->send(payload_of(k));
-      if (args_.close_after_send) atomic_->close();
     } else if (args_.channel == "secure-atomic") {
       secure_ = std::make_unique<core::SecureAtomicChannel>(
           *env_, disp, pid, channel_config());
       secure_->set_delivery_log_limit(kDeliveryLogCap);
       secure_->set_deliver_callback([this](const Bytes& payload) {
-        record(payload, -1);
-        deliver(payload);
+        execute(payload, -1);
         while (secure_->receive()) {
         }
       });
       secure_->set_closed_callback([this] { on_closed(); });
-      for (int k = 0; k < args_.send_count; ++k) secure_->send(payload_of(k));
-      if (args_.close_after_send) secure_->close();
     } else if (args_.channel == "optimistic") {
       if (args_.expect == 0) {
         throw std::runtime_error(
             "--channel optimistic needs --expect (it has no close protocol)");
+      }
+      if (args_.client_port > 0) {
+        throw std::runtime_error(
+            "--client-port needs a gateway-backed channel "
+            "(atomic or secure-atomic)");
       }
       optimistic_ =
           std::make_unique<core::OptimisticChannel>(*env_, disp, pid);
@@ -425,9 +515,16 @@ class NodeApp {
       for (int k = 0; k < args_.send_count; ++k) {
         optimistic_->send(payload_of(k));
       }
+      return;
     } else {
       throw std::runtime_error("unknown channel type " + args_.channel);
     }
+    setup_gateway();
+    for (int k = 0; k < args_.send_count; ++k) {
+      gateway_->submit_local(payload_of(k));
+    }
+    close_wanted_ = args_.close_after_send;
+    maybe_close();
   }
 
   /// Restart path: no channel — replay the durable log, then fetch the
@@ -435,9 +532,16 @@ class NodeApp {
   /// Completion is reaching the close-time `final` certificate, not
   /// --expect: a restarted node cannot know the final count in advance.
   void start_recovery() {
+    // The gateway runs in recovery too — replayed records are wrapped,
+    // and the dedup/unwrap decisions must match what this node printed
+    // before it crashed and what its live peers print now.  No client
+    // lane and no submit hook: a recovering node cannot propose.
+    setup_gateway();
     rec_->set_apply_callback(
         [this](const recovery::RecoveryManager::Record& r) {
-          deliver(r.payload);
+          if (auto ex = gateway_->on_delivered(r.payload)) {
+            deliver(ex->payload);
+          }
         });
     rec_->set_caught_up_callback([this] {
       std::fprintf(stderr,
@@ -525,6 +629,10 @@ class NodeApp {
   std::unique_ptr<core::AtomicChannel> atomic_;
   std::unique_ptr<core::SecureAtomicChannel> secure_;
   std::unique_ptr<core::OptimisticChannel> optimistic_;
+  std::unique_ptr<client::ClientGateway> gateway_;
+  std::unique_ptr<client::UdpClientFront> front_;
+  bool close_wanted_ = false;
+  bool close_issued_ = false;
   std::FILE* out_ = nullptr;
   std::FILE* trace_file_ = nullptr;
   std::unique_ptr<obs::EventTrace> trace_;
@@ -566,7 +674,10 @@ int main(int argc, char** argv) {
                  "[--corrupt-shares] [--state-dir DIR] "
                  "[--checkpoint-interval K] [--batch-count N] "
                  "[--batch-bytes N] [--pipeline-depth W] "
-                 "[--bench-load MxB]\n",
+                 "[--bench-load MxB] [--client-port P] "
+                 "[--client-keys FILE] [--max-clients N] "
+                 "[--client-rate R] [--client-global-rate R] "
+                 "[--client-pending N]\n",
                  e.what());
     return 2;
   }

@@ -24,15 +24,27 @@
 // traffic; authenticity is still the links' HMAC problem).  Parties not
 // named in any group are unrestricted.
 //
+// Client lanes: --client-ports TBASE additionally binds base_port+n+j
+// per party j and forwards datagrams arriving there — client requests —
+// to (party j's host, TBASE+j), i.e. the replica's --client-port.  The
+// proxy learns each client's return address from the advisory client id
+// in the request header and NATs replies back by the id in the reply
+// header, so a whole client_swarm runs through the same loss/dup/
+// reorder mill as the replica traffic.  Advisory routing only: MACs
+// stay the gateways'/clients' problem, exactly like the sender-id
+// prefix on the replica lane.
+//
 // SIGINT/SIGTERM: print forwarding stats and exit.
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
 #include <csignal>
 
+#include "client/wire.hpp"
 #include "core/config.hpp"
 #include "net/event_loop.hpp"
 #include "net/udp.hpp"
@@ -56,6 +68,8 @@ struct Stats {
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t partitioned = 0;  // cut by an active --partition
+  std::uint64_t client_requests = 0;  // client->replica lane traffic
+  std::uint64_t client_replies = 0;   // replica->client lane traffic
 };
 
 /// Parses "0,1|2,3" into a per-party group id (-1 = unrestricted).
@@ -98,7 +112,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: udp_chaos_proxy <group.conf> <host:base_port> "
                    "[--loss P] [--dup P] [--reorder-ms MS] [--seed N]\n"
-                   "       [--partition \"0,1|2,3\"] [--heal-after-ms N]\n");
+                   "       [--partition \"0,1|2,3\"] [--heal-after-ms N] "
+                   "[--client-ports TBASE]\n");
       return 2;
     }
     const core::GroupConfig cfg = core::GroupConfig::parse(read_file(argv[1]));
@@ -114,6 +129,7 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 1;
     std::string partition_spec;
     double heal_after_ms = -1.0;  // < 0: the partition never heals
+    int client_target_base = 0;   // --client-ports: replicas' client lanes
     for (int i = 3; i < argc; ++i) {
       const std::string arg = argv[i];
       auto value = [&]() -> std::string {
@@ -132,6 +148,8 @@ int main(int argc, char** argv) {
         partition_spec = value();
       } else if (arg == "--heal-after-ms") {
         heal_after_ms = std::stod(value());
+      } else if (arg == "--client-ports") {
+        client_target_base = std::stoi(value());
       } else {
         throw std::runtime_error("unknown option " + arg);
       }
@@ -199,6 +217,70 @@ int main(int argc, char** argv) {
       });
     }
 
+    // Client lanes (one per party, after the n replica lanes).  Shared
+    // mangler: same loss/dup/reorder knobs as the replica traffic.
+    std::vector<std::unique_ptr<net::UdpSocket>> client_sockets;
+    std::vector<net::SocketAddress> client_targets;
+    std::unordered_map<std::uint32_t, net::SocketAddress> client_addrs;
+    auto mangle_and_send = [&loop, &rng, &stats, loss, dup, reorder_ms](
+                               net::UdpSocket& sock,
+                               const net::SocketAddress& target,
+                               Bytes datagram) {
+      if (rng.uniform01() < loss) {
+        ++stats.dropped;
+        return;
+      }
+      int copies = 1;
+      if (rng.uniform01() < dup) {
+        copies = 2;
+        ++stats.duplicated;
+      }
+      for (int c = 0; c < copies; ++c) {
+        const double delay =
+            reorder_ms > 0.0 ? rng.uniform01() * reorder_ms : 0.0;
+        loop.call_later(delay, [&stats, &sock, target, datagram] {
+          if (sock.send_to(target, datagram)) ++stats.forwarded;
+        });
+      }
+    };
+    if (client_target_base > 0) {
+      for (int j = 0; j < n; ++j) {
+        client_targets.push_back(net::SocketAddress::resolve(
+            cfg.parties[static_cast<std::size_t>(j)].host,
+            client_target_base + j));
+        client_sockets.push_back(std::make_unique<net::UdpSocket>(
+            net::SocketAddress::resolve(host, base_port + n + j)));
+      }
+      for (int j = 0; j < n; ++j) {
+        net::UdpSocket& sock = *client_sockets[static_cast<std::size_t>(j)];
+        const net::SocketAddress target =
+            client_targets[static_cast<std::size_t>(j)];
+        loop.add_fd(sock.fd(), [&stats, &sock, target, &client_addrs,
+                                &mangle_and_send] {
+          while (auto received = sock.receive()) {
+            ++stats.received;
+            Bytes datagram = std::move(received->first);
+            const auto type = client::peek_type(datagram);
+            const auto id = client::peek_client_id(datagram);
+            if (!type || !id) continue;  // not a client frame: drop
+            if (*type == client::FrameType::kRequest) {
+              // Learn (advisory) where this client answers, then pass
+              // the request on to the replica's client lane.
+              ++stats.client_requests;
+              client_addrs[*id] = received->second;
+              mangle_and_send(sock, target, std::move(datagram));
+            } else {
+              // Reply from the replica: NAT back by client id.
+              auto it = client_addrs.find(*id);
+              if (it == client_addrs.end()) continue;
+              ++stats.client_replies;
+              mangle_and_send(sock, it->second, std::move(datagram));
+            }
+          }
+        });
+      }
+    }
+
     if (partitioned && heal_after_ms >= 0.0) {
       loop.call_later(heal_after_ms, [&partitioned] {
         partitioned = false;
@@ -210,6 +292,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "# chaos proxy up: %d ports from %s:%d, loss=%.2f "
                          "dup=%.2f reorder<=%.0fms\n",
                  n, host.c_str(), base_port, loss, dup, reorder_ms);
+    if (client_target_base > 0) {
+      std::fprintf(stderr,
+                   "# chaos proxy: %d client lanes from %s:%d -> ports %d+\n",
+                   n, host.c_str(), base_port + n, client_target_base);
+    }
     if (partitioned) {
       std::fprintf(stderr, "# chaos proxy: partition \"%s\" active%s\n",
                    partition_spec.c_str(),
@@ -218,12 +305,15 @@ int main(int argc, char** argv) {
     loop.run();
     std::fprintf(stderr,
                  "STATS proxy received=%llu forwarded=%llu dropped=%llu "
-                 "duplicated=%llu partitioned=%llu\n",
+                 "duplicated=%llu partitioned=%llu client_requests=%llu "
+                 "client_replies=%llu\n",
                  static_cast<unsigned long long>(stats.received),
                  static_cast<unsigned long long>(stats.forwarded),
                  static_cast<unsigned long long>(stats.dropped),
                  static_cast<unsigned long long>(stats.duplicated),
-                 static_cast<unsigned long long>(stats.partitioned));
+                 static_cast<unsigned long long>(stats.partitioned),
+                 static_cast<unsigned long long>(stats.client_requests),
+                 static_cast<unsigned long long>(stats.client_replies));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

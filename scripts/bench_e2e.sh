@@ -11,11 +11,15 @@
 #               in-simulator analog of the cluster runner's chaos proxy).
 #   wan         the paper's Internet topology (Fig. 3 RTT matrix).
 #   closed      closed-loop latency shape (p50/p99 per-request latency).
+#   client_lan  real 4-process cluster serving a client_swarm over a
+#               clean loopback LAN: external requests/sec plus client-
+#               observed p50/p99 reply-quorum latency (DESIGN.md §12).
 #
 # Short mode (default, used by ctest) runs clean + chaos + wan + closed on
-# the simulator.  Full mode (--full or SINTRA_BENCH_E2E_MODE=full) also
-# drives a real 4-process cluster through the chaos proxy with
-# --bench-load (wall-clock deliveries/sec via scripts/run_local_cluster.sh).
+# the simulator plus a small client_lan cluster run.  Full mode (--full or
+# SINTRA_BENCH_E2E_MODE=full) also drives a real 4-process cluster through
+# the chaos proxy with --bench-load (wall-clock deliveries/sec via
+# scripts/run_local_cluster.sh) and a 2000-client client_chaos run.
 #
 # Usage: scripts/bench_e2e.sh [--full] [build_dir]   (default: ./build)
 set -euo pipefail
@@ -34,11 +38,29 @@ build_dir="${build_dir:-$repo_root/build}"
 if [[ ! -d "$build_dir" ]]; then
   cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$build_dir" --target e2e_throughput -j"$(nproc)"
+cmake --build "$build_dir" --target e2e_throughput sintra_node dealer_tool \
+  udp_chaos_proxy client_swarm -j"$(nproc)"
 
 bench="$build_dir/bench/e2e_throughput"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+swarm_json="$(mktemp)"
+trap 'rm -f "$raw" "$swarm_json"' EXIT
+
+# Real-cluster client-service datapoint: the swarm's JSON summary is
+# relabeled and merged alongside the simulator runs.
+run_clients() {  # run_clients <label> <clients> <chaos 0|1>
+  local label="$1" clients="$2" chaos="$3"
+  echo "# e2e: $label" >&2
+  : > "$swarm_json"
+  "$repo_root/scripts/run_local_cluster.sh" --scenario clients \
+    --swarm-clients "$clients" --swarm-chaos "$chaos" \
+    --swarm-json "$swarm_json" --build-dir "$build_dir" >&2
+  python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))
+r["label"] = sys.argv[2]
+print(json.dumps(r))' "$swarm_json" "$label" >>"$raw"
+}
 
 msgs="${SINTRA_BENCH_E2E_MSGS:-240}"
 
@@ -59,8 +81,12 @@ run wan-batched   --batch-count 16 --pipeline-depth 4 --topology wan
 run closed-batched --batch-count 16 --pipeline-depth 4 --mode closed
 run secure-batched --channel secure --batch-count 8 --pipeline-depth 2 \
   --messages 48
+# External clients against a real cluster, clean LAN: small in short
+# mode so ctest stays quick.
+run_clients client_lan "${SINTRA_BENCH_E2E_CLIENTS:-400}" 0
 
 if [[ "$mode" == "full" ]]; then
+  run_clients client_chaos 2000 1
   run wan-seed --batch-count 1 --pipeline-depth 1 --topology wan
   run wan-deep --batch-count 32 --pipeline-depth 8 --topology wan
   # Real processes through the chaos proxy, sustained --bench-load; the
@@ -102,7 +128,11 @@ out = {
                    "delivery latency at the measurement node P0. "
                    "*-seed runs use the seed configuration (batch=1, "
                    "depth=1); *-batched runs use proposer batching + "
-                   "pipelined rounds (DESIGN.md §11).",
+                   "pipelined rounds (DESIGN.md §11). client_* runs drive "
+                   "a real 4-process cluster with a client_swarm of "
+                   "signed external requests (wall clock): requests/sec "
+                   "and client-observed p50/p99 reply-quorum latency "
+                   "(DESIGN.md §12).",
     "runs": runs,
     "speedups_deliveries_per_sec": {
         "clean": ratio("clean-seed", "clean-batched"),

@@ -59,7 +59,7 @@ else
 
   # Trace event names likewise.
   for event in send recv round_start transition coin_release decide deliver \
-               park; do
+               park shed; do
     if ! grep -qF "\`$event\`" "$OBS_DOC"; then
       fail "trace event \"$event\" is not documented in $OBS_DOC"
     fi

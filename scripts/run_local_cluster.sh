@@ -4,10 +4,11 @@
 # sequences.  Exits nonzero on divergence, node failure, or timeout.
 #
 # Usage:
-#   scripts/run_local_cluster.sh [--scenario clean|crash|chaos|recover]
+#   scripts/run_local_cluster.sh [--scenario clean|crash|chaos|recover|clients]
 #                                [--build-dir DIR] [--channel atomic|...]
 #                                [--send N] [--batch-count N]
 #                                [--pipeline-depth W] [--bench-load MxB]
+#                                [--swarm-clients C] [--swarm-chaos 0|1]
 #
 # --batch-count / --pipeline-depth enable throughput mode (DESIGN.md
 # §11) on every node; --bench-load MxB replaces --send with a sustained
@@ -26,6 +27,15 @@
 #            threshold-signed checkpoint certificate, and finish with
 #            the identical delivery sequence as the nodes that never
 #            crashed (asserted below via the recovery.* metrics)
+#   clients  every node serves a signed-request client lane (DESIGN.md
+#            §12); a client_swarm of --swarm-clients concurrent
+#            ReplicatedServiceClients drives requests through the chaos
+#            proxy's client lanes (with loss/dup/reorder unless
+#            --swarm-chaos 0).  Every request must complete with a t+1
+#            reply quorum while admission control sheds the initial
+#            burst (client.shed > 0), injected replays answer from the
+#            reply caches (client.dedup_hits > 0), and forged frames
+#            are dropped without replies (client.rejected_auth > 0).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -37,6 +47,9 @@ send_count_set=0
 batch_count=""
 pipeline_depth=""
 bench_load=""
+swarm_clients="${SINTRA_SWARM_CLIENTS:-2000}"
+swarm_chaos=1
+swarm_json=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -47,6 +60,9 @@ while [[ $# -gt 0 ]]; do
     --batch-count)    batch_count="$2"; shift 2 ;;
     --pipeline-depth) pipeline_depth="$2"; shift 2 ;;
     --bench-load)     bench_load="$2"; shift 2 ;;
+    --swarm-clients)  swarm_clients="$2"; shift 2 ;;
+    --swarm-chaos)    swarm_chaos="$2"; shift 2 ;;
+    --swarm-json)     swarm_json="$2"; shift 2 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
@@ -64,10 +80,19 @@ if [[ "$scenario" == recover && $send_count_set -eq 0 ]]; then
   send_count=12
 fi
 
+# The client scenario only generates totally-ordered traffic via the
+# swarm; the nodes themselves send nothing.
+if [[ "$scenario" == clients ]]; then
+  send_count=0
+fi
+
 dealer="$build_dir/examples/dealer_tool"
 node_bin="$build_dir/examples/sintra_node"
 proxy_bin="$build_dir/examples/udp_chaos_proxy"
-for bin in "$dealer" "$node_bin" "$proxy_bin"; do
+swarm_bin="$build_dir/examples/client_swarm"
+required_bins=("$dealer" "$node_bin" "$proxy_bin")
+[[ "$scenario" == clients ]] && required_bins+=("$swarm_bin")
+for bin in "${required_bins[@]}"; do
   [[ -x "$bin" ]] || { echo "missing binary: $bin (build first)" >&2; exit 2; }
 done
 
@@ -130,8 +155,35 @@ metrics_files=()
 for i in $(seq 0 $((n - 1))); do
   metrics_files+=("$workdir/metrics.$i.json")
 done
+# Client scenario plumbing: nodes bind client lanes at client_base+i,
+# the swarm reaches them through the proxy's client lanes at
+# proxy_base+n+j (NAT by the advisory client id in the frame header).
+client_base=$(( port_base + 100 ))
+swarm_requests=1
+expect_total=$(( swarm_clients * swarm_requests ))
+if [[ "$scenario" == clients ]]; then
+  echo "== dealing $swarm_clients client keys"
+  "$swarm_bin" --keygen --keys "$workdir/clients.keys" \
+    --clients "$swarm_clients" --key-seed 5 2> /dev/null
+  # Global admission far below the swarm's arrival rate (the ramp
+  # spreads C clients over 1.5s, so scale the budget with C), so the
+  # initial burst provably sheds; shed clients back off and retry until
+  # their request lands (at-most-once makes the retries idempotent).
+  client_global_rate=$(( swarm_clients / 3 ))
+  (( client_global_rate >= 10 )) || client_global_rate=10
+  node_args+=(--client-keys "$workdir/clients.keys"
+              --client-rate 1000 --client-global-rate "$client_global_rate"
+              --client-pending 256)
+  if [[ -z "$batch_count" ]]; then node_args+=(--batch-count 64); fi
+  if [[ -z "$pipeline_depth" ]]; then node_args+=(--pipeline-depth 4); fi
+fi
+
 if [[ "$channel" == optimistic ]]; then
   node_args+=(--expect $(( n * send_count )))
+elif [[ "$scenario" == clients ]]; then
+  # No close protocol here: a node is done once every swarm request has
+  # executed exactly once (forged frames never execute, replays dedup).
+  node_args+=(--expect "$expect_total")
 else
   node_args+=(--close)
 fi
@@ -139,6 +191,20 @@ fi
 if [[ "$scenario" == chaos ]]; then
   "$proxy_bin" "$conf" "127.0.0.1:$proxy_base" \
     --loss 0.10 --dup 0.05 --reorder-ms 25 --seed 7 \
+    2> "$workdir/proxy.stats" &
+  proxy_pid=$!
+  node_args+=(--via "127.0.0.1:$proxy_base")
+elif [[ "$scenario" == clients ]]; then
+  # Milder chaos than the replica-lane scenario: thousands of clients
+  # with RTO retransmissions amplify loss, and this scenario's job is
+  # the client layer, not the link layer.  --swarm-chaos 0 drops the
+  # impairments entirely (bench_e2e's clean-LAN datapoint).
+  proxy_chaos_args=(--loss 0.05 --dup 0.02 --reorder-ms 10)
+  if [[ "$swarm_chaos" == 0 ]]; then
+    proxy_chaos_args=(--loss 0 --dup 0 --reorder-ms 0)
+  fi
+  "$proxy_bin" "$conf" "127.0.0.1:$proxy_base" \
+    "${proxy_chaos_args[@]}" --seed 7 --client-ports "$client_base" \
     2> "$workdir/proxy.stats" &
   proxy_pid=$!
   node_args+=(--via "127.0.0.1:$proxy_base")
@@ -165,6 +231,9 @@ launch_node() {
   fi
   if [[ "$scenario" == recover ]]; then
     extra+=(--state-dir "$workdir/state.$i" --checkpoint-interval 4)
+  fi
+  if [[ "$scenario" == clients ]]; then
+    extra+=(--client-port $(( client_base + i )))
   fi
   "$node_bin" "$conf" "$workdir/keys/party-$i.keys" "${node_args[@]}" \
     ${extra[@]+"${extra[@]}"} \
@@ -213,6 +282,37 @@ if [[ "$scenario" == recover ]]; then
   launch_node 3
 fi
 
+if [[ "$scenario" == clients ]]; then
+  # Give the nodes a moment to bind their client lanes, then drive the
+  # swarm in the foreground: its exit code is the per-request verdict
+  # (0 iff every request got a t+1 kOk quorum, no rejections/timeouts).
+  sleep 1
+  swarm_targets=""
+  for j in $(seq 0 $((n - 1))); do
+    swarm_targets+="${swarm_targets:+,}127.0.0.1:$(( proxy_base + n + j ))"
+  done
+  echo "== driving $swarm_clients clients through the proxy client lanes"
+  if ! "$swarm_bin" --keys "$workdir/clients.keys" \
+      --targets "$swarm_targets" \
+      --clients "$swarm_clients" --requests "$swarm_requests" \
+      --ramp-ms 1500 --rto-ms 400 --max-attempts 40 \
+      --replay 25 --forge 25 \
+      --timeout-s "${SINTRA_SWARM_TIMEOUT:-240}" \
+      --label "clients" --json-out "$workdir/swarm.json" \
+      2> "$workdir/swarm.err"; then
+    echo "FAIL: client swarm did not complete every request" >&2
+    cat "$workdir/swarm.err" >&2 || true
+    cat "$workdir/swarm.json" >&2 || true
+    exit 1
+  fi
+  echo "== swarm summary: $(cat "$workdir/swarm.json")"
+  # Export the load summary (scripts/bench_e2e.sh merges it into
+  # BENCH_e2e.json) before the trap cleans the workdir.
+  if [[ -n "$swarm_json" ]]; then
+    cp "$workdir/swarm.json" "$swarm_json"
+  fi
+fi
+
 # Everything is localhost; generous deadline for sanitizer builds.
 deadline=$(( $(date +%s) + ${SINTRA_CLUSTER_TIMEOUT:-420} ))
 for i in "${expected[@]}"; do
@@ -259,7 +359,12 @@ done
 first="${expected[0]}"
 lines=$(wc -l < "$workdir/out.$first")
 floor=$send_count
-if [[ "$scenario" != crash ]]; then
+if [[ "$scenario" == clients ]]; then
+  # Exactly one execution per swarm request: duplicates from racing
+  # proposers are skipped deterministically, forged frames never enter
+  # the order, and the nodes send nothing of their own.
+  floor=$expect_total
+elif [[ "$scenario" != crash ]]; then
   # Conservative: the agreed close can clip the slowest senders' tail
   # payloads (and in recover, node 3's own sends die with it), so the
   # floor is well below the n * send_count ideal.
@@ -341,6 +446,46 @@ if [[ "$scenario" == chaos ]]; then
     echo "== metrics path: crypto.optimistic_hits=$m_hits crypto.fallbacks=$m_fallbacks"
     if (( m_fallbacks == 0 )); then
       echo "FAIL: Byzantine shares from node 3 triggered no optimistic-combine fallback (crypto.fallbacks=0)" >&2
+      exit 1
+    fi
+  fi
+  if [[ -n "$proxy_pid" ]]; then
+    kill "$proxy_pid" 2>/dev/null || true
+    wait "$proxy_pid" 2>/dev/null || true
+    grep STATS "$workdir/proxy.stats" || true
+    proxy_pid=""
+  fi
+fi
+
+if [[ "$scenario" == clients ]]; then
+  if [[ -n "$aggregate" ]]; then
+    m_admitted=$(metric_total client.admitted)
+    m_shed=$(metric_total client.shed)
+    m_dedup=$(metric_total client.dedup_hits)
+    m_auth=$(metric_total client.rejected_auth)
+    m_executed=$(metric_total client.executed)
+    echo "== metrics path: client.admitted=$m_admitted client.shed=$m_shed client.dedup_hits=$m_dedup client.rejected_auth=$m_auth client.executed=$m_executed"
+    if (( m_admitted == 0 )); then
+      echo "FAIL: gateways admitted nothing" >&2
+      exit 1
+    fi
+    if (( m_shed == 0 )); then
+      # The swarm's arrival rate is far above --client-global-rate, so a
+      # run with no shedding means admission control never engaged.
+      echo "FAIL: overdriven gateways shed nothing (client.shed=0)" >&2
+      exit 1
+    fi
+    if (( m_dedup == 0 )); then
+      echo "FAIL: injected replays produced no dedup hits" >&2
+      exit 1
+    fi
+    if (( m_auth == 0 )); then
+      echo "FAIL: forged frames were not rejected (client.rejected_auth=0)" >&2
+      exit 1
+    fi
+    # Every node executed the full request set exactly once.
+    if (( m_executed != ${#expected[@]} * expect_total )); then
+      echo "FAIL: client.executed=$m_executed, want $(( ${#expected[@]} * expect_total ))" >&2
       exit 1
     fi
   fi

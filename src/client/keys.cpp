@@ -1,0 +1,66 @@
+#include "client/keys.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "util/atomic_file.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::client {
+
+Bytes derive_client_key(BytesView secret, std::uint32_t client_id) {
+  Writer st;
+  st.str("sintra-client-key");
+  st.u32(client_id);
+  return crypto::hmac(crypto::HashKind::kSha256, secret, st.data());
+}
+
+void write_key_file(const std::string& path, const KeyTable& table) {
+  std::ostringstream out;
+  out << "# SINTRA client key file: shared by every replica; clients get\n"
+         "# only their own derived key out-of-band.\n"
+         "clients = " << table.count << "\n"
+         "secret = " << hex_encode(table.secret) << "\n";
+  util::atomic_write_file(path, out.str());
+}
+
+KeyTable read_key_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("client key file not readable: " + path);
+  KeyTable table;
+  bool have_count = false, have_secret = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string name, eq, value;
+    if (!(ls >> name >> eq >> value) || eq != "=") continue;
+    if (name == "clients") {
+      table.count = static_cast<std::uint32_t>(std::stoul(value));
+      have_count = true;
+    } else if (name == "secret") {
+      table.secret = hex_decode(value);
+      have_secret = true;
+    }
+  }
+  if (!have_count || !have_secret || table.secret.empty()) {
+    throw std::runtime_error("client key file missing clients=/secret=: " +
+                             path);
+  }
+  return table;
+}
+
+KeyTable make_key_table(std::uint32_t count, std::uint64_t seed) {
+  KeyTable table;
+  table.count = count;
+  Rng rng(seed);
+  table.secret = rng.bytes(32);
+  return table;
+}
+
+}  // namespace sintra::client

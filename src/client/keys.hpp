@@ -1,0 +1,44 @@
+// Client key registration.
+//
+// Every replica holds the same table of per-client HMAC keys; a client
+// holds only its own.  For deployment convenience the table is derived
+// from one master secret (dealt out-of-band alongside the group
+// keyfiles): key_i = HMAC-SHA256(secret, "sintra-client-key" || i).
+// That keeps the key file O(1) regardless of how many thousands of
+// clients the swarm simulates, while still giving every client a
+// distinct key — a client learns nothing about its neighbours' keys
+// without the master secret.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sintra::client {
+
+/// Derives client i's key from the master secret.
+Bytes derive_client_key(BytesView secret, std::uint32_t client_id);
+
+struct KeyTable {
+  std::uint32_t count = 0;  // registered client ids are [0, count)
+  Bytes secret;
+
+  [[nodiscard]] bool known(std::uint32_t client_id) const {
+    return client_id < count;
+  }
+  [[nodiscard]] Bytes key(std::uint32_t client_id) const {
+    return derive_client_key(secret, client_id);
+  }
+};
+
+/// Writes/reads the "clients = N" / "secret = <hex>" key file used by
+/// sintra_node --client-keys and client_swarm --keys.
+void write_key_file(const std::string& path, const KeyTable& table);
+KeyTable read_key_file(const std::string& path);  // throws on malformed input
+
+/// Fresh table with a random secret (dealer-side helper).
+KeyTable make_key_table(std::uint32_t count, std::uint64_t seed);
+
+}  // namespace sintra::client

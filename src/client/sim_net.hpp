@@ -1,0 +1,107 @@
+// SimClientNet — deterministic in-process transport binding
+// ClientGateway and ReplicatedServiceClient to the discrete-event
+// simulator.
+//
+// Replica-side: request datagrams are scheduled into the target
+// replica's CPU context via Simulator::at (ingest costs replica time,
+// like a real epoll wakeup).  Client-side: replies and client timers
+// run via Simulator::post — simulated clients are not group members and
+// must not consume replica CPU.  All loss and latency jitter draws from
+// one seeded Rng, so a (topology seed, client seed) pair replays
+// bit-identically; tests assert exactly that.
+//
+// Header-only: the sim layer stays optional for users that only link
+// the net stack.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "client/gateway.hpp"
+#include "client/service_client.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace sintra::client {
+
+class SimClientNet {
+ public:
+  struct Options {
+    double latency_ms = 1.0;   // one-way client<->replica base latency
+    double jitter_ms = 0.5;    // uniform extra, drawn per datagram
+    double loss = 0.0;         // independent drop probability each way
+    std::uint64_t seed = 1;
+  };
+
+  SimClientNet(sim::Simulator& sim, Options opts)
+      : sim_(sim), opts_(opts), rng_(opts.seed) {}
+
+  /// Registers replica i's gateway and returns the ReplyFn to install
+  /// on it.  The gateway's Address for a client is its decimal id.
+  ClientGateway::ReplyFn attach_gateway(int replica, ClientGateway& gw) {
+    if (gateways_.size() <= static_cast<std::size_t>(replica)) {
+      gateways_.resize(static_cast<std::size_t>(replica) + 1, nullptr);
+    }
+    gateways_[static_cast<std::size_t>(replica)] = &gw;
+    return [this](const ClientGateway::Address& addr, Bytes dgram) {
+      deliver_to_client(addr, std::move(dgram));
+    };
+  }
+
+  /// Hooks for one simulated client.  `sink` receives replica replies
+  /// (normally &client's on_datagram, bound by the caller).
+  ReplicatedServiceClient::Hooks client_hooks(std::uint32_t client_id) {
+    ReplicatedServiceClient::Hooks h;
+    h.now_ms = [this] { return sim_.now_ms(); };
+    h.send = [this, client_id](int replica, const Bytes& dgram) {
+      if (drop()) return;
+      sim_.at(sim_.now_ms() + delay(), replica,
+              [this, replica, dgram, client_id] {
+                ClientGateway* gw = gateway(replica);
+                if (gw) {
+                  gw->on_request_datagram(dgram,
+                                          std::to_string(client_id));
+                }
+              });
+    };
+    h.call_later = [this](double delay_ms, std::function<void()> fn) {
+      sim_.post(sim_.now_ms() + delay_ms, std::move(fn));
+    };
+    return h;
+  }
+
+  /// Registers the reply sink for a client id.
+  void register_client(std::uint32_t client_id,
+                       std::function<void(BytesView)> sink) {
+    sinks_[client_id] = std::move(sink);
+  }
+
+ private:
+  ClientGateway* gateway(int replica) {
+    const auto i = static_cast<std::size_t>(replica);
+    return i < gateways_.size() ? gateways_[i] : nullptr;
+  }
+
+  bool drop() { return opts_.loss > 0.0 && rng_.uniform01() < opts_.loss; }
+  double delay() { return opts_.latency_ms + rng_.uniform01() * opts_.jitter_ms; }
+
+  void deliver_to_client(const ClientGateway::Address& addr, Bytes dgram) {
+    if (drop()) return;
+    const auto id = static_cast<std::uint32_t>(std::stoul(addr));
+    sim_.post(sim_.now_ms() + delay(),
+              [this, id, dgram = std::move(dgram)] {
+                auto it = sinks_.find(id);
+                if (it != sinks_.end()) it->second(dgram);
+              });
+  }
+
+  sim::Simulator& sim_;
+  Options opts_;
+  Rng rng_;
+  std::vector<ClientGateway*> gateways_;
+  std::unordered_map<std::uint32_t, std::function<void(BytesView)>> sinks_;
+};
+
+}  // namespace sintra::client

@@ -1,0 +1,47 @@
+#include "client/udp_front.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sintra::client {
+
+ClientGateway::Address UdpClientFront::pack(const net::SocketAddress& a) {
+  return ClientGateway::Address(reinterpret_cast<const char*>(&a.storage),
+                                static_cast<std::size_t>(a.length));
+}
+
+net::SocketAddress UdpClientFront::unpack(const ClientGateway::Address& addr) {
+  net::SocketAddress a;
+  a.length = static_cast<socklen_t>(addr.size());
+  std::memcpy(&a.storage, addr.data(),
+              std::min(sizeof(a.storage), addr.size()));
+  return a;
+}
+
+UdpClientFront::UdpClientFront(net::EventLoop& loop,
+                               const net::SocketAddress& bind_address,
+                               ClientGateway& gateway,
+                               std::size_t max_receive_batch)
+    : loop_(loop),
+      socket_(bind_address),
+      gateway_(gateway),
+      max_receive_batch_(max_receive_batch) {
+  gateway_.set_reply([this](const ClientGateway::Address& to, Bytes dgram) {
+    socket_.send_to(unpack(to), dgram);
+  });
+  loop_.add_fd(socket_.fd(), [this] { on_readable(); });
+}
+
+UdpClientFront::~UdpClientFront() { loop_.remove_fd(socket_.fd()); }
+
+void UdpClientFront::on_readable() {
+  // Bounded drain, mirroring NetEnvironment's inbound batch cap: a
+  // client flood must not monopolize the loop over protocol traffic.
+  for (std::size_t i = 0; i < max_receive_batch_; ++i) {
+    auto received = socket_.receive();
+    if (!received) return;
+    gateway_.on_request_datagram(received->first, pack(received->second));
+  }
+}
+
+}  // namespace sintra::client

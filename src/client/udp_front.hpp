@@ -1,0 +1,46 @@
+// UdpClientFront — binds a ClientGateway to a real UDP socket on the
+// replica's epoll event loop (sintra_node --client-port).
+//
+// The client lane is a separate socket from the replica-to-replica
+// lane: group traffic must never queue behind client floods, and the
+// gateway's shedding happens before any protocol work.  Addresses
+// cross the transport boundary as opaque raw sockaddr bytes — the
+// gateway caches them per client (post-MAC-verification) and hands
+// them back for replies.
+#pragma once
+
+#include <memory>
+
+#include "client/gateway.hpp"
+#include "net/event_loop.hpp"
+#include "net/udp.hpp"
+
+namespace sintra::client {
+
+class UdpClientFront {
+ public:
+  /// Binds `bind_address` and registers with the loop.  The gateway's
+  /// reply hook is installed here; it must outlive the front.
+  UdpClientFront(net::EventLoop& loop, const net::SocketAddress& bind_address,
+                 ClientGateway& gateway, std::size_t max_receive_batch = 256);
+  ~UdpClientFront();
+
+  UdpClientFront(const UdpClientFront&) = delete;
+  UdpClientFront& operator=(const UdpClientFront&) = delete;
+
+  [[nodiscard]] net::SocketAddress local_address() const {
+    return socket_.local_address();
+  }
+
+ private:
+  void on_readable();
+  static ClientGateway::Address pack(const net::SocketAddress& a);
+  static net::SocketAddress unpack(const ClientGateway::Address& addr);
+
+  net::EventLoop& loop_;
+  net::UdpSocket socket_;
+  ClientGateway& gateway_;
+  std::size_t max_receive_batch_;
+};
+
+}  // namespace sintra::client

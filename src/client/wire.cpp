@@ -1,0 +1,173 @@
+#include "client/wire.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::client {
+namespace {
+
+constexpr const char* kRequestDomain = "sintra-client-req";
+constexpr const char* kReplyDomain = "sintra-client-rep";
+constexpr std::uint8_t kWrapTag = 0xC6;
+
+// Fixed advisory header shared by both frame kinds: magic, version,
+// type, client_id.  Interposers peek here; parsers re-read it.
+void put_header(Writer& w, FrameType type, std::uint32_t client_id) {
+  w.u8(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(client_id);
+}
+
+Bytes reply_mac(const ReplyFrame& f, BytesView key) {
+  Writer st;
+  st.str(kReplyDomain);
+  st.u32(f.client_id);
+  st.u64(f.seq);
+  st.u32(f.replica);
+  st.u8(static_cast<std::uint8_t>(f.status));
+  st.u64(f.global_seq);
+  st.u32(f.retry_ms);
+  st.bytes(f.result);
+  return crypto::hmac(crypto::HashKind::kSha256, key, st.data());
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kRetryLater: return "retry_later";
+    case Status::kStale: return "stale";
+  }
+  return "unknown";
+}
+
+Bytes request_mac(std::uint32_t client_id, std::uint64_t seq,
+                  BytesView payload, BytesView key) {
+  Writer st;
+  st.str(kRequestDomain);
+  st.u32(client_id);
+  st.u64(seq);
+  st.bytes(payload);
+  return crypto::hmac(crypto::HashKind::kSha256, key, st.data());
+}
+
+Bytes encode_request(const RequestFrame& f, BytesView key) {
+  Writer w;
+  put_header(w, FrameType::kRequest, f.client_id);
+  w.u64(f.seq);
+  w.bytes(f.payload);
+  w.bytes(request_mac(f.client_id, f.seq, f.payload, key));
+  return std::move(w).take();
+}
+
+Bytes encode_reply(const ReplyFrame& f, BytesView key) {
+  Writer w;
+  put_header(w, FrameType::kReply, f.client_id);
+  w.u64(f.seq);
+  w.u32(f.replica);
+  w.u8(static_cast<std::uint8_t>(f.status));
+  w.u64(f.global_seq);
+  w.u32(f.retry_ms);
+  w.bytes(f.result);
+  w.bytes(reply_mac(f, key));
+  return std::move(w).take();
+}
+
+std::optional<RequestFrame> decode_request(BytesView datagram, BytesView key) {
+  try {
+    Reader r(datagram);
+    if (r.u8() != kMagic || r.u8() != kVersion ||
+        r.u8() != static_cast<std::uint8_t>(FrameType::kRequest)) {
+      return std::nullopt;
+    }
+    RequestFrame f;
+    f.client_id = r.u32();
+    f.seq = r.u64();
+    f.payload = r.bytes();
+    const Bytes mac = r.bytes();
+    r.expect_end();
+    const Bytes expect = request_mac(f.client_id, f.seq, f.payload, key);
+    if (!ct_equal(mac, expect)) return std::nullopt;
+    return f;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<ReplyFrame> decode_reply(BytesView datagram, BytesView key) {
+  try {
+    Reader r(datagram);
+    if (r.u8() != kMagic || r.u8() != kVersion ||
+        r.u8() != static_cast<std::uint8_t>(FrameType::kReply)) {
+      return std::nullopt;
+    }
+    ReplyFrame f;
+    f.client_id = r.u32();
+    f.seq = r.u64();
+    f.replica = r.u32();
+    const std::uint8_t raw_status = r.u8();
+    if (raw_status > static_cast<std::uint8_t>(Status::kStale)) {
+      return std::nullopt;
+    }
+    f.status = static_cast<Status>(raw_status);
+    f.global_seq = r.u64();
+    f.retry_ms = r.u32();
+    f.result = r.bytes();
+    const Bytes mac = r.bytes();
+    r.expect_end();
+    if (!ct_equal(mac, reply_mac(f, key))) return std::nullopt;
+    return f;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<FrameType> peek_type(BytesView datagram) {
+  if (datagram.size() < 7 || datagram[0] != kMagic ||
+      datagram[1] != kVersion) {
+    return std::nullopt;
+  }
+  const std::uint8_t t = datagram[2];
+  if (t != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      t != static_cast<std::uint8_t>(FrameType::kReply)) {
+    return std::nullopt;
+  }
+  return static_cast<FrameType>(t);
+}
+
+std::optional<std::uint32_t> peek_client_id(BytesView datagram) {
+  if (!peek_type(datagram)) return std::nullopt;
+  return (std::uint32_t{datagram[3]} << 24) | (std::uint32_t{datagram[4]} << 16) |
+         (std::uint32_t{datagram[5]} << 8) | std::uint32_t{datagram[6]};
+}
+
+Bytes wrap_request(const WrappedRequest& w) {
+  Writer out;
+  out.u8(kWrapTag);
+  out.u32(w.client_id);
+  out.u64(w.seq);
+  out.bytes(w.payload);
+  out.bytes(w.mac);
+  return std::move(out).take();
+}
+
+std::optional<WrappedRequest> unwrap_request(BytesView payload) {
+  try {
+    Reader r(payload);
+    if (r.u8() != kWrapTag) return std::nullopt;
+    WrappedRequest w;
+    w.client_id = r.u32();
+    w.seq = r.u64();
+    w.payload = r.bytes();
+    w.mac = r.bytes();
+    r.expect_end();
+    return w;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace sintra::client

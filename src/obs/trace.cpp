@@ -14,6 +14,7 @@ const char* event_type_name(EventType type) {
     case EventType::kDecide: return "decide";
     case EventType::kDeliver: return "deliver";
     case EventType::kPark: return "park";
+    case EventType::kShed: return "shed";
   }
   return "unknown";
 }

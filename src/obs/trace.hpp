@@ -33,6 +33,7 @@ enum class EventType : std::uint8_t {
   kDecide,      // agreement decided (value = bit, detail = "r<round>")
   kDeliver,     // atomic broadcast delivered a payload
   kPark,        // a decided batch parked awaiting earlier rounds (pipelining)
+  kShed,        // client gateway refused a request (value = client id)
 };
 
 /// Stable lower-case name used in the JSON-lines output.

@@ -92,6 +92,10 @@ void Simulator::at(double time_ms, int party, std::function<void()> fn) {
   });
 }
 
+void Simulator::post(double time_ms, std::function<void()> fn) {
+  schedule(time_ms, std::move(fn));
+}
+
 void Simulator::run_in_node(Node& node, double ready_ms,
                             const std::function<void()>& fn) {
   const double start = std::max(ready_ms, node.cpu_free_at_ms_);

@@ -88,6 +88,12 @@ class Simulator {
   /// protocol inputs.
   void at(double time_ms, int party, std::function<void()> fn);
 
+  /// Schedules `fn` at absolute virtual time `time_ms` outside any
+  /// party's CPU context — for actors that are not group members, like
+  /// the simulated service clients (client/sim_net.hpp) whose timers
+  /// and datagrams must not consume replica CPU.
+  void post(double time_ms, std::function<void()> fn);
+
   /// Runs events until the queue empties or virtual time would exceed
   /// `until_ms`.  Returns the number of events processed.
   std::size_t run(double until_ms = kForever);
