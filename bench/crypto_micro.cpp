@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bignum/montgomery.hpp"
+#include "bignum/ref32.hpp"
 #include "crypto/coin.hpp"
 #include "crypto/dealer.hpp"
 #include "crypto/group.hpp"
@@ -86,6 +87,35 @@ void BM_Modexp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Modexp)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+// The frozen PR 1..7 32-bit limb layer (src/bignum/ref32.hpp), same inputs
+// as BM_Modexp.  Having both paths in one binary gives scripts/
+// bench_crypto.sh an honest same-machine wall-clock baseline for the
+// >=2x 64-bit-rework gate; ref32 does not touch the work counter, so no
+// work_per_op is reported.
+void BM_ModexpRef32(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const BigInt m =
+      (BigInt{1} << bits) - BigInt{static_cast<std::int64_t>(129)};
+  const bignum::Montgomery mont(m);
+  const BigInt base = BigInt::random_below(rng, m);
+  const BigInt e = BigInt::random_bits(rng, bits);
+  namespace r32 = bignum::ref32;
+  const auto rm = r32::Ref32Int::from_bytes(m.to_bytes());
+  const auto rbase = r32::Ref32Int::from_bytes(base.to_bytes());
+  const auto re = r32::Ref32Int::from_bytes(e.to_bytes());
+  // Cross-check once so the baseline provably computes the same function.
+  if (r32::Ref32Int::from_bytes(mont.pow(base, e).to_bytes()) !=
+      rbase.mod_pow(re, rm)) {
+    state.SkipWithError("ref32 disagrees with live modexp");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rbase.mod_pow(re, rm));
+  }
+}
+BENCHMARK(BM_ModexpRef32)->Arg(1024);
 
 void BM_RsaSignCrt(benchmark::State& state) {
   Fixture& fx =

@@ -5,7 +5,14 @@
 #      an existing file;
 #   2. every metric name emitted by the source tree — any string literal
 #      passed to registry .counter(" / .gauge(" / .histogram(" — is
-#      documented in docs/OBSERVABILITY.md.
+#      documented in docs/OBSERVABILITY.md;
+#   3. every command-line flag sintra_node parses appears in README.md;
+#   4. every benchmark scenario recorded in a BENCH_*.json at the repo
+#      root is mentioned in README.md or docs/, so published numbers
+#      always have prose explaining what they measure;
+#   5. every public header under src/bignum opens with a file-level doc
+#      comment (the crypto substrate is the part of the tree where an
+#      undocumented invariant becomes a key-corrupting bug).
 #
 # Grep-based on purpose: no build products needed, so it runs in any
 # checkout and catches drift at review time.
@@ -83,6 +90,42 @@ if [ -f "$NODE_SRC" ]; then
     fi
   done <<< "$node_flags"
 fi
+
+# --- 4. bench scenarios documented -----------------------------------------
+# Every scenario name recorded in a BENCH_*.json at the repo root (keys of
+# its "benchmarks" or "runs" object; google-benchmark /arg suffixes are
+# stripped) must be mentioned in README.md or somewhere under docs/ —
+# numbers we publish need prose saying what they measure.
+for bench in BENCH_*.json; do
+  [ -f "$bench" ] || continue
+  bench_names="$(python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+names = set()
+for key in ("benchmarks", "runs"):
+    for name in d.get(key, {}):
+        names.add(name.split("/")[0])
+print("\n".join(sorted(names)))' "$bench")"
+  if [ -z "$bench_names" ]; then
+    fail "$bench records no benchmarks/runs — check_docs.sh extraction drifted"
+    continue
+  fi
+  while IFS= read -r name; do
+    if ! grep -qrF -- "$name" README.md docs/; then
+      fail "bench scenario \"$name\" ($bench) is not described in README.md or docs/"
+    fi
+  done <<< "$bench_names"
+done
+
+# --- 5. bignum headers carry file-level doc comments ------------------------
+# The crypto substrate's invariants (limb layout, CIOS bounds, work-unit
+# definition) live in header prose; a bare header is a review failure.
+for hdr in src/bignum/*.hpp; do
+  [ -f "$hdr" ] || continue
+  if ! head -n 1 "$hdr" | grep -qE '^//'; then
+    fail "$hdr has no file-level doc comment (first line must be // prose)"
+  fi
+done
 
 if [ "$failures" -ne 0 ]; then
   echo "check_docs.sh: $failures problem(s)" >&2

@@ -39,7 +39,8 @@ else
   # batch DLEQ verification, the optimistic combine-first paths, and the
   # worker pool), and the net subsystem (event loop, UDP transport,
   # sliding-window link, 4-process clusters).
-  filter='BigInt|Montgomery|MultiExp|FixedBase|GroupCache|Karatsuba|Prime'
+  filter='BigInt|BignumDiff|KnuthD|Montgomery|MultiExp|FixedBase|GroupCache'
+  filter+='|Karatsuba|Prime'
   filter+='|Rsa|Shamir|Lagrange|DlogGroup|Dleq|BatchDleq|Group'
   filter+='|ThresholdSig|Coin|Tdh2|Optimistic|WorkPool'
   filter+='|Dealer|Hash|Sha|Aes'
@@ -55,6 +56,12 @@ cmake --build "$build_dir" --target sintra_tests -j"$(nproc)"
 # The loopback-cluster tests exercise the node and proxy binaries under
 # the sanitizers too.
 cmake --build "$build_dir" \
-  --target dealer_tool sintra_node udp_chaos_proxy -j"$(nproc)"
+  --target dealer_tool sintra_node udp_chaos_proxy client_swarm -j"$(nproc)"
+
+# The clients scenario asserts every request in a 2000-client overdrive
+# completes; under a 2-3x sanitizer slowdown that wall-clock capacity bar
+# is unreachable on the same timeouts, so scale the swarm down — the
+# memory-safety coverage (gateway, swarm, signing paths) is identical.
+export SINTRA_SWARM_CLIENTS="${SINTRA_SWARM_CLIENTS:-400}"
 
 ctest --test-dir "$build_dir" -R "$filter" --output-on-failure

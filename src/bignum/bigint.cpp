@@ -1,7 +1,8 @@
 #include "bignum/bigint.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <cinttypes>
+#include <cstdio>
 #include <stdexcept>
 
 #include "bignum/montgomery.hpp"
@@ -9,21 +10,21 @@
 namespace sintra::bignum {
 
 namespace {
-constexpr std::uint64_t kBase = 1ULL << 32;
-}
+using Limb = BigInt::Limb;
+constexpr int kLB = BigInt::kLimbBits;
+
+inline Limb lo(Wide v) { return static_cast<Limb>(v); }
+inline Limb hi(Wide v) { return static_cast<Limb>(v >> kLB); }
+}  // namespace
 
 BigInt::BigInt(std::int64_t v) {
   negative_ = v < 0;
-  std::uint64_t mag =
-      negative_ ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
-  while (mag != 0) {
-    limbs_.push_back(static_cast<std::uint32_t>(mag));
-    mag >>= 32;
-  }
-  if (limbs_.empty()) negative_ = false;
+  const std::uint64_t mag = negative_ ? ~static_cast<std::uint64_t>(v) + 1
+                                      : static_cast<std::uint64_t>(v);
+  if (mag != 0) limbs_.push_back(mag);
 }
 
-BigInt BigInt::from_limbs(std::vector<std::uint32_t> limbs) {
+BigInt BigInt::from_limbs(std::vector<Limb> limbs) {
   BigInt out;
   out.limbs_ = std::move(limbs);
   out.trim();
@@ -61,15 +62,15 @@ BigInt BigInt::add_mag(const BigInt& a, const BigInt& b) {
   const auto& y = b.limbs_;
   const std::size_t n = std::max(x.size(), y.size());
   out.limbs_.resize(n + 1, 0);
-  std::uint64_t carry = 0;
+  Limb carry = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t s = carry;
+    Wide s = carry;
     if (i < x.size()) s += x[i];
     if (i < y.size()) s += y[i];
-    out.limbs_[i] = static_cast<std::uint32_t>(s);
-    carry = s >> 32;
+    out.limbs_[i] = lo(s);
+    carry = hi(s);
   }
-  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.limbs_[n] = carry;
   out.trim();
   return out;
 }
@@ -77,17 +78,16 @@ BigInt BigInt::add_mag(const BigInt& a, const BigInt& b) {
 BigInt BigInt::sub_mag(const BigInt& a, const BigInt& b) {
   BigInt out;
   out.limbs_.resize(a.limbs_.size(), 0);
-  std::int64_t borrow = 0;
+  Limb borrow = 0;
   for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
-    std::int64_t d = static_cast<std::int64_t>(a.limbs_[i]) - borrow -
-                     (i < b.limbs_.size() ? b.limbs_[i] : 0);
-    if (d < 0) {
-      d += static_cast<std::int64_t>(kBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out.limbs_[i] = static_cast<std::uint32_t>(d);
+    const Limb bi = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const Limb ai = a.limbs_[i];
+    const Limb d = ai - bi - borrow;
+    // Borrow iff the true difference went negative: ai < bi + borrow
+    // (the RHS cannot wrap — bi <= 2^64-1 and borrow <= 1 never carry
+    // together out of 128 bits).
+    borrow = (static_cast<Wide>(bi) + borrow > ai) ? 1 : 0;
+    out.limbs_[i] = d;
   }
   out.trim();
   return out;
@@ -116,93 +116,96 @@ BigInt BigInt::operator-() const {
 
 namespace {
 
-// Schoolbook product of limb magnitudes (little-endian).
-std::vector<std::uint32_t> mul_school(const std::vector<std::uint32_t>& x,
-                                      const std::vector<std::uint32_t>& y) {
-  std::vector<std::uint32_t> out(x.size() + y.size(), 0);
+// Schoolbook product of limb magnitudes (little-endian).  One __int128
+// accumulator per column step: (2^64-1)^2 + 2*(2^64-1) = 2^128-1, so the
+// product + limb + carry chain cannot overflow.
+std::vector<Limb> mul_school(const std::vector<Limb>& x,
+                             const std::vector<Limb>& y) {
+  std::vector<Limb> out(x.size() + y.size(), 0);
   for (std::size_t i = 0; i < x.size(); ++i) {
-    std::uint64_t carry = 0;
-    const std::uint64_t xi = x[i];
+    Limb carry = 0;
+    const Limb xi = x[i];
     for (std::size_t j = 0; j < y.size(); ++j) {
-      std::uint64_t cur = out[i + j] + xi * y[j] + carry;
-      out[i + j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+      const Wide cur = static_cast<Wide>(xi) * y[j] + out[i + j] + carry;
+      out[i + j] = lo(cur);
+      carry = hi(cur);
     }
     std::size_t k = i + y.size();
     while (carry != 0) {
-      std::uint64_t cur = out[k] + carry;
-      out[k] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+      const Wide cur = static_cast<Wide>(out[k]) + carry;
+      out[k] = lo(cur);
+      carry = hi(cur);
       ++k;
     }
   }
   return out;
 }
 
-std::vector<std::uint32_t> add_limbs(const std::vector<std::uint32_t>& x,
-                                     const std::vector<std::uint32_t>& y) {
-  std::vector<std::uint32_t> out(std::max(x.size(), y.size()) + 1, 0);
-  std::uint64_t carry = 0;
+std::vector<Limb> add_limbs(const std::vector<Limb>& x,
+                            const std::vector<Limb>& y) {
+  std::vector<Limb> out(std::max(x.size(), y.size()) + 1, 0);
+  Limb carry = 0;
   for (std::size_t i = 0; i + 1 < out.size(); ++i) {
-    std::uint64_t s = carry;
+    Wide s = carry;
     if (i < x.size()) s += x[i];
     if (i < y.size()) s += y[i];
-    out[i] = static_cast<std::uint32_t>(s);
-    carry = s >> 32;
+    out[i] = lo(s);
+    carry = hi(s);
   }
-  out.back() = static_cast<std::uint32_t>(carry);
+  out.back() = carry;
   return out;
 }
 
 // out -= x * B^shift (in place; caller guarantees no final borrow).
-void sub_limbs_at(std::vector<std::uint32_t>& out,
-                  const std::vector<std::uint32_t>& x, std::size_t shift) {
-  std::int64_t borrow = 0;
+void sub_limbs_at(std::vector<Limb>& out, const std::vector<Limb>& x,
+                  std::size_t shift) {
+  Limb borrow = 0;
   for (std::size_t i = 0; i < x.size() || borrow != 0; ++i) {
-    std::int64_t d = static_cast<std::int64_t>(out[shift + i]) - borrow -
-                     (i < x.size() ? x[i] : 0);
-    if (d < 0) {
-      d += 1LL << 32;
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out[shift + i] = static_cast<std::uint32_t>(d);
+    const Limb xi = i < x.size() ? x[i] : 0;
+    const Limb oi = out[shift + i];
+    const Limb d = oi - xi - borrow;
+    borrow = (static_cast<Wide>(xi) + borrow > oi) ? 1 : 0;
+    out[shift + i] = d;
   }
 }
 
 // out += x * B^shift (in place; out must be large enough).
-void add_limbs_at(std::vector<std::uint32_t>& out,
-                  const std::vector<std::uint32_t>& x, std::size_t shift) {
-  std::uint64_t carry = 0;
+void add_limbs_at(std::vector<Limb>& out, const std::vector<Limb>& x,
+                  std::size_t shift) {
+  Limb carry = 0;
   for (std::size_t i = 0; i < x.size() || carry != 0; ++i) {
-    std::uint64_t s = out[shift + i] + carry;
+    Wide s = static_cast<Wide>(out[shift + i]) + carry;
     if (i < x.size()) s += x[i];
-    out[shift + i] = static_cast<std::uint32_t>(s);
-    carry = s >> 32;
+    out[shift + i] = lo(s);
+    carry = hi(s);
   }
 }
 
-// Below this operand size (in limbs) schoolbook wins.
-constexpr std::size_t kKaratsubaThreshold = 24;
+// Below this operand size (in 64-bit limbs) schoolbook wins.  Retuned for
+// the 64-bit layer: the __int128 schoolbook inner loop is ~4x denser than
+// the 32-bit one, so the crossover moves out to ~20 limbs = 1280 bits —
+// RSA-size modexp squares (16 limbs at 1024 bits) stay schoolbook, while
+// 2048-bit products and the dealer's safe-prime search take the
+// three-multiplication split (measured sweep in docs/CRYPTO.md).
+constexpr std::size_t kKaratsubaThreshold = 20;
 
 // Karatsuba product (the "optimizations in the modular arithmetic" the
 // paper's §6 suggests; pays off for the multi-limb products in division
 // and non-Montgomery paths).
-std::vector<std::uint32_t> mul_limbs(const std::vector<std::uint32_t>& x,
-                                     const std::vector<std::uint32_t>& y) {
+std::vector<Limb> mul_limbs(const std::vector<Limb>& x,
+                            const std::vector<Limb>& y) {
   if (x.size() < kKaratsubaThreshold || y.size() < kKaratsubaThreshold) {
     return mul_school(x, y);
   }
   const std::size_t half = std::max(x.size(), y.size()) / 2;
-  const auto split = [half](const std::vector<std::uint32_t>& v) {
-    std::vector<std::uint32_t> lo(v.begin(),
-                                  v.begin() + static_cast<std::ptrdiff_t>(
-                                                  std::min(half, v.size())));
-    std::vector<std::uint32_t> hi(
+  const auto split = [half](const std::vector<Limb>& v) {
+    std::vector<Limb> lov(v.begin(),
+                          v.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(half, v.size())));
+    std::vector<Limb> hiv(
         v.begin() + static_cast<std::ptrdiff_t>(std::min(half, v.size())),
         v.end());
-    return std::pair{std::move(lo), std::move(hi)};
+    return std::pair{std::move(lov), std::move(hiv)};
   };
   auto [x0, x1] = split(x);
   auto [y0, y1] = split(y);
@@ -214,7 +217,7 @@ std::vector<std::uint32_t> mul_limbs(const std::vector<std::uint32_t>& x,
   sub_limbs_at(zm, z0, 0);
   sub_limbs_at(zm, z2, 0);
 
-  std::vector<std::uint32_t> out(x.size() + y.size() + 1, 0);
+  std::vector<Limb> out(x.size() + y.size() + 1, 0);
   add_limbs_at(out, z0, 0);
   add_limbs_at(out, zm, half);
   add_limbs_at(out, z2, 2 * half);
@@ -235,17 +238,15 @@ BigInt operator*(const BigInt& a, const BigInt& b) {
 BigInt operator<<(const BigInt& a, int k) {
   if (a.is_zero() || k == 0) return k < 0 ? a >> -k : a;
   if (k < 0) return a >> -k;
-  const int limb_shift = k / 32;
-  const int bit_shift = k % 32;
+  const std::size_t limb_shift = static_cast<std::size_t>(k) / kLB;
+  const int bit_shift = k % kLB;
   BigInt out;
   out.negative_ = a.negative_;
-  out.limbs_.assign(a.limbs_.size() + static_cast<std::size_t>(limb_shift) + 1, 0);
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
   for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
-    std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i]) << bit_shift;
-    out.limbs_[i + static_cast<std::size_t>(limb_shift)] |=
-        static_cast<std::uint32_t>(v);
-    out.limbs_[i + static_cast<std::size_t>(limb_shift) + 1] |=
-        static_cast<std::uint32_t>(v >> 32);
+    const Wide v = static_cast<Wide>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= lo(v);
+    out.limbs_[i + limb_shift + 1] |= hi(v);
   }
   out.trim();
   return out;
@@ -254,19 +255,18 @@ BigInt operator<<(const BigInt& a, int k) {
 BigInt operator>>(const BigInt& a, int k) {
   if (a.is_zero() || k == 0) return k < 0 ? a << -k : a;
   if (k < 0) return a << -k;
-  const std::size_t limb_shift = static_cast<std::size_t>(k) / 32;
-  const int bit_shift = k % 32;
+  const std::size_t limb_shift = static_cast<std::size_t>(k) / kLB;
+  const int bit_shift = k % kLB;
   if (limb_shift >= a.limbs_.size()) return BigInt{};
   BigInt out;
   out.negative_ = a.negative_;
   out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
   for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
-    std::uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    Limb v = a.limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
-      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1])
-           << (32 - bit_shift);
+      v |= a.limbs_[i + limb_shift + 1] << (kLB - bit_shift);
     }
-    out.limbs_[i] = static_cast<std::uint32_t>(v);
+    out.limbs_[i] = v;
   }
   out.trim();
   return out;
@@ -276,7 +276,8 @@ std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& a, const BigInt& b) {
   if (b.is_zero()) throw std::domain_error("BigInt: division by zero");
   if (cmp_mag(a, b) < 0) return {BigInt{}, a};
 
-  // Knuth Algorithm D on magnitudes.
+  // Knuth Algorithm D on magnitudes (64-bit limbs; the two-limb trial
+  // numerators are __int128).
   BigInt u = a;
   u.negative_ = false;
   BigInt v = b;
@@ -284,17 +285,18 @@ std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& a, const BigInt& b) {
 
   if (v.limbs_.size() == 1) {
     // Fast path: single-limb divisor.
-    const std::uint64_t d = v.limbs_[0];
+    const Limb d = v.limbs_[0];
     BigInt q;
     q.limbs_.assign(u.limbs_.size(), 0);
-    std::uint64_t rem = 0;
+    Limb rem = 0;
     for (std::size_t i = u.limbs_.size(); i-- > 0;) {
-      std::uint64_t cur = (rem << 32) | u.limbs_[i];
-      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
-      rem = cur % d;
+      const Wide cur = (static_cast<Wide>(rem) << kLB) | u.limbs_[i];
+      q.limbs_[i] = static_cast<Limb>(cur / d);
+      rem = static_cast<Limb>(cur % d);
     }
     q.trim();
-    BigInt r = BigInt(static_cast<std::int64_t>(rem));
+    BigInt r;
+    if (rem != 0) r.limbs_.push_back(rem);
     q.negative_ = !q.is_zero() && (a.negative_ != b.negative_);
     r.negative_ = !r.is_zero() && a.negative_;
     return {q, r};
@@ -302,8 +304,8 @@ std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& a, const BigInt& b) {
 
   // Normalize so the top limb of v has its high bit set.
   int shift = 0;
-  std::uint32_t top = v.limbs_.back();
-  while ((top & 0x80000000u) == 0) {
+  Limb top = v.limbs_.back();
+  while ((top & (1ULL << 63)) == 0) {
     top <<= 1;
     ++shift;
   }
@@ -315,57 +317,54 @@ std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& a, const BigInt& b) {
 
   BigInt q;
   q.limbs_.assign(m + 1, 0);
-  const std::uint64_t vtop = v.limbs_[n - 1];
-  const std::uint64_t vsec = v.limbs_[n - 2];
+  const Limb vtop = v.limbs_[n - 1];
+  const Limb vsec = v.limbs_[n - 2];
+  constexpr Wide kBase = static_cast<Wide>(1) << kLB;
 
   for (std::size_t j = m + 1; j-- > 0;) {
-    std::uint64_t num =
-        (static_cast<std::uint64_t>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
-    std::uint64_t qhat = num / vtop;
-    std::uint64_t rhat = num % vtop;
+    const Wide num =
+        (static_cast<Wide>(u.limbs_[j + n]) << kLB) | u.limbs_[j + n - 1];
+    Wide qhat = num / vtop;
+    Wide rhat = num % vtop;
     if (qhat >= kBase) {
       qhat = kBase - 1;
       rhat = num - qhat * vtop;
     }
     while (rhat < kBase &&
-           qhat * vsec > ((rhat << 32) | u.limbs_[j + n - 2])) {
+           qhat * vsec > ((rhat << kLB) | u.limbs_[j + n - 2])) {
       --qhat;
       rhat += vtop;
     }
     // u[j .. j+n] -= qhat * v
-    std::int64_t borrow = 0;
-    std::uint64_t carry = 0;
+    const Limb qh = static_cast<Limb>(qhat);
+    Limb borrow = 0;
+    Limb carry = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      std::uint64_t p = qhat * v.limbs_[i] + carry;
-      carry = p >> 32;
-      std::int64_t d = static_cast<std::int64_t>(u.limbs_[i + j]) -
-                       static_cast<std::int64_t>(p & 0xffffffffu) - borrow;
-      if (d < 0) {
-        d += static_cast<std::int64_t>(kBase);
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      u.limbs_[i + j] = static_cast<std::uint32_t>(d);
+      const Wide p = static_cast<Wide>(qh) * v.limbs_[i] + carry;
+      carry = hi(p);
+      const Limb pl = lo(p);
+      const Limb ui = u.limbs_[i + j];
+      const Limb d = ui - pl - borrow;
+      borrow = (static_cast<Wide>(pl) + borrow > ui) ? 1 : 0;
+      u.limbs_[i + j] = d;
     }
-    std::int64_t d = static_cast<std::int64_t>(u.limbs_[j + n]) -
-                     static_cast<std::int64_t>(carry) - borrow;
-    if (d < 0) {
-      // qhat was one too large: add back.
-      d += static_cast<std::int64_t>(kBase);
-      --qhat;
-      std::uint64_t c = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        std::uint64_t s =
-            static_cast<std::uint64_t>(u.limbs_[i + j]) + v.limbs_[i] + c;
-        u.limbs_[i + j] = static_cast<std::uint32_t>(s);
-        c = s >> 32;
+    {
+      const Limb ui = u.limbs_[j + n];
+      Limb d = ui - carry - borrow;
+      if (static_cast<Wide>(carry) + borrow > ui) {
+        // qhat was one too large: add back.
+        --qhat;
+        Limb c = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const Wide s = static_cast<Wide>(u.limbs_[i + j]) + v.limbs_[i] + c;
+          u.limbs_[i + j] = lo(s);
+          c = hi(s);
+        }
+        d += c;  // wraps back into range
       }
-      d += static_cast<std::int64_t>(c);
-      d &= static_cast<std::int64_t>(kBase - 1);
+      u.limbs_[j + n] = d;
     }
-    u.limbs_[j + n] = static_cast<std::uint32_t>(d);
-    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+    q.limbs_[j] = static_cast<Limb>(qhat);
   }
 
   q.trim();
@@ -438,8 +437,8 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
 
 int BigInt::bit_length() const {
   if (limbs_.empty()) return 0;
-  int bits = static_cast<int>(limbs_.size() - 1) * 32;
-  std::uint32_t top = limbs_.back();
+  int bits = static_cast<int>(limbs_.size() - 1) * kLB;
+  Limb top = limbs_.back();
   while (top != 0) {
     ++bits;
     top >>= 1;
@@ -448,22 +447,22 @@ int BigInt::bit_length() const {
 }
 
 bool BigInt::bit(int i) const {
-  const std::size_t limb = static_cast<std::size_t>(i) / 32;
+  const std::size_t limb = static_cast<std::size_t>(i) / kLB;
   if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 32)) & 1u;
+  return ((limbs_[limb] >> (i % kLB)) & 1u) != 0;
 }
 
-std::uint32_t BigInt::bits_window(int i, int width) const {
-  const std::size_t limb = static_cast<std::size_t>(i) / 32;
-  const int off = i % 32;
-  std::uint64_t word = limb < limbs_.size() ? limbs_[limb] : 0u;
+BigInt::Limb BigInt::bits_window(int i, int width) const {
+  const std::size_t limb = static_cast<std::size_t>(i) / kLB;
+  const int off = i % kLB;
+  Wide word = limb < limbs_.size() ? limbs_[limb] : 0u;
   if (limb + 1 < limbs_.size()) {
-    word |= static_cast<std::uint64_t>(limbs_[limb + 1]) << 32;
+    word |= static_cast<Wide>(limbs_[limb + 1]) << kLB;
   }
   word >>= off;
-  const std::uint64_t mask =
-      width >= 32 ? 0xffffffffULL : (1ULL << width) - 1;
-  return static_cast<std::uint32_t>(word & mask);
+  const Limb mask =
+      width >= kLB ? ~static_cast<Limb>(0) : (1ULL << width) - 1;
+  return static_cast<Limb>(word) & mask;
 }
 
 BigInt BigInt::from_string(std::string_view s) {
@@ -496,11 +495,11 @@ BigInt BigInt::from_string(std::string_view s) {
 
 std::string BigInt::to_string() const {
   if (is_zero()) return "0";
-  // Repeated division by 10^9 (one limb's worth of decimal digits).
+  // Repeated division by 10^18 (one limb's worth of decimal digits).
   BigInt v = *this;
   v.negative_ = false;
-  const BigInt chunk{1000000000};
-  std::vector<std::uint32_t> groups;
+  const BigInt chunk{1000000000000000000LL};
+  std::vector<std::uint64_t> groups;
   while (!v.is_zero()) {
     auto [q, r] = div_mod(v, chunk);
     groups.push_back(r.is_zero() ? 0 : r.limbs_[0]);
@@ -510,7 +509,7 @@ std::string BigInt::to_string() const {
   out += std::to_string(groups.back());
   for (std::size_t i = groups.size() - 1; i-- > 0;) {
     std::string g = std::to_string(groups[i]);
-    out += std::string(9 - g.size(), '0') + g;
+    out += std::string(18 - g.size(), '0') + g;
   }
   return out;
 }
@@ -518,11 +517,11 @@ std::string BigInt::to_string() const {
 std::string BigInt::to_hex() const {
   if (is_zero()) return "0";
   std::string out = negative_ ? "-" : "";
-  char buf[9];
-  std::snprintf(buf, sizeof buf, "%x", limbs_.back());
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%" PRIx64, limbs_.back());
   out += buf;
   for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
-    std::snprintf(buf, sizeof buf, "%08x", limbs_[i]);
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, limbs_[i]);
     out += buf;
   }
   return out;
@@ -530,7 +529,13 @@ std::string BigInt::to_hex() const {
 
 BigInt BigInt::from_bytes(BytesView be) {
   BigInt out;
-  for (std::uint8_t b : be) out = (out << 8) + BigInt{b};
+  const std::size_t n = be.size();
+  out.limbs_.assign((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t byte = be[n - 1 - i];  // i-th least significant
+    out.limbs_[i / 8] |= static_cast<Limb>(byte) << (8 * (i % 8));
+  }
+  out.trim();
   return out;
 }
 
@@ -548,9 +553,9 @@ Bytes BigInt::to_bytes_padded(std::size_t len) const {
   Bytes out(len, 0);
   for (std::size_t i = 0; i < len; ++i) {
     const std::size_t byte_index = len - 1 - i;  // i-th least significant
-    const std::size_t limb = i / 4;
+    const std::size_t limb = i / 8;
     if (limb < limbs_.size()) {
-      out[byte_index] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (i % 4)));
+      out[byte_index] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (i % 8)));
     }
   }
   return out;
@@ -559,9 +564,7 @@ Bytes BigInt::to_bytes_padded(std::size_t len) const {
 std::uint64_t BigInt::to_u64() const {
   if (negative_ || bit_length() > 64)
     throw std::overflow_error("BigInt::to_u64: out of range");
-  std::uint64_t v = 0;
-  for (std::size_t i = limbs_.size(); i-- > 0;) v = (v << 32) | limbs_[i];
-  return v;
+  return limbs_.empty() ? 0 : limbs_[0];
 }
 
 BigInt BigInt::random_below(Rng& rng, const BigInt& bound) {

@@ -2,9 +2,14 @@
 //
 // The paper's prototype used Java's BigInteger; this reproduction builds
 // the substrate from scratch.  Representation is sign-magnitude with
-// 32-bit limbs (least-significant first) so products fit in uint64_t.
-// Modular exponentiation uses Montgomery multiplication (montgomery.hpp);
-// primality testing and parameter generation live in prime.hpp.
+// 64-bit limbs (least-significant first); intermediate products use the
+// compiler's `unsigned __int128` so a full limb product plus two carries
+// fits in one register pair.  Modular exponentiation uses fused-CIOS
+// Montgomery multiplication (montgomery.hpp); primality testing and
+// parameter generation live in prime.hpp.  Limb width is an internal
+// representation choice only — the wire format is big-endian bytes and is
+// bit-identical to the old 32-bit layer (docs/CRYPTO.md, DESIGN.md §13;
+// tests/test_bignum_diff.cpp enforces it against the frozen ref32 path).
 #pragma once
 
 #include <compare>
@@ -20,8 +25,15 @@
 
 namespace sintra::bignum {
 
+/// Double-width intermediate for limb arithmetic.
+using Wide = unsigned __int128;
+
 class BigInt {
  public:
+  /// The limb word.  64-bit since PR 8 (docs/CRYPTO.md has the layout).
+  using Limb = std::uint64_t;
+  static constexpr int kLimbBits = 64;
+
   BigInt() = default;
   BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor) — numeric literal convenience
 
@@ -47,9 +59,11 @@ class BigInt {
   [[nodiscard]] int bit_length() const;
   [[nodiscard]] bool bit(int i) const;
   /// Bits [i, i+width) of the magnitude as an unsigned value (width in
-  /// [1, 32]; bits past the top read as 0).  The digit-extraction primitive
-  /// of windowed and comb exponentiation.
-  [[nodiscard]] std::uint32_t bits_window(int i, int width) const;
+  /// [1, 64]; bits past the top read as 0).  The digit-extraction primitive
+  /// of windowed and comb exponentiation.  Returns a full Limb since PR 8 —
+  /// callers that stuff the digit into a narrower type must cast explicitly
+  /// (the bignum target builds with -Wconversion to catch silent narrowing).
+  [[nodiscard]] Limb bits_window(int i, int width) const;
 
   [[nodiscard]] std::string to_string() const;   // decimal
   [[nodiscard]] std::string to_hex() const;      // lowercase, no prefix
@@ -99,10 +113,8 @@ class BigInt {
   static BigInt read(Reader& r);
 
   // Internal access for the Montgomery machinery.
-  [[nodiscard]] const std::vector<std::uint32_t>& limbs() const {
-    return limbs_;
-  }
-  static BigInt from_limbs(std::vector<std::uint32_t> limbs);
+  [[nodiscard]] const std::vector<Limb>& limbs() const { return limbs_; }
+  static BigInt from_limbs(std::vector<Limb> limbs);
 
  private:
   void trim();
@@ -110,8 +122,8 @@ class BigInt {
   static BigInt add_mag(const BigInt& a, const BigInt& b);
   static BigInt sub_mag(const BigInt& a, const BigInt& b);  // |a| >= |b|
 
-  std::vector<std::uint32_t> limbs_;  // little-endian; empty == 0
-  bool negative_ = false;             // never true when limbs_ empty
+  std::vector<Limb> limbs_;  // little-endian; empty == 0
+  bool negative_ = false;    // never true when limbs_ empty
 };
 
 }  // namespace sintra::bignum

@@ -14,24 +14,37 @@ std::uint64_t work_counter() noexcept { return g_work; }
 void reset_work_counter() noexcept { g_work = 0; }
 
 namespace {
-// Inverse of odd x mod 2^32 by Newton iteration.
-std::uint32_t inv32(std::uint32_t x) {
-  std::uint32_t y = x;  // correct mod 2^3
-  for (int i = 0; i < 4; ++i) y *= 2 - x * y;  // doubles precision each step
+using Limb = std::uint64_t;
+
+// Inverse of odd x mod 2^64 by Newton iteration: y = x is correct mod 2^3
+// and each step doubles the number of correct low bits (3 -> 6 -> 12 -> 24
+// -> 48 -> 96), so five steps cover 64 bits.
+Limb inv64(Limb x) {
+  Limb y = x;
+  for (int i = 0; i < 5; ++i) y *= 2 - x * y;
   return y;
 }
 
-// Exponentiation working set (window table + accumulator + temporaries).
-// Small instances live on the stack; anything larger reuses one
-// thread-local buffer, so the hot path never pays a per-call heap
-// allocation for its tables.
-constexpr std::size_t kStackLimbs = 1280;  // covers 2048-bit moduli for pow()
+// Fixed-capacity scratch for the single-multiplication helpers: one CIOS
+// accumulator (n+1 limbs used, one spare) plus one result row, sized for
+// kMaxModulusBits.  Lives on the stack of each helper — the hot path
+// performs zero heap allocations per multiply.
+constexpr std::size_t kMaxLimbs = kMaxModulusBits / 64;       // 64
+constexpr std::size_t kScratchCap = kMaxLimbs + 2;            // t buffer
 
-thread_local std::vector<std::uint32_t> g_scratch;
+// Exponentiation working set (window table + accumulator + temporaries).
+// Sized so a full 16-entry window table for a 4096-bit modulus fits on the
+// stack (16n + n + n+2 = 1154 limbs at n = 64); only the multi-base
+// simul_pow working sets (up to kSimulPowMax tables) can exceed it, and
+// those reuse one thread-local buffer, so no path pays a per-call heap
+// allocation after warm-up.
+constexpr std::size_t kStackLimbs = 1280;  // 10 KiB
+
+thread_local std::vector<Limb> g_scratch;
 
 struct Workspace {
-  std::uint32_t stack[kStackLimbs];
-  std::uint32_t* p;
+  Limb stack[kStackLimbs];
+  Limb* p;
 
   explicit Workspace(std::size_t limbs) {
     if (limbs <= kStackLimbs) {
@@ -66,52 +79,53 @@ void check_nonneg(const BigInt& e) {
 Montgomery::Montgomery(const BigInt& modulus) : modulus_(modulus) {
   if (!modulus.is_odd() || modulus <= BigInt{1})
     throw std::domain_error("Montgomery: modulus must be odd and > 1");
+  if (modulus.bit_length() > kMaxModulusBits)
+    throw std::domain_error(
+        "Montgomery: modulus wider than 4096 bits (kMaxModulusBits bounds "
+        "the fixed-capacity scratch buffers)");
   m_ = modulus.limbs();
-  m0inv_ = static_cast<std::uint32_t>(0) - inv32(m_[0]);
+  m0inv_ = static_cast<Limb>(0) - inv64(m_[0]);
   const int n = static_cast<int>(m_.size());
-  // R^2 mod m with R = 2^(32n).
-  BigInt r2 = (BigInt{1} << (64 * n)).mod(modulus_);
+  // R^2 mod m with R = 2^(64n).
+  BigInt r2 = (BigInt{1} << (128 * n)).mod(modulus_);
   r2_ = r2.limbs();
   r2_.resize(m_.size(), 0);
-  BigInt r1 = (BigInt{1} << (32 * n)).mod(modulus_);
+  BigInt r1 = (BigInt{1} << (64 * n)).mod(modulus_);
   one_ = r1.limbs();
   one_.resize(m_.size(), 0);
 }
 
-void Montgomery::mmul(std::uint32_t* out, const std::uint32_t* a,
-                      const std::uint32_t* b, std::uint32_t* t) const {
+void Montgomery::mmul(Limb* out, const Limb* a, const Limb* b,
+                      Limb* t) const {
   const std::size_t n = m_.size();
-  g_work += static_cast<std::uint64_t>(n) * n;
-  // CIOS: t has n+2 limbs.
+  g_work += kLimbWorkScale * static_cast<std::uint64_t>(n) * n;
+  // Fused CIOS: one outer pass per limb of a; the multiply row
+  // (t += a[i]*b) and the reduction row (t += mi*m, t >>= 64) share a
+  // single inner loop with two running carries.  Invariant: the t value
+  // entering and leaving each outer iteration is < 2m, so t occupies n
+  // limbs plus a top limb t[n] in {0, 1} — no intermediate normalization
+  // is ever needed (bounds walked through in docs/CRYPTO.md).
   std::fill(t, t + n + 2, 0u);
   for (std::size_t i = 0; i < n; ++i) {
-    // t += a[i] * b
-    std::uint64_t carry = 0;
-    const std::uint64_t ai = a[i];
-    for (std::size_t j = 0; j < n; ++j) {
-      std::uint64_t cur = t[j] + ai * b[j] + carry;
-      t[j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    std::uint64_t cur = t[n] + carry;
-    t[n] = static_cast<std::uint32_t>(cur);
-    t[n + 1] = static_cast<std::uint32_t>(cur >> 32);
-
-    // m = t[0] * m0inv mod 2^32; t += m * modulus; t >>= 32
-    const std::uint64_t m = static_cast<std::uint32_t>(t[0] * m0inv_);
-    carry = 0;
-    std::uint64_t first = t[0] + m * m_[0];
-    carry = first >> 32;
+    const Limb ai = a[i];
+    // Column 0 decides the reduction multiplier mi, and its reduced limb
+    // is exactly zero by construction of m0inv, so it is never stored.
+    const Wide p0 = static_cast<Wide>(ai) * b[0] + t[0];
+    const Limb mi = static_cast<Limb>(p0) * m0inv_;
+    const Wide r0 = static_cast<Wide>(mi) * m_[0] + static_cast<Limb>(p0);
+    Limb carry_mul = static_cast<Limb>(p0 >> 64);
+    Limb carry_red = static_cast<Limb>(r0 >> 64);
     for (std::size_t j = 1; j < n; ++j) {
-      std::uint64_t c2 = t[j] + m * m_[j] + carry;
-      t[j - 1] = static_cast<std::uint32_t>(c2);
-      carry = c2 >> 32;
+      const Wide p = static_cast<Wide>(ai) * b[j] + t[j] + carry_mul;
+      carry_mul = static_cast<Limb>(p >> 64);
+      const Wide r =
+          static_cast<Wide>(mi) * m_[j] + static_cast<Limb>(p) + carry_red;
+      t[j - 1] = static_cast<Limb>(r);
+      carry_red = static_cast<Limb>(r >> 64);
     }
-    std::uint64_t c2 = t[n] + carry;
-    t[n - 1] = static_cast<std::uint32_t>(c2);
-    c2 = t[n + 1] + (c2 >> 32);
-    t[n] = static_cast<std::uint32_t>(c2);
-    t[n + 1] = static_cast<std::uint32_t>(c2 >> 32);
+    const Wide s = static_cast<Wide>(t[n]) + carry_mul + carry_red;
+    t[n - 1] = static_cast<Limb>(s);
+    t[n] = static_cast<Limb>(s >> 64);  // in {0, 1}
   }
   // Conditional subtraction: t may be in [0, 2m).
   bool ge = t[n] != 0;
@@ -125,16 +139,94 @@ void Montgomery::mmul(std::uint32_t* out, const std::uint32_t* a,
     }
   }
   if (ge) {
-    std::int64_t borrow = 0;
+    Limb borrow = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      std::int64_t d = static_cast<std::int64_t>(t[i]) - m_[i] - borrow;
-      if (d < 0) {
-        d += (1LL << 32);
-        borrow = 1;
-      } else {
-        borrow = 0;
+      const Limb ti = t[i];
+      const Limb d = ti - m_[i] - borrow;
+      borrow = (static_cast<Wide>(m_[i]) + borrow > ti) ? 1 : 0;
+      out[i] = d;
+    }
+  } else {
+    std::copy(t, t + n, out);
+  }
+}
+
+void Montgomery::msqr(Limb* out, const Limb* a) const {
+  const std::size_t n = m_.size();
+  g_work += kLimbWorkScale * static_cast<std::uint64_t>(n) * n;
+  // SOS squaring: full double-width square first (cross products computed
+  // once, then doubled, then the diagonal squares added), followed by n
+  // Montgomery reduction rows.  1.5n^2 + O(n) limb products vs the 2n^2
+  // of mmul.  r needs 2n+1 limbs: the square fills 2n, and the reduction
+  // carries can reach one bit into limb 2n (a^2 + m*floor-term < 2^(128n+1)).
+  Limb r[2 * kMaxLimbs + 1];
+  std::fill(r, r + 2 * n + 1, 0u);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const Limb ai = a[i];
+    Limb carry = 0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Wide cur = static_cast<Wide>(ai) * a[j] + r[i + j] + carry;
+      r[i + j] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> 64);
+    }
+    r[i + n] = carry;
+  }
+  // Double the cross terms.  2*cross < a^2 < 2^(128n), so the shift-out of
+  // limb 2n-1 is always zero.
+  Limb topbit = 0;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const Limb v = r[i];
+    r[i] = (v << 1) | topbit;
+    topbit = v >> 63;
+  }
+  // Add the diagonal a[i]^2 at bit position 128*i.
+  Limb carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Wide sq = static_cast<Wide>(a[i]) * a[i];
+    const Wide lo_sum =
+        static_cast<Wide>(r[2 * i]) + static_cast<Limb>(sq) + carry;
+    r[2 * i] = static_cast<Limb>(lo_sum);
+    const Wide hi_sum = static_cast<Wide>(r[2 * i + 1]) +
+                        static_cast<Limb>(sq >> 64) +
+                        static_cast<Limb>(lo_sum >> 64);
+    r[2 * i + 1] = static_cast<Limb>(hi_sum);
+    carry = static_cast<Limb>(hi_sum >> 64);
+  }
+  // Reduction: zero the low n limbs one at a time, exactly as in CIOS.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Limb mi = r[i] * m0inv_;
+    Limb c = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Wide cur = static_cast<Wide>(mi) * m_[j] + r[i + j] + c;
+      r[i + j] = static_cast<Limb>(cur);
+      c = static_cast<Limb>(cur >> 64);
+    }
+    for (std::size_t k = i + n; c != 0; ++k) {
+      const Wide cur = static_cast<Wide>(r[k]) + c;
+      r[k] = static_cast<Limb>(cur);
+      c = static_cast<Limb>(cur >> 64);
+    }
+  }
+  // Result is r[n..2n] < 2m with r[2n] in {0, 1}; same conditional
+  // subtraction as mmul.
+  const Limb* t = r + n;
+  bool ge = r[2 * n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (t[i] != m_[i]) {
+        ge = t[i] > m_[i];
+        break;
       }
-      out[i] = static_cast<std::uint32_t>(d);
+    }
+  }
+  if (ge) {
+    Limb borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Limb ti = t[i];
+      const Limb d = ti - m_[i] - borrow;
+      borrow = (static_cast<Wide>(m_[i]) + borrow > ti) ? 1 : 0;
+      out[i] = d;
     }
   } else {
     std::copy(t, t + n, out);
@@ -144,8 +236,8 @@ void Montgomery::mmul(std::uint32_t* out, const std::uint32_t* a,
 Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
   const std::size_t n = m_.size();
   Limbs out(n);
-  Limbs t(n + 2);
-  mmul(out.data(), a.data(), b.data(), t.data());
+  Limb t[kScratchCap];
+  mmul(out.data(), a.data(), b.data(), t);
   return out;
 }
 
@@ -155,8 +247,7 @@ Montgomery::Limbs Montgomery::to_mont(const BigInt& a) const {
   return mont_mul(al, r2_);
 }
 
-void Montgomery::to_mont_into(std::uint32_t* out, const BigInt& a,
-                              std::uint32_t* t) const {
+void Montgomery::to_mont_into(Limb* out, const BigInt& a, Limb* t) const {
   Limbs al = a.mod(modulus_).limbs();
   al.resize(m_.size(), 0);
   mmul(out, al.data(), r2_.data(), t);
@@ -168,23 +259,22 @@ BigInt Montgomery::from_mont(const Limbs& a) const {
   return BigInt::from_limbs(mont_mul(a, one));
 }
 
-BigInt Montgomery::from_mont_raw(const std::uint32_t* a) const {
+BigInt Montgomery::from_mont_raw(const Limb* a) const {
   const std::size_t n = m_.size();
-  Limbs unit(n, 0);
+  Limb unit[kMaxLimbs] = {};
   unit[0] = 1;
-  Limbs out(n);
-  Limbs t(n + 2);
-  mmul(out.data(), a, unit.data(), t.data());
-  return BigInt::from_limbs(std::move(out));
+  Limb out[kMaxLimbs];
+  Limb t[kScratchCap];
+  mmul(out, a, unit, t);
+  return BigInt::from_limbs(Limbs(out, out + n));
 }
 
 BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
   return from_mont(mont_mul(to_mont(a), to_mont(b)));
 }
 
-void Montgomery::build_window_table(std::uint32_t* table,
-                                    const std::uint32_t* basemont,
-                                    int max_digit, std::uint32_t* t) const {
+void Montgomery::build_window_table(Limb* table, const Limb* basemont,
+                                    int max_digit, Limb* t) const {
   const std::size_t n = m_.size();
   for (int d = 2; d <= max_digit; ++d) {
     mmul(table + static_cast<std::size_t>(d) * n,
@@ -202,9 +292,9 @@ BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
   const int maxd = max_window_digit(exp);
   const std::size_t table_limbs = static_cast<std::size_t>(maxd + 1) * n;
   Workspace ws(table_limbs + 2 * n + (n + 2));
-  std::uint32_t* table = ws.p;
-  std::uint32_t* acc = table + table_limbs;
-  std::uint32_t* t = acc + n;  // n+2 limbs, followed by nothing
+  Limb* table = ws.p;
+  Limb* acc = table + table_limbs;
+  Limb* t = acc + n;  // n+2 limbs, followed by nothing
   // table[1] = base in Montgomery form; table[2..maxd] by one mult each.
   to_mont_into(table + n, base, t);
   build_window_table(table, table + n, maxd, t);
@@ -215,10 +305,10 @@ BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
   bool started = false;
   for (int w = windows - 1; w >= 0; --w) {
     if (started) {
-      mmul(acc, acc, acc, t);
-      mmul(acc, acc, acc, t);
-      mmul(acc, acc, acc, t);
-      mmul(acc, acc, acc, t);
+      msqr(acc, acc);
+      msqr(acc, acc);
+      msqr(acc, acc);
+      msqr(acc, acc);
     }
     const auto digit = exp.bits_window(4 * w, 4);
     if (digit != 0) {
@@ -248,12 +338,12 @@ BigInt Montgomery::simul_pow(const std::pair<BigInt, BigInt>* terms,
   if (bits == 0) return BigInt{1}.mod(modulus_);
 
   Workspace ws(table_limbs + 2 * n + (n + 2));
-  std::uint32_t* tables = ws.p;
-  std::uint32_t* acc = tables + table_limbs;
-  std::uint32_t* t = acc + n;
+  Limb* tables = ws.p;
+  Limb* acc = tables + table_limbs;
+  Limb* t = acc + n;
   for (std::size_t i = 0; i < count; ++i) {
     if (maxd[i] == 0) continue;  // zero exponent contributes nothing
-    std::uint32_t* table = tables + offset[i];
+    Limb* table = tables + offset[i];
     to_mont_into(table + n, terms[i].first, t);
     build_window_table(table, table + n, maxd[i], t);
   }
@@ -263,10 +353,10 @@ BigInt Montgomery::simul_pow(const std::pair<BigInt, BigInt>* terms,
   bool started = false;
   for (int w = windows - 1; w >= 0; --w) {
     if (started) {
-      mmul(acc, acc, acc, t);
-      mmul(acc, acc, acc, t);
-      mmul(acc, acc, acc, t);
-      mmul(acc, acc, acc, t);
+      msqr(acc, acc);
+      msqr(acc, acc);
+      msqr(acc, acc);
+      msqr(acc, acc);
     }
     for (std::size_t i = 0; i < count; ++i) {
       const auto digit = terms[i].second.bits_window(4 * w, 4);
@@ -320,20 +410,20 @@ FixedBaseTable Montgomery::precompute(const BigInt& base,
   out.n_ = n;
   out.windows_ = (std::max(max_exp_bits, 4) + 3) / 4;
   out.entries_.assign(static_cast<std::size_t>(out.windows_) * 16 * n, 0);
-  Limbs t(n + 2);
-  auto entry = [&](int j, int d) -> std::uint32_t* {
+  Limb t[kScratchCap];
+  auto entry = [&](int j, int d) -> Limb* {
     return out.entries_.data() +
            (static_cast<std::size_t>(j) * 16 + static_cast<std::size_t>(d)) * n;
   };
-  to_mont_into(entry(0, 1), base, t.data());
+  to_mont_into(entry(0, 1), base, t);
   for (int j = 0; j < out.windows_; ++j) {
     if (j > 0) {
       // base^(16^j) = (base^(16^(j-1)))^16: four squarings.
       std::copy(entry(j - 1, 1), entry(j - 1, 1) + n, entry(j, 1));
-      for (int s = 0; s < 4; ++s) mmul(entry(j, 1), entry(j, 1), entry(j, 1), t.data());
+      for (int s = 0; s < 4; ++s) msqr(entry(j, 1), entry(j, 1));
     }
     for (int d = 2; d < 16; ++d) {
-      mmul(entry(j, d), entry(j, d - 1), entry(j, 1), t.data());
+      mmul(entry(j, d), entry(j, d - 1), entry(j, 1), t);
     }
   }
   return out;
@@ -344,8 +434,8 @@ bool Montgomery::accepts(const FixedBaseTable& table, const BigInt& e) const {
          !e.is_negative() && e.bit_length() <= table.max_exp_bits();
 }
 
-void Montgomery::comb_mul_into(std::uint32_t* acc, const FixedBaseTable& table,
-                               const BigInt& e, std::uint32_t* t) const {
+void Montgomery::comb_mul_into(Limb* acc, const FixedBaseTable& table,
+                               const BigInt& e, Limb* t) const {
   const std::size_t n = m_.size();
   const int windows = (e.bit_length() + 3) / 4;
   for (int j = 0; j < windows; ++j) {
@@ -363,10 +453,8 @@ void Montgomery::comb_mul_into(std::uint32_t* acc, const FixedBaseTable& table,
 BigInt Montgomery::pow(const FixedBaseTable& table, const BigInt& e) const {
   if (e.is_zero()) return BigInt{1}.mod(modulus_);
   if (!accepts(table, e)) return pow(table.base_, e);
-  const std::size_t n = m_.size();
-  Workspace ws(2 * n + 2);
-  std::uint32_t* acc = ws.p;
-  std::uint32_t* t = acc + n;
+  Limb acc[kMaxLimbs];
+  Limb t[kScratchCap];
   std::copy(one_.begin(), one_.end(), acc);
   comb_mul_into(acc, table, e, t);
   return from_mont_raw(acc);
@@ -381,10 +469,8 @@ BigInt Montgomery::mul_pow(const FixedBaseTable& ta, const BigInt& ea,
   }
   if (ea.is_zero()) return pow(tb, eb);
   if (eb.is_zero()) return pow(ta, ea);
-  const std::size_t n = m_.size();
-  Workspace ws(2 * n + 2);
-  std::uint32_t* acc = ws.p;
-  std::uint32_t* t = acc + n;
+  Limb acc[kMaxLimbs];
+  Limb t[kScratchCap];
   std::copy(one_.begin(), one_.end(), acc);
   comb_mul_into(acc, ta, ea, t);
   comb_mul_into(acc, tb, eb, t);
@@ -404,9 +490,9 @@ BigInt Montgomery::mul_pow(const FixedBaseTable& ta, const BigInt& ea,
   const int maxd = max_window_digit(eb);
   const std::size_t table_limbs = static_cast<std::size_t>(maxd + 1) * n;
   Workspace ws(table_limbs + 2 * n + (n + 2));
-  std::uint32_t* table = ws.p;
-  std::uint32_t* acc = table + table_limbs;
-  std::uint32_t* t = acc + n;
+  Limb* table = ws.p;
+  Limb* acc = table + table_limbs;
+  Limb* t = acc + n;
   to_mont_into(table + n, b, t);
   build_window_table(table, table + n, maxd, t);
 
@@ -415,10 +501,10 @@ BigInt Montgomery::mul_pow(const FixedBaseTable& ta, const BigInt& ea,
   bool started = false;
   for (int w = windows - 1; w >= 0; --w) {
     if (started) {
-      mmul(acc, acc, acc, t);
-      mmul(acc, acc, acc, t);
-      mmul(acc, acc, acc, t);
-      mmul(acc, acc, acc, t);
+      msqr(acc, acc);
+      msqr(acc, acc);
+      msqr(acc, acc);
+      msqr(acc, acc);
     }
     const auto digit = eb.bits_window(4 * w, 4);
     if (digit != 0) {

@@ -2,8 +2,12 @@
 //
 // All hot-path exponentiations in SINTRA (RSA, threshold-signature share
 // generation, Diffie–Hellman coin shares, TDH2) go through this context.
-// The implementation is CIOS (coarsely integrated operand scanning) over
-// 32-bit limbs.
+// The implementation is fused CIOS (coarsely integrated operand scanning)
+// over 64-bit limbs: each outer iteration interleaves the multiply row and
+// the reduction row in ONE inner loop with two running carries and no
+// intermediate normalization, using `unsigned __int128` products
+// (docs/CRYPTO.md walks through the algorithm and its bounds; the 32-bit
+// predecessor is frozen in ref32.hpp for differential tests).
 //
 // Beyond plain `pow`, the context offers the fast-path entry points that
 // the threshold-crypto stack is built on:
@@ -27,14 +31,29 @@
 
 namespace sintra::bignum {
 
-/// Work accounting: every Montgomery multiplication adds (limbs of the
-/// modulus)^2 to a thread-local counter.  The discrete-event simulator
-/// converts accumulated work into virtual CPU time using each host's
-/// measured 1024-bit-modexp cost (the paper's `exp` column), so public-key
-/// operations slow down simulated hosts exactly in proportion to the real
-/// arithmetic they perform.
+/// Work accounting: every Montgomery multiplication adds
+/// kLimbWorkScale * (64-bit limbs of the modulus)^2 to a thread-local
+/// counter.  The *unit* is still the PR 1 definition — one 32-bit limb
+/// product — so one 64-bit limb product, which does the work of four
+/// 32-bit ones, charges kLimbWorkScale = 4 units.  For moduli whose width
+/// is a multiple of 64 bits (every RSA/Schnorr modulus the dealer emits)
+/// the counter value is bit-identical to the old 32-bit layer's, which is
+/// what keeps simulator determinism and the PR 4 bench gates stable across
+/// the limb rework (DESIGN.md §13).  The discrete-event simulator converts
+/// accumulated work into virtual CPU time using each host's measured
+/// 1024-bit-modexp cost (the paper's `exp` column) via a runtime-calibrated
+/// ratio (crypto::work_per_exp1024), so public-key operations slow down
+/// simulated hosts exactly in proportion to the real arithmetic they
+/// perform.
+inline constexpr std::uint64_t kLimbWorkScale = 4;
+
 std::uint64_t work_counter() noexcept;
 void reset_work_counter() noexcept;
+
+/// Hard cap on modulus width: fixed-capacity scratch in the Montgomery
+/// context is sized for 4096-bit moduli (64 limbs), so the hot path never
+/// heap-allocates.  The constructor rejects wider moduli.
+inline constexpr int kMaxModulusBits = 4096;
 
 class Montgomery;
 
@@ -59,12 +78,12 @@ class FixedBaseTable {
   BigInt modulus_;  // guards against use with a different context
   int windows_ = 0;
   std::size_t n_ = 0;                   // limbs of the modulus
-  std::vector<std::uint32_t> entries_;  // windows x 16 x n_, row-major
+  std::vector<std::uint64_t> entries_;  // windows x 16 x n_, row-major
 };
 
 class Montgomery {
  public:
-  /// modulus must be odd and > 1.
+  /// modulus must be odd, > 1, and at most kMaxModulusBits wide.
   explicit Montgomery(const BigInt& modulus);
 
   [[nodiscard]] const BigInt& modulus() const { return modulus_; }
@@ -113,27 +132,34 @@ class Montgomery {
                                const BigInt& b, const BigInt& eb) const;
 
  private:
-  using Limbs = std::vector<std::uint32_t>;
+  using Limb = std::uint64_t;
+  using Limbs = std::vector<Limb>;
 
   [[nodiscard]] Limbs to_mont(const BigInt& a) const;
   [[nodiscard]] BigInt from_mont(const Limbs& a) const;
-  /// out = a*b*R^-1 mod m (CIOS) over raw n-limb arrays; t is n+2 limbs of
-  /// scratch.  out may alias a and/or b.
-  void mmul(std::uint32_t* out, const std::uint32_t* a, const std::uint32_t* b,
-            std::uint32_t* t) const;
+  /// out = a*b*R^-1 mod m (fused CIOS) over raw n-limb arrays; t is n+2
+  /// limbs of scratch.  out may alias a and/or b.
+  void mmul(Limb* out, const Limb* a, const Limb* b, Limb* t) const;
+  /// out = a*a*R^-1 mod m.  Exploits product symmetry (cross terms computed
+  /// once and doubled), ~25% fewer limb products than mmul; used for the
+  /// squaring chains that dominate every exponentiation ladder.  Charges
+  /// the same kLimbWorkScale*n^2 work as mmul — the counter is a cost
+  /// *model* shared with the 32-bit era, and keeping squarings and
+  /// multiplications indistinguishable there preserves counter values
+  /// bit-for-bit across PRs (docs/CRYPTO.md).  out may alias a.
+  void msqr(Limb* out, const Limb* a) const;
   [[nodiscard]] Limbs mont_mul(const Limbs& a, const Limbs& b) const;
   /// Writes the Montgomery form of a into out (n limbs).
-  void to_mont_into(std::uint32_t* out, const BigInt& a,
-                    std::uint32_t* t) const;
-  [[nodiscard]] BigInt from_mont_raw(const std::uint32_t* a) const;
+  void to_mont_into(Limb* out, const BigInt& a, Limb* t) const;
+  [[nodiscard]] BigInt from_mont_raw(const Limb* a) const;
   /// Fills table entries d = 2..max_digit with basemont^d (entry 1 must
   /// already hold basemont; entry 0 is never read).
-  void build_window_table(std::uint32_t* table, const std::uint32_t* basemont,
-                          int max_digit, std::uint32_t* t) const;
+  void build_window_table(Limb* table, const Limb* basemont, int max_digit,
+                          Limb* t) const;
   /// acc *= table-eval of e (both in Montgomery form); the comb needs no
   /// squarings.
-  void comb_mul_into(std::uint32_t* acc, const FixedBaseTable& table,
-                     const BigInt& e, std::uint32_t* t) const;
+  void comb_mul_into(Limb* acc, const FixedBaseTable& table, const BigInt& e,
+                     Limb* t) const;
   [[nodiscard]] bool accepts(const FixedBaseTable& table,
                              const BigInt& e) const;
   /// Most terms one shared squaring chain serves (a window-table memory
@@ -146,7 +172,7 @@ class Montgomery {
 
   BigInt modulus_;
   Limbs m_;               // modulus limbs, size n
-  std::uint32_t m0inv_;   // -m^{-1} mod 2^32
+  Limb m0inv_;            // -m^{-1} mod 2^64
   Limbs r2_;              // R^2 mod m, for conversion into Montgomery form
   Limbs one_;             // R mod m (Montgomery representation of 1)
 };

@@ -15,12 +15,14 @@ constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
     109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
     191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
 
-// n mod small prime, without allocating.
+// n mod small prime, without allocating.  Limbs are 64-bit, so the
+// shift-in step runs through a 128-bit intermediate.
 std::uint32_t mod_small(const BigInt& n, std::uint32_t d) {
   std::uint64_t rem = 0;
   const auto& limbs = n.limbs();
   for (std::size_t i = limbs.size(); i-- > 0;) {
-    rem = ((rem << 32) | limbs[i]) % d;
+    rem = static_cast<std::uint64_t>(
+        ((static_cast<Wide>(rem) << 64) | limbs[i]) % d);
   }
   return static_cast<std::uint32_t>(rem);
 }

@@ -1,0 +1,589 @@
+// The PR 1..7 32-bit limb arithmetic, preserved verbatim (see ref32.hpp).
+// Kept intentionally close to the old bigint.cpp/montgomery.cpp text so a
+// diff against git history shows only the renames.
+#include "bignum/ref32.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sintra::bignum::ref32 {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+Ref32Int::Ref32Int(std::int64_t v) {
+  negative_ = v < 0;
+  std::uint64_t mag = negative_ ? ~static_cast<std::uint64_t>(v) + 1
+                                : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag));
+    mag >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+void Ref32Int::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int Ref32Int::cmp_mag(const Ref32Int& a, const Ref32Int& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering operator<=>(const Ref32Int& a, const Ref32Int& b) {
+  if (a.negative_ != b.negative_)
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  int c = Ref32Int::cmp_mag(a, b);
+  if (a.negative_) c = -c;
+  if (c < 0) return std::strong_ordering::less;
+  if (c > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Ref32Int Ref32Int::add_mag(const Ref32Int& a, const Ref32Int& b) {
+  Ref32Int out;
+  const auto& x = a.limbs_;
+  const auto& y = b.limbs_;
+  const std::size_t n = std::max(x.size(), y.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t s = carry;
+    if (i < x.size()) s += x[i];
+    if (i < y.size()) s += y[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+Ref32Int Ref32Int::sub_mag(const Ref32Int& a, const Ref32Int& b) {
+  Ref32Int out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a.limbs_[i]) - borrow -
+                     (i < b.limbs_.size() ? b.limbs_[i] : 0);
+    if (d < 0) {
+      d += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(d);
+  }
+  out.trim();
+  return out;
+}
+
+Ref32Int operator+(const Ref32Int& a, const Ref32Int& b) {
+  if (a.negative_ == b.negative_) {
+    Ref32Int out = Ref32Int::add_mag(a, b);
+    out.negative_ = a.negative_ && !out.is_zero();
+    return out;
+  }
+  int c = Ref32Int::cmp_mag(a, b);
+  if (c == 0) return Ref32Int{};
+  Ref32Int out = c > 0 ? Ref32Int::sub_mag(a, b) : Ref32Int::sub_mag(b, a);
+  out.negative_ = (c > 0 ? a.negative_ : b.negative_) && !out.is_zero();
+  return out;
+}
+
+Ref32Int operator-(const Ref32Int& a, const Ref32Int& b) { return a + (-b); }
+
+Ref32Int Ref32Int::operator-() const {
+  Ref32Int out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+namespace {
+
+// Schoolbook product of limb magnitudes (little-endian).
+std::vector<std::uint32_t> mul_school(const std::vector<std::uint32_t>& x,
+                                      const std::vector<std::uint32_t>& y) {
+  std::vector<std::uint32_t> out(x.size() + y.size(), 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t xi = x[i];
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      std::uint64_t cur = out[i + j] + xi * y[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + y.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> add_limbs(const std::vector<std::uint32_t>& x,
+                                     const std::vector<std::uint32_t>& y) {
+  std::vector<std::uint32_t> out(std::max(x.size(), y.size()) + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    std::uint64_t s = carry;
+    if (i < x.size()) s += x[i];
+    if (i < y.size()) s += y[i];
+    out[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  out.back() = static_cast<std::uint32_t>(carry);
+  return out;
+}
+
+void sub_limbs_at(std::vector<std::uint32_t>& out,
+                  const std::vector<std::uint32_t>& x, std::size_t shift) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < x.size() || borrow != 0; ++i) {
+    std::int64_t d = static_cast<std::int64_t>(out[shift + i]) - borrow -
+                     (i < x.size() ? x[i] : 0);
+    if (d < 0) {
+      d += 1LL << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[shift + i] = static_cast<std::uint32_t>(d);
+  }
+}
+
+void add_limbs_at(std::vector<std::uint32_t>& out,
+                  const std::vector<std::uint32_t>& x, std::size_t shift) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < x.size() || carry != 0; ++i) {
+    std::uint64_t s = out[shift + i] + carry;
+    if (i < x.size()) s += x[i];
+    out[shift + i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+}
+
+// The PR-era 32-bit crossover: 24 limbs = 768 bits.
+constexpr std::size_t kKaratsubaThreshold = 24;
+
+std::vector<std::uint32_t> mul_limbs(const std::vector<std::uint32_t>& x,
+                                     const std::vector<std::uint32_t>& y) {
+  if (x.size() < kKaratsubaThreshold || y.size() < kKaratsubaThreshold) {
+    return mul_school(x, y);
+  }
+  const std::size_t half = std::max(x.size(), y.size()) / 2;
+  const auto split = [half](const std::vector<std::uint32_t>& v) {
+    std::vector<std::uint32_t> lo(v.begin(),
+                                  v.begin() + static_cast<std::ptrdiff_t>(
+                                                  std::min(half, v.size())));
+    std::vector<std::uint32_t> hi(
+        v.begin() + static_cast<std::ptrdiff_t>(std::min(half, v.size())),
+        v.end());
+    return std::pair{std::move(lo), std::move(hi)};
+  };
+  auto [x0, x1] = split(x);
+  auto [y0, y1] = split(y);
+
+  const auto z0 = mul_limbs(x0, y0);
+  const auto z2 = mul_limbs(x1, y1);
+  auto zm = mul_limbs(add_limbs(x0, x1), add_limbs(y0, y1));
+  sub_limbs_at(zm, z0, 0);
+  sub_limbs_at(zm, z2, 0);
+
+  std::vector<std::uint32_t> out(x.size() + y.size() + 1, 0);
+  add_limbs_at(out, z0, 0);
+  add_limbs_at(out, zm, half);
+  add_limbs_at(out, z2, 2 * half);
+  return out;
+}
+
+}  // namespace
+
+Ref32Int operator*(const Ref32Int& a, const Ref32Int& b) {
+  if (a.is_zero() || b.is_zero()) return Ref32Int{};
+  Ref32Int out;
+  out.limbs_ = mul_limbs(a.limbs_, b.limbs_);
+  out.negative_ = a.negative_ != b.negative_;
+  out.trim();
+  return out;
+}
+
+Ref32Int operator<<(const Ref32Int& a, int k) {
+  if (a.is_zero() || k == 0) return k < 0 ? a >> -k : a;
+  if (k < 0) return a >> -k;
+  const int limb_shift = k / 32;
+  const int bit_shift = k % 32;
+  Ref32Int out;
+  out.negative_ = a.negative_;
+  out.limbs_.assign(a.limbs_.size() + static_cast<std::size_t>(limb_shift) + 1,
+                    0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + static_cast<std::size_t>(limb_shift)] |=
+        static_cast<std::uint32_t>(v);
+    out.limbs_[i + static_cast<std::size_t>(limb_shift) + 1] |=
+        static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+Ref32Int operator>>(const Ref32Int& a, int k) {
+  if (a.is_zero() || k == 0) return k < 0 ? a << -k : a;
+  if (k < 0) return a << -k;
+  const std::size_t limb_shift = static_cast<std::size_t>(k) / 32;
+  const int bit_shift = k % 32;
+  if (limb_shift >= a.limbs_.size()) return Ref32Int{};
+  Ref32Int out;
+  out.negative_ = a.negative_;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<Ref32Int, Ref32Int> Ref32Int::div_mod(const Ref32Int& a,
+                                                const Ref32Int& b) {
+  if (b.is_zero()) throw std::domain_error("Ref32Int: division by zero");
+  if (cmp_mag(a, b) < 0) return {Ref32Int{}, a};
+
+  Ref32Int u = a;
+  u.negative_ = false;
+  Ref32Int v = b;
+  v.negative_ = false;
+
+  if (v.limbs_.size() == 1) {
+    const std::uint64_t d = v.limbs_[0];
+    Ref32Int q;
+    q.limbs_.assign(u.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = u.limbs_.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | u.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    Ref32Int r = Ref32Int(static_cast<std::int64_t>(rem));
+    q.negative_ = !q.is_zero() && (a.negative_ != b.negative_);
+    r.negative_ = !r.is_zero() && a.negative_;
+    return {q, r};
+  }
+
+  int shift = 0;
+  std::uint32_t top = v.limbs_.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  u = u << shift;
+  v = v << shift;
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+  u.limbs_.push_back(0);
+
+  Ref32Int q;
+  q.limbs_.assign(m + 1, 0);
+  const std::uint64_t vtop = v.limbs_[n - 1];
+  const std::uint64_t vsec = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t num = (static_cast<std::uint64_t>(u.limbs_[j + n]) << 32) |
+                        u.limbs_[j + n - 1];
+    std::uint64_t qhat = num / vtop;
+    std::uint64_t rhat = num % vtop;
+    if (qhat >= kBase) {
+      qhat = kBase - 1;
+      rhat = num - qhat * vtop;
+    }
+    while (rhat < kBase &&
+           qhat * vsec > ((rhat << 32) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += vtop;
+    }
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t p = qhat * v.limbs_[i] + carry;
+      carry = p >> 32;
+      std::int64_t d = static_cast<std::int64_t>(u.limbs_[i + j]) -
+                       static_cast<std::int64_t>(p & 0xffffffffu) - borrow;
+      if (d < 0) {
+        d += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<std::uint32_t>(d);
+    }
+    std::int64_t d = static_cast<std::int64_t>(u.limbs_[j + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    if (d < 0) {
+      d += static_cast<std::int64_t>(kBase);
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t s =
+            static_cast<std::uint64_t>(u.limbs_[i + j]) + v.limbs_[i] + c;
+        u.limbs_[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      d += static_cast<std::int64_t>(c);
+      d &= static_cast<std::int64_t>(kBase - 1);
+    }
+    u.limbs_[j + n] = static_cast<std::uint32_t>(d);
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  q.trim();
+  u.limbs_.resize(n);
+  u.trim();
+  Ref32Int r = u >> shift;
+  q.negative_ = !q.is_zero() && (a.negative_ != b.negative_);
+  r.negative_ = !r.is_zero() && a.negative_;
+  return {q, r};
+}
+
+Ref32Int Ref32Int::mod(const Ref32Int& m) const {
+  if (m <= Ref32Int{0}) throw std::domain_error("Ref32Int::mod: modulus <= 0");
+  Ref32Int r = div_mod(*this, m).second;
+  if (r.is_negative()) r = r + m;
+  return r;
+}
+
+int Ref32Int::bit_length() const {
+  if (limbs_.empty()) return 0;
+  int bits = static_cast<int>(limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool Ref32Int::bit(int i) const {
+  const std::size_t limb = static_cast<std::size_t>(i) / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+Ref32Int Ref32Int::from_bytes(BytesView be) {
+  Ref32Int out;
+  for (std::uint8_t b : be) out = (out << 8) + Ref32Int{b};
+  return out;
+}
+
+Bytes Ref32Int::to_bytes() const {
+  if (negative_) throw std::logic_error("Ref32Int::to_bytes: negative value");
+  if (is_zero()) return {};
+  const std::size_t len = static_cast<std::size_t>((bit_length() + 7) / 8);
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t byte_index = len - 1 - i;
+    const std::size_t limb = i / 4;
+    if (limb < limbs_.size()) {
+      out[byte_index] =
+          static_cast<std::uint8_t>(limbs_[limb] >> (8 * (i % 4)));
+    }
+  }
+  return out;
+}
+
+void Ref32Int::write(Writer& w) const {
+  w.u8(negative_ ? 1 : 0);
+  Ref32Int mag = *this;
+  mag.negative_ = false;
+  w.bytes(mag.to_bytes());
+}
+
+// --- The old 32-bit CIOS Montgomery ladder (montgomery.cpp as of PR 7) ---
+
+namespace {
+
+std::uint32_t inv32(std::uint32_t x) {
+  std::uint32_t y = x;
+  for (int i = 0; i < 4; ++i) y *= 2 - x * y;
+  return y;
+}
+
+struct Mont32 {
+  std::vector<std::uint32_t> m;
+  std::uint32_t m0inv;
+  std::vector<std::uint32_t> r2;
+  std::vector<std::uint32_t> one;
+
+  // The old two-inner-loop CIOS over 32-bit limbs (work counter untouched:
+  // ref32 exists for differential checks, not simulated time).
+  void mmul(std::uint32_t* out, const std::uint32_t* a, const std::uint32_t* b,
+            std::uint32_t* t) const {
+    const std::size_t n = m.size();
+    std::fill(t, t + n + 2, 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t carry = 0;
+      const std::uint64_t ai = a[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        std::uint64_t cur = t[j] + ai * b[j] + carry;
+        t[j] = static_cast<std::uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      std::uint64_t cur = t[n] + carry;
+      t[n] = static_cast<std::uint32_t>(cur);
+      t[n + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+      const std::uint64_t mi = static_cast<std::uint32_t>(t[0] * m0inv);
+      carry = 0;
+      std::uint64_t first = t[0] + mi * m[0];
+      carry = first >> 32;
+      for (std::size_t j = 1; j < n; ++j) {
+        std::uint64_t c2 = t[j] + mi * m[j] + carry;
+        t[j - 1] = static_cast<std::uint32_t>(c2);
+        carry = c2 >> 32;
+      }
+      std::uint64_t c2 = t[n] + carry;
+      t[n - 1] = static_cast<std::uint32_t>(c2);
+      c2 = t[n + 1] + (c2 >> 32);
+      t[n] = static_cast<std::uint32_t>(c2);
+      t[n + 1] = static_cast<std::uint32_t>(c2 >> 32);
+    }
+    bool ge = t[n] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t i = n; i-- > 0;) {
+        if (t[i] != m[i]) {
+          ge = t[i] > m[i];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int64_t d = static_cast<std::int64_t>(t[i]) - m[i] - borrow;
+        if (d < 0) {
+          d += (1LL << 32);
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        out[i] = static_cast<std::uint32_t>(d);
+      }
+    } else {
+      std::copy(t, t + n, out);
+    }
+  }
+};
+
+std::vector<std::uint32_t> limbs_of(const Ref32Int& v, std::size_t n) {
+  // Big-endian bytes -> little-endian 32-bit limbs, padded to n.
+  const Bytes be = v.to_bytes();
+  std::vector<std::uint32_t> out(n, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    const std::size_t bit_index = be.size() - 1 - i;  // significance
+    out[bit_index / 4] |= static_cast<std::uint32_t>(be[i])
+                          << (8 * (bit_index % 4));
+  }
+  return out;
+}
+
+Ref32Int from_limbs32(const std::vector<std::uint32_t>& limbs) {
+  Bytes be(limbs.size() * 4, 0);
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      be[be.size() - 1 - (i * 4 + b)] =
+          static_cast<std::uint8_t>(limbs[i] >> (8 * b));
+    }
+  }
+  return Ref32Int::from_bytes(be);
+}
+
+}  // namespace
+
+Ref32Int Ref32Int::mod_pow(const Ref32Int& e, const Ref32Int& m) const {
+  if (e.is_negative())
+    throw std::domain_error("Ref32Int::mod_pow: negative exponent");
+  if (m <= Ref32Int{0})
+    throw std::domain_error("Ref32Int::mod_pow: modulus <= 0");
+  if (m.is_one()) return Ref32Int{};
+  if (!m.is_odd()) {
+    // Square-and-multiply (the old even-modulus fallback).
+    Ref32Int base = this->mod(m);
+    Ref32Int result{1};
+    for (int i = e.bit_length() - 1; i >= 0; --i) {
+      result = (result * result).mod(m);
+      if (e.bit(i)) result = (result * base).mod(m);
+    }
+    return result;
+  }
+
+  Mont32 mont;
+  mont.m = limbs_of(m, static_cast<std::size_t>((m.bit_length() + 31) / 32));
+  mont.m0inv = static_cast<std::uint32_t>(0) - inv32(mont.m[0]);
+  const std::size_t n = mont.m.size();
+  mont.r2 = limbs_of((Ref32Int{1} << static_cast<int>(64 * n)).mod(m), n);
+  mont.one = limbs_of((Ref32Int{1} << static_cast<int>(32 * n)).mod(m), n);
+
+  if (e.is_zero()) return Ref32Int{1}.mod(m);
+
+  // 4-bit windowed ladder with a full 16-entry table, as the old pow().
+  std::vector<std::uint32_t> table(16 * n, 0);
+  std::vector<std::uint32_t> acc(n), t(n + 2);
+  std::vector<std::uint32_t> basemont(n);
+  {
+    std::vector<std::uint32_t> al = limbs_of(this->mod(m), n);
+    mont.mmul(basemont.data(), al.data(), mont.r2.data(), t.data());
+  }
+  std::copy(basemont.begin(), basemont.end(), table.begin() + static_cast<std::ptrdiff_t>(n));
+  for (std::size_t d = 2; d < 16; ++d) {
+    mont.mmul(table.data() + d * n, table.data() + (d - 1) * n,
+              basemont.data(), t.data());
+  }
+
+  const int bits = e.bit_length();
+  const int windows = (bits + 3) / 4;
+  std::copy(mont.one.begin(), mont.one.end(), acc.begin());
+  bool started = false;
+  for (int w = windows - 1; w >= 0; --w) {
+    if (started) {
+      mont.mmul(acc.data(), acc.data(), acc.data(), t.data());
+      mont.mmul(acc.data(), acc.data(), acc.data(), t.data());
+      mont.mmul(acc.data(), acc.data(), acc.data(), t.data());
+      mont.mmul(acc.data(), acc.data(), acc.data(), t.data());
+    }
+    std::uint32_t digit = 0;
+    for (int bi = 3; bi >= 0; --bi) {
+      const int idx = 4 * w + bi;
+      digit = static_cast<std::uint32_t>((digit << 1) |
+                                         (idx < bits && e.bit(idx) ? 1u : 0u));
+    }
+    if (digit != 0) {
+      mont.mmul(acc.data(), acc.data(), table.data() + digit * n, t.data());
+      started = true;
+    }
+  }
+  if (!started) return Ref32Int{1}.mod(m);
+  std::vector<std::uint32_t> unit(n, 0);
+  unit[0] = 1;
+  std::vector<std::uint32_t> out(n);
+  mont.mmul(out.data(), acc.data(), unit.data(), t.data());
+  return from_limbs32(out);
+}
+
+}  // namespace sintra::bignum::ref32

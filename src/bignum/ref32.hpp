@@ -1,0 +1,86 @@
+// Frozen 32-bit reference bignum (the PR 1..7 limb layer, kept verbatim).
+//
+// The live `BigInt`/`Montgomery` (bigint.hpp, montgomery.hpp) moved to
+// 64-bit limbs with fused CIOS reduction in PR 8.  This file preserves the
+// old 32-bit-limb arithmetic under `sintra::bignum::ref32` for two jobs:
+//
+//  1. differential testing — tests/test_bignum_diff.cpp cross-checks every
+//     add/sub/mul/div/modexp and the serialized wire bytes of the 64-bit
+//     path against this implementation on randomized and adversarial
+//     inputs (limb width is an internal representation, so results and
+//     wire bytes must be bit-identical);
+//  2. an honest wall-clock baseline — bench/crypto_micro's BM_ModexpRef32
+//     measures the old path in the same binary, so the >=2x wall-clock
+//     gate in scripts/bench_crypto.sh compares like with like on the
+//     machine actually running the bench.
+//
+// It deliberately does NOT touch the Montgomery work counter: only the
+// live layer drives simulated time.  Remove this file once the 64-bit
+// layer has soaked (tracked in ROADMAP.md).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::bignum::ref32 {
+
+class Ref32Int {
+ public:
+  Ref32Int() = default;
+  Ref32Int(std::int64_t v);  // NOLINT(google-explicit-constructor)
+
+  /// Big-endian unsigned byte string (the crypto wire format).
+  static Ref32Int from_bytes(BytesView be);
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  [[nodiscard]] bool is_odd() const {
+    return !limbs_.empty() && (limbs_[0] & 1u);
+  }
+  [[nodiscard]] bool is_one() const {
+    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+  }
+
+  [[nodiscard]] int bit_length() const;
+  [[nodiscard]] bool bit(int i) const;
+
+  /// Minimal big-endian unsigned bytes ("" for zero).
+  [[nodiscard]] Bytes to_bytes() const;
+
+  friend Ref32Int operator+(const Ref32Int& a, const Ref32Int& b);
+  friend Ref32Int operator-(const Ref32Int& a, const Ref32Int& b);
+  friend Ref32Int operator*(const Ref32Int& a, const Ref32Int& b);
+  friend Ref32Int operator<<(const Ref32Int& a, int k);
+  friend Ref32Int operator>>(const Ref32Int& a, int k);
+  Ref32Int operator-() const;
+
+  friend bool operator==(const Ref32Int& a, const Ref32Int& b) = default;
+  friend std::strong_ordering operator<=>(const Ref32Int& a,
+                                          const Ref32Int& b);
+
+  static std::pair<Ref32Int, Ref32Int> div_mod(const Ref32Int& a,
+                                               const Ref32Int& b);
+  [[nodiscard]] Ref32Int mod(const Ref32Int& m) const;
+  /// this^e mod m via the old 32-bit CIOS Montgomery ladder (odd m only).
+  [[nodiscard]] Ref32Int mod_pow(const Ref32Int& e, const Ref32Int& m) const;
+
+  /// Serialize exactly as the live BigInt::write does (sign byte +
+  /// length-prefixed big-endian magnitude) — the wire-compat oracle.
+  void write(Writer& w) const;
+
+ private:
+  void trim();
+  static int cmp_mag(const Ref32Int& a, const Ref32Int& b);
+  static Ref32Int add_mag(const Ref32Int& a, const Ref32Int& b);
+  static Ref32Int sub_mag(const Ref32Int& a, const Ref32Int& b);
+
+  std::vector<std::uint32_t> limbs_;  // little-endian; empty == 0
+  bool negative_ = false;
+};
+
+}  // namespace sintra::bignum::ref32

@@ -1,0 +1,311 @@
+// Differential tests for the 64-bit limb rework (PR 8).
+//
+// The live BigInt/Montgomery layer moved from 32-bit to 64-bit limbs with
+// fused CIOS reduction; the old implementation is frozen verbatim under
+// sintra::bignum::ref32 (src/bignum/ref32.hpp).  Limb width is an internal
+// representation choice, so every arithmetic result and every serialized
+// byte must be bit-identical between the two.  This suite drives both
+// implementations with the same randomized and adversarial inputs and
+// compares outputs — values via to_bytes(), wire format via write().
+//
+// Runs under SINTRA_SANITIZE like the rest of the suite; the randomized
+// cases double as a UBSan/ASan workout for the __int128 carry paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bignum/bigint.hpp"
+#include "bignum/montgomery.hpp"
+#include "bignum/ref32.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace sintra::bignum {
+namespace {
+
+// A value held by both implementations at once.  All checks compare the
+// minimal big-endian bytes plus the sign, which is exactly the surface
+// the crypto layer consumes.
+struct Pair {
+  BigInt live;
+  ref32::Ref32Int ref;
+};
+
+Pair from_bytes(const Bytes& be, bool negative = false) {
+  Pair p{BigInt::from_bytes(be), ref32::Ref32Int::from_bytes(be)};
+  if (negative) {
+    p.live = -p.live;
+    p.ref = -p.ref;
+  }
+  return p;
+}
+
+void expect_same(const BigInt& live, const ref32::Ref32Int& ref,
+                 const std::string& what) {
+  EXPECT_EQ(live.is_negative(), ref.is_negative()) << what;
+  const BigInt mag = live.is_negative() ? -live : live;
+  const ref32::Ref32Int rmag = ref.is_negative() ? -ref : ref;
+  EXPECT_EQ(mag.to_bytes(), rmag.to_bytes()) << what;
+  EXPECT_EQ(live.bit_length(), ref.bit_length()) << what;
+}
+
+Bytes random_bytes(Rng& rng, std::size_t n) { return rng.bytes(n); }
+
+// --- randomized cross-checks ----------------------------------------------
+
+TEST(BignumDiff, RandomizedAddSubMul) {
+  Rng rng(0xd1ff64);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t la = rng.uniform(48);  // up to 384 bits
+    const std::size_t lb = rng.uniform(48);
+    Pair a = from_bytes(random_bytes(rng, la), rng.coin());
+    Pair b = from_bytes(random_bytes(rng, lb), rng.coin());
+    expect_same(a.live + b.live, a.ref + b.ref, "add");
+    expect_same(a.live - b.live, a.ref - b.ref, "sub");
+    expect_same(a.live * b.live, a.ref * b.ref, "mul");
+  }
+}
+
+TEST(BignumDiff, RandomizedDivMod) {
+  Rng rng(0xd1ff65);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t la = 1 + rng.uniform(40);
+    const std::size_t lb = 1 + rng.uniform(20);
+    Pair a = from_bytes(random_bytes(rng, la), rng.coin());
+    Pair b = from_bytes(random_bytes(rng, lb), rng.coin());
+    if (b.live.is_zero()) continue;
+    const auto [q, r] = BigInt::div_mod(a.live, b.live);
+    const auto [rq, rr] = ref32::Ref32Int::div_mod(a.ref, b.ref);
+    expect_same(q, rq, "quotient");
+    expect_same(r, rr, "remainder");
+    // Non-negative residue agrees too (different rounding convention).
+    const ref32::Ref32Int rm = b.ref.is_negative() ? -b.ref : b.ref;
+    const BigInt lm = b.live.is_negative() ? -b.live : b.live;
+    expect_same(a.live.mod(lm), a.ref.mod(rm), "mod");
+  }
+}
+
+TEST(BignumDiff, RandomizedKaratsubaSizes) {
+  // Products wide enough to cross both Karatsuba thresholds (20 limbs /
+  // 1280 bits live, 24 limbs / 768 bits in ref32) in the same operation.
+  Rng rng(0xd1ff66);
+  for (int iter = 0; iter < 12; ++iter) {
+    const std::size_t la = 160 + rng.uniform(160);  // up to ~2560 bits
+    const std::size_t lb = 160 + rng.uniform(160);
+    Pair a = from_bytes(random_bytes(rng, la));
+    Pair b = from_bytes(random_bytes(rng, lb));
+    expect_same(a.live * b.live, a.ref * b.ref, "wide mul");
+  }
+}
+
+TEST(BignumDiff, RandomizedShifts) {
+  Rng rng(0xd1ff67);
+  for (int iter = 0; iter < 200; ++iter) {
+    Pair a = from_bytes(random_bytes(rng, 1 + rng.uniform(40)), rng.coin());
+    const int k = static_cast<int>(rng.uniform(200));
+    expect_same(a.live << k, a.ref << k, "shl");
+    expect_same(a.live >> k, a.ref >> k, "shr");
+  }
+}
+
+TEST(BignumDiff, RandomizedModexpOddModulus) {
+  Rng rng(0xd1ff68);
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::size_t lm = 16 + rng.uniform(49);  // 128..512-bit moduli
+    Bytes mb = random_bytes(rng, lm);
+    mb.back() |= 1;  // odd
+    mb.front() |= 0x80;
+    Pair m = from_bytes(mb);
+    Pair b = from_bytes(random_bytes(rng, lm + 4));
+    Pair e = from_bytes(random_bytes(rng, 1 + rng.uniform(lm)));
+    expect_same(b.live.mod_pow(e.live, m.live), b.ref.mod_pow(e.ref, m.ref),
+                "modexp");
+  }
+}
+
+TEST(BignumDiff, Modexp1024BitVector) {
+  // One full RSA-sized case through the fused CIOS path vs the old
+  // two-pass CIOS-32 ladder.
+  Rng rng(0xd1ff69);
+  Bytes mb = random_bytes(rng, 128);
+  mb.back() |= 1;
+  mb.front() |= 0x80;
+  Pair m = from_bytes(mb);
+  Pair b = from_bytes(random_bytes(rng, 128));
+  Pair e = from_bytes(random_bytes(rng, 128));
+  expect_same(b.live.mod_pow(e.live, m.live), b.ref.mod_pow(e.ref, m.ref),
+              "modexp-1024");
+}
+
+// --- adversarial edge vectors ---------------------------------------------
+
+TEST(BignumDiff, EdgeVectors) {
+  // Values chosen to sit on 64-bit limb boundaries: all-ones runs force
+  // maximal carry chains; single set bits probe the limb indexing; the
+  // 32-bit patterns are boundaries only for ref32, exercising asymmetric
+  // limb splits.
+  std::vector<Bytes> raw;
+  raw.push_back(Bytes{});             // zero
+  raw.push_back(Bytes{0x01});         // one
+  for (std::size_t len : {1u, 4u, 7u, 8u, 9u, 15u, 16u, 17u, 24u, 32u, 33u}) {
+    raw.push_back(Bytes(len, 0xff));  // maximal carry chains
+    Bytes top(len, 0x00);
+    top.front() = 0x80;               // single top bit
+    raw.push_back(top);
+    Bytes walk(len, 0x00);
+    walk.front() = 0x80;
+    walk.back() |= 0x01;              // top and bottom bit
+    raw.push_back(walk);
+  }
+  std::vector<Pair> vals;
+  for (const auto& b : raw) {
+    vals.push_back(from_bytes(b, false));
+    if (!b.empty()) vals.push_back(from_bytes(b, true));
+  }
+  for (const auto& a : vals) {
+    for (const auto& b : vals) {
+      expect_same(a.live + b.live, a.ref + b.ref, "edge add");
+      expect_same(a.live - b.live, a.ref - b.ref, "edge sub");
+      expect_same(a.live * b.live, a.ref * b.ref, "edge mul");
+      if (!b.live.is_zero()) {
+        const auto [q, r] = BigInt::div_mod(a.live, b.live);
+        const auto [rq, rr] = ref32::Ref32Int::div_mod(a.ref, b.ref);
+        expect_same(q, rq, "edge quot");
+        expect_same(r, rr, "edge rem");
+      }
+    }
+  }
+}
+
+TEST(BignumDiff, KnuthDQhatStress) {
+  // Dividends shaped so the initial qhat estimate overshoots and the
+  // correction/add-back paths run with 64-bit limbs: divisor just above a
+  // power of two, dividend with saturated high limbs.
+  Rng rng(0xd1ff6a);
+  for (int iter = 0; iter < 60; ++iter) {
+    Bytes db(9 + rng.uniform(16), 0x00);
+    db.front() = 0x80;
+    db.back() = static_cast<std::uint8_t>(1 + rng.uniform(3));
+    Bytes nb(db.size() + 8 + rng.uniform(16), 0xff);
+    for (std::size_t i = 0; i < nb.size(); i += 1 + rng.uniform(4)) {
+      nb[i] = static_cast<std::uint8_t>(rng.uniform(256));
+    }
+    Pair d = from_bytes(db);
+    Pair n = from_bytes(nb);
+    const auto [q, r] = BigInt::div_mod(n.live, d.live);
+    const auto [rq, rr] = ref32::Ref32Int::div_mod(n.ref, d.ref);
+    expect_same(q, rq, "qhat quot");
+    expect_same(r, rr, "qhat rem");
+    EXPECT_EQ(q * d.live + r, n.live) << "divisor/quotient identity";
+  }
+}
+
+// --- wire-format compatibility --------------------------------------------
+
+TEST(BignumDiff, WireBytesIdentical) {
+  Rng rng(0xd1ff6b);
+  for (int iter = 0; iter < 200; ++iter) {
+    Pair a = from_bytes(random_bytes(rng, rng.uniform(64)), rng.coin());
+    Writer wl;
+    a.live.write(wl);
+    Writer wr;
+    a.ref.write(wr);
+    ASSERT_EQ(wl.data(), wr.data()) << "serialized bytes diverge";
+    Reader rd(wl.data());
+    EXPECT_EQ(BigInt::read(rd), a.live) << "round-trip";
+  }
+}
+
+TEST(BignumDiff, WireGoldenVectors) {
+  // Hardcoded expected serializations: sign byte (0 = +, 1 = -) then a
+  // big-endian u32 length prefix and big-endian magnitude bytes.  These
+  // bytes are the PR 1 wire format; they must never change.
+  struct Golden {
+    std::int64_t value;
+    Bytes expected;
+  };
+  const std::vector<Golden> cases = {
+      {0, Bytes{0x00, 0x00, 0x00, 0x00, 0x00}},
+      {1, Bytes{0x00, 0x00, 0x00, 0x00, 0x01, 0x01}},
+      {-1, Bytes{0x01, 0x00, 0x00, 0x00, 0x01, 0x01}},
+      {0x1234, Bytes{0x00, 0x00, 0x00, 0x00, 0x02, 0x12, 0x34}},
+      {-0x80, Bytes{0x01, 0x00, 0x00, 0x00, 0x01, 0x80}},
+  };
+  for (const auto& c : cases) {
+    Writer w;
+    BigInt{c.value}.write(w);
+    EXPECT_EQ(w.data(), c.expected) << c.value;
+  }
+  // A value spanning several 64-bit limbs: 2^130 + 5 is 17 magnitude
+  // bytes, 0x04 (15 zero bytes) 0x05.
+  const BigInt big = (BigInt{1} << 130) + BigInt{5};
+  Writer w;
+  big.write(w);
+  Bytes expected{0x00, 0x00, 0x00, 0x00, 0x11, 0x04};
+  expected.insert(expected.end(), 15, 0x00);
+  expected.push_back(0x05);
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(BignumDiff, ToBytesMatchesAcrossWidths) {
+  Rng rng(0xd1ff6c);
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes be = random_bytes(rng, rng.uniform(48));
+    // Leading zeros must be stripped identically.
+    if (!be.empty() && rng.coin()) be.front() = 0;
+    Pair a = from_bytes(be);
+    EXPECT_EQ(a.live.to_bytes(), a.ref.to_bytes());
+  }
+}
+
+// --- live-layer invariants the rework introduced --------------------------
+
+TEST(BignumDiff, BitsWindowMatchesBitReconstruction) {
+  Rng rng(0xd1ff6d);
+  for (int iter = 0; iter < 50; ++iter) {
+    const BigInt a = BigInt::from_bytes(random_bytes(rng, 1 + rng.uniform(33)));
+    for (int width : {1, 3, 8, 31, 32, 33, 63, 64}) {
+      const int i = static_cast<int>(rng.uniform(300));
+      BigInt::Limb want = 0;
+      for (int b = width; b-- > 0;) {
+        want = (want << 1) | (a.bit(i + b) ? 1u : 0u);
+      }
+      EXPECT_EQ(a.bits_window(i, width), want)
+          << "i=" << i << " width=" << width;
+    }
+  }
+}
+
+TEST(BignumDiff, MontgomeryRejectsOversizedModulus) {
+  // Fixed-capacity scratch is sized for kMaxModulusBits; wider moduli must
+  // be rejected at construction, not corrupt the stack.
+  BigInt m = (BigInt{1} << kMaxModulusBits) + BigInt{1};  // 4097 bits, odd
+  EXPECT_THROW(Montgomery{m}, std::domain_error);
+  BigInt ok = (BigInt{1} << (kMaxModulusBits - 1)) + BigInt{1};
+  EXPECT_NO_THROW(Montgomery{ok});
+}
+
+TEST(BignumDiff, WorkCounterUnchangedByRescale) {
+  // kLimbWorkScale must keep the counter bit-identical to the 32-bit
+  // layer for 64-bit-multiple moduli: one mmul over an n-limb modulus
+  // charges 4*n^2 = (2n)^2, exactly the old count for the same modulus.
+  Rng rng(0xd1ff6e);
+  Bytes mb = random_bytes(rng, 64);  // 512-bit modulus: n = 8 limbs
+  mb.back() |= 1;
+  mb.front() |= 0x80;
+  const Montgomery mont{BigInt::from_bytes(mb)};
+  const BigInt a = BigInt::from_bytes(random_bytes(rng, 64));
+  const BigInt b = BigInt::from_bytes(random_bytes(rng, 64));
+  reset_work_counter();
+  (void)mont.mul(a, b);
+  // mul() = to_mont(a) + to_mont(b) + product + from_mont: 4 mmuls.
+  EXPECT_EQ(work_counter(), 4 * kLimbWorkScale * 8 * 8);
+  EXPECT_EQ(work_counter(), 4ull * 16 * 16);  // the old 32-bit count
+}
+
+}  // namespace
+}  // namespace sintra::bignum

@@ -53,6 +53,59 @@ TEST(KnuthD, QhatOverestimatePatterns) {
   }
 }
 
+// Same idea at the 64-bit limb width the PR 8 layer actually divides in:
+// the 32-bit patterns above now land mid-limb, so these vectors re-create
+// the qhat-overestimate and add-back corners on true limb boundaries
+// (saturated 0xffff.. dividends against 0x8000.. divisors, and divisors
+// whose second limb maximizes the rhat correction loop).
+BigInt from_limbs64_be(std::initializer_list<std::uint64_t> limbs_be) {
+  BigInt acc;
+  for (std::uint64_t limb : limbs_be) {
+    acc = (acc << 64) + (BigInt{static_cast<std::int64_t>(limb >> 32)} << 32) +
+          BigInt{static_cast<std::int64_t>(limb & 0xffffffffu)};
+  }
+  return acc;
+}
+
+TEST(KnuthD, QhatOverestimatePatterns64) {
+  constexpr std::uint64_t kMax = 0xffffffffffffffffULL;
+  constexpr std::uint64_t kTop = 0x8000000000000000ULL;
+  const std::vector<BigInt> dividends = {
+      from_limbs64_be({kMax, kMax, kMax, kMax}),
+      from_limbs64_be({kTop, 0, 0, 0}),
+      from_limbs64_be({kTop, kMax, kMax - 1, 1}),
+      from_limbs64_be({kMax - 1, 0, kMax, kMax - 1}),
+      from_limbs64_be({kTop - 1, kMax, kTop, 0}),
+  };
+  const std::vector<BigInt> divisors = {
+      from_limbs64_be({kTop, 0}),
+      from_limbs64_be({kTop, 1}),
+      from_limbs64_be({kTop, kMax}),
+      from_limbs64_be({kMax, kMax - 1}),
+      from_limbs64_be({kTop + 1, 0, 1}),
+  };
+  for (const BigInt& a : dividends) {
+    for (const BigInt& b : divisors) {
+      check_divmod(a, b);
+    }
+  }
+}
+
+TEST(KnuthD, SingleLimbDivisor64) {
+  // The one-limb fast path divides through a 128-bit intermediate.
+  const std::vector<BigInt> dividends = {
+      from_limbs64_be({0xffffffffffffffffULL, 0xffffffffffffffffULL}),
+      from_limbs64_be({1, 0}),
+      from_limbs64_be({0x8000000000000000ULL, 0x0000000000000001ULL}),
+  };
+  for (const BigInt& a : dividends) {
+    for (std::uint64_t d : {0xffffffffffffffffULL, 0x8000000000000000ULL,
+                            0x100000001ULL, 3ULL}) {
+      check_divmod(a, from_limbs64_be({d}));
+    }
+  }
+}
+
 TEST(KnuthD, NearEqualOperands) {
   Rng rng(0xedce);
   for (int i = 0; i < 50; ++i) {

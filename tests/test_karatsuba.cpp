@@ -19,8 +19,9 @@ BigInt reference_mul(const BigInt& a, const BigInt& b) {
 
 TEST(Karatsuba, MatchesReferenceAroundThreshold) {
   Rng rng(0xca2a);
-  // 24 limbs = 768 bits is the crossover; sweep sizes around it.
-  for (int bits : {700, 767, 768, 769, 800, 1024, 1536, 2048}) {
+  // 20 limbs = 1280 bits is the crossover since the 64-bit limb rework
+  // (kKaratsubaThreshold in bigint.cpp); sweep sizes around it.
+  for (int bits : {1200, 1279, 1280, 1281, 1344, 1536, 2048, 4096}) {
     for (int rep = 0; rep < 4; ++rep) {
       const BigInt a = BigInt::random_bits(rng, bits);
       const BigInt b = BigInt::random_bits(rng, bits - rep * 13);
