@@ -98,6 +98,7 @@ struct Args {
   std::string via_host;  // chaos proxy: host part of --via
   int via_base_port = 0;
   int crypto_threads = -1;      // -1 = hardware_concurrency; 0 = inline
+  bool use_mmsg = true;         // --no-mmsg: one syscall per datagram
   bool corrupt_shares = false;  // Byzantine chaos: emit garbage sig shares
   std::string state_dir;        // durable log + checkpoints (recovery)
   std::uint64_t checkpoint_interval = 8;
@@ -149,6 +150,8 @@ Args parse_args(int argc, char** argv) {
       if (a.crypto_threads < 0) {
         throw std::runtime_error("--crypto-threads wants >= 0");
       }
+    } else if (arg == "--no-mmsg") {
+      a.use_mmsg = false;
     } else if (arg == "--corrupt-shares") {
       a.corrupt_shares = true;
     } else if (arg == "--state-dir") {
@@ -274,6 +277,7 @@ class NodeApp {
         args.crypto_threads >= 0
             ? args.crypto_threads
             : static_cast<int>(std::thread::hardware_concurrency());
+    opts.use_mmsg = args.use_mmsg;
     if (!args.via_host.empty()) {
       for (int j = 0; j < keys.n; ++j) {
         opts.send_to.push_back({args.via_host, args.via_base_port + j});
@@ -671,7 +675,7 @@ int main(int argc, char** argv) {
                  "[--close] [--expect N] [--linger MS] [--out FILE] "
                  "[--stats] [--metrics-out FILE] [--trace-out FILE] "
                  "[--via host:base_port] [--crypto-threads N] "
-                 "[--corrupt-shares] [--state-dir DIR] "
+                 "[--no-mmsg] [--corrupt-shares] [--state-dir DIR] "
                  "[--checkpoint-interval K] [--batch-count N] "
                  "[--batch-bytes N] [--pipeline-depth W] "
                  "[--bench-load MxB] [--client-port P] "

@@ -27,11 +27,14 @@ trap 'rm -f "$raw"' EXIT
   --benchmark_out="$raw" \
   --benchmark_out_format=json
 
-python3 - "$raw" "$repo_root/BENCH_crypto.json" <<'PY'
+python3 - "$raw" "$repo_root/BENCH_crypto.json" \
+  "$repo_root/scripts/bench_baselines.json" <<'PY'
 import json
+import os
+import platform
 import sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, out_path, baselines_path = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -91,7 +94,19 @@ def wall_ns(name):
     b = benchmarks.get(name)
     return b["ns_per_op"] if b else None
 
+# --- Recorded baselines (PR 9): scripts/bench_baselines.json holds the
+# PR 8 wall-clock figures.  When the file is present, (a) its recorded
+# BM_ModexpRef32/1024 stands in for the in-binary 32-bit layer once
+# src/bignum/ref32 is deleted, and (b) on a matching machine every live
+# figure must stay within regression_tolerance of its baseline.
+baselines = None
+if os.path.exists(baselines_path):
+    with open(baselines_path) as f:
+        baselines = json.load(f)
+
 ref32_ns = wall_ns("BM_ModexpRef32/1024")
+if ref32_ns is None and baselines:
+    ref32_ns = baselines["wall_clock_ns"].get("BM_ModexpRef32/1024")
 live_ns = wall_ns("BM_Modexp/1024")
 tdh2_ns = wall_ns("BM_Tdh2DecryptShare")
 out["limb_rework_wall_clock"] = {
@@ -121,9 +136,37 @@ for key in ("threshold_combine", "coin_assemble"):
         sys.exit(f"FAIL: {key} optimistic speedup {sp[key]}x is below the "
                  "2x acceptance bar")
 wall = out["limb_rework_wall_clock"]["modexp_1024_speedup"]
-print(f"  limb rework wall-clock speedup (modexp-1024, vs in-binary 32-bit "
+print(f"  limb rework wall-clock speedup (modexp-1024, vs 32-bit "
       f"baseline): {wall}x")
 if wall is None or wall < 2.0:
     sys.exit(f"FAIL: 64-bit limb rework wall-clock speedup {wall}x on "
              "1024-bit modexp is below the 2x acceptance bar")
+
+# --- Recorded-baseline regression gate ---
+if baselines:
+    rec = baselines.get("recorded", {})
+    same_machine = (rec.get("machine") == platform.machine()
+                    and rec.get("cores") == os.cpu_count())
+    tol = baselines.get("regression_tolerance", 1.5)
+    worst = []
+    for name, base_ns in baselines["wall_clock_ns"].items():
+        cur = wall_ns(name)
+        if cur is None:  # benchmark retired (e.g. ref32 deletion) — fine
+            continue
+        ratio = cur / base_ns
+        if ratio > tol:
+            worst.append(f"{name}: {cur:.0f}ns vs baseline {base_ns:.0f}ns "
+                         f"({ratio:.2f}x > {tol}x)")
+    if same_machine:
+        if worst:
+            sys.exit("FAIL: wall-clock regression vs "
+                     "scripts/bench_baselines.json:\n  " + "\n  ".join(worst))
+        print(f"  recorded-baseline gate: all tracked benchmarks within "
+              f"{tol}x of the PR {rec.get('pr')} figures")
+    else:
+        print("  recorded-baseline gate: skipped (different machine: "
+              f"{platform.machine()}/{os.cpu_count()} cores vs recorded "
+              f"{rec.get('machine')}/{rec.get('cores')})")
+        if worst:
+            print("  note (informational): " + "; ".join(worst))
 PY

@@ -1,23 +1,30 @@
 #!/usr/bin/env bash
-# End-to-end loopback cluster: dealer keygen, n=4/t=1 sintra_node
-# processes over real UDP sockets, total-order assertion on the delivered
-# sequences.  Exits nonzero on divergence, node failure, or timeout.
+# End-to-end loopback cluster: dealer keygen, n sintra_node processes
+# (default n=4/t=1; --n raises the group size, t = ⌊(n-1)/3⌋) over real
+# UDP sockets, total-order assertion on the delivered sequences.  Exits
+# nonzero on divergence, node failure, or timeout.
 #
 # Usage:
 #   scripts/run_local_cluster.sh [--scenario clean|crash|chaos|recover|clients]
 #                                [--build-dir DIR] [--channel atomic|...]
-#                                [--send N] [--batch-count N]
+#                                [--n N] [--send N] [--batch-count N]
 #                                [--pipeline-depth W] [--bench-load MxB]
 #                                [--swarm-clients C] [--swarm-chaos 0|1]
+#                                [--no-mmsg] [--metrics-dir DIR]
 #
 # --batch-count / --pipeline-depth enable throughput mode (DESIGN.md
 # §11) on every node; --bench-load MxB replaces --send with a sustained
 # M-message load of B-byte payloads (scripts/bench_e2e.sh --full uses
-# this for a wall-clock cluster datapoint).
+# this for a wall-clock cluster datapoint).  --no-mmsg disables the
+# sendmmsg/recvmmsg batched-syscall transport path on every node, and
+# --metrics-dir exports the per-node metrics snapshots plus a small
+# cluster summary before the workdir is cleaned (scripts/bench_scale.sh
+# uses both for the syscalls-per-delivery comparison in
+# BENCH_scale.json).
 #
 # Scenarios:
 #   clean    all four nodes up, close protocol terminates the channel
-#   crash    node 3 is SIGKILLed mid-run; the other three must still agree
+#   crash    the last node is SIGKILLed mid-run; the rest must still agree
 #   chaos    all traffic through udp_chaos_proxy (loss/dup/reorder); the
 #            link layer must heal it, and retransmissions + adaptive-RTO
 #            backoff must be visible in the link stats
@@ -42,6 +49,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 scenario=clean
 build_dir="$repo_root/build"
 channel=atomic
+n=4
 send_count=5
 send_count_set=0
 batch_count=""
@@ -50,12 +58,15 @@ bench_load=""
 swarm_clients="${SINTRA_SWARM_CLIENTS:-2000}"
 swarm_chaos=1
 swarm_json=""
+no_mmsg=0
+metrics_dir=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --scenario)       scenario="$2"; shift 2 ;;
     --build-dir)      build_dir="$2"; shift 2 ;;
     --channel)        channel="$2"; shift 2 ;;
+    --n)              n="$2"; shift 2 ;;
     --send)           send_count="$2"; send_count_set=1; shift 2 ;;
     --batch-count)    batch_count="$2"; shift 2 ;;
     --pipeline-depth) pipeline_depth="$2"; shift 2 ;;
@@ -63,9 +74,18 @@ while [[ $# -gt 0 ]]; do
     --swarm-clients)  swarm_clients="$2"; shift 2 ;;
     --swarm-chaos)    swarm_chaos="$2"; shift 2 ;;
     --swarm-json)     swarm_json="$2"; shift 2 ;;
+    --no-mmsg)        no_mmsg=1; shift ;;
+    --metrics-dir)    metrics_dir="$2"; shift 2 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
 done
+
+if (( n < 4 )); then
+  echo "need --n >= 4 (got $n)" >&2
+  exit 2
+fi
+t=$(( (n - 1) / 3 ))
+last=$(( n - 1 ))
 
 # --bench-load MxB drives the same per-node send loop as --send M, so
 # the ordering floor below keys off M.
@@ -74,7 +94,7 @@ if [[ -n "$bench_load" ]]; then
   send_count_set=1
 fi
 
-# A recover run must SIGKILL node 3 strictly *mid-run* (after its first
+# A recover run must SIGKILL the last node strictly *mid-run* (after its first
 # durable delivery, before completion); more payloads widen that window.
 if [[ "$scenario" == recover && $send_count_set -eq 0 ]]; then
   send_count=12
@@ -112,7 +132,6 @@ cleanup() {
 }
 trap cleanup EXIT
 
-n=4
 port_base="${SINTRA_CLUSTER_PORT_BASE:-$(( 20000 + ($$ % 20000) ))}"
 proxy_base=$(( port_base + 50 ))
 
@@ -121,7 +140,7 @@ proxy_base=$(( port_base + 50 ))
 conf="$workdir/group.conf"
 {
   echo "n = $n"
-  echo "t = 1"
+  echo "t = $t"
   echo "rsa_bits = 512"
   echo "dl_p_bits = 256"
   echo "dl_q_bits = 96"
@@ -137,6 +156,9 @@ echo "== dealing keys (workdir $workdir, ports from $port_base)"
 "$dealer" "$conf" "$workdir/keys" > /dev/null
 
 node_args=(--channel "$channel" --stats)
+if [[ "$no_mmsg" == 1 ]]; then
+  node_args+=(--no-mmsg)
+fi
 if [[ -n "$bench_load" ]]; then
   node_args+=(--bench-load "$bench_load")
 else
@@ -222,11 +244,12 @@ node_args+=(--linger -1)
 launch_node() {
   local i="$1"
   local extra=()
-  # Chaos doubles as the Byzantine-share scenario: node 3 (t = 1) emits
-  # garbage threshold-signature shares, so every honest node's optimistic
-  # combine must fall back, blacklist it, and finish with the honest
-  # quorum (asserted below via crypto.fallbacks).
-  if [[ "$scenario" == chaos && $i -eq 3 ]]; then
+  # Chaos doubles as the Byzantine-share scenario: the last node (within
+  # the corruption budget t >= 1) emits garbage threshold-signature
+  # shares, so every honest node's optimistic combine must fall back,
+  # blacklist it, and finish with the honest quorum (asserted below via
+  # crypto.fallbacks).
+  if [[ "$scenario" == chaos && $i -eq $last ]]; then
     extra+=(--corrupt-shares)
   fi
   if [[ "$scenario" == recover ]]; then
@@ -249,37 +272,37 @@ for i in $(seq 0 $((n - 1))); do
   launch_node "$i"
 done
 
-expected=(0 1 2 3)
+expected=($(seq 0 $last))
 if [[ "$scenario" == crash ]]; then
   sleep 1
-  echo "== crashing node 3 (SIGKILL)"
-  kill -9 "${pids[3]}" 2>/dev/null || true
-  expected=(0 1 2)
+  echo "== crashing node $last (SIGKILL)"
+  kill -9 "${pids[$last]}" 2>/dev/null || true
+  expected=($(seq 0 $(( last - 1 ))))
 fi
 
 if [[ "$scenario" == recover ]]; then
-  # Wait for node 3's first *durable* delivery — its replica log is
+  # Wait for the last node's first *durable* delivery — its replica log is
   # fsync'd per record, so a nonempty log file is the earliest point
   # where a SIGKILL leaves state worth recovering.  Killing at the first
-  # record (of 4 * send_count total) guarantees the restart replays a
+  # record (of n * send_count total) guarantees the restart replays a
   # partial log and must use catch-up, not a persisted final cert.
-  while ! compgen -G "$workdir/state.3/*.log" > /dev/null \
-        || [[ ! -s $(compgen -G "$workdir/state.3/*.log" | head -1) ]]; do
-    if ! kill -0 "${pids[3]}" 2>/dev/null; then
-      echo "FAIL: node 3 died before its first durable delivery" >&2
-      cat "$workdir/stats.3" >&2 || true
+  while ! compgen -G "$workdir/state.$last/*.log" > /dev/null \
+        || [[ ! -s $(compgen -G "$workdir/state.$last/*.log" | head -1) ]]; do
+    if ! kill -0 "${pids[$last]}" 2>/dev/null; then
+      echo "FAIL: node $last died before its first durable delivery" >&2
+      cat "$workdir/stats.$last" >&2 || true
       exit 1
     fi
     sleep 0.05
   done
-  if [[ -e "$workdir/out.3.done" ]]; then
-    echo "FAIL: node 3 completed before the crash point (raise --send)" >&2
+  if [[ -e "$workdir/out.$last.done" ]]; then
+    echo "FAIL: node $last completed before the crash point (raise --send)" >&2
     exit 1
   fi
-  echo "== crashing node 3 (SIGKILL) and restarting from $workdir/state.3"
-  kill -9 "${pids[3]}" 2>/dev/null || true
-  wait "${pids[3]}" 2>/dev/null || true
-  launch_node 3
+  echo "== crashing node $last (SIGKILL) and restarting from $workdir/state.$last"
+  kill -9 "${pids[$last]}" 2>/dev/null || true
+  wait "${pids[$last]}" 2>/dev/null || true
+  launch_node $last
 fi
 
 if [[ "$scenario" == clients ]]; then
@@ -504,18 +527,18 @@ if [[ "$scenario" == recover && -n "$aggregate" ]]; then
   # node 3 itself counts stale-echo frames from the dead session).
   m_certs=$(metric_total recovery.checkpoint_certs)
   m_resets=$(metric_total recovery.epoch_resets)
-  # Node-3-specific: its own snapshot (written by the restarted
+  # Restarted-node-specific: its own snapshot (written by the restarted
   # incarnation on exit; the SIGKILLed one leaves no file) must show a
   # log replay and at least one catch-up request.
-  if [[ ! -s "$workdir/metrics.3.json" ]]; then
-    echo "FAIL: restarted node 3 wrote no metrics snapshot" >&2
+  if [[ ! -s "$workdir/metrics.$last.json" ]]; then
+    echo "FAIL: restarted node $last wrote no metrics snapshot" >&2
     exit 1
   fi
   node3_aggregate="$(python3 "$repo_root/scripts/aggregate_metrics.py" \
-                     "$workdir/metrics.3.json")"
+                     "$workdir/metrics.$last.json")"
   m_requests=$(metric_total_in recovery.catchup_requests "$node3_aggregate")
   m_replayed=$(metric_total_in recovery.replayed_records "$node3_aggregate")
-  echo "== metrics path: recovery.checkpoint_certs=$m_certs recovery.epoch_resets=$m_resets node3:{catchup_requests=$m_requests replayed_records=$m_replayed}"
+  echo "== metrics path: recovery.checkpoint_certs=$m_certs recovery.epoch_resets=$m_resets node$last:{catchup_requests=$m_requests replayed_records=$m_replayed}"
   if (( m_certs == 0 )); then
     echo "FAIL: recover run assembled no checkpoint certificates" >&2
     exit 1
@@ -525,13 +548,24 @@ if [[ "$scenario" == recover && -n "$aggregate" ]]; then
     exit 1
   fi
   if (( m_requests == 0 )); then
-    echo "FAIL: restarted node 3 sent no catch-up requests" >&2
+    echo "FAIL: restarted node $last sent no catch-up requests" >&2
     exit 1
   fi
   if (( m_replayed == 0 )); then
-    echo "FAIL: restarted node 3 replayed nothing from its durable log" >&2
+    echo "FAIL: restarted node $last replayed nothing from its durable log" >&2
     exit 1
   fi
+fi
+
+if [[ -n "$metrics_dir" ]]; then
+  mkdir -p "$metrics_dir"
+  for f in "${metrics_files[@]}"; do
+    [[ -s "$f" ]] && cp "$f" "$metrics_dir/"
+  done
+  printf '{"n":%d,"t":%d,"scenario":"%s","channel":"%s","deliveries":%d,"mmsg":%s}\n' \
+    "$n" "$t" "$scenario" "$channel" "$lines" \
+    "$([[ "$no_mmsg" == 1 ]] && echo false || echo true)" \
+    > "$metrics_dir/cluster.json"
 fi
 
 echo "PASS: $scenario/$channel — ${#expected[@]} nodes, $lines totally-ordered deliveries each"

@@ -391,9 +391,10 @@ BigInt Montgomery::multi_pow(
   // line item in the profile.
   BigInt acc;
   bool have = false;
-  for (std::size_t i = 0; i < terms.size(); i += kSimulPowMax) {
+  const std::size_t per_pass = simul_terms_per_pass();
+  for (std::size_t i = 0; i < terms.size(); i += per_pass) {
     const std::size_t count =
-        std::min<std::size_t>(kSimulPowMax, terms.size() - i);
+        std::min<std::size_t>(per_pass, terms.size() - i);
     BigInt part = simul_pow(terms.data() + i, count);
     acc = have ? mul(acc, part) : std::move(part);
     have = true;
@@ -401,28 +402,66 @@ BigInt Montgomery::multi_pow(
   return acc;
 }
 
-FixedBaseTable Montgomery::precompute(const BigInt& base,
-                                      int max_exp_bits) const {
+std::size_t comb_table_bytes(int max_exp_bits, int modulus_bits,
+                             int window_bits) {
+  const auto limbs =
+      static_cast<std::size_t>((std::max(modulus_bits, 64) + 63) / 64);
+  const auto exp_bits = static_cast<std::size_t>(std::max(max_exp_bits, 1));
+  const auto uw = static_cast<std::size_t>(window_bits);
+  const std::size_t windows = (exp_bits + uw - 1) / uw;
+  return windows * (std::size_t{1} << uw) * limbs * sizeof(std::uint64_t);
+}
+
+int pick_comb_window_bits(int max_exp_bits, int modulus_bits,
+                          std::size_t concurrent_tables) {
+  const std::size_t tables = std::max<std::size_t>(concurrent_tables, 1);
+  for (int w = 4; w > 2; --w) {
+    const std::size_t bytes =
+        comb_table_bytes(max_exp_bits, modulus_bits, w) * tables;
+    if (bytes <= kCombMemoryBudgetBytes) return w;
+  }
+  return 2;
+}
+
+std::size_t Montgomery::simul_terms_per_pass() const {
+  // terms x 16-entry window tables x n limbs x 8 bytes <= ~256 KiB.
+  const std::size_t budget_limbs = (256u << 10) / sizeof(Limb);
+  const std::size_t per_term = 16 * m_.size();
+  const std::size_t fit = budget_limbs / per_term;
+  return std::clamp<std::size_t>(fit, 8, kSimulPowMax);
+}
+
+FixedBaseTable Montgomery::precompute(const BigInt& base, int max_exp_bits,
+                                      int window_bits) const {
+  if (window_bits < 2 || window_bits > 6)
+    throw std::domain_error("precompute: window_bits out of [2, 6]");
   const std::size_t n = m_.size();
+  const int digits = 1 << window_bits;
   FixedBaseTable out;
   out.base_ = base;
   out.modulus_ = modulus_;
   out.n_ = n;
-  out.windows_ = (std::max(max_exp_bits, 4) + 3) / 4;
-  out.entries_.assign(static_cast<std::size_t>(out.windows_) * 16 * n, 0);
+  out.window_bits_ = window_bits;
+  out.windows_ =
+      (std::max(max_exp_bits, window_bits) + window_bits - 1) / window_bits;
+  out.entries_.assign(static_cast<std::size_t>(out.windows_) *
+                          static_cast<std::size_t>(digits) * n,
+                      0);
   Limb t[kScratchCap];
   auto entry = [&](int j, int d) -> Limb* {
     return out.entries_.data() +
-           (static_cast<std::size_t>(j) * 16 + static_cast<std::size_t>(d)) * n;
+           (static_cast<std::size_t>(j) * static_cast<std::size_t>(digits) +
+            static_cast<std::size_t>(d)) *
+               n;
   };
   to_mont_into(entry(0, 1), base, t);
   for (int j = 0; j < out.windows_; ++j) {
     if (j > 0) {
-      // base^(16^j) = (base^(16^(j-1)))^16: four squarings.
+      // base^(D^j) = (base^(D^(j-1)))^D: window_bits squarings.
       std::copy(entry(j - 1, 1), entry(j - 1, 1) + n, entry(j, 1));
-      for (int s = 0; s < 4; ++s) msqr(entry(j, 1), entry(j, 1));
+      for (int s = 0; s < window_bits; ++s) msqr(entry(j, 1), entry(j, 1));
     }
-    for (int d = 2; d < 16; ++d) {
+    for (int d = 2; d < digits; ++d) {
       mmul(entry(j, d), entry(j, d - 1), entry(j, 1), t);
     }
   }
@@ -437,14 +476,16 @@ bool Montgomery::accepts(const FixedBaseTable& table, const BigInt& e) const {
 void Montgomery::comb_mul_into(Limb* acc, const FixedBaseTable& table,
                                const BigInt& e, Limb* t) const {
   const std::size_t n = m_.size();
-  const int windows = (e.bit_length() + 3) / 4;
+  const int w = table.window_bits_;
+  const auto digits = static_cast<std::size_t>(1) << w;
+  const int windows = (e.bit_length() + w - 1) / w;
   for (int j = 0; j < windows; ++j) {
-    const auto digit = e.bits_window(4 * j, 4);
+    const auto digit = e.bits_window(w * j, w);
     if (digit != 0) {
       mmul(acc,
            acc,
            table.entries_.data() +
-               (static_cast<std::size_t>(j) * 16 + digit) * n,
+               (static_cast<std::size_t>(j) * digits + digit) * n,
            t);
     }
   }

@@ -58,18 +58,31 @@ inline constexpr int kMaxModulusBits = 4096;
 class Montgomery;
 
 /// Precomputed fixed-base comb table (Brickell–Gordon–McCurley–Wilson
-/// style): entry (j, d) holds base^(d * 16^j) in Montgomery form.  Built by
-/// Montgomery::precompute for one long-lived base and reused across many
-/// exponentiations; the build performs real Montgomery multiplications and
-/// is therefore charged to the work counter like any other arithmetic.
+/// style): entry (j, d) holds base^(d * (2^w)^j) in Montgomery form, for a
+/// window width of w bits (default 4).  Built by Montgomery::precompute
+/// for one long-lived base and reused across many exponentiations; the
+/// build performs real Montgomery multiplications and is therefore charged
+/// to the work counter like any other arithmetic.
+///
+/// The window width is the comb's memory/speed dial: evaluation costs
+/// ~ceil(E/w)·(1−2^−w) multiplications for an E-bit exponent while the
+/// table holds ceil(E/w)·2^w entries, so wider windows buy fewer
+/// multiplications per exponentiation at exponentially growing table and
+/// build cost.  pick_comb_window_bits() below chooses w from the group's
+/// expected number of concurrent long-lived bases.
 class FixedBaseTable {
  public:
   FixedBaseTable() = default;
 
   [[nodiscard]] bool valid() const { return windows_ > 0; }
   /// Widest exponent the comb covers; wider exponents fall back to pow().
-  [[nodiscard]] int max_exp_bits() const { return windows_ * 4; }
+  [[nodiscard]] int max_exp_bits() const { return windows_ * window_bits_; }
+  [[nodiscard]] int window_bits() const { return window_bits_; }
   [[nodiscard]] const BigInt& base() const { return base_; }
+  /// Heap footprint of the table entries, for memory-bound assertions.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return entries_.size() * sizeof(std::uint64_t);
+  }
 
  private:
   friend class Montgomery;
@@ -77,9 +90,32 @@ class FixedBaseTable {
   BigInt base_;
   BigInt modulus_;  // guards against use with a different context
   int windows_ = 0;
+  int window_bits_ = 4;
   std::size_t n_ = 0;                   // limbs of the modulus
-  std::vector<std::uint64_t> entries_;  // windows x 16 x n_, row-major
+  std::vector<std::uint64_t> entries_;  // windows x 2^window_bits x n_
 };
+
+/// Soft budget for the *sum* of all live comb tables a group is expected
+/// to keep (verification keys, generators, per-name bases).  At the
+/// paper's n=4 the default 4-bit windows fit with a wide margin, so the
+/// historical (and work-counter-identical) sizing is preserved; at n=31 a
+/// group holds ~2n+8 long-lived bases and the picker narrows windows
+/// until the projected total fits.
+inline constexpr std::size_t kCombMemoryBudgetBytes = 4u << 20;
+
+/// Entry memory of one comb table: ceil(E/w) windows x 2^w digits x one
+/// modulus-sized element each.
+[[nodiscard]] std::size_t comb_table_bytes(int max_exp_bits, int modulus_bits,
+                                           int window_bits);
+
+/// Window width (bits, in [2, 4]) for a comb table over max_exp_bits-wide
+/// exponents against a modulus_bits modulus, when ~concurrent_tables
+/// tables are expected to be live at once.  Returns the widest width whose
+/// projected total memory stays inside kCombMemoryBudgetBytes; 4 (the
+/// historical constant) whenever the budget allows, so small groups are
+/// bit-identical to the fixed-width era.
+[[nodiscard]] int pick_comb_window_bits(int max_exp_bits, int modulus_bits,
+                                        std::size_t concurrent_tables);
 
 class Montgomery {
  public:
@@ -113,8 +149,11 @@ class Montgomery {
       const std::vector<std::pair<BigInt, BigInt>>& terms) const;
 
   /// Builds a comb table covering exponents up to max_exp_bits wide.
+  /// window_bits in [2, 6] trades table memory for evaluation speed; the
+  /// default 4 matches the historical layout (see pick_comb_window_bits).
   [[nodiscard]] FixedBaseTable precompute(const BigInt& base,
-                                          int max_exp_bits) const;
+                                          int max_exp_bits,
+                                          int window_bits = 4) const;
 
   /// base^e via the comb — no squarings, one multiplication per nonzero
   /// 4-bit digit of e.  Falls back to plain pow() when e is wider than the
@@ -162,9 +201,17 @@ class Montgomery {
                      Limb* t) const;
   [[nodiscard]] bool accepts(const FixedBaseTable& table,
                              const BigInt& e) const;
-  /// Most terms one shared squaring chain serves (a window-table memory
-  /// bound: 32 tables x 16 entries x modulus size, ~64 KiB at 1024 bits).
-  static constexpr std::size_t kSimulPowMax = 32;
+  /// Hard cap on terms per shared squaring chain (sizes the fixed stack
+  /// arrays in simul_pow).  64 covers a whole batched DLEQ verification at
+  /// n=31 (k=21 statements fold to ~2k+2 terms) in ONE pass — a second
+  /// pass costs a second full squaring chain, the single largest line item
+  /// for 160-bit exponents.
+  static constexpr std::size_t kSimulPowMax = 64;
+  /// Terms per pass actually used by multi_pow: kSimulPowMax narrowed so
+  /// the per-pass window-table working set (terms x 16 entries x modulus
+  /// limbs) stays under ~256 KiB — k-aware for the small moduli the
+  /// protocols use, narrower only for multi-kilobit ones.
+  [[nodiscard]] std::size_t simul_terms_per_pass() const;
   /// Core shared-squaring simultaneous exponentiation over <=
   /// kSimulPowMax terms.
   [[nodiscard]] BigInt simul_pow(const std::pair<BigInt, BigInt>* terms,

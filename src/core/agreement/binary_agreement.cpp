@@ -401,8 +401,11 @@ void BinaryAgreementEngine::try_advance_with_coin(int r) {
   std::shared_ptr<crypto::ThresholdCoin> coin = env_.keys().coin;
   st.coin = std::make_unique<ShareCollector<CoinResult>>(
       env_.crypto_pool(), coin->k(),
-      [coin, name](const ShareCollector<CoinResult>::Shares& shares) {
-        return coin->assemble_bit_checked(name, shares);
+      [coin, name, pool = &env_.crypto_pool()](
+          const ShareCollector<CoinResult>::Shares& shares) {
+        // Pool pointer: a Byzantine-triggered fallback verifies the k
+        // chosen shares in parallel instead of serial bisection.
+        return coin->assemble_bit_checked(name, shares, pool);
       },
       [this, r](CoinResult res) {
         Round& rst = round(r);

@@ -89,10 +89,12 @@ void ConsistentBroadcast::ensure_collector() {
       env_.keys().sig_broadcast;
   echo_shares_ = std::make_unique<ShareCollector<Bytes>>(
       env_.crypto_pool(), scheme->k(),
-      [scheme, statement = signed_statement(pid(), *sent_payload_)](
-          const ShareCollector<Bytes>::Shares& shares)
+      [scheme, statement = signed_statement(pid(), *sent_payload_),
+       pool = &env_.crypto_pool()](const ShareCollector<Bytes>::Shares& shares)
           -> std::optional<Bytes> {
-        auto checked = scheme->combine_checked(statement, shares);
+        // Pool pointer: a Byzantine-triggered fallback verifies the k
+        // chosen shares in parallel instead of a serial loop.
+        auto checked = scheme->combine_checked(statement, shares, pool);
         if (!checked.has_value()) return std::nullopt;
         return std::move(checked->sig);
       },

@@ -95,8 +95,12 @@ void SecureAtomicChannel::on_ciphertext_delivered(const Bytes& ciphertext) {
   std::shared_ptr<crypto::Tdh2Party> cipher = env_.keys().cipher;
   slots_[index].shares = std::make_unique<ShareCollector<Bytes>>(
       env_.crypto_pool(), cipher->k(),
-      [cipher, ct = ciphertext](const ShareCollector<Bytes>::Shares& shares) {
-        return cipher->combine_checked(ct, shares);
+      [cipher, ct = ciphertext, pool = &env_.crypto_pool()](
+          const ShareCollector<Bytes>::Shares& shares) {
+        // The pool pointer lets a Byzantine-triggered fallback verify the
+        // k chosen shares in parallel (run_parallel is safe to call from
+        // the pool worker this closure runs on).
+        return cipher->combine_checked(ct, shares, pool);
       },
       [this, index](Bytes plaintext) {
         Slot& slot = slots_[index];

@@ -1,10 +1,12 @@
 #include "crypto/coin.hpp"
 
+#include <functional>
 #include <set>
 #include <stdexcept>
 
 #include "crypto/cost.hpp"
 #include "crypto/shamir.hpp"
+#include "crypto/work_pool.hpp"
 #include "util/serde.hpp"
 
 namespace sintra::crypto {
@@ -33,7 +35,9 @@ ThresholdCoin::ThresholdCoin(std::shared_ptr<const CoinPublic> pub, int index,
       index_(index),
       share_(std::move(share)),
       prover_rng_(prover_seed),
-      verify_rng_(prover_seed ^ 0xb47c4f5eedc011ULL) {}
+      verify_rng_(prover_seed ^ 0xb47c4f5eedc011ULL) {
+  pub_->group.hint_group_size(pub_->n);
+}
 
 // The generator and the per-party verification keys live for the whole
 // deal, so they go through the group's precomputation cache; the coin
@@ -130,7 +134,7 @@ bool ThresholdCoin::assemble_bit(
 
 std::optional<ThresholdCoin::AssembledCoin> ThresholdCoin::assemble_checked(
     BytesView name, const std::vector<std::pair<int, Bytes>>& shares,
-    std::size_t out_len) const {
+    std::size_t out_len, WorkPool* wp) const {
   const DlogGroup& grp = pub_->group;
   const BigInt base = grp.hash_to_group(name);
 
@@ -187,7 +191,30 @@ std::optional<ThresholdCoin::AssembledCoin> ThresholdCoin::assemble_checked(
     first_attempt = false;
     count_fallback("coin");
     std::vector<std::size_t> bad;
-    {
+    if (wp != nullptr && !wp->inline_mode() && stmts.size() > 1) {
+      // Threaded fallback: one scalar verification per statement, fanned
+      // out across cores.  Scalar verdicts are exactly what
+      // dleq_find_invalid's singleton leaves produce, so the bad set (and
+      // therefore the blacklist and the retry behaviour) is identical to
+      // the serial bisection — only the wall-clock differs.
+      std::vector<char> good(stmts.size(), 0);
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(stmts.size());
+      for (std::size_t j = 0; j < stmts.size(); ++j) {
+        jobs.push_back([&grp, &stmts, &good, j] {
+          const DleqStatement& s = stmts[j];
+          good[j] = dleq_verify(grp, s.g1, s.h1, s.g2, s.h2, s.proof,
+                                kCoinHints)
+                        ? 1
+                        : 0;
+        });
+      }
+      wp->run_parallel(jobs);
+      count_parallel_verify("coin", stmts.size());
+      for (std::size_t j = 0; j < stmts.size(); ++j) {
+        if (good[j] == 0) bad.push_back(j);
+      }
+    } else {
       const std::lock_guard lk(verify_mu_);
       bad = dleq_find_invalid(grp, stmts, verify_rng_, kCoinHints);
     }
@@ -207,8 +234,9 @@ std::optional<ThresholdCoin::AssembledCoin> ThresholdCoin::assemble_checked(
 
 std::optional<std::pair<bool, std::vector<std::pair<int, Bytes>>>>
 ThresholdCoin::assemble_bit_checked(
-    BytesView name, const std::vector<std::pair<int, Bytes>>& shares) const {
-  std::optional<AssembledCoin> coin = assemble_checked(name, shares, 1);
+    BytesView name, const std::vector<std::pair<int, Bytes>>& shares,
+    WorkPool* pool) const {
+  std::optional<AssembledCoin> coin = assemble_checked(name, shares, 1, pool);
   if (!coin) return std::nullopt;
   return std::make_pair((coin->value[0] & 1) != 0, std::move(coin->used));
 }

@@ -21,6 +21,8 @@
 
 namespace sintra::crypto {
 
+class WorkPool;
+
 struct CoinPublic {
   int n = 0;
   int k = 0;
@@ -80,14 +82,19 @@ class ThresholdCoin {
   /// DlogGroup::is_member_batch) can only poison the coin *value* — a
   /// liveness event (one disagreeing coin costs an extra agreement round),
   /// never a safety one.  Thread-safe.
+  /// When a threaded `pool` is given, the fallback verifies each chosen
+  /// share's DLEQ proof individually via WorkPool::run_parallel (across
+  /// cores) instead of serial bisection; the accepted/blacklisted sets
+  /// are identical either way.
   [[nodiscard]] std::optional<AssembledCoin> assemble_checked(
       BytesView name, const std::vector<std::pair<int, Bytes>>& shares,
-      std::size_t out_len) const;
+      std::size_t out_len, WorkPool* pool = nullptr) const;
 
   /// assemble_checked for the single-bit case.
   [[nodiscard]] std::optional<std::pair<bool, std::vector<std::pair<int, Bytes>>>>
   assemble_bit_checked(BytesView name,
-                       const std::vector<std::pair<int, Bytes>>& shares) const;
+                       const std::vector<std::pair<int, Bytes>>& shares,
+                       WorkPool* pool = nullptr) const;
 
   /// Verifies many shares of one coin together: one random-linear-
   /// combination DLEQ check for the whole set (individual membership

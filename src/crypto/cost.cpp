@@ -82,6 +82,12 @@ void count_fallback(const char* op) {
   obs::registry().counter("crypto.fallbacks", {{"op", op}}).inc();
 }
 
+void count_parallel_verify(const char* op, std::size_t shares) {
+  obs::registry()
+      .counter("crypto.parallel_verify_shares", {{"op", op}})
+      .inc(shares);
+}
+
 OpScope::OpScope(const char* op)
     : op_(op), start_(bignum::work_counter()) {}
 

@@ -10,6 +10,7 @@
 // milliseconds on any host:  ms = work / work_per_exp1024() * exp_ms.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace sintra::crypto {
@@ -52,6 +53,13 @@ class WorkMeter {
 /// signature of a Byzantine share submitter).
 void count_optimistic_hit(const char* op);
 void count_fallback(const char* op);
+
+/// Adds `shares` to the "crypto.parallel_verify_shares" counter labeled
+/// {op}: how many per-share fallback verifications ran through
+/// WorkPool::run_parallel instead of the serial loop.  Zero in the
+/// simulator (inline pools verify serially), nonzero on a real node with
+/// --crypto-threads facing a Byzantine share submitter.
+void count_parallel_verify(const char* op, std::size_t shares);
 
 /// RAII instrumentation for one threshold-crypto operation: on
 /// destruction it increments obs::registry()'s "crypto.ops" counter for

@@ -28,8 +28,13 @@ std::string element_key(const BigInt& y) {
 /// one simulator run — see cost.hpp.
 struct DlogGroup::FastCache {
   struct Entry {
-    bignum::FixedBaseTable table;  // may be !valid() if only membership known
-    int member = -1;               // -1 unknown, 0 non-member, 1 member
+    // Behind a shared_ptr so exponentiations can run OUTSIDE the cache
+    // lock (the parallel fallback verifies k proofs on k cores): a reader
+    // takes a reference under the lock and keeps the table alive even if
+    // eviction or an epoch change drops the entry meanwhile.  Null if only
+    // membership is known.
+    std::shared_ptr<const bignum::FixedBaseTable> table;
+    int member = -1;  // -1 unknown, 0 non-member, 1 member
     std::uint64_t last_use = 0;
   };
 
@@ -84,6 +89,7 @@ DlogGroup::DlogGroup(const DlogGroup& other)
       cofactor_exp_(other.cofactor_exp_),
       mont_(other.mont_),
       hash_(other.hash_),
+      comb_window_bits_(other.comb_window_bits_),
       cache_(std::make_unique<FastCache>()) {}
 
 DlogGroup& DlogGroup::operator=(const DlogGroup& other) {
@@ -94,6 +100,7 @@ DlogGroup& DlogGroup::operator=(const DlogGroup& other) {
     cofactor_exp_ = other.cofactor_exp_;
     mont_ = other.mont_;
     hash_ = other.hash_;
+    comb_window_bits_ = other.comb_window_bits_;
     cache_ = std::make_unique<FastCache>();
   }
   return *this;
@@ -119,11 +126,23 @@ void DlogGroup::locked_refresh_epoch() const {
   }
 }
 
-const bignum::FixedBaseTable& DlogGroup::locked_table(
+void DlogGroup::hint_group_size(int n) const {
+  // ~2n+8 long-lived bases: per-party verification keys (coin and TDH2
+  // both key per party), the generators, and a handful of per-name bases
+  // alive at once.
+  const std::size_t expected = 2 * static_cast<std::size_t>(std::max(n, 1)) + 8;
+  const int w = bignum::pick_comb_window_bits(q_.bit_length(), p_.bit_length(),
+                                              expected);
+  const std::lock_guard lk(cache_->mu);
+  comb_window_bits_ = w;
+}
+
+std::shared_ptr<const bignum::FixedBaseTable> DlogGroup::locked_table(
     const BigInt& base) const {
   FastCache::Entry& entry = cache_->touch(element_key(base));
-  if (!entry.table.valid()) {
-    entry.table = mont_.precompute(base, q_.bit_length());
+  if (!entry.table) {
+    entry.table = std::make_shared<const bignum::FixedBaseTable>(
+        mont_.precompute(base, q_.bit_length(), comb_window_bits_));
   }
   return entry.table;
 }
@@ -139,11 +158,17 @@ BigInt DlogGroup::exp_reduced(const BigInt& base, const BigInt& e) const {
 }
 
 BigInt DlogGroup::exp_cached(const BigInt& base, const BigInt& e) const {
-  const std::lock_guard lk(cache_->mu);
-  locked_refresh_epoch();
-  const bignum::FixedBaseTable& t = locked_table(base);
-  if (!e.is_negative() && e < q_) return mont_.pow(t, e);
-  return mont_.pow(t, e.mod(q_));
+  std::shared_ptr<const bignum::FixedBaseTable> t;
+  {
+    const std::lock_guard lk(cache_->mu);
+    locked_refresh_epoch();
+    t = locked_table(base);
+  }
+  // The exponentiation itself runs outside the lock: with the parallel
+  // share-verification fallback, k threads hammer the same handful of
+  // cached bases and would otherwise serialize on the cache mutex.
+  if (!e.is_negative() && e < q_) return mont_.pow(*t, e);
+  return mont_.pow(*t, e.mod(q_));
 }
 
 BigInt DlogGroup::dual_exp(const BigInt& b1, const BigInt& e1, bool cached1,
@@ -152,12 +177,17 @@ BigInt DlogGroup::dual_exp(const BigInt& b1, const BigInt& e1, bool cached1,
   const BigInt r1 = (!e1.is_negative() && e1 < q_) ? e1 : e1.mod(q_);
   const BigInt r2 = (!e2.is_negative() && e2 < q_) ? e2 : e2.mod(q_);
   if (!cached1 && !cached2) return mont_.mul_pow(b1, r1, b2, r2);
-  const std::lock_guard lk(cache_->mu);
-  locked_refresh_epoch();
-  if (cached1 && cached2)
-    return mont_.mul_pow(locked_table(b1), r1, locked_table(b2), r2);
-  if (cached1) return mont_.mul_pow(locked_table(b1), r1, b2, r2);
-  return mont_.mul_pow(locked_table(b2), r2, b1, r1);
+  std::shared_ptr<const bignum::FixedBaseTable> t1;
+  std::shared_ptr<const bignum::FixedBaseTable> t2;
+  {
+    const std::lock_guard lk(cache_->mu);
+    locked_refresh_epoch();
+    if (cached1) t1 = locked_table(b1);
+    if (cached2) t2 = locked_table(b2);
+  }
+  if (t1 && t2) return mont_.mul_pow(*t1, r1, *t2, r2);
+  if (t1) return mont_.mul_pow(*t1, r1, b2, r2);
+  return mont_.mul_pow(*t2, r2, b1, r1);
 }
 
 BigInt DlogGroup::dual_exp_neg(const BigInt& b1, const BigInt& e1,
@@ -214,13 +244,21 @@ bool DlogGroup::is_member_batch(const std::vector<const BigInt*>& ys,
 
 bool DlogGroup::is_member_cached(const BigInt& y) const {
   if (y <= BigInt{1} || y >= p_) return false;
+  std::string key = element_key(y);
+  {
+    const std::lock_guard lk(cache_->mu);
+    locked_refresh_epoch();
+    FastCache::Entry& entry = cache_->touch(key);
+    if (entry.member >= 0) return entry.member == 1;
+  }
+  // Miss: run the order-q exponentiation outside the lock (it dominates
+  // the cost), then store.  Two racing threads may both compute — the
+  // result is identical, so the duplicated work is the only cost.
+  const int member = mont_.pow(y, q_).is_one() ? 1 : 0;
   const std::lock_guard lk(cache_->mu);
   locked_refresh_epoch();
-  FastCache::Entry& entry = cache_->touch(element_key(y));
-  if (entry.member < 0) {
-    entry.member = mont_.pow(y, q_).is_one() ? 1 : 0;
-  }
-  return entry.member == 1;
+  cache_->touch(std::move(key)).member = member;
+  return member == 1;
 }
 
 BigInt DlogGroup::hash_to_group(BytesView name) const {

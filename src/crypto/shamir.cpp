@@ -100,49 +100,201 @@ BigInt integer_lagrange_coeff(const BigInt& delta,
 }
 
 namespace {
-std::string cache_key(const BigInt& scale, const std::vector<int>& indices) {
-  std::string key = scale.to_hex();
-  for (int i : indices) {
+// Key covers the scale and the first `len` indices *in order*: prefixes of
+// a request are themselves valid keys, which is what longest-prefix
+// extension looks up.
+std::string cache_key(const char* tag, const BigInt& scale,
+                      const std::vector<int>& indices, std::size_t len) {
+  std::string key = tag;
+  key += scale.to_hex();
+  for (std::size_t i = 0; i < len; ++i) {
     key += ',';
-    key += std::to_string(i);
+    key += std::to_string(indices[i]);
   }
   return key;
 }
+
+// Montgomery batch inversion: one mod_inverse + 3m multiplies for m
+// inverses.  Values must be nonzero mod q.
+std::vector<BigInt> batch_mod_inverse(const std::vector<BigInt>& vals,
+                                      const BigInt& q) {
+  const std::size_t m = vals.size();
+  std::vector<BigInt> prefix(m);  // prefix[i] = vals[0]*..*vals[i] mod q
+  BigInt acc{1};
+  for (std::size_t i = 0; i < m; ++i) {
+    acc = (acc * vals[i]).mod(q);
+    prefix[i] = acc;
+  }
+  BigInt inv_acc = prefix[m - 1].mod_inverse(q);
+  std::vector<BigInt> out(m);
+  for (std::size_t i = m; i-- > 1;) {
+    out[i] = (inv_acc * prefix[i - 1]).mod(q);
+    inv_acc = (inv_acc * vals[i]).mod(q);
+  }
+  out[0] = inv_acc;
+  return out;
+}
+
+// All field Lagrange coefficients at zero for `indices`, from scratch with
+// one batched inversion.  Value-identical to calling lagrange_coeff_zero
+// per j (same field elements, canonically reduced).
+std::vector<BigInt> full_field_coeffs(const std::vector<int>& indices,
+                                      const BigInt& q) {
+  const std::size_t k = indices.size();
+  std::vector<BigInt> nums(k), dens(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const BigInt xj{indices[j] + 1};
+    BigInt num{1}, den{1};
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i == j) continue;
+      const BigInt xi{indices[i] + 1};
+      num = (num * xi).mod(q);
+      den = (den * (xi - xj)).mod(q);
+    }
+    nums[j] = std::move(num);
+    dens[j] = den.mod(q);
+  }
+  std::vector<BigInt> coeffs(k);
+  if (k == 1) {
+    coeffs[0] = BigInt{1}.mod(q);
+    return coeffs;
+  }
+  const std::vector<BigInt> inv = batch_mod_inverse(dens, q);
+  for (std::size_t j = 0; j < k; ++j) {
+    coeffs[j] = (nums[j] * inv[j]).mod(q);
+  }
+  return coeffs;
+}
+
+// Extends field coefficients for indices[0..len-1) by the point at
+// position len-1: λ'_j = λ_j · x · (x − x_j)^{-1}, and the new point's own
+// coefficient from the same batch of inverses.  One mod_inverse total.
+bool extend_field_coeffs(std::vector<BigInt>& coeffs,
+                         const std::vector<int>& indices, std::size_t new_len,
+                         const BigInt& q) {
+  const std::size_t m = new_len - 1;  // old size
+  const BigInt x{indices[m] + 1};
+  std::vector<BigInt> diffs(m);  // (x − x_j) mod q, nonzero: indices distinct
+  for (std::size_t j = 0; j < m; ++j) {
+    diffs[j] = (x - BigInt{indices[j] + 1}).mod(q);
+    if (diffs[j].is_zero()) return false;
+  }
+  const std::vector<BigInt> inv = batch_mod_inverse(diffs, q);
+  BigInt prod_x{1};    // Π x_i over the old set
+  BigInt prod_inv{1};  // Π (x − x_i)^{-1} over the old set
+  for (std::size_t j = 0; j < m; ++j) {
+    coeffs[j] = ((coeffs[j] * x).mod(q) * inv[j]).mod(q);
+    prod_x = (prod_x * BigInt{indices[j] + 1}).mod(q);
+    prod_inv = (prod_inv * inv[j]).mod(q);
+  }
+  // λ_x = Π x_i / Π (x_i − x); each (x_i − x) = −(x − x_i) flips sign.
+  BigInt lam = (prod_x * prod_inv).mod(q);
+  if (m % 2 == 1) lam = (q - lam).mod(q);
+  coeffs.push_back(std::move(lam));
+  return true;
+}
+
+// Extends integer (Shoup) coefficients by the point at position len-1:
+// c'_j = c_j · x / (x − x_j), exact for any subset under Δ = n!.  Returns
+// false (caller recomputes) if a division is inexact — that only happens
+// when Δ was not n! for these indices, and the from-scratch path then
+// raises the same logic_error the non-incremental code did.
+bool extend_integer_coeffs(std::vector<BigInt>& coeffs, const BigInt& delta,
+                           const std::vector<int>& indices,
+                           std::size_t new_len) {
+  const std::size_t m = new_len - 1;
+  const BigInt x{indices[m] + 1};
+  for (std::size_t j = 0; j < m; ++j) {
+    const BigInt den = x - BigInt{indices[j] + 1};
+    const auto [quot, rem] = BigInt::div_mod(coeffs[j] * x, den);
+    if (!rem.is_zero()) return false;
+    coeffs[j] = quot;
+  }
+  std::vector<int> prefix(indices.begin(),
+                          indices.begin() + static_cast<std::ptrdiff_t>(new_len));
+  coeffs.push_back(
+      integer_lagrange_coeff(delta, prefix, static_cast<int>(m)));
+  return true;
+}
 }  // namespace
+
+void LagrangeCache::insert_locked(std::string key,
+                                  std::vector<BigInt> coeffs) {
+  if (entries_.size() >= kMaxEntries) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    entries_.erase(victim);
+  }
+  entries_.emplace(std::move(key),
+                   Entry{std::move(coeffs), ++use_clock_});
+}
+
+std::vector<BigInt> LagrangeCache::lookup(
+    const char* tag, const BigInt& scale, const std::vector<int>& indices,
+    const std::function<std::vector<BigInt>()>& compute,
+    const std::function<bool(std::vector<BigInt>&, std::size_t)>& extend) {
+  std::string key = cache_key(tag, scale, indices, indices.size());
+  const std::lock_guard lk(mu_);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    it->second.last_use = ++use_clock_;
+    ++stats_.hits;
+    return it->second.coeffs;
+  }
+  // Longest cached prefix, extended one appended point at a time.
+  for (std::size_t len = indices.size(); len-- > 1;) {
+    auto it = entries_.find(cache_key(tag, scale, indices, len));
+    if (it == entries_.end()) continue;
+    it->second.last_use = ++use_clock_;
+    std::vector<BigInt> coeffs = it->second.coeffs;
+    bool ok = true;
+    for (std::size_t grow = len + 1; ok && grow <= indices.size(); ++grow) {
+      ok = extend(coeffs, grow);
+    }
+    if (!ok) break;  // fall through to the from-scratch path
+    ++stats_.prefix_extends;
+    insert_locked(std::move(key), coeffs);
+    return coeffs;
+  }
+  ++stats_.full_computes;
+  std::vector<BigInt> coeffs = compute();
+  insert_locked(std::move(key), coeffs);
+  return coeffs;
+}
 
 std::vector<BigInt> LagrangeCache::coeffs_zero(const std::vector<int>& indices,
                                                const BigInt& q) {
-  std::string key = "q:" + cache_key(q, indices);
-  const std::lock_guard lk(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    std::vector<BigInt> coeffs;
-    coeffs.reserve(indices.size());
-    for (std::size_t j = 0; j < indices.size(); ++j) {
-      coeffs.push_back(lagrange_coeff_zero(indices, static_cast<int>(j), q));
-    }
-    if (entries_.size() >= kMaxEntries) entries_.clear();
-    it = entries_.emplace(std::move(key), std::move(coeffs)).first;
-  }
-  return it->second;
+  check_distinct(indices);
+  return lookup(
+      "q:", q, indices, [&] { return full_field_coeffs(indices, q); },
+      [&](std::vector<BigInt>& coeffs, std::size_t new_len) {
+        return extend_field_coeffs(coeffs, indices, new_len, q);
+      });
 }
 
 std::vector<BigInt> LagrangeCache::integer_coeffs(
     const BigInt& delta, const std::vector<int>& indices) {
-  std::string key = "d:" + cache_key(delta, indices);
+  check_distinct(indices);
+  return lookup(
+      "d:", delta, indices,
+      [&] {
+        std::vector<BigInt> coeffs;
+        coeffs.reserve(indices.size());
+        for (std::size_t j = 0; j < indices.size(); ++j) {
+          coeffs.push_back(
+              integer_lagrange_coeff(delta, indices, static_cast<int>(j)));
+        }
+        return coeffs;
+      },
+      [&](std::vector<BigInt>& coeffs, std::size_t new_len) {
+        return extend_integer_coeffs(coeffs, delta, indices, new_len);
+      });
+}
+
+LagrangeCache::Stats LagrangeCache::stats() {
   const std::lock_guard lk(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    std::vector<BigInt> coeffs;
-    coeffs.reserve(indices.size());
-    for (std::size_t j = 0; j < indices.size(); ++j) {
-      coeffs.push_back(
-          integer_lagrange_coeff(delta, indices, static_cast<int>(j)));
-    }
-    if (entries_.size() >= kMaxEntries) entries_.clear();
-    it = entries_.emplace(std::move(key), std::move(coeffs)).first;
-  }
-  return it->second;
+  return stats_;
 }
 
 }  // namespace sintra::crypto

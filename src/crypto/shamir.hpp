@@ -14,6 +14,8 @@
 // 0-based indices).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -72,10 +74,27 @@ BigInt factorial(int n);
 BigInt integer_lagrange_coeff(const BigInt& delta,
                               const std::vector<int>& indices, int j);
 
-/// Memo for full coefficient vectors, keyed by the index set (and the
-/// modulus or Δ).  Combiners see the same small family of index sets over
-/// and over — with n parties and threshold t+1 there are only C(n, t+1)
-/// of them — so each scheme keeps one of these as a mutable member.
+/// Memo for full coefficient vectors, keyed by the index *sequence* (and
+/// the modulus or Δ).  Combiners see index vectors that grow in share
+/// arrival order — round r+1's set usually extends a prefix of round r's —
+/// so besides exact hits the cache supports *incremental extension*: when
+/// the requested sequence extends a cached prefix, the new coefficients
+/// are derived from the cached ones one point at a time instead of being
+/// recomputed over all k points.
+///
+///   field (Z_q):   λ'_j = λ_j · x · (x − x_j)^{-1}   (one Montgomery
+///                  batch inversion per appended point: 1 inverse + O(k)
+///                  multiplies, vs k inverses + O(k²) from scratch);
+///   integer (Δ):   c'_j = c_j · x / (x − x_j), an *exact* division —
+///                  both c_j and c'_j are integers by Shoup's Δ = n!
+///                  argument, which holds for every subset of {1..n},
+///                  so prefixes of any length are valid cache entries.
+///
+/// Both derivations produce bit-identical values to the from-scratch
+/// computation (they are the same rational number, canonically reduced),
+/// so cached, extended and recomputed paths are interchangeable.
+/// Eviction is least-recently-used (the previous clear-all policy
+/// thrashed at n=31 where C(n, k) index sets far exceed the capacity).
 /// Lagrange math is plain BigInt arithmetic and therefore invisible to
 /// the Montgomery work counter: the cache changes wall-clock time, never
 /// simulated time, so it needs no epoch handling (see crypto/cost.hpp).
@@ -88,11 +107,35 @@ class LagrangeCache {
   std::vector<BigInt> integer_coeffs(const BigInt& delta,
                                      const std::vector<int>& indices);
 
+  /// Wall-clock accounting (for benches/tests; not simulated time).
+  struct Stats {
+    std::uint64_t hits = 0;           // exact cache hits
+    std::uint64_t prefix_extends = 0; // served by extending a cached prefix
+    std::uint64_t full_computes = 0;  // computed from scratch
+  };
+  [[nodiscard]] Stats stats();
+
  private:
-  static constexpr std::size_t kMaxEntries = 32;
+  static constexpr std::size_t kMaxEntries = 256;
+
+  struct Entry {
+    std::vector<BigInt> coeffs;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Shared lookup: exact hit, longest-prefix extension, or full compute
+  /// via `compute` / per-point `extend`.  Caller holds no lock.
+  std::vector<BigInt> lookup(
+      const char* tag, const BigInt& scale, const std::vector<int>& indices,
+      const std::function<std::vector<BigInt>()>& compute,
+      const std::function<bool(std::vector<BigInt>&, std::size_t)>& extend);
+
+  void insert_locked(std::string key, std::vector<BigInt> coeffs);
 
   std::mutex mu_;
-  std::unordered_map<std::string, std::vector<BigInt>> entries_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t use_clock_ = 0;
+  Stats stats_;
 };
 
 }  // namespace sintra::crypto

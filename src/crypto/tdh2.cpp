@@ -1,11 +1,13 @@
 #include "crypto/tdh2.hpp"
 
+#include <functional>
 #include <set>
 #include <stdexcept>
 
 #include "crypto/aes128.hpp"
 #include "crypto/cost.hpp"
 #include "crypto/shamir.hpp"
+#include "crypto/work_pool.hpp"
 #include "util/serde.hpp"
 
 namespace sintra::crypto {
@@ -155,7 +157,9 @@ Tdh2Party::Tdh2Party(std::shared_ptr<const Tdh2Public> pub, int index,
       index_(index),
       share_(std::move(share)),
       prover_rng_(prover_seed),
-      verify_rng_(prover_seed ^ 0x7dec2b47c4f5eeULL) {}
+      verify_rng_(prover_seed ^ 0x7dec2b47c4f5eeULL) {
+  pub_->group.hint_group_size(pub_->n);
+}
 
 std::optional<Bytes> Tdh2Party::decrypt_share(BytesView ciphertext) {
   if (index_ < 0) throw std::logic_error("Tdh2Party: verify-only handle");
@@ -235,8 +239,8 @@ Bytes Tdh2Party::combine(
 }
 
 std::optional<Bytes> Tdh2Party::combine_checked(
-    BytesView ciphertext,
-    const std::vector<std::pair<int, Bytes>>& shares) const {
+    BytesView ciphertext, const std::vector<std::pair<int, Bytes>>& shares,
+    WorkPool* pool_arg) const {
   Ciphertext ct;
   try {
     ct = parse_ct(ciphertext);
@@ -306,7 +310,28 @@ std::optional<Bytes> Tdh2Party::combine_checked(
     first_attempt = false;
     count_fallback("tdh2");
     std::vector<std::size_t> bad;
-    {
+    if (pool_arg != nullptr && !pool_arg->inline_mode() && stmts.size() > 1) {
+      // Threaded fallback: scalar verdict per statement across cores;
+      // identical bad set to the serial bisection (see
+      // ThresholdCoin::assemble_checked).
+      std::vector<char> good(stmts.size(), 0);
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(stmts.size());
+      for (std::size_t j = 0; j < stmts.size(); ++j) {
+        jobs.push_back([&grp, &stmts, &good, j] {
+          const DleqStatement& s = stmts[j];
+          good[j] = dleq_verify(grp, s.g1, s.h1, s.g2, s.h2, s.proof,
+                                kShareHints)
+                        ? 1
+                        : 0;
+        });
+      }
+      pool_arg->run_parallel(jobs);
+      count_parallel_verify("tdh2", stmts.size());
+      for (std::size_t j = 0; j < stmts.size(); ++j) {
+        if (good[j] == 0) bad.push_back(j);
+      }
+    } else {
       const std::lock_guard lk(verify_mu_);
       bad = dleq_find_invalid(grp, stmts, verify_rng_, kShareHints);
     }

@@ -25,6 +25,8 @@
 
 namespace sintra::crypto {
 
+class WorkPool;
+
 struct Tdh2Public {
   int n = 0;
   int k = 0;
@@ -88,9 +90,13 @@ class Tdh2Party {
   /// *individual* (BatchMembership::kIndividual): a decryption accepting
   /// a poisoned share would deliver a wrong plaintext — a safety
   /// violation, unlike a disagreeing coin.  Thread-safe.
+  /// When a threaded `pool` is given, the fallback verifies each chosen
+  /// share individually via WorkPool::run_parallel (across cores)
+  /// instead of serial bisection; the accepted/blacklisted sets are
+  /// identical either way.
   [[nodiscard]] std::optional<Bytes> combine_checked(
-      BytesView ciphertext,
-      const std::vector<std::pair<int, Bytes>>& shares) const;
+      BytesView ciphertext, const std::vector<std::pair<int, Bytes>>& shares,
+      WorkPool* pool = nullptr) const;
 
   /// True if `signer` was caught (by a combine_checked fallback on this
   /// handle) submitting a bad decryption share.

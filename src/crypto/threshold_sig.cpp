@@ -1,5 +1,6 @@
 #include "crypto/threshold_sig.hpp"
 
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -8,6 +9,7 @@
 #include "bignum/montgomery.hpp"
 #include "crypto/cost.hpp"
 #include "crypto/shamir.hpp"
+#include "crypto/work_pool.hpp"
 
 namespace sintra::crypto {
 
@@ -31,6 +33,13 @@ int challenge_bits(const RsaThresholdPublic& pub) {
 /// comb tables perform real multiplications when built, so they carry the
 /// global cache epoch: a new simulator run drops them and pays the build
 /// again, keeping virtual timings reproducible (see crypto/cost.hpp).
+///
+/// Concurrency: verify_share builds whatever it needs under `mu` and then
+/// computes lock-free against an immutable snapshot, so the work pool can
+/// verify k shares on k cores during fallback.  The epoch-guarded tables
+/// live behind a shared_ptr that is *replaced* (never mutated in place) on
+/// epoch change; built entries are write-once under `mu`, so a reader that
+/// saw an entry built can keep using it without the lock.
 struct RsaThresholdScheme::FastPath {
   struct Signer {
     BigInt vi_inv;                        // v_i^{-1} mod N
@@ -38,36 +47,59 @@ struct RsaThresholdScheme::FastPath {
     bool ready = false;
   };
 
+  struct Tables {
+    bignum::FixedBaseTable v_table;  // comb for v over full-width responses
+    std::vector<Signer> signers;
+  };
+
   std::mutex mu;
   std::uint64_t epoch = 0;  // 0 never matches a live epoch
   // The Montgomery context costs no counted work to build; it persists
-  // across epochs and only the charged tables are epoch-guarded.
+  // across epochs and only the charged tables are epoch-guarded.  It is
+  // immutable once built and therefore safe to read without the lock.
   std::optional<bignum::Montgomery> mont;
-  bignum::FixedBaseTable v_table;  // comb for v over full-width responses
-  std::vector<Signer> signers;
+  std::shared_ptr<Tables> tables;
+  int window_bits = 4;
 
   const bignum::Montgomery& refreshed(const RsaThresholdPublic& pub) {
     const std::uint64_t now = cache_epoch();
-    if (epoch != now) {
-      v_table = {};
-      signers.assign(static_cast<std::size_t>(pub.n), {});
+    if (epoch != now || !tables) {
+      auto fresh = std::make_shared<Tables>();
+      fresh->signers.assign(static_cast<std::size_t>(pub.n), {});
+      tables = std::move(fresh);  // old snapshot stays alive via readers
       epoch = now;
     }
-    if (!mont) mont.emplace(pub.modulus);
+    if (!mont) {
+      mont.emplace(pub.modulus);
+      // Widest window whose projected per-handle total (one response-wide
+      // v table + n challenge-wide v_i^{-1} tables) fits the comb budget:
+      // 4 at the paper's n=4, narrower as n or the modulus grows.
+      const int mod_bits = pub.modulus.bit_length();
+      for (window_bits = 4; window_bits > 2; --window_bits) {
+        const std::size_t total =
+            bignum::comb_table_bytes(z_exp_bits(pub), mod_bits, window_bits) +
+            static_cast<std::size_t>(pub.n) *
+                bignum::comb_table_bytes(challenge_bits(pub), mod_bits,
+                                         window_bits);
+        if (total <= bignum::kCombMemoryBudgetBytes) break;
+      }
+    }
     return *mont;
   }
 
   const bignum::FixedBaseTable& v_comb(const RsaThresholdPublic& pub) {
-    if (!v_table.valid()) v_table = mont->precompute(pub.v, z_exp_bits(pub));
-    return v_table;
+    if (!tables->v_table.valid())
+      tables->v_table = mont->precompute(pub.v, z_exp_bits(pub), window_bits);
+    return tables->v_table;
   }
 
   const Signer& signer_comb(const RsaThresholdPublic& pub, int signer) {
-    Signer& s = signers[static_cast<std::size_t>(signer)];
+    Signer& s = tables->signers[static_cast<std::size_t>(signer)];
     if (!s.ready) {
       s.vi_inv = pub.vi[static_cast<std::size_t>(signer)].mod_inverse(
           pub.modulus);
-      s.vi_inv_table = mont->precompute(s.vi_inv, challenge_bits(pub));
+      s.vi_inv_table =
+          mont->precompute(s.vi_inv, challenge_bits(pub), window_bits);
       s.ready = true;
     }
     return s;
@@ -111,7 +143,8 @@ ParsedShare parse_share(BytesView share) {
 
 std::optional<ThresholdSigScheme::CheckedSignature>
 ThresholdSigScheme::combine_checked(
-    BytesView msg, const std::vector<std::pair<int, Bytes>>& shares) const {
+    BytesView msg, const std::vector<std::pair<int, Bytes>>& shares,
+    WorkPool* wp) const {
   // Working pool: first-come order, one share per signer, blacklisted
   // signers skipped up front.
   std::vector<const std::pair<int, Bytes>*> pool;
@@ -152,10 +185,33 @@ ThresholdSigScheme::combine_checked(
     first_attempt = false;
     count_fallback("threshold_sig");
     std::set<int> dropped;
-    for (const auto& [idx, raw] : chosen) {
-      if (!verify_share(msg, idx, raw)) {
-        blacklist_.add(idx);
-        dropped.insert(idx);
+    if (wp != nullptr && !wp->inline_mode() && chosen.size() > 1) {
+      // k independent verifications across cores; verdicts land in
+      // per-share slots, so the blacklist outcome matches the serial loop.
+      std::vector<char> good(chosen.size(), 0);
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(chosen.size());
+      for (std::size_t j = 0; j < chosen.size(); ++j) {
+        jobs.push_back([this, msg, j, &chosen, &good] {
+          good[j] = verify_share(msg, chosen[j].first, chosen[j].second)
+                        ? 1
+                        : 0;
+        });
+      }
+      wp->run_parallel(jobs);
+      count_parallel_verify("threshold_sig", chosen.size());
+      for (std::size_t j = 0; j < chosen.size(); ++j) {
+        if (good[j] == 0) {
+          blacklist_.add(chosen[j].first);
+          dropped.insert(chosen[j].first);
+        }
+      }
+    } else {
+      for (const auto& [idx, raw] : chosen) {
+        if (!verify_share(msg, idx, raw)) {
+          blacklist_.add(idx);
+          dropped.insert(idx);
+        }
       }
     }
     if (dropped.empty()) {
@@ -230,11 +286,23 @@ bool RsaThresholdScheme::verify_share(BytesView msg, int signer,
     return false;
   if (s.c.is_negative() || s.z.is_negative()) return false;
 
-  const std::lock_guard lk(fast_->mu);
-  const bignum::Montgomery& mont = fast_->refreshed(*pub_);
+  // Ensure-build under the lock, compute lock-free against the snapshot:
+  // concurrent verifications (the work-pool fallback) serialize only on
+  // the cheap table lookups, never on the exponentiations.
+  std::shared_ptr<const FastPath::Tables> tables;
+  const bignum::Montgomery* mont = nullptr;
+  const bignum::FixedBaseTable* v_table = nullptr;
+  const FastPath::Signer* sg = nullptr;
+  {
+    const std::lock_guard lk(fast_->mu);
+    mont = &fast_->refreshed(*pub_);
+    v_table = &fast_->v_comb(*pub_);
+    sg = &fast_->signer_comb(*pub_, signer);
+    tables = fast_->tables;  // keeps v_table/sg alive across epoch swaps
+  }
   const BigInt x = rsa_fdh(msg, pub_->modulus, pub_->hash);
-  const BigInt x_tilde = mont.pow(x, pub_->delta << 2);
-  const BigInt xi2 = mont.mul(s.xi, s.xi);
+  const BigInt x_tilde = mont->pow(x, pub_->delta << 2);
+  const BigInt xi2 = mont->mul(s.xi, s.xi);
   const BigInt& vi = pub_->vi[static_cast<std::size_t>(signer)];
 
   // v' = v^z * v_i^{-c},  x' = x~^z * x_i^{-2c}.  The RSA group order is
@@ -246,9 +314,8 @@ bool RsaThresholdScheme::verify_share(BytesView msg, int signer,
   // take the slow fallback inside mul_pow.
   BigInt vp, xp;
   try {
-    const FastPath::Signer& sg = fast_->signer_comb(*pub_, signer);
-    vp = mont.mul_pow(fast_->v_comb(*pub_), s.z, sg.vi_inv_table, s.c);
-    xp = mont.mul_pow(x_tilde, s.z, xi2.mod_inverse(pub_->modulus), s.c);
+    vp = mont->mul_pow(*v_table, s.z, sg->vi_inv_table, s.c);
+    xp = mont->mul_pow(x_tilde, s.z, xi2.mod_inverse(pub_->modulus), s.c);
   } catch (const std::domain_error&) {
     return false;  // a non-invertible element would factor N; treat as bad
   }

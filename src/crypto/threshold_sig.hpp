@@ -29,6 +29,8 @@
 
 namespace sintra::crypto {
 
+class WorkPool;
+
 /// Per-party handle to a threshold signature scheme.  Thread-compatible;
 /// each simulated party owns its own instance.
 class ThresholdSigScheme {
@@ -81,9 +83,15 @@ class ThresholdSigScheme {
   /// ignored), and retries with replacement shares.  Returns nullopt when
   /// fewer than k shares from distinct non-blacklisted signers are
   /// available — with n - t >= k honest parties, callers just wait for
-  /// more shares.  Thread-safe: may run on a crypto worker pool.
+  /// more shares.  Thread-safe: may run on a crypto worker pool.  When a
+  /// threaded `pool` is given, the fallback verifies the chosen shares
+  /// via WorkPool::run_parallel — k verifications across cores instead of
+  /// a serial loop; the outcome (blacklist set, returned signature) is
+  /// identical either way, so a null/inline pool is never a semantic
+  /// change, only a slower fallback.
   [[nodiscard]] std::optional<CheckedSignature> combine_checked(
-      BytesView msg, const std::vector<std::pair<int, Bytes>>& shares) const;
+      BytesView msg, const std::vector<std::pair<int, Bytes>>& shares,
+      WorkPool* pool = nullptr) const;
 
   /// True if `signer` was caught submitting a bad share to this handle
   /// (local knowledge only — see crypto/blacklist.hpp).

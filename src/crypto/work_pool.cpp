@@ -1,6 +1,8 @@
 #include "crypto/work_pool.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <utility>
 
 namespace sintra::crypto {
@@ -56,8 +58,55 @@ void WorkPool::worker(const std::stop_token& st) {
     }
     m_wait_ms_->observe(now_ms() - job.enqueue_ms);
     job.work();
-    finish(std::move(job.complete));
+    // Helper jobs from run_parallel() have no completion to deliver.
+    if (job.complete) finish(std::move(job.complete));
   }
+}
+
+void WorkPool::run_parallel(std::vector<std::function<void()>>& jobs) {
+  if (jobs.empty()) return;
+  if (workers_.empty() || jobs.size() == 1) {
+    for (const std::function<void()>& job : jobs) job();
+    return;
+  }
+  struct Batch {
+    std::vector<std::function<void()>>* jobs;  // valid while done < total
+    std::size_t total;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->jobs = &jobs;
+  batch->total = jobs.size();
+  // Claims jobs off the shared cursor until none remain.  Leftover helper
+  // entries that wake after the batch is finished see next >= total and
+  // never touch the (by then possibly destroyed) jobs vector.
+  auto claim = [batch] {
+    for (;;) {
+      const std::size_t i = batch->next.fetch_add(1);
+      if (i >= batch->total) return;
+      (*batch->jobs)[i]();
+      if (batch->done.fetch_add(1) + 1 == batch->total) {
+        const std::lock_guard lk(batch->mu);
+        batch->cv.notify_all();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(workers_.size(), batch->total - 1);
+  {
+    const std::lock_guard lk(mu_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.push_back({claim, nullptr, now_ms()});
+    }
+    m_depth_->set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+  claim();  // caller participation guarantees progress
+  std::unique_lock lk(batch->mu);
+  batch->cv.wait(lk,
+                 [&batch] { return batch->done.load() >= batch->total; });
 }
 
 void WorkPool::finish(std::function<void()> complete) {

@@ -53,6 +53,18 @@ class WorkPool {
   /// `complete`, which the owner thread runs.
   void submit(std::function<void()> work, std::function<void()> complete);
 
+  /// Runs every job in `jobs` to completion before returning, with the
+  /// CALLING thread participating: the caller claims jobs from a shared
+  /// cursor while up to threads() idle workers help.  Because the caller
+  /// never waits for a worker slot — it executes unclaimed jobs itself —
+  /// this is safe to invoke from inside a pool job (the fallback
+  /// verification of a combine attempt that is already running on a
+  /// worker) with no deadlock.  Inline mode runs the jobs sequentially in
+  /// vector order on the caller, which is the simulator's deterministic
+  /// path.  Jobs must be independent and must not throw; they communicate
+  /// results through captured slots.
+  void run_parallel(std::vector<std::function<void()>>& jobs);
+
   /// Runs every queued completion on the calling thread (the owner).
   /// Returns how many ran.
   std::size_t drain_completions();

@@ -1,5 +1,6 @@
 #include "net/net_environment.hpp"
 
+#include <algorithm>
 #include <random>
 #include <stdexcept>
 
@@ -9,13 +10,49 @@
 
 namespace sintra::net {
 
+SendBatcher::SendBatcher(EventLoop& loop, UdpSocket& socket, int party)
+    : loop_(loop), socket_(socket) {
+  auto& reg = obs::registry();
+  const obs::Labels labels = obs::party_labels(party);
+  m_batch_size_ = &reg.histogram("net.sendmmsg_batch_size", labels);
+  m_send_errors_ = &reg.counter("net.send_errors", labels);
+}
+
+void SendBatcher::push(const std::shared_ptr<SendBatcher>& self,
+                       const SocketAddress& to, Bytes datagram) {
+  self->pending_.push_back({to, std::move(datagram)});
+  if (self->flush_scheduled_) return;
+  self->flush_scheduled_ = true;
+  // call_soon runs before the loop sleeps again, so batching never adds
+  // latency: everything a single wake produced (broadcast fan-out, acks,
+  // retransmissions) leaves in one flush at the end of that wake.
+  self->loop_.call_soon([weak = std::weak_ptr<SendBatcher>(self)] {
+    if (const std::shared_ptr<SendBatcher> b = weak.lock()) b->flush();
+  });
+}
+
+void SendBatcher::flush() {
+  flush_scheduled_ = false;
+  if (pending_.empty()) return;
+  std::vector<OutboundDatagram> batch;
+  batch.swap(pending_);
+  m_batch_size_->observe(static_cast<double>(batch.size()));
+  const std::size_t sent = socket_.send_batch(batch);
+  flushed_ += sent;
+  if (sent < batch.size()) {
+    m_send_errors_->inc(batch.size() - sent);  // links retransmit
+  }
+}
+
 UdpDatagramChannel::UdpDatagramChannel(EventLoop& loop, UdpSocket& socket,
                                        SocketAddress peer_address,
-                                       std::uint32_t self_id)
+                                       std::uint32_t self_id,
+                                       std::shared_ptr<SendBatcher> batcher)
     : loop_(loop),
       socket_(socket),
       peer_address_(peer_address),
-      self_id_(self_id) {
+      self_id_(self_id),
+      batcher_(std::move(batcher)) {
   // Party-wide counters: every channel of the party resolves the same
   // registry instances.
   auto& reg = obs::registry();
@@ -29,6 +66,14 @@ void UdpDatagramChannel::send_datagram(Bytes datagram) {
   Writer w;
   w.u32(self_id_);
   w.raw(datagram);
+  if (batcher_ != nullptr) {
+    // Counted when queued; a kernel refusal at flush time surfaces in
+    // net.send_errors (batcher-side), and the link retransmits.
+    ++sent_;
+    m_sent_->inc();
+    SendBatcher::push(batcher_, peer_address_, std::move(w).take());
+    return;
+  }
   if (socket_.send_to(peer_address_, w.data())) {
     ++sent_;
     m_sent_->inc();
@@ -110,12 +155,21 @@ void NetEnvironment::wire_links(const std::vector<core::Endpoint>& endpoints) {
     link_options.epoch = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
     if (link_options.epoch == 0) link_options.epoch = 1;
   }
+  if (options_.use_mmsg) {
+    batcher_ = std::make_shared<SendBatcher>(loop_, socket_, keys_.index);
+    // A handful of slots per syscall batches deeply enough (a full
+    // n=31 fan-out is 30 datagrams) without the pool ballooning when
+    // tests run several parties in one process.
+    rx_pool_ = std::make_unique<ReceivePool>(
+        std::min<std::size_t>(options_.max_receive_batch, 32),
+        options_.max_datagram + 1);
+  }
   for (int peer = 0; peer < keys_.n; ++peer) {
     if (peer == keys_.index) continue;
     const auto& ep = targets[static_cast<std::size_t>(peer)];
     auto channel = std::make_unique<UdpDatagramChannel>(
         loop_, socket_, SocketAddress::resolve(ep.host, ep.port),
-        static_cast<std::uint32_t>(keys_.index));
+        static_cast<std::uint32_t>(keys_.index), batcher_);
     auto link = std::make_unique<core::SlidingWindowLink>(
         *channel, keys_.index, peer,
         keys_.link_keys[static_cast<std::size_t>(peer)], link_options);
@@ -135,6 +189,7 @@ void NetEnvironment::wire_links(const std::vector<core::Endpoint>& endpoints) {
   m_drop_oversized_ = &reg.counter("net.drop_oversized", labels);
   m_messages_sent_ = &reg.counter("net.messages_sent", labels);
   m_bytes_sent_ = &reg.counter("net.bytes_sent", labels);
+  m_rx_pool_in_use_ = &reg.gauge("net.rx_pool_in_use", labels);
   dispatcher_.attach_obs(keys_.index, [this] { return loop_.now_ms(); });
 
   // Announce our epoch so peers detect a restart (and reset their window
@@ -143,7 +198,12 @@ void NetEnvironment::wire_links(const std::vector<core::Endpoint>& endpoints) {
   for (const auto& [peer, link] : links_) link->announce();
 }
 
-NetEnvironment::~NetEnvironment() { loop_.remove_fd(socket_.fd()); }
+NetEnvironment::~NetEnvironment() {
+  // A flush scheduled for later would find the batcher dead (weak_ptr);
+  // write out what's pending while the socket is still open.
+  if (batcher_ != nullptr) batcher_->flush();
+  loop_.remove_fd(socket_.fd());
+}
 
 void NetEnvironment::send(core::PartyId to, Bytes wire) {
   if (to < 0 || to >= keys_.n) {
@@ -231,6 +291,13 @@ void NetEnvironment::publish_link_metrics() {
   // cluster runner asserts on.
   reg.gauge("recovery.epoch_resets", obs::party_labels(keys_.index))
       .set(static_cast<double>(epoch_resets_total));
+  // Kernel round-trips made by this party's socket, split by direction —
+  // divided by deliveries this yields the syscalls-per-delivery figure of
+  // BENCH_scale.json (sendmmsg/recvmmsg batching is what moves it).
+  reg.gauge("net.tx_syscalls", obs::party_labels(keys_.index))
+      .set(static_cast<double>(socket_.tx_syscalls()));
+  reg.gauge("net.rx_syscalls", obs::party_labels(keys_.index))
+      .set(static_cast<double>(socket_.rx_syscalls()));
 }
 
 std::size_t NetEnvironment::send_backlog() const {
@@ -243,34 +310,52 @@ void NetEnvironment::on_socket_readable() {
   // Bounded drain: at most max_receive_batch datagrams per wake so timers
   // and other parties on the loop stay responsive under flood; the
   // level-triggered epoll registration re-fires if more are queued.
+  if (rx_pool_ != nullptr) {
+    // recvmmsg path: one kernel round-trip fills up to slots() reusable
+    // buffers — no per-datagram recvfrom, no per-datagram allocation.
+    std::size_t drained = 0;
+    while (drained < options_.max_receive_batch) {
+      const std::size_t got = socket_.receive_batch(*rx_pool_);
+      if (got == 0) break;
+      m_rx_pool_in_use_->set(static_cast<double>(got));
+      for (std::size_t i = 0; i < got; ++i) {
+        process_datagram(rx_pool_->payload(i));
+      }
+      drained += got;
+      if (got < rx_pool_->slots()) break;  // socket drained
+    }
+    return;
+  }
   for (std::size_t i = 0; i < options_.max_receive_batch; ++i) {
     auto received = socket_.receive(options_.max_datagram + 1);
     if (!received) return;
-    auto& [datagram, from_addr] = *received;
-    ++stats_.datagrams_received;
-    m_datagrams_received_->inc();
-    if (datagram.size() > options_.max_datagram) {
-      ++stats_.drop_oversized;
-      m_drop_oversized_->inc();
-      continue;
-    }
-    if (datagram.size() < 4) {
-      ++stats_.drop_no_sender;
-      m_drop_no_sender_->inc();
-      continue;
-    }
-    Reader r(datagram);
-    const auto sender = static_cast<int>(r.u32());
-    if (sender < 0 || sender >= keys_.n || sender == keys_.index) {
-      ++stats_.drop_bad_sender;
-      m_drop_bad_sender_->inc();
-      continue;
-    }
-    // The id prefix is only a routing hint; the link's HMAC decides
-    // whether the frame really came from `sender`.
-    links_.at(sender)->on_datagram(
-        BytesView(datagram).subspan(4));
+    process_datagram(received->first);
   }
+}
+
+void NetEnvironment::process_datagram(BytesView datagram) {
+  ++stats_.datagrams_received;
+  m_datagrams_received_->inc();
+  if (datagram.size() > options_.max_datagram) {
+    ++stats_.drop_oversized;
+    m_drop_oversized_->inc();
+    return;
+  }
+  if (datagram.size() < 4) {
+    ++stats_.drop_no_sender;
+    m_drop_no_sender_->inc();
+    return;
+  }
+  Reader r(datagram);
+  const auto sender = static_cast<int>(r.u32());
+  if (sender < 0 || sender >= keys_.n || sender == keys_.index) {
+    ++stats_.drop_bad_sender;
+    m_drop_bad_sender_->inc();
+    return;
+  }
+  // The id prefix is only a routing hint; the link's HMAC decides
+  // whether the frame really came from `sender`.
+  links_.at(sender)->on_datagram(datagram.subspan(4));
 }
 
 }  // namespace sintra::net

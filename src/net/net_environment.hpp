@@ -30,13 +30,49 @@
 
 namespace sintra::net {
 
+/// Coalesces the datagrams produced within one loop wake into sendmmsg
+/// batches.  A broadcast fan-out writes n-1 per-peer frames back to back
+/// (the frames differ — each link HMACs with its own key — so batching
+/// can only happen at the syscall layer, below the links); push() just
+/// buffers, and a flush scheduled via EventLoop::call_soon writes the
+/// whole batch with one kernel round-trip before the loop sleeps again.
+/// Datagram ORDER per peer is preserved (the batch is flushed in push
+/// order), and a refused tail is dropped with plain UDP semantics.
+/// Loop-thread only, like the channels that feed it.
+class SendBatcher {
+ public:
+  SendBatcher(EventLoop& loop, UdpSocket& socket, int party);
+
+  /// Queues one datagram and schedules a flush if none is pending.
+  /// Called through a weak_ptr-guarded closure, so a flush posted just
+  /// before environment teardown no-ops instead of touching a dead
+  /// socket.
+  static void push(const std::shared_ptr<SendBatcher>& self,
+                   const SocketAddress& to, Bytes datagram);
+  /// Writes everything queued via UdpSocket::send_batch.
+  void flush();
+
+  [[nodiscard]] std::uint64_t datagrams_flushed() const { return flushed_; }
+
+ private:
+  EventLoop& loop_;
+  UdpSocket& socket_;
+  std::vector<OutboundDatagram> pending_;
+  bool flush_scheduled_ = false;
+  std::uint64_t flushed_ = 0;
+  obs::Histogram* m_batch_size_ = nullptr;
+  obs::Counter* m_send_errors_ = nullptr;
+};
+
 /// core::DatagramChannel for one peer: prefixes the sender id, sends to
 /// the peer's (possibly proxied) address, and exposes the loop's timers
-/// and clock to the sliding-window link.
+/// and clock to the sliding-window link.  With a batcher, sends are
+/// queued for a sendmmsg flush instead of issued one syscall each.
 class UdpDatagramChannel final : public core::DatagramChannel {
  public:
   UdpDatagramChannel(EventLoop& loop, UdpSocket& socket,
-                     SocketAddress peer_address, std::uint32_t self_id);
+                     SocketAddress peer_address, std::uint32_t self_id,
+                     std::shared_ptr<SendBatcher> batcher = nullptr);
 
   void send_datagram(Bytes datagram) override;
   void call_later(double delay_ms, std::function<void()> fn) override {
@@ -52,6 +88,7 @@ class UdpDatagramChannel final : public core::DatagramChannel {
   UdpSocket& socket_;
   SocketAddress peer_address_;
   std::uint32_t self_id_;
+  std::shared_ptr<SendBatcher> batcher_;  // null = direct sendto path
   std::uint64_t sent_ = 0;
   std::uint64_t send_errors_ = 0;
   obs::Counter* m_sent_ = nullptr;        // party-wide (shared handle)
@@ -82,6 +119,13 @@ struct NetOptions {
   /// exactly like the simulator.  The sintra_node CLI defaults this to
   /// hardware_concurrency via --crypto-threads.
   int crypto_threads = 0;
+  /// Batched syscalls: coalesce outgoing datagrams into sendmmsg(2)
+  /// flushes and drain inbound ones with recvmmsg(2) into a reusable
+  /// buffer pool — one kernel round-trip per loop wake instead of one
+  /// per datagram, which is what keeps n=7..31 broadcast fan-outs off
+  /// the syscall floor.  On by default; sintra_node --no-mmsg (and this
+  /// flag) fall back to the one-sendto/one-recvfrom-per-datagram path.
+  bool use_mmsg = true;
 };
 
 class NetEnvironment final : public core::Environment {
@@ -150,6 +194,10 @@ class NetEnvironment final : public core::Environment {
   void init_crypto_pool();
   void wire_links(const std::vector<core::Endpoint>& endpoints);
   void on_socket_readable();
+  /// Transport checks + routing for one inbound datagram (both the
+  /// recvmmsg pool path and the legacy recvfrom path end up here; the
+  /// view may point into the reusable pool, so links must not keep it).
+  void process_datagram(BytesView datagram);
   void trace_send(core::PartyId to, BytesView wire);
 
   EventLoop& loop_;
@@ -162,6 +210,12 @@ class NetEnvironment final : public core::Environment {
 
   std::map<int, std::unique_ptr<UdpDatagramChannel>> channels_;
   std::map<int, std::unique_ptr<core::SlidingWindowLink>> links_;
+
+  // mmsg fast path (null when options_.use_mmsg is false).  shared_ptr
+  // so the scheduled-flush closure can hold a weak_ptr across teardown.
+  std::shared_ptr<SendBatcher> batcher_;
+  std::unique_ptr<ReceivePool> rx_pool_;
+  obs::Gauge* m_rx_pool_in_use_ = nullptr;
 
   // Instrumentation handles (obs/metrics.hpp); the drop counters mirror
   // Stats live so they are readable through the public metrics path.

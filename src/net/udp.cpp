@@ -5,6 +5,7 @@
 #include <netdb.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -80,6 +81,8 @@ UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    tx_syscalls_ = other.tx_syscalls_;
+    rx_syscalls_ = other.rx_syscalls_;
   }
   return *this;
 }
@@ -94,6 +97,7 @@ SocketAddress UdpSocket::local_address() const {
 }
 
 bool UdpSocket::send_to(const SocketAddress& to, BytesView datagram) {
+  ++tx_syscalls_;
   const ssize_t n =
       ::sendto(fd_, datagram.data(), datagram.size(), 0, to.sockaddr_ptr(),
                to.length);
@@ -105,11 +109,86 @@ std::optional<std::pair<Bytes, SocketAddress>> UdpSocket::receive(
   Bytes buffer(max_size);
   SocketAddress from;
   from.length = sizeof(from.storage);
+  ++rx_syscalls_;
   const ssize_t n = ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
                                from.sockaddr_ptr(), &from.length);
   if (n < 0) return std::nullopt;  // EAGAIN or a transient error: drained
   buffer.resize(static_cast<std::size_t>(n));
   return std::make_pair(std::move(buffer), from);
+}
+
+ReceivePool::ReceivePool(std::size_t slots, std::size_t datagram_size) {
+  storage_.assign(slots, Bytes(datagram_size));
+  from_.assign(slots, SocketAddress{});
+  iovecs_.resize(slots);
+  headers_.resize(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    iovecs_[i].iov_base = storage_[i].data();
+    iovecs_[i].iov_len = storage_[i].size();
+    msghdr& h = headers_[i].msg_hdr;
+    h = {};
+    h.msg_name = &from_[i].storage;
+    h.msg_namelen = sizeof(from_[i].storage);
+    h.msg_iov = &iovecs_[i];
+    h.msg_iovlen = 1;
+  }
+}
+
+BytesView ReceivePool::payload(std::size_t i) const {
+  return BytesView(storage_[i]).subspan(0, headers_[i].msg_len);
+}
+
+std::size_t UdpSocket::send_batch(const std::vector<OutboundDatagram>& batch) {
+  // sendmmsg caps vlen at UIO_MAXIOV (1024); chunk larger batches.
+  constexpr std::size_t kMaxPerCall = 1024;
+  std::vector<mmsghdr> hdrs(std::min(batch.size(), kMaxPerCall));
+  std::vector<iovec> iovs(hdrs.size());
+  std::size_t sent = 0;
+  while (sent < batch.size()) {
+    const std::size_t count = std::min(batch.size() - sent, kMaxPerCall);
+    for (std::size_t i = 0; i < count; ++i) {
+      const OutboundDatagram& d = batch[sent + i];
+      iovs[i].iov_base =
+          const_cast<std::uint8_t*>(d.payload.data());
+      iovs[i].iov_len = d.payload.size();
+      msghdr& h = hdrs[i].msg_hdr;
+      h = {};
+      h.msg_name = const_cast<sockaddr_storage*>(&d.to.storage);
+      h.msg_namelen = d.to.length;
+      h.msg_iov = &iovs[i];
+      h.msg_iovlen = 1;
+      hdrs[i].msg_len = 0;
+    }
+    ++tx_syscalls_;
+    const int rc =
+        ::sendmmsg(fd_, hdrs.data(), static_cast<unsigned>(count), 0);
+    // rc < 0: nothing of this chunk went out (first datagram errored).
+    // 0 < rc < count: the kernel stopped at a refused datagram; the tail
+    // is dropped rather than retried — a full send buffer refuses again
+    // immediately, and the link layer retransmits either way.
+    if (rc <= 0) break;
+    sent += static_cast<std::size_t>(rc);
+    if (static_cast<std::size_t>(rc) < count) break;
+  }
+  return sent;
+}
+
+std::size_t UdpSocket::receive_batch(ReceivePool& pool) {
+  // The kernel overwrites msg_namelen on every receive; restore it (and
+  // nothing else — the iovecs are untouched) before reuse.
+  for (mmsghdr& h : pool.headers_) {
+    h.msg_hdr.msg_namelen = sizeof(sockaddr_storage);
+  }
+  ++rx_syscalls_;
+  const int rc = ::recvmmsg(fd_, pool.headers_.data(),
+                            static_cast<unsigned>(pool.headers_.size()), 0,
+                            nullptr);
+  if (rc <= 0) return 0;  // EAGAIN or transient: drained
+  for (int i = 0; i < rc; ++i) {
+    pool.from_[static_cast<std::size_t>(i)].length =
+        pool.headers_[static_cast<std::size_t>(i)].msg_hdr.msg_namelen;
+  }
+  return static_cast<std::size_t>(rc);
 }
 
 }  // namespace sintra::net

@@ -10,10 +10,13 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "util/bytes.hpp"
 
@@ -39,6 +42,37 @@ struct SocketAddress {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// One datagram queued for a batched send (UdpSocket::send_batch).
+struct OutboundDatagram {
+  SocketAddress to;
+  Bytes payload;
+};
+
+/// Reusable receive buffers for recvmmsg(2): `slots` datagram-sized
+/// buffers plus the iovec/mmsghdr scaffolding, allocated once and reused
+/// on every drain — the receive path stops paying one heap allocation
+/// per datagram.  payload(i)/from(i) views are valid until the next
+/// UdpSocket::receive_batch call on the same pool.
+class ReceivePool {
+ public:
+  ReceivePool(std::size_t slots, std::size_t datagram_size);
+
+  [[nodiscard]] std::size_t slots() const { return storage_.size(); }
+  /// Datagram i of the last receive_batch, trimmed to its actual length.
+  [[nodiscard]] BytesView payload(std::size_t i) const;
+  [[nodiscard]] const SocketAddress& from(std::size_t i) const {
+    return from_[i];
+  }
+
+ private:
+  friend class UdpSocket;
+
+  std::vector<Bytes> storage_;
+  std::vector<SocketAddress> from_;
+  std::vector<iovec> iovecs_;
+  std::vector<mmsghdr> headers_;
+};
+
 /// A bound non-blocking UDP socket (RAII, movable).
 class UdpSocket {
  public:
@@ -48,7 +82,9 @@ class UdpSocket {
   ~UdpSocket();
 
   UdpSocket(UdpSocket&& other) noexcept
-      : fd_(std::exchange(other.fd_, -1)) {}
+      : fd_(std::exchange(other.fd_, -1)),
+        tx_syscalls_(other.tx_syscalls_),
+        rx_syscalls_(other.rx_syscalls_) {}
   UdpSocket& operator=(UdpSocket&& other) noexcept;
   UdpSocket(const UdpSocket&) = delete;
   UdpSocket& operator=(const UdpSocket&) = delete;
@@ -67,8 +103,29 @@ class UdpSocket {
   std::optional<std::pair<Bytes, SocketAddress>> receive(
       std::size_t max_size = 65536);
 
+  /// Sends the whole batch (possibly to distinct destinations — a
+  /// broadcast's n-1 per-peer frames) with as few sendmmsg(2) calls as
+  /// possible, one kernel round-trip per 1024 datagrams instead of one
+  /// per datagram.  Returns how many the kernel accepted; the unaccepted
+  /// tail is dropped with plain UDP semantics — the link layer's
+  /// retransmission owns recovery, exactly as for a refused send_to().
+  std::size_t send_batch(const std::vector<OutboundDatagram>& batch);
+
+  /// Drains up to pool.slots() queued datagrams with ONE recvmmsg(2)
+  /// call into the pool's reusable buffers.  Returns the count received
+  /// (0 = drained); results via pool.payload(i)/pool.from(i).
+  std::size_t receive_batch(ReceivePool& pool);
+
+  /// Cumulative kernel round-trips made by this socket, split by
+  /// direction — the raw material for the syscalls-per-delivery figure
+  /// in BENCH_scale.json.
+  [[nodiscard]] std::uint64_t tx_syscalls() const { return tx_syscalls_; }
+  [[nodiscard]] std::uint64_t rx_syscalls() const { return rx_syscalls_; }
+
  private:
   int fd_ = -1;
+  std::uint64_t tx_syscalls_ = 0;
+  std::uint64_t rx_syscalls_ = 0;
 };
 
 }  // namespace sintra::net
